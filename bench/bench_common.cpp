@@ -1,0 +1,115 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "gen/mesh_gen.hpp"
+
+namespace mcgp::bench {
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--scale=", 0) == 0) {
+      args.scale = std::atof(a.c_str() + 8);
+      if (args.scale <= 0) args.scale = 1.0;
+    } else if (a.rfind("--reps=", 0) == 0) {
+      args.reps = std::max(1, std::atoi(a.c_str() + 7));
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--scale=<f>] [--reps=<n>] [--quick]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::vector<SuiteGraph> make_suite(double scale) {
+  const double s2 = std::sqrt(scale);
+  const double s3 = std::cbrt(scale);
+  std::vector<SuiteGraph> suite;
+  suite.push_back({"mgen1-grid2d",
+                   grid2d(static_cast<idx_t>(175 * s2),
+                          static_cast<idx_t>(175 * s2))});
+  suite.push_back({"mgen2-tri2d",
+                   tri_grid2d(static_cast<idx_t>(200 * s2),
+                              static_cast<idx_t>(200 * s2))});
+  suite.push_back({"mgen3-grid3d",
+                   grid3d(static_cast<idx_t>(35 * s3), static_cast<idx_t>(35 * s3),
+                          static_cast<idx_t>(35 * s3))});
+  suite.push_back({"mgen4-geom",
+                   random_geometric(static_cast<idx_t>(50000 * scale), 0, 91)});
+  return suite;
+}
+
+std::vector<SuiteGraph> make_ladder(double scale) {
+  std::vector<SuiteGraph> ladder;
+  const idx_t sides[] = {60, 120, 240, 480};
+  for (const idx_t side : sides) {
+    const idx_t n = static_cast<idx_t>(side * std::sqrt(scale));
+    ladder.push_back({"grid-" + std::to_string(n) + "x" + std::to_string(n),
+                      grid2d(n, n)});
+  }
+  return ladder;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(width[c] + 2), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::fmt(sum_t v) { return std::to_string(v); }
+
+RunSummary run_average(const Graph& g, Options opts, int reps) {
+  RunSummary s;
+  for (int r = 0; r < reps; ++r) {
+    opts.seed = static_cast<std::uint64_t>(r + 1);
+    const PartitionResult res = partition(g, opts);
+    s.cut += static_cast<double>(res.cut);
+    s.max_imbalance += res.max_imbalance;
+    s.seconds += res.seconds;
+  }
+  s.cut /= reps;
+  s.max_imbalance /= reps;
+  s.seconds /= reps;
+  return s;
+}
+
+}  // namespace mcgp::bench

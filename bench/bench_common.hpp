@@ -1,0 +1,64 @@
+// Shared infrastructure for the reproduction benches: the synthetic graph
+// suite (stand-ins for the paper's FE meshes), simple argument parsing,
+// and fixed-width table printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mcgp::bench {
+
+struct Args {
+  double scale = 1.0;   ///< multiplies the vertex counts of the suite
+  int reps = 3;         ///< seeds averaged per configuration (paper: 3)
+  bool quick = false;   ///< trim the parameter grid (CI-friendly)
+};
+
+/// Parse --scale=<f>, --reps=<n>, --quick. Unknown arguments abort with a
+/// usage message.
+Args parse_args(int argc, char** argv);
+
+struct SuiteGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// The graph suite (analogue of the paper's Table 1 meshes, scaled for a
+/// single-core laptop run):
+///   mgen1  2D grid            (~31k vertices at scale 1)
+///   mgen2  2D triangular grid (~40k)
+///   mgen3  3D grid            (~43k)
+///   mgen4  random geometric   (~50k)
+std::vector<SuiteGraph> make_suite(double scale);
+
+/// Larger ladder used by the runtime-scaling experiment.
+std::vector<SuiteGraph> make_ladder(double scale);
+
+/// Fixed-width plain-text table (matches the paper's tabular reporting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string fmt(double v, int prec = 3);
+  static std::string fmt(sum_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct RunSummary {
+  double cut = 0;            ///< mean cut over reps
+  double max_imbalance = 0;  ///< mean of per-run worst imbalance
+  double seconds = 0;        ///< mean wall time
+};
+
+/// Partition `reps` times with seeds 1..reps and average.
+RunSummary run_average(const Graph& g, Options opts, int reps);
+
+}  // namespace mcgp::bench

@@ -1,0 +1,113 @@
+// M1: google-benchmark microbenchmarks of the hot kernels: matching,
+// contraction, 2-way FM refinement, k-way refinement, and the end-to-end
+// partitioners.
+#include <benchmark/benchmark.h>
+
+#include "core/coarsen.hpp"
+#include "core/kway_refine.hpp"
+#include "core/matching.hpp"
+#include "core/partitioner.hpp"
+#include "core/refine2way.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+
+namespace {
+
+using namespace mcgp;
+
+Graph make_bench_graph(idx_t side, int m) {
+  Graph g = grid2d(side, side);
+  if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 42);
+  return g;
+}
+
+void BM_Matching(benchmark::State& state) {
+  const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto match = compute_matching(g, MatchScheme::kHeavyEdgeBalanced, rng);
+    benchmark::DoNotOptimize(match.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_Matching)->Args({200, 1})->Args({200, 3})->Args({400, 3});
+
+void BM_Contract(benchmark::State& state) {
+  const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)), 3);
+  Rng rng(1);
+  const auto match = compute_matching(g, MatchScheme::kHeavyEdge, rng);
+  std::vector<idx_t> cmap;
+  const idx_t nc = build_coarse_map(g, match, cmap);
+  for (auto _ : state) {
+    Graph c = contract_graph(g, cmap, nc);
+    benchmark::DoNotOptimize(c.adjncy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.nedges());
+}
+BENCHMARK(BM_Contract)->Arg(200)->Arg(400);
+
+void BM_Refine2Way(benchmark::State& state) {
+  const idx_t side = static_cast<idx_t>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const Graph g = make_bench_graph(side, m);
+  BisectionTargets t;
+  t.f0 = 0.5;
+  t.ub.assign(static_cast<std::size_t>(m), 1.05);
+  // Jagged start so the refiner has real work every iteration.
+  std::vector<idx_t> start(static_cast<std::size_t>(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    start[static_cast<std::size_t>(v)] = ((v / side) + 2 * (v % side)) % 4 < 2 ? 0 : 1;
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    std::vector<idx_t> where = start;
+    const sum_t cut = refine_2way(g, where, t, QueuePolicy::kMostImbalanced,
+                                  4, 0, rng);
+    benchmark::DoNotOptimize(cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_Refine2Way)->Args({200, 1})->Args({200, 3});
+
+void BM_KWayRefine(benchmark::State& state) {
+  const idx_t side = static_cast<idx_t>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const Graph g = make_bench_graph(side, m);
+  const idx_t k = 16;
+  std::vector<real_t> ub(static_cast<std::size_t>(m), 1.05);
+  Rng seedr(3);
+  std::vector<idx_t> start(static_cast<std::size_t>(g.nvtxs));
+  for (auto& p : start) p = static_cast<idx_t>(seedr.next_below(k));
+  Rng rng(1);
+  for (auto _ : state) {
+    std::vector<idx_t> where = start;
+    const sum_t cut = kway_refine(g, k, where, ub, 2, rng);
+    benchmark::DoNotOptimize(cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_KWayRefine)->Args({200, 1})->Args({200, 3});
+
+void BM_PartitionEndToEnd(benchmark::State& state) {
+  const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  Options o;
+  o.nparts = 32;
+  o.algorithm = state.range(2) == 0 ? Algorithm::kRecursiveBisection
+                                    : Algorithm::kKWay;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    const PartitionResult r = partition(g, o);
+    benchmark::DoNotOptimize(r.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_PartitionEndToEnd)
+    ->Args({150, 1, 0})
+    ->Args({150, 3, 0})
+    ->Args({150, 1, 1})
+    ->Args({150, 3, 1});
+
+}  // namespace

@@ -1,0 +1,53 @@
+// A2: initial-partitioning ablation — construction scheme (greedy growing
+// vs bin packing vs mixed) and number of trials. Also demonstrates the
+// paper's observation that a badly imbalanced initial partitioning is
+// unlikely to be repaired during multilevel refinement (the ">20% cliff"),
+// by disabling the balance-first trial selection via scheme choice.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  const idx_t k = 32;
+  const idx_t side = static_cast<idx_t>(200 * std::sqrt(args.scale));
+  std::printf("A2: initial-partitioning ablation (grid %dx%d, k=%d, reps=%d)\n\n",
+              side, side, k, args.reps);
+
+  const std::vector<int> ms =
+      args.quick ? std::vector<int>{3} : std::vector<int>{3, 5};
+
+  Table t({"m", "scheme", "trials", "cut", "lb", "time(s)"});
+  for (const int m : ms) {
+    Graph g = grid2d(side, side);
+    apply_type_s_weights(g, m, 16, 0, 19, 6000 + m);
+    for (const auto& [sname, scheme] :
+         {std::pair<const char*, InitScheme>{"greedy-grow",
+                                             InitScheme::kGreedyGrow},
+          {"bin-pack", InitScheme::kBinPack},
+          {"mixed", InitScheme::kMixed}}) {
+      for (const int trials : {1, 8}) {
+        Options o;
+        o.nparts = k;
+        o.init_scheme = scheme;
+        o.init_trials = trials;
+        const RunSummary s = run_average(g, o, args.reps);
+        t.add_row({std::to_string(m), sname, std::to_string(trials),
+                   Table::fmt(s.cut, 0), Table::fmt(s.max_imbalance, 3),
+                   Table::fmt(s.seconds, 3)});
+      }
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape check: bin packing gives the most reliable balance, greedy\n"
+      "growing the best cut; the mixed best-of-N policy should match the\n"
+      "better of both. More trials buy quality for time.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// A4: k-way refinement flavor — randomized greedy boundary sweeps vs the
+// gain-bucket priority-queue refiner (kmetis-style, best moves first) in
+// the full MC-KW pipeline.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/weight_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  const idx_t k = 32;
+  std::printf("A4: k-way refinement scheme ablation (MC-KW, k=%d, reps=%d)\n\n",
+              k, args.reps);
+
+  const std::vector<int> ms =
+      args.quick ? std::vector<int>{3} : std::vector<int>{1, 3, 5};
+
+  Table t({"graph", "m", "scheme", "cut", "lb", "time(s)"});
+  for (auto& [name, base] : make_suite(args.scale)) {
+    for (const int m : ms) {
+      Graph g = base;
+      if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 8000 + m);
+      for (const auto& [sname, scheme] :
+           {std::pair<const char*, KWayRefineScheme>{
+                "sweep", KWayRefineScheme::kSweep},
+            {"priority-queue", KWayRefineScheme::kPriorityQueue}}) {
+        Options o;
+        o.nparts = k;
+        o.algorithm = Algorithm::kKWay;
+        o.kway_scheme = scheme;
+        const RunSummary s = run_average(g, o, args.reps);
+        t.add_row({name, std::to_string(m), sname, Table::fmt(s.cut, 0),
+                   Table::fmt(s.max_imbalance, 3), Table::fmt(s.seconds, 3)});
+      }
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape check: the priority-queue refiner matches or slightly beats\n"
+      "the sweep on cut at a modest time premium (best moves commit first,\n"
+      "and follow-on gains are harvested within the same pass).\n");
+  return 0;
+}

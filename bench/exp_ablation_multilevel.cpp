@@ -1,0 +1,48 @@
+// A5: the value of the multilevel paradigm itself — the paper's premise.
+// Disabling coarsening (coarsen_to >= nvtxs) turns MC-RB into a flat
+// FM/KL-style partitioner: initial bisection constructed directly on the
+// input graph, refined in place. The multilevel version should produce
+// clearly better cuts in comparable or less time, on single- and
+// multi-constraint instances alike.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/weight_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  const idx_t k = 16;
+  std::printf("A5: multilevel vs flat (no coarsening) MC-RB (k=%d, reps=%d)\n\n",
+              k, args.reps);
+
+  const std::vector<int> ms =
+      args.quick ? std::vector<int>{3} : std::vector<int>{1, 3};
+
+  Table t({"graph", "m", "variant", "cut", "lb", "time(s)"});
+  for (auto& [name, base] : make_suite(args.scale)) {
+    for (const int m : ms) {
+      Graph g = base;
+      if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 9000 + m);
+      for (const bool multilevel : {true, false}) {
+        Options o;
+        o.nparts = k;
+        o.algorithm = Algorithm::kRecursiveBisection;
+        if (!multilevel) o.coarsen_to = g.nvtxs + 1;  // disable coarsening
+        const RunSummary s = run_average(g, o, args.reps);
+        t.add_row({name, std::to_string(m),
+                   multilevel ? "multilevel" : "flat-FM", Table::fmt(s.cut, 0),
+                   Table::fmt(s.max_imbalance, 3), Table::fmt(s.seconds, 3)});
+      }
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape check: multilevel wins decisively on cut — flat FM only sees\n"
+      "single-vertex moves and gets stuck in local minima that coarse-level\n"
+      "moves (whole clusters at once) escape. This is the premise the whole\n"
+      "multilevel literature, including this paper, is built on.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// A3: refinement-policy ablation — the SC'98 queue selection (m queues per
+// side, pop from the most imbalanced constraint) vs a round-robin
+// constraint order vs a single gain-only queue per side (the
+// single-constraint relaxation that ignores which KIND of weight moves).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  const idx_t k = 32;
+  std::printf("A3: 2-way refinement queue-policy ablation (MC-RB, k=%d, reps=%d)\n\n",
+              k, args.reps);
+
+  const std::vector<int> ms =
+      args.quick ? std::vector<int>{3} : std::vector<int>{3, 5};
+
+  Table t({"graph", "m", "policy", "cut", "lb", "time(s)"});
+  for (auto& [name, base] : make_suite(args.scale)) {
+    for (const int m : ms) {
+      Graph g = base;
+      apply_type_s_weights(g, m, 16, 0, 19, 7000 + m);
+      for (const auto& [pname, policy] :
+           {std::pair<const char*, QueuePolicy>{"most-imbalanced",
+                                                QueuePolicy::kMostImbalanced},
+            {"round-robin", QueuePolicy::kRoundRobin},
+            {"single-queue", QueuePolicy::kSingleQueue}}) {
+        Options o;
+        o.nparts = k;
+        o.algorithm = Algorithm::kRecursiveBisection;
+        o.queue_policy = policy;
+        const RunSummary s = run_average(g, o, args.reps);
+        t.add_row({name, std::to_string(m), pname, Table::fmt(s.cut, 0),
+                   Table::fmt(s.max_imbalance, 3), Table::fmt(s.seconds, 3)});
+      }
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape check: the paper's most-imbalanced selection should achieve\n"
+      "the best balance at equal or better cut; the single-queue relaxation\n"
+      "loses balance control as m grows.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E5 (motivation figure): bulk-synchronous multi-phase makespan under a
+// traditional single-constraint decomposition of the SUMMED phase work vs
+// the multi-constraint decomposition. The paper's introduction argues the
+// sum can be perfectly balanced while individual phases are not; the
+// multi-constraint formulation fixes exactly this.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/phase_sim.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  const idx_t k = 16;
+  const idx_t side = static_cast<idx_t>(220 * std::sqrt(args.scale));
+  std::printf(
+      "E5: multi-phase makespan, %dx%d mesh, k=%d (slowdown = makespan /\n"
+      "perfectly-balanced ideal; cut in multiples of the m=1 cut)\n\n",
+      side, side, k);
+
+  Graph bare = grid2d(side, side);
+  Options base_opts;
+  base_opts.nparts = k;
+  const RunSummary base = run_average(bare, base_opts, args.reps);
+
+  Table t({"phases", "slowdown (sum-collapsed)", "slowdown (multi-constraint)",
+           "cut ratio (sum)", "cut ratio (multi)"});
+
+  const std::vector<int> ms =
+      args.quick ? std::vector<int>{3} : std::vector<int>{2, 3, 4, 5};
+  for (const int m : ms) {
+    Graph g = grid2d(side, side);
+    apply_type_p_weights(g, m, 32, 4000 + m);
+
+    // Traditional: single constraint on summed weights.
+    Graph collapsed = sum_collapse_constraints(g);
+    Options so;
+    so.nparts = k;
+    so.seed = 1;
+    const PartitionResult rs = partition(collapsed, so);
+    const PhaseSimResult sim_s = simulate_phases(g, rs.part, k);
+
+    // Multi-constraint.
+    Options mo;
+    mo.nparts = k;
+    mo.seed = 1;
+    const PartitionResult rm = partition(g, mo);
+    const PhaseSimResult sim_m = simulate_phases(g, rm.part, k);
+
+    t.add_row({std::to_string(m), Table::fmt(sim_s.slowdown(), 3),
+               Table::fmt(sim_m.slowdown(), 3),
+               Table::fmt(base.cut > 0 ? rs.cut / base.cut : 0, 2),
+               Table::fmt(base.cut > 0 ? rm.cut / base.cut : 0, 2)});
+  }
+  t.print();
+  std::printf(
+      "\nShape check: multi-constraint slowdown stays near 1.0; the\n"
+      "sum-collapsed decomposition pays an increasing per-phase sync\n"
+      "penalty as the number of phases grows.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// E2: quality of multilevel k-way (MC-KW) multi-constraint partitionings,
+// normalized by the single-constraint baseline.
+#include "quality_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+  run_quality_experiment(Algorithm::kKWay,
+                         "E2: MC-KW multi-constraint quality", args);
+  return 0;
+}

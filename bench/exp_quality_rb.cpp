@@ -1,0 +1,12 @@
+// E1: quality of multilevel recursive bisection (MC-RB) multi-constraint
+// partitionings, normalized by the single-constraint baseline.
+#include "quality_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+  run_quality_experiment(Algorithm::kRecursiveBisection,
+                         "E1: MC-RB multi-constraint quality", args);
+  return 0;
+}

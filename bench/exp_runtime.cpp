@@ -1,0 +1,66 @@
+// E3: runtime of the multi-constraint partitioner vs the single-constraint
+// baseline, and scaling with graph size.
+//
+// Paper-shape expectations: runtime grows roughly linearly with m (the
+// analysis bounds it at O(nm)); a three-constraint partitioning costs a
+// small multiple (~2x in the paper) of a single-constraint one; runtime is
+// linear in |V|+|E| across the size ladder.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/weight_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  std::printf("E3: runtime vs number of constraints and graph size\n");
+  std::printf("(scale=%.2f, reps=%d, k=64, Type-S weights, MC-KW and MC-RB)\n\n",
+              args.scale, args.reps);
+
+  const std::vector<int> ms = args.quick ? std::vector<int>{1, 3}
+                                         : std::vector<int>{1, 3, 5};
+  const idx_t k = 64;
+
+  for (const auto alg : {Algorithm::kKWay, Algorithm::kRecursiveBisection}) {
+    std::printf("%s:\n", alg == Algorithm::kKWay ? "MC-KW" : "MC-RB");
+    Table t([&] {
+      std::vector<std::string> headers = {"graph", "n", "m=1 time(s)"};
+      for (std::size_t i = 1; i < ms.size(); ++i) {
+        headers.push_back("m=" + std::to_string(ms[i]) + " time(s)");
+        headers.push_back("x vs m=1");
+      }
+      return headers;
+    }());
+
+    for (auto& [name, base] : make_ladder(args.scale)) {
+      std::vector<std::string> row = {name, std::to_string(base.nvtxs)};
+      double t1 = 0;
+      for (const int m : ms) {
+        Graph g = base;
+        if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 2000 + m);
+        Options o;
+        o.nparts = k;
+        o.algorithm = alg;
+        const RunSummary s = run_average(g, o, args.reps);
+        if (m == 1) {
+          t1 = s.seconds;
+          row.push_back(Table::fmt(s.seconds, 3));
+        } else {
+          row.push_back(Table::fmt(s.seconds, 3));
+          row.push_back(Table::fmt(t1 > 0 ? s.seconds / t1 : 0.0, 2));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape check: time should grow ~linearly down each column (graph\n"
+      "size quadruples per row) and the m=3/m=1 multiple should be a small\n"
+      "constant (paper: ~2x on the Cray T3E implementation).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "quality_experiment.hpp"
+
+#include <cstdio>
+
+#include "gen/weight_gen.hpp"
+
+namespace mcgp::bench {
+
+void run_quality_experiment(Algorithm alg, const char* title,
+                            const Args& args) {
+  std::printf("%s (scale=%.2f, reps=%d, ub=1.05, Type-S weights)\n", title,
+              args.scale, args.reps);
+  std::printf(
+      "cut ratio = multi-constraint cut / single-constraint cut of the\n"
+      "same graph and k; lb = worst per-constraint imbalance.\n\n");
+
+  const std::vector<idx_t> ks =
+      args.quick ? std::vector<idx_t>{32} : std::vector<idx_t>{8, 32, 128};
+  const std::vector<int> ms =
+      args.quick ? std::vector<int>{1, 3} : std::vector<int>{1, 2, 3, 4, 5};
+
+  auto suite = make_suite(args.scale);
+
+  Table t([&] {
+    std::vector<std::string> headers = {"graph", "k"};
+    for (const int m : ms) {
+      if (m == 1) {
+        headers.push_back("cut(m=1)");
+        headers.push_back("lb(m=1)");
+      } else {
+        headers.push_back("ratio(m=" + std::to_string(m) + ")");
+        headers.push_back("lb(m=" + std::to_string(m) + ")");
+      }
+    }
+    return headers;
+  }());
+
+  for (auto& [name, base] : suite) {
+    for (const idx_t k : ks) {
+      std::vector<std::string> row = {name, std::to_string(k)};
+      double base_cut = 0;
+      for (const int m : ms) {
+        Graph g = base;  // copy: each m gets fresh weights
+        if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 1000 + m);
+        Options o;
+        o.nparts = k;
+        o.algorithm = alg;
+        const RunSummary s = run_average(g, o, args.reps);
+        if (m == 1) {
+          base_cut = s.cut;
+          row.push_back(Table::fmt(s.cut, 0));
+        } else {
+          row.push_back(Table::fmt(base_cut > 0 ? s.cut / base_cut : 0.0, 2));
+        }
+        row.push_back(Table::fmt(s.max_imbalance, 3));
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  t.print();
+}
+
+}  // namespace mcgp::bench

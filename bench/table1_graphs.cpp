@@ -1,0 +1,28 @@
+// Table 1: characteristics of the benchmark graph suite (the reproduction's
+// analogue of the paper's test-mesh table).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/graph_ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcgp;
+  using namespace mcgp::bench;
+  const Args args = parse_args(argc, argv);
+
+  std::printf("Table 1: benchmark graph suite (scale=%.2f)\n", args.scale);
+  std::printf(
+      "Substitute for the paper's FE meshes: same class (well-shaped,\n"
+      "bounded-degree 2D/3D meshes), laptop-scale sizes.\n\n");
+
+  Table t({"graph", "vertices", "edges", "avg deg", "max deg", "components"});
+  for (const auto& [name, g] : make_suite(args.scale)) {
+    idx_t max_deg = 0;
+    for (idx_t v = 0; v < g.nvtxs; ++v) max_deg = std::max(max_deg, g.degree(v));
+    t.add_row({name, std::to_string(g.nvtxs), std::to_string(g.nedges()),
+               Table::fmt(2.0 * g.nedges() / std::max<idx_t>(g.nvtxs, 1), 2),
+               std::to_string(max_deg), std::to_string(count_components(g))});
+  }
+  t.print();
+  return 0;
+}

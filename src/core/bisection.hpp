@@ -1,0 +1,161 @@
+// Shared state and balance arithmetic for 2-way (bisection) operations:
+// initial partitioning, FM refinement, and explicit balancing.
+//
+// A bisection splits a graph into sides 0/1 with target weight fractions
+// (f0, 1-f0) — recursive bisection uses uneven targets when k is not a
+// power of two. All balance math is done on normalized loads:
+//
+//   nload(s, i) = (sum of weight i on side s) / (total weight i) / f_s
+//
+// nload == 1 means side s holds exactly its target share of constraint i.
+// The scalar balance potential is
+//
+//   B = max_{i, s} nload(s, i) / ub_i
+//
+// so the bisection is feasible (all constraints within tolerance) iff
+// B <= 1. Constraints with zero total weight are ignored (trivially
+// balanced).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace mcgp {
+
+/// Target fractions and per-constraint tolerances of one bisection.
+struct BisectionTargets {
+  real_t f0 = 0.5;         ///< target fraction of side 0 (0 < f0 < 1)
+  std::vector<real_t> ub;  ///< per-constraint tolerance (>= 1), size ncon
+
+  real_t fraction(int side) const { return side == 0 ? f0 : 1.0 - f0; }
+};
+
+/// Running side-weight bookkeeping for a bisection of graph g.
+class BisectionBalance {
+ public:
+  BisectionBalance() = default;
+
+  void init(const Graph& g, const std::vector<idx_t>& where,
+            const BisectionTargets& t) {
+    g_ = &g;
+    t_ = &t;
+    assert(static_cast<int>(t.ub.size()) == g.ncon);
+    std::fill(pwgts_, pwgts_ + 2 * kMaxNcon, 0);
+    for (idx_t v = 0; v < g.nvtxs; ++v) {
+      const int s = where[static_cast<std::size_t>(v)];
+      const wgt_t* w = g.weights(v);
+      for (int i = 0; i < g.ncon; ++i) pwgts_[s * kMaxNcon + i] += w[i];
+    }
+  }
+
+  sum_t side_weight(int side, int i) const {
+    return pwgts_[side * kMaxNcon + i];
+  }
+
+  /// Apply the bookkeeping of moving v from side `from` to `1 - from`.
+  void apply_move(idx_t v, int from) {
+    const wgt_t* w = g_->weights(v);
+    for (int i = 0; i < g_->ncon; ++i) {
+      pwgts_[from * kMaxNcon + i] -= w[i];
+      pwgts_[(1 - from) * kMaxNcon + i] += w[i];
+    }
+  }
+
+  real_t nload(int side, int i) const {
+    return static_cast<real_t>(pwgts_[side * kMaxNcon + i]) *
+           g_->invtvwgt[static_cast<std::size_t>(i)] / t_->fraction(side);
+  }
+
+  /// Balance potential: max_i max_s nload(s,i)/ub_i. Feasible iff <= 1.
+  real_t potential() const {
+    real_t b = 0.0;
+    for (int i = 0; i < g_->ncon; ++i) {
+      if (g_->tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+      const real_t ub = t_->ub[static_cast<std::size_t>(i)];
+      b = std::max(b, std::max(nload(0, i), nload(1, i)) / ub);
+    }
+    return b;
+  }
+
+  bool feasible() const { return potential() <= 1.0 + 1e-12; }
+
+  /// Potential if v were moved from `from` (without committing).
+  real_t potential_after(idx_t v, int from) const {
+    const wgt_t* w = g_->weights(v);
+    real_t b = 0.0;
+    for (int i = 0; i < g_->ncon; ++i) {
+      if (g_->tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+      const sum_t w_from = pwgts_[from * kMaxNcon + i] - w[i];
+      const sum_t w_to = pwgts_[(1 - from) * kMaxNcon + i] + w[i];
+      const real_t inv = g_->invtvwgt[static_cast<std::size_t>(i)];
+      const real_t l_from = static_cast<real_t>(w_from) * inv / t_->fraction(from);
+      const real_t l_to = static_cast<real_t>(w_to) * inv / t_->fraction(1 - from);
+      b = std::max(b, std::max(l_from, l_to) / t_->ub[static_cast<std::size_t>(i)]);
+    }
+    return b;
+  }
+
+  /// Tolerance-relative overload of constraint i: max_s nload(s,i)/ub_i.
+  real_t constraint_potential(int i) const {
+    if (g_->tvwgt[static_cast<std::size_t>(i)] <= 0) return 0.0;
+    return std::max(nload(0, i), nload(1, i)) / t_->ub[static_cast<std::size_t>(i)];
+  }
+
+  /// Side holding the larger (target-relative) share of constraint i.
+  int heavy_side(int i) const { return nload(0, i) >= nload(1, i) ? 0 : 1; }
+
+  /// Constraint with the largest tolerance-relative overload.
+  int worst_constraint() const {
+    int worst = 0;
+    real_t wb = -1.0;
+    for (int i = 0; i < g_->ncon; ++i) {
+      const real_t b = constraint_potential(i);
+      if (b > wb) {
+        wb = b;
+        worst = i;
+      }
+    }
+    return worst;
+  }
+
+  const Graph& graph() const { return *g_; }
+  const BisectionTargets& targets() const { return *t_; }
+
+ private:
+  const Graph* g_ = nullptr;
+  const BisectionTargets* t_ = nullptr;
+  sum_t pwgts_[2 * kMaxNcon] = {};
+};
+
+/// Weighted cut of a bisection (each undirected edge once).
+inline sum_t compute_cut_2way(const Graph& g, const std::vector<idx_t>& where) {
+  sum_t cut = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t pv = where[static_cast<std::size_t>(v)];
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (where[static_cast<std::size_t>(g.adjncy[e])] != pv) cut += g.adjwgt[e];
+    }
+  }
+  return cut / 2;
+}
+
+/// Per-bisection tolerance vector derived from the overall tolerance and
+/// the recursion depth: per-level ub = ub^(1/depth), floored so the FM
+/// still has room to move (METIS-style compromise — balance errors of
+/// nested bisections multiply).
+inline std::vector<real_t> per_bisection_ub(const std::vector<real_t>& ub,
+                                            int depth) {
+  std::vector<real_t> out(ub.size());
+  for (std::size_t i = 0; i < ub.size(); ++i) {
+    const real_t per = std::pow(std::max(ub[i], 1.0), 1.0 / std::max(depth, 1));
+    out[i] = std::max<real_t>(per, 1.004);
+  }
+  return out;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,96 @@
+#include "core/coarsen.hpp"
+
+#include <algorithm>
+
+namespace mcgp {
+
+Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
+                     idx_t ncoarse) {
+  Graph c;
+  c.nvtxs = ncoarse;
+  c.ncon = g.ncon;
+  c.vwgt.assign(static_cast<std::size_t>(ncoarse) * g.ncon, 0);
+  c.xadj.assign(static_cast<std::size_t>(ncoarse) + 1, 0);
+
+  // Sum constituent weight vectors.
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      c.vwgt[static_cast<std::size_t>(cv) * g.ncon + i] += w[i];
+    }
+  }
+
+  // Invert cmap into constituent lists: every coarse vertex has 1 or 2.
+  std::vector<idx_t> first(static_cast<std::size_t>(ncoarse), -1);
+  std::vector<idx_t> second(static_cast<std::size_t>(ncoarse), -1);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    if (first[static_cast<std::size_t>(cv)] < 0) {
+      first[static_cast<std::size_t>(cv)] = v;
+    } else {
+      second[static_cast<std::size_t>(cv)] = v;
+    }
+  }
+
+  c.adjncy.reserve(g.adjncy.size());
+  c.adjwgt.reserve(g.adjwgt.size());
+
+  // Merge adjacency lists with a dense scratch map (position of each coarse
+  // neighbor in the row being built, or -1).
+  std::vector<idx_t> pos(static_cast<std::size_t>(ncoarse), -1);
+  for (idx_t cv = 0; cv < ncoarse; ++cv) {
+    const idx_t row_start = static_cast<idx_t>(c.adjncy.size());
+    for (const idx_t v : {first[static_cast<std::size_t>(cv)],
+                          second[static_cast<std::size_t>(cv)]}) {
+      if (v < 0) continue;
+      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const idx_t cu = cmap[static_cast<std::size_t>(g.adjncy[e])];
+        if (cu == cv) continue;  // edge collapsed inside the coarse vertex
+        const idx_t p = pos[static_cast<std::size_t>(cu)];
+        if (p >= 0) {
+          c.adjwgt[static_cast<std::size_t>(p)] += g.adjwgt[e];
+        } else {
+          pos[static_cast<std::size_t>(cu)] = static_cast<idx_t>(c.adjncy.size());
+          c.adjncy.push_back(cu);
+          c.adjwgt.push_back(g.adjwgt[e]);
+        }
+      }
+    }
+    for (idx_t e = row_start; e < static_cast<idx_t>(c.adjncy.size()); ++e) {
+      pos[static_cast<std::size_t>(c.adjncy[static_cast<std::size_t>(e)])] = -1;
+    }
+    c.xadj[static_cast<std::size_t>(cv) + 1] = static_cast<idx_t>(c.adjncy.size());
+  }
+
+  c.finalize();
+  return c;
+}
+
+Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng) {
+  Hierarchy h;
+  h.finest = &g;
+
+  const Graph* cur = &g;
+  for (int level = 0; level < params.max_levels; ++level) {
+    if (cur->nvtxs <= params.coarsen_to) break;
+
+    const std::vector<idx_t> match = compute_matching(*cur, params.scheme, rng);
+    std::vector<idx_t> cmap;
+    const idx_t ncoarse = build_coarse_map(*cur, match, cmap);
+
+    // Stop when matching no longer shrinks the graph meaningfully
+    // (e.g. star-like coarse graphs where almost nothing matches).
+    if (ncoarse >= static_cast<idx_t>(params.min_reduction * cur->nvtxs) &&
+        ncoarse > params.coarsen_to) {
+      break;
+    }
+
+    Graph coarse = contract_graph(*cur, cmap, ncoarse);
+    h.levels.push_back(CoarseLevel{std::move(coarse), std::move(cmap)});
+    cur = &h.levels.back().graph;
+  }
+  return h;
+}
+
+}  // namespace mcgp

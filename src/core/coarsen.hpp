@@ -1,0 +1,53 @@
+// Coarsening phase, step 2: graph contraction and the multilevel hierarchy.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/matching.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// Contract a graph according to a fine-to-coarse vertex map.
+/// Coarse vertex weights are the (vector) sums of their constituents;
+/// parallel coarse edges are merged by summing weights; edges internal to
+/// a coarse vertex vanish.
+Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
+                     idx_t ncoarse);
+
+/// One level of the hierarchy below the finest graph.
+struct CoarseLevel {
+  Graph graph;              ///< the coarse graph
+  std::vector<idx_t> cmap;  ///< maps the NEXT FINER level's vertices here
+};
+
+/// Multilevel hierarchy rooted at a (non-owned) finest graph.
+struct Hierarchy {
+  const Graph* finest = nullptr;
+  std::vector<CoarseLevel> levels;  ///< levels[0] is one step coarser
+
+  int num_levels() const { return static_cast<int>(levels.size()); }
+
+  /// Graph at level l, where level 0 is the finest input graph.
+  const Graph& graph_at(int l) const {
+    return l == 0 ? *finest : levels[static_cast<std::size_t>(l) - 1].graph;
+  }
+
+  const Graph& coarsest() const {
+    return levels.empty() ? *finest : levels.back().graph;
+  }
+};
+
+struct CoarsenParams {
+  idx_t coarsen_to = 100;
+  MatchScheme scheme = MatchScheme::kHeavyEdgeBalanced;
+  real_t min_reduction = 0.95;  ///< stop if ncoarse > min_reduction * n
+  int max_levels = 60;
+};
+
+/// Repeatedly match-and-contract until the graph is small enough or
+/// coarsening stalls. `g` must outlive the returned hierarchy.
+Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng);
+
+}  // namespace mcgp

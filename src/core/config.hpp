@@ -1,0 +1,106 @@
+// Public configuration and result types for the multi-constraint
+// partitioner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+#include "support/types.hpp"
+
+namespace mcgp {
+
+/// Which multilevel partitioner to run.
+enum class Algorithm {
+  kRecursiveBisection,  ///< MC-RB: every bisection is multilevel (pmetis-style)
+  kKWay,                ///< MC-KW: coarsen once, RB on coarsest, k-way refine
+};
+
+/// Coarsening matching scheme.
+enum class MatchScheme {
+  kRandom,              ///< random matching (RM)
+  kHeavyEdge,           ///< heavy-edge matching (HEM), random tie-break
+  kHeavyEdgeBalanced,   ///< HEM with the SC'98 balanced-edge tie-break
+};
+
+/// Queue-selection policy of the multi-constraint 2-way FM refinement
+/// (paper scheme + two ablation baselines).
+enum class QueuePolicy {
+  kMostImbalanced,  ///< m queues/side, pop from the most imbalanced
+                    ///< constraint's queue on the heavier side (paper)
+  kRoundRobin,      ///< m queues/side, constraints visited cyclically
+  kSingleQueue,     ///< one queue/side, pure gain order (single-constraint
+                    ///< relaxation)
+};
+
+/// k-way refinement flavor used during MC-KW uncoarsening.
+enum class KWayRefineScheme {
+  kSweep,          ///< randomized greedy sweeps over the boundary
+  kPriorityQueue,  ///< gain-bucket queue, best moves first (kmetis-style)
+};
+
+/// Initial-bisection construction scheme.
+enum class InitScheme {
+  kMixed,       ///< alternate graph growing and bin packing across trials
+  kGreedyGrow,  ///< greedy graph growing only
+  kBinPack,     ///< multi-dimensional LPT bin packing only
+};
+
+struct Options {
+  idx_t nparts = 2;
+
+  /// Per-constraint balance tolerance (>= 1.0). Empty = 1.05 everywhere.
+  std::vector<real_t> ubvec;
+
+  /// Per-part target fractions (size nparts, positive, summing to ~1).
+  /// Empty = uniform 1/nparts. Lets heterogeneous machines receive
+  /// proportionally sized subdomains; every constraint is balanced
+  /// against these fractions.
+  std::vector<real_t> tpwgts;
+
+  std::uint64_t seed = 1;
+
+  Algorithm algorithm = Algorithm::kKWay;
+  MatchScheme matching = MatchScheme::kHeavyEdgeBalanced;
+  QueuePolicy queue_policy = QueuePolicy::kMostImbalanced;
+  InitScheme init_scheme = InitScheme::kMixed;
+  KWayRefineScheme kway_scheme = KWayRefineScheme::kSweep;
+
+  /// Coarsest-graph size. 0 = automatic (scales with nparts and ncon).
+  idx_t coarsen_to = 0;
+  /// Abort coarsening when a level shrinks by less than this factor.
+  real_t min_coarsen_reduction = 0.95;
+
+  /// Number of initial-bisection attempts (best kept).
+  int init_trials = 8;
+  /// Maximum FM passes per level in 2-way refinement.
+  int refine_passes = 8;
+  /// Maximum greedy passes per level in k-way refinement.
+  int kway_passes = 8;
+  /// FM early-exit: abort a pass after this many consecutive
+  /// non-improving moves (0 = automatic: max(64, nvtxs/100)).
+  idx_t fm_move_limit = 0;
+
+  /// Tolerance for constraint i (handles the empty-default case).
+  real_t ub_for(int i) const {
+    if (ubvec.empty()) return 1.05;
+    return ubvec[static_cast<std::size_t>(i) < ubvec.size()
+                     ? static_cast<std::size_t>(i)
+                     : ubvec.size() - 1];
+  }
+};
+
+/// Outcome of a partitioning run.
+struct PartitionResult {
+  std::vector<idx_t> part;       ///< part id per vertex, in [0, nparts)
+  sum_t cut = 0;                 ///< weighted edge-cut
+  std::vector<real_t> imbalance; ///< per-constraint load imbalance
+  real_t max_imbalance = 1.0;    ///< worst constraint
+  double seconds = 0.0;          ///< total wall time
+  PhaseTimes phases;             ///< coarsen / init / refine breakdown
+  int coarsen_levels = 0;        ///< levels created by the top coarsener
+  idx_t coarsest_nvtxs = 0;      ///< size of the coarsest graph
+};
+
+}  // namespace mcgp

@@ -1,0 +1,205 @@
+#include "core/initpart.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/balance2way.hpp"
+#include "core/refine2way.hpp"
+#include "support/indexed_heap.hpp"
+
+namespace mcgp {
+
+void grow_bisection(const Graph& g, std::vector<idx_t>& where,
+                    const BisectionTargets& targets, Rng& rng) {
+  const auto n = static_cast<std::size_t>(g.nvtxs);
+  where.assign(n, 1);
+  if (g.nvtxs == 0) return;
+
+  // Normalized load of side 0 per constraint, relative to target f0.
+  std::array<real_t, kMaxNcon> load{};
+  auto would_overflow = [&](idx_t v) {
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+      const real_t nl =
+          load[static_cast<std::size_t>(i)] +
+          static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+      if (nl > targets.f0 * targets.ub[static_cast<std::size_t>(i)]) return true;
+    }
+    return false;
+  };
+  auto deficient = [&]() {
+    for (int i = 0; i < g.ncon; ++i) {
+      if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+      if (load[static_cast<std::size_t>(i)] < targets.f0) return true;
+    }
+    return false;
+  };
+  auto absorb = [&](idx_t v) {
+    where[static_cast<std::size_t>(v)] = 0;
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      load[static_cast<std::size_t>(i)] +=
+          static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+    }
+  };
+
+  IndexedMaxHeap frontier;
+  frontier.reset(g.nvtxs);
+  std::vector<char> seen(n, 0);  // in frontier, absorbed, or rejected
+
+  auto push_neighbors = [&](idx_t v) {
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const idx_t u = g.adjncy[e];
+      if (where[static_cast<std::size_t>(u)] == 0) continue;
+      const real_t w = static_cast<real_t>(g.adjwgt[e]);
+      if (frontier.contains(u)) {
+        frontier.update(u, frontier.key(u) + w);
+      } else if (!seen[static_cast<std::size_t>(u)]) {
+        frontier.insert(u, w);
+        seen[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+  };
+
+  while (deficient()) {
+    if (frontier.empty()) {
+      // Fresh seed (initial seed, or a disconnected component).
+      idx_t seed = -1;
+      for (int attempts = 0; attempts < 32 && seed < 0; ++attempts) {
+        const idx_t cand = rng.next_in(0, g.nvtxs - 1);
+        if (where[static_cast<std::size_t>(cand)] == 1 &&
+            !seen[static_cast<std::size_t>(cand)]) {
+          seed = cand;
+        }
+      }
+      if (seed < 0) {
+        for (idx_t v2 = 0; v2 < g.nvtxs && seed < 0; ++v2) {
+          if (where[static_cast<std::size_t>(v2)] == 1 &&
+              !seen[static_cast<std::size_t>(v2)]) {
+            seed = v2;
+          }
+        }
+      }
+      if (seed < 0) break;  // every vertex absorbed or rejected
+      seen[static_cast<std::size_t>(seed)] = 1;
+      if (would_overflow(seed)) continue;  // rejected; try another seed
+      absorb(seed);
+      push_neighbors(seed);
+      continue;
+    }
+    const idx_t v = frontier.pop_max();
+    if (would_overflow(v)) continue;  // locked out for this trial
+    absorb(v);
+    push_neighbors(v);
+  }
+}
+
+void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
+                       const BisectionTargets& targets, Rng& rng) {
+  const auto n = static_cast<std::size_t>(g.nvtxs);
+  where.assign(n, 0);
+  if (g.nvtxs == 0) return;
+
+  // Decreasing max-normalized-component order (LPT), random tie order.
+  std::vector<idx_t> order;
+  random_permutation(g.nvtxs, order, rng);
+  std::vector<real_t> key(n, 0.0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    real_t mx = 0.0;
+    for (int i = 0; i < g.ncon; ++i) {
+      mx = std::max(mx, static_cast<real_t>(g.weight(v, i)) *
+                            g.invtvwgt[static_cast<std::size_t>(i)]);
+    }
+    key[static_cast<std::size_t>(v)] = mx;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+    return key[static_cast<std::size_t>(a)] > key[static_cast<std::size_t>(b)];
+  });
+
+  // Greedy placement minimizing the resulting worst target-relative load.
+  std::array<real_t, 2 * kMaxNcon> load{};
+  for (const idx_t v : order) {
+    const wgt_t* w = g.weights(v);
+    real_t pot[2] = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+      for (int i = 0; i < g.ncon; ++i) {
+        if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+        const real_t nw =
+            static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+        for (int side = 0; side < 2; ++side) {
+          const real_t l = load[static_cast<std::size_t>(side * kMaxNcon + i)] +
+                           (side == s ? nw : 0.0);
+          pot[s] = std::max(pot[s], l / targets.fraction(side) /
+                                        targets.ub[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+    const int s = pot[0] <= pot[1] ? 0 : 1;
+    where[static_cast<std::size_t>(v)] = s;
+    for (int i = 0; i < g.ncon; ++i) {
+      load[static_cast<std::size_t>(s * kMaxNcon + i)] +=
+          static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
+                     const BisectionTargets& targets, InitScheme scheme,
+                     int trials, QueuePolicy policy, Rng& rng) {
+  trials = std::max(trials, 1);
+
+  std::vector<idx_t> best, cand;
+  sum_t best_cut = 0;
+  real_t best_pot = 0.0;
+  bool best_feasible = false;
+  bool have_best = false;
+
+  BisectionBalance balance;
+  for (int t = 0; t < trials; ++t) {
+    const bool use_grow = scheme == InitScheme::kGreedyGrow ||
+                          (scheme == InitScheme::kMixed && t % 2 == 0);
+    if (use_grow) {
+      grow_bisection(g, cand, targets, rng);
+    } else {
+      binpack_bisection(g, cand, targets, rng);
+    }
+    balance_2way(g, cand, targets, rng);
+    refine_2way(g, cand, targets, policy, /*max_passes=*/4,
+                /*move_limit=*/std::max<idx_t>(32, g.nvtxs / 10), rng);
+
+    balance.init(g, cand, targets);
+    const real_t pot = balance.potential();
+    const bool feasible = pot <= 1.0 + 1e-12;
+    const sum_t cut = compute_cut_2way(g, cand);
+
+    // Feasible trials compete on cut; infeasible trials compete on
+    // balance FIRST — an initial bisection that starts far out of balance
+    // is unlikely to ever be repaired during multilevel refinement, so a
+    // low cut cannot compensate for bad balance here.
+    bool better = false;
+    if (!have_best) {
+      better = true;
+    } else if (feasible != best_feasible) {
+      better = feasible;
+    } else if (feasible) {
+      better = cut < best_cut || (cut == best_cut && pot < best_pot);
+    } else {
+      better = pot < best_pot - 1e-12 ||
+               (pot <= best_pot + 1e-12 && cut < best_cut);
+    }
+    if (better) {
+      best = cand;
+      best_cut = cut;
+      best_pot = pot;
+      best_feasible = feasible;
+      have_best = true;
+    }
+  }
+
+  where = std::move(best);
+  return best_cut;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,102 @@
+#include "core/kway_driver.hpp"
+
+#include <algorithm>
+
+#include "core/coarsen.hpp"
+#include "core/kway_refine.hpp"
+#include "core/project.hpp"
+#include "core/rb_driver.hpp"
+
+namespace mcgp {
+
+namespace {
+
+idx_t kway_coarsen_to(const Options& opts, idx_t nparts, int ncon,
+                      idx_t nvtxs) {
+  if (opts.coarsen_to > 0) return opts.coarsen_to;
+  // A somewhat larger coarsest graph than single-constraint kmetis uses:
+  // the greedy k-way refinement cannot hill-climb, so initial-partition
+  // quality (RB on the coarsest) carries more of the final cut. Capped so
+  // large graphs still coarsen deeply.
+  return std::max<idx_t>(
+      {30 * nparts, 40 * ncon, 200, std::min<idx_t>(nvtxs / 8, 3000)});
+}
+
+}  // namespace
+
+std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
+                                  Rng& rng, PhaseTimes* phases,
+                                  KWayDriverStats* stats) {
+  const idx_t k = std::max<idx_t>(opts.nparts, 1);
+  if (k == 1 || g.nvtxs == 0) {
+    return std::vector<idx_t>(static_cast<std::size_t>(g.nvtxs), 0);
+  }
+
+  PhaseTimes local_phases;
+  PhaseTimes& pt = phases != nullptr ? *phases : local_phases;
+
+  Hierarchy h;
+  {
+    ScopedPhase sp(pt, "coarsen");
+    CoarsenParams cp;
+    cp.coarsen_to = kway_coarsen_to(opts, k, g.ncon, g.nvtxs);
+    cp.scheme = opts.matching;
+    cp.min_reduction = opts.min_coarsen_reduction;
+    // The coarsest graph must retain enough vertices to seed k parts.
+    cp.coarsen_to = std::max<idx_t>(cp.coarsen_to, 4 * k);
+    h = coarsen_graph(g, cp, rng);
+  }
+
+  if (stats != nullptr) {
+    stats->levels = h.num_levels();
+    stats->coarsest_nvtxs = h.coarsest().nvtxs;
+  }
+
+  // Initial k-way partition of the coarsest graph via recursive bisection,
+  // with a slightly tightened tolerance so k-way refinement starts with
+  // room to work with.
+  std::vector<idx_t> cwhere;
+  {
+    ScopedPhase sp(pt, "initpart");
+    Options init_opts = opts;
+    init_opts.nparts = k;
+    init_opts.coarsen_to = 0;  // let the bisections pick their own size
+    init_opts.ubvec.resize(static_cast<std::size_t>(g.ncon));
+    for (int i = 0; i < g.ncon; ++i) {
+      init_opts.ubvec[static_cast<std::size_t>(i)] =
+          std::max<real_t>(1.0 + (opts.ub_for(i) - 1.0) * 0.9, 1.003);
+    }
+    init_opts.tpwgts = opts.tpwgts;
+    cwhere = partition_recursive_bisection(h.coarsest(), init_opts, rng);
+  }
+
+  std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));
+  for (int i = 0; i < g.ncon; ++i) ub[static_cast<std::size_t>(i)] = opts.ub_for(i);
+
+  {
+    ScopedPhase sp(pt, "refine");
+    for (int l = h.num_levels(); l >= 0; --l) {
+      const Graph& cur = h.graph_at(l);
+      if (l < h.num_levels()) {
+        std::vector<idx_t> fine_where;
+        project_partition(h.levels[static_cast<std::size_t>(l)].cmap, cwhere,
+                          fine_where);
+        cwhere = std::move(fine_where);
+      }
+      // Extra sweeps on the finest graph, where moves are cheapest in
+      // balance terms and most plentiful.
+      const int passes = l == 0 ? opts.kway_passes + 2 : opts.kway_passes;
+      const std::vector<real_t>* tp =
+          opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+      if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
+        kway_refine_pq(cur, k, cwhere, ub, passes, rng, nullptr, tp);
+      } else {
+        kway_refine(cur, k, cwhere, ub, passes, rng, nullptr, tp);
+      }
+    }
+  }
+
+  return cwhere;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,26 @@
+// MC-KW: multilevel k-way multi-constraint partitioning (kmetis-style).
+//
+// Coarsen the whole graph once, partition the coarsest graph k ways with
+// MC-RB (cheap: the coarsest graph is small), then uncoarsen with greedy
+// multi-constraint k-way refinement at every level.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace mcgp {
+
+struct KWayDriverStats {
+  int levels = 0;
+  idx_t coarsest_nvtxs = 0;
+};
+
+std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
+                                  Rng& rng, PhaseTimes* phases = nullptr,
+                                  KWayDriverStats* stats = nullptr);
+
+}  // namespace mcgp

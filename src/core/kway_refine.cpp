@@ -1,0 +1,521 @@
+#include "core/kway_refine.hpp"
+
+#include <algorithm>
+
+#include "graph/metrics.hpp"
+#include "support/bucket_queue.hpp"
+
+namespace mcgp {
+
+std::vector<sum_t> compute_part_weights(const Graph& g,
+                                        const std::vector<idx_t>& where,
+                                        idx_t nparts) {
+  return part_weights(g, where, nparts);
+}
+
+bool kway_feasible(const Graph& g, const std::vector<sum_t>& pwgts,
+                   idx_t nparts, const std::vector<real_t>& ub,
+                   const std::vector<real_t>* tpwgts) {
+  for (int i = 0; i < g.ncon; ++i) {
+    if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+    for (idx_t p = 0; p < nparts; ++p) {
+      const real_t frac = tpwgts != nullptr
+                              ? (*tpwgts)[static_cast<std::size_t>(p)]
+                              : 1.0 / static_cast<real_t>(nparts);
+      const real_t limit =
+          ub[static_cast<std::size_t>(i)] * frac *
+          static_cast<real_t>(g.tvwgt[static_cast<std::size_t>(i)]);
+      if (static_cast<real_t>(pwgts[static_cast<std::size_t>(p) * g.ncon + i]) >
+          limit + 1e-9) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Shared sweep context: part weights, vertex counts, scratch connectivity.
+class KWayContext {
+ public:
+  KWayContext(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+              const std::vector<real_t>& ub,
+              const std::vector<real_t>* tpwgts)
+      : g_(g), nparts_(nparts), where_(where), ub_(ub), tpwgts_(tpwgts) {
+    conn_.assign(static_cast<std::size_t>(nparts), 0);
+    touched_.reserve(64);
+    limit_.resize(static_cast<std::size_t>(nparts) * g.ncon);
+    for (idx_t p = 0; p < nparts; ++p) {
+      const real_t frac = tpwgts != nullptr
+                              ? (*tpwgts)[static_cast<std::size_t>(p)]
+                              : 1.0 / static_cast<real_t>(nparts);
+      for (int i = 0; i < g.ncon; ++i) {
+        limit_[static_cast<std::size_t>(p) * g.ncon + i] =
+            g.tvwgt[static_cast<std::size_t>(i)] > 0
+                ? ub[static_cast<std::size_t>(i)] * frac *
+                      static_cast<real_t>(g.tvwgt[static_cast<std::size_t>(i)])
+                : 1e300;
+      }
+    }
+    reload();
+  }
+
+  /// Recompute part weights and counts from the current assignment
+  /// (after an external pass, e.g. kway_balance, mutated `where`).
+  void reload() {
+    pwgts_ = compute_part_weights(g_, where_, nparts_);
+    vcount_.assign(static_cast<std::size_t>(nparts_), 0);
+    for (idx_t v = 0; v < g_.nvtxs; ++v) {
+      ++vcount_[static_cast<std::size_t>(where_[static_cast<std::size_t>(v)])];
+    }
+  }
+
+  const std::vector<sum_t>& pwgts() const { return pwgts_; }
+
+  bool feasible() const {
+    return kway_feasible(g_, pwgts_, nparts_, ub_, tpwgts_);
+  }
+
+  /// Tolerance-relative load of part p: max_i pwgt/limit.
+  real_t part_load(idx_t p) const {
+    real_t l = 0.0;
+    for (int i = 0; i < g_.ncon; ++i) {
+      l = std::max(l, static_cast<real_t>(
+                          pwgts_[static_cast<std::size_t>(p) * g_.ncon + i]) /
+                          limit_[static_cast<std::size_t>(p) * g_.ncon + i]);
+    }
+    return l;
+  }
+
+  /// Overload of part p in constraint i (ratio above limit; <=1 is fine).
+  real_t overload(idx_t p, int i) const {
+    return static_cast<real_t>(pwgts_[static_cast<std::size_t>(p) * g_.ncon + i]) /
+           limit_[static_cast<std::size_t>(p) * g_.ncon + i];
+  }
+
+  /// Global maximum tolerance-relative load (feasible iff <= 1).
+  real_t max_overload() const {
+    real_t mx = 0.0;
+    for (idx_t p = 0; p < nparts_; ++p) {
+      for (int i = 0; i < g_.ncon; ++i) mx = std::max(mx, overload(p, i));
+    }
+    return mx;
+  }
+
+  /// Load of part p in constraint i after hypothetically adding `extra`.
+  real_t load_with(idx_t p, int i, wgt_t extra) const {
+    return static_cast<real_t>(
+               pwgts_[static_cast<std::size_t>(p) * g_.ncon + i] + extra) /
+           limit_[static_cast<std::size_t>(p) * g_.ncon + i];
+  }
+
+  bool fits(idx_t v, idx_t p) const {
+    const wgt_t* w = g_.weights(v);
+    for (int i = 0; i < g_.ncon; ++i) {
+      if (static_cast<real_t>(
+              pwgts_[static_cast<std::size_t>(p) * g_.ncon + i] + w[i]) >
+          limit_[static_cast<std::size_t>(p) * g_.ncon + i] + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Gather the edge weight from v to each touched part. Returns the
+  /// weight to v's own part; touched() lists the OTHER parts seen.
+  sum_t gather_connectivity(idx_t v) {
+    for (const idx_t p : touched_) conn_[static_cast<std::size_t>(p)] = 0;
+    touched_.clear();
+    const idx_t own = where_[static_cast<std::size_t>(v)];
+    sum_t idw = 0;
+    for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
+      const idx_t p = where_[static_cast<std::size_t>(g_.adjncy[e])];
+      if (p == own) {
+        idw += g_.adjwgt[e];
+      } else {
+        if (conn_[static_cast<std::size_t>(p)] == 0) touched_.push_back(p);
+        conn_[static_cast<std::size_t>(p)] += g_.adjwgt[e];
+      }
+    }
+    return idw;
+  }
+
+  const std::vector<idx_t>& touched() const { return touched_; }
+  sum_t conn(idx_t p) const { return conn_[static_cast<std::size_t>(p)]; }
+
+  /// Never empty a part (keeps every subdomain populated).
+  bool can_leave(idx_t p) const { return vcount_[static_cast<std::size_t>(p)] > 1; }
+
+  void move(idx_t v, idx_t to) {
+    const idx_t from = where_[static_cast<std::size_t>(v)];
+    where_[static_cast<std::size_t>(v)] = to;
+    --vcount_[static_cast<std::size_t>(from)];
+    ++vcount_[static_cast<std::size_t>(to)];
+    const wgt_t* w = g_.weights(v);
+    for (int i = 0; i < g_.ncon; ++i) {
+      pwgts_[static_cast<std::size_t>(from) * g_.ncon + i] -= w[i];
+      pwgts_[static_cast<std::size_t>(to) * g_.ncon + i] += w[i];
+    }
+  }
+
+  std::vector<idx_t> boundary(Rng& rng) const {
+    std::vector<idx_t> b;
+    for (idx_t v = 0; v < g_.nvtxs; ++v) {
+      const idx_t pv = where_[static_cast<std::size_t>(v)];
+      for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
+        if (where_[static_cast<std::size_t>(g_.adjncy[e])] != pv) {
+          b.push_back(v);
+          break;
+        }
+      }
+    }
+    shuffle(b, rng);
+    return b;
+  }
+
+ private:
+  const Graph& g_;
+  idx_t nparts_;
+  std::vector<idx_t>& where_;
+  const std::vector<real_t>& ub_;
+  const std::vector<real_t>* tpwgts_;
+  std::vector<sum_t> pwgts_;
+  std::vector<idx_t> vcount_;
+  std::vector<sum_t> conn_;
+  std::vector<idx_t> touched_;
+  std::vector<real_t> limit_;
+};
+
+/// One cut-driven sweep. Returns the number of moves performed and the
+/// total cut improvement via `gain_sum`.
+idx_t refine_sweep(KWayContext& ctx, const std::vector<idx_t>& where,
+                   Rng& rng, sum_t& gain_sum) {
+  idx_t moves = 0;
+  gain_sum = 0;
+  for (const idx_t v : ctx.boundary(rng)) {
+    const idx_t own = where[static_cast<std::size_t>(v)];
+    if (!ctx.can_leave(own)) continue;
+    const sum_t idw = ctx.gather_connectivity(v);
+
+    idx_t best = -1;
+    sum_t best_gain = 0;
+    real_t best_load = 0.0;
+    for (const idx_t p : ctx.touched()) {
+      if (!ctx.fits(v, p)) continue;
+      const sum_t gain = ctx.conn(p) - idw;
+      if (gain < 0) continue;
+      const real_t load = ctx.part_load(p);
+      // Prefer higher gain; among equal gains prefer the lighter part.
+      if (best < 0 || gain > best_gain ||
+          (gain == best_gain && load < best_load)) {
+        best = p;
+        best_gain = gain;
+        best_load = load;
+      }
+    }
+    if (best < 0) continue;
+    // Zero-gain moves are only worthwhile when they shift weight from a
+    // more loaded part to a less loaded one.
+    if (best_gain == 0 && best_load >= ctx.part_load(own) - 1e-12) continue;
+    ctx.move(v, best);
+    gain_sum += best_gain;
+    ++moves;
+  }
+  return moves;
+}
+
+/// Post-move tolerance-relative load of part p if it received vertex v.
+real_t dest_load_after(const Graph& g, const KWayContext& ctx, idx_t v,
+                       idx_t p) {
+  real_t l = 0.0;
+  const wgt_t* w = g.weights(v);
+  for (int i = 0; i < g.ncon; ++i) {
+    l = std::max(l, ctx.load_with(p, i, w[i]));
+  }
+  return l;
+}
+
+/// One balancing episode: drain the part attaining the current global
+/// maximum load. Strict `fits()` acceptance deadlocks when every part with
+/// slack in one constraint is itself overloaded in another (complementary
+/// overloads — common after a granular coarse-level initial partition), so
+/// acceptance is potential-reducing instead: a destination is admissible
+/// whenever its post-move load stays strictly below the current global
+/// maximum. Returns the number of moves performed.
+idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
+                      const std::vector<idx_t>& where, Rng& rng) {
+  // Locate the global maximum (part q, constraint c).
+  idx_t q = -1;
+  int c = 0;
+  real_t peak = 0.0;
+  for (idx_t p = 0; p < nparts; ++p) {
+    for (int i = 0; i < g.ncon; ++i) {
+      const real_t l = ctx.overload(p, i);
+      if (l > peak) {
+        peak = l;
+        q = p;
+        c = i;
+      }
+    }
+  }
+  if (q < 0 || peak <= 1.0 + 1e-12) return 0;
+
+  // Candidates: vertices of q carrying weight in constraint c, boundary
+  // first, higher (ed - id) first — cheapest cut damage first.
+  std::vector<idx_t> cand;
+  std::vector<real_t> key(static_cast<std::size_t>(g.nvtxs), 0.0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    if (where[static_cast<std::size_t>(v)] != q) continue;
+    if (g.weight(v, c) <= 0) continue;
+    cand.push_back(v);
+    sum_t idw = 0, edw = 0;
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (where[static_cast<std::size_t>(g.adjncy[e])] == q) {
+        idw += g.adjwgt[e];
+      } else {
+        edw += g.adjwgt[e];
+      }
+    }
+    key[static_cast<std::size_t>(v)] =
+        static_cast<real_t>(edw - idw) + (edw > 0 ? 1e6 : 0.0);
+  }
+  shuffle(cand, rng);
+  std::stable_sort(cand.begin(), cand.end(), [&](idx_t a, idx_t b) {
+    return key[static_cast<std::size_t>(a)] > key[static_cast<std::size_t>(b)];
+  });
+
+  idx_t moves = 0;
+  for (const idx_t v : cand) {
+    if (where[static_cast<std::size_t>(v)] != q) continue;  // already moved
+    if (!ctx.can_leave(q)) break;
+    // Stop once q is no longer the bottleneck for constraint c.
+    if (ctx.overload(q, c) <= 1.0 + 1e-12) break;
+
+    const sum_t idw = ctx.gather_connectivity(v);
+    // Candidate destinations: adjacent parts plus the globally lightest.
+    idx_t lightest = -1;
+    real_t lightest_load = 1e300;
+    for (idx_t p = 0; p < nparts; ++p) {
+      if (p == q) continue;
+      const real_t l = ctx.part_load(p);
+      if (l < lightest_load) {
+        lightest_load = l;
+        lightest = p;
+      }
+    }
+    idx_t best = -1;
+    bool best_fits = false;
+    sum_t best_gain = 0;
+    real_t best_load = 0.0;
+    auto consider = [&](idx_t p) {
+      if (p < 0 || p == q) return;
+      const real_t after = dest_load_after(g, ctx, v, p);
+      if (after >= peak - 1e-12) return;  // would not reduce the potential
+      const bool fits = after <= 1.0 + 1e-12;
+      const sum_t gain = ctx.conn(p) - idw;
+      const bool better = best < 0 || (fits && !best_fits) ||
+                          (fits == best_fits &&
+                           (gain > best_gain ||
+                            (gain == best_gain && after < best_load)));
+      if (better) {
+        best = p;
+        best_fits = fits;
+        best_gain = gain;
+        best_load = after;
+      }
+    };
+    for (const idx_t p : ctx.touched()) consider(p);
+    consider(lightest);
+
+    if (best < 0) continue;
+    ctx.move(v, best);
+    ++moves;
+  }
+  return moves;
+}
+
+/// Best admissible move of vertex v under the sweep rules. Returns the
+/// destination part (or -1) and its gain via out-params.
+bool best_move(const Graph& g, KWayContext& ctx,
+               const std::vector<idx_t>& where, idx_t v, idx_t& dest,
+               sum_t& gain) {
+  const idx_t own = where[static_cast<std::size_t>(v)];
+  if (!ctx.can_leave(own)) return false;
+  const sum_t idw = ctx.gather_connectivity(v);
+  dest = -1;
+  gain = 0;
+  real_t best_load = 0.0;
+  for (const idx_t p : ctx.touched()) {
+    if (!ctx.fits(v, p)) continue;
+    const sum_t g2 = ctx.conn(p) - idw;
+    if (g2 < 0) continue;
+    const real_t load = ctx.part_load(p);
+    if (dest < 0 || g2 > gain || (g2 == gain && load < best_load)) {
+      dest = p;
+      gain = g2;
+      best_load = load;
+    }
+  }
+  if (dest < 0) return false;
+  if (gain == 0 && best_load >= ctx.part_load(own) - 1e-12) return false;
+  return true;
+}
+
+/// One priority-queue pass: boundary vertices keyed by their optimistic
+/// gain (best neighbor connectivity minus internal degree). Returns moves
+/// performed; accumulates realized gain in `gain_sum`.
+idx_t pq_pass(const Graph& g, KWayContext& ctx, std::vector<idx_t>& where,
+              BucketQueue& queue, Rng& rng, sum_t& gain_sum) {
+  queue.reset(g.nvtxs);
+  std::vector<char> popped(static_cast<std::size_t>(g.nvtxs), 0);
+  for (const idx_t v : ctx.boundary(rng)) {
+    const sum_t idw = ctx.gather_connectivity(v);
+    sum_t best_conn = 0;
+    for (const idx_t p : ctx.touched()) best_conn = std::max(best_conn, ctx.conn(p));
+    queue.insert(v, static_cast<wgt_t>(best_conn - idw));
+  }
+
+  idx_t moves = 0;
+  gain_sum = 0;
+  while (!queue.empty()) {
+    const idx_t v = queue.pop_max();
+    popped[static_cast<std::size_t>(v)] = 1;  // each vertex moves at most once per pass
+    idx_t dest;
+    sum_t gain;
+    if (!best_move(g, ctx, where, v, dest, gain)) continue;
+    ctx.move(v, dest);
+    gain_sum += gain;
+    ++moves;
+    // Refresh the optimistic keys of v's unpopped neighbors; insert
+    // neighbors that just became boundary vertices, drop ones that left it.
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const idx_t u = g.adjncy[e];
+      if (popped[static_cast<std::size_t>(u)]) continue;
+      const sum_t idw = ctx.gather_connectivity(u);
+      sum_t best_conn = 0;
+      for (const idx_t p : ctx.touched()) {
+        best_conn = std::max(best_conn, ctx.conn(p));
+      }
+      const bool on_boundary = !ctx.touched().empty();
+      if (queue.contains(u)) {
+        if (on_boundary) {
+          queue.update(u, static_cast<wgt_t>(best_conn - idw));
+        } else {
+          queue.remove(u);
+        }
+      } else if (on_boundary) {
+        queue.insert(u, static_cast<wgt_t>(best_conn - idw));
+      }
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+                  const std::vector<real_t>& ub, Rng& rng,
+                  const std::vector<real_t>* tpwgts) {
+  KWayContext ctx(g, nparts, where, ub, tpwgts);
+  if (ctx.feasible()) return true;
+  // Each episode drains the current argmax part, so (peak, #loads at the
+  // peak) decreases lexicographically while episodes make progress —
+  // several parts can tie at the peak, so the peak alone is not the right
+  // progress measure. Stop when an episode fails to improve it (further
+  // episodes would spin on the same deadlock).
+  const int max_episodes = 8 * g.ncon * std::max<idx_t>(nparts, 2);
+  auto progress_state = [&]() {
+    const real_t peak = ctx.max_overload();
+    idx_t at_peak = 0;
+    for (idx_t p = 0; p < nparts; ++p) {
+      for (int i = 0; i < g.ncon; ++i) {
+        if (ctx.overload(p, i) > peak - 1e-9) ++at_peak;
+      }
+    }
+    return std::make_pair(peak, at_peak);
+  };
+  auto prev = progress_state();
+  for (int ep = 0; ep < max_episodes && !ctx.feasible(); ++ep) {
+    if (balance_episode(g, ctx, nparts, where, rng) == 0) break;
+    const auto cur = progress_state();
+    if (cur.first >= prev.first - 1e-12 && cur.second >= prev.second) break;
+    prev = cur;
+  }
+  return ctx.feasible();
+}
+
+sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+                  const std::vector<real_t>& ub, int max_passes, Rng& rng,
+                  KWayRefineStats* stats, const std::vector<real_t>* tpwgts) {
+  KWayContext ctx(g, nparts, where, ub, tpwgts);
+
+  if (!ctx.feasible()) {
+    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    ctx.reload();
+  }
+
+  // Sweep until the cut stops improving (zero-gain balance jiggling alone
+  // is not progress), bounded by a generous multiple of the configured
+  // pass count as a safety net against oscillation.
+  const int pass_cap = 4 * max_passes;
+  for (int pass = 0; pass < pass_cap; ++pass) {
+    sum_t gain_sum = 0;
+    const idx_t moves = refine_sweep(ctx, where, rng, gain_sum);
+    if (stats != nullptr) {
+      ++stats->passes;
+      stats->moves += moves;
+    }
+    if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
+  }
+
+  if (!ctx.feasible()) {
+    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    ctx.reload();
+  }
+
+  const sum_t cut = edge_cut(g, where);
+  if (stats != nullptr) {
+    stats->final_cut = cut;
+    stats->feasible = ctx.feasible();
+  }
+  return cut;
+}
+
+sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+                     const std::vector<real_t>& ub, int max_passes, Rng& rng,
+                     KWayRefineStats* stats,
+                     const std::vector<real_t>* tpwgts) {
+  KWayContext ctx(g, nparts, where, ub, tpwgts);
+
+  if (!ctx.feasible()) {
+    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    ctx.reload();
+  }
+
+  BucketQueue queue;
+  const int pass_cap = 4 * max_passes;
+  for (int pass = 0; pass < pass_cap; ++pass) {
+    sum_t gain_sum = 0;
+    const idx_t moves = pq_pass(g, ctx, where, queue, rng, gain_sum);
+    if (stats != nullptr) {
+      ++stats->passes;
+      stats->moves += moves;
+    }
+    if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
+  }
+
+  if (!ctx.feasible()) {
+    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    ctx.reload();
+  }
+
+  const sum_t cut = edge_cut(g, where);
+  if (stats != nullptr) {
+    stats->final_cut = cut;
+    stats->feasible = ctx.feasible();
+  }
+  return cut;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,62 @@
+// Greedy multi-constraint k-way refinement (the MC-KW uncoarsening step).
+//
+// A randomized greedy sweep over boundary vertices: each vertex may move
+// to a neighboring subdomain if the move improves the cut without pushing
+// any constraint of the destination past its tolerance (or if it improves
+// balance at no cut cost). When the projected partition arrives out of
+// tolerance — coarse-vertex granularity can force this — a balancing sweep
+// runs first, preferring minimum-cut-damage moves out of overloaded parts.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+
+struct KWayRefineStats {
+  int passes = 0;
+  idx_t moves = 0;
+  sum_t final_cut = 0;
+  bool feasible = false;
+};
+
+/// Per-part / per-constraint weight table, pwgts[p*ncon + i].
+std::vector<sum_t> compute_part_weights(const Graph& g,
+                                        const std::vector<idx_t>& where,
+                                        idx_t nparts);
+
+/// True iff every part is within tolerance on every constraint:
+/// pwgts[p][i] <= ub[i] * tpwgts[p] * tvwgt[i], where tpwgts defaults to
+/// the uniform 1/nparts when null.
+bool kway_feasible(const Graph& g, const std::vector<sum_t>& pwgts,
+                   idx_t nparts, const std::vector<real_t>& ub,
+                   const std::vector<real_t>* tpwgts = nullptr);
+
+/// Balancing sweeps: move weight out of overloaded parts with the least
+/// cut damage until feasible or stuck. Returns true when feasible.
+/// `tpwgts` (optional) gives per-part target fractions; null = uniform.
+bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+                  const std::vector<real_t>& ub, Rng& rng,
+                  const std::vector<real_t>* tpwgts = nullptr);
+
+/// Greedy refinement. Runs up to `max_passes` sweeps (plus balancing when
+/// needed) and returns the final cut. `tpwgts` (optional) gives per-part
+/// target fractions; null = uniform.
+sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+                  const std::vector<real_t>& ub, int max_passes, Rng& rng,
+                  KWayRefineStats* stats = nullptr,
+                  const std::vector<real_t>* tpwgts = nullptr);
+
+/// Priority-queue k-way refinement: boundary vertices are kept in a gain
+/// bucket queue keyed by their best potential move (kmetis-style), so the
+/// highest-gain moves commit first and newly exposed gains are picked up
+/// within the same pass. Same admissibility rules as the sweep variant.
+sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+                     const std::vector<real_t>& ub, int max_passes, Rng& rng,
+                     KWayRefineStats* stats = nullptr,
+                     const std::vector<real_t>* tpwgts = nullptr);
+
+}  // namespace mcgp

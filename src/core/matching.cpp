@@ -1,0 +1,104 @@
+#include "core/matching.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcgp {
+
+real_t balanced_edge_score(const Graph& g, idx_t v, idx_t u) {
+  if (g.ncon == 1) return 0.0;
+  const wgt_t* wv = g.weights(v);
+  const wgt_t* wu = g.weights(u);
+  real_t mx = 0.0;
+  real_t mn = 1e300;
+  for (int i = 0; i < g.ncon; ++i) {
+    const real_t c = static_cast<real_t>(wv[i] + wu[i]) *
+                     g.invtvwgt[static_cast<std::size_t>(i)];
+    mx = std::max(mx, c);
+    mn = std::min(mn, c);
+  }
+  return mx - mn;
+}
+
+std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
+                                    Rng& rng) {
+  std::vector<idx_t> match(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t> perm;
+  random_permutation(g.nvtxs, perm, rng);
+
+  for (const idx_t v : perm) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+
+    idx_t best = -1;
+    switch (scheme) {
+      case MatchScheme::kRandom: {
+        // Reservoir-sample one unmatched neighbor.
+        idx_t seen = 0;
+        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+          const idx_t u = g.adjncy[e];
+          if (match[static_cast<std::size_t>(u)] >= 0) continue;
+          ++seen;
+          if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) best = u;
+        }
+        break;
+      }
+      case MatchScheme::kHeavyEdge: {
+        wgt_t best_w = -1;
+        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+          const idx_t u = g.adjncy[e];
+          if (match[static_cast<std::size_t>(u)] >= 0) continue;
+          if (g.adjwgt[e] > best_w) {
+            best_w = g.adjwgt[e];
+            best = u;
+          }
+        }
+        break;
+      }
+      case MatchScheme::kHeavyEdgeBalanced: {
+        // Primary key: edge weight (max). Secondary: flattest combined
+        // weight vector among candidates tied on the primary key.
+        wgt_t best_w = -1;
+        real_t best_score = 1e300;
+        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+          const idx_t u = g.adjncy[e];
+          if (match[static_cast<std::size_t>(u)] >= 0) continue;
+          const wgt_t w = g.adjwgt[e];
+          if (w < best_w) continue;
+          const real_t score = balanced_edge_score(g, v, u);
+          if (w > best_w || score < best_score) {
+            best_w = w;
+            best_score = score;
+            best = u;
+          }
+        }
+        break;
+      }
+    }
+
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;
+    }
+  }
+  return match;
+}
+
+idx_t build_coarse_map(const Graph& g, const std::vector<idx_t>& match,
+                       std::vector<idx_t>& cmap) {
+  cmap.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  idx_t ncoarse = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t u = match[static_cast<std::size_t>(v)];
+    assert(u >= 0 && u < g.nvtxs);
+    if (v <= u) {
+      cmap[static_cast<std::size_t>(v)] = ncoarse;
+      cmap[static_cast<std::size_t>(u)] = ncoarse;
+      ++ncoarse;
+    }
+  }
+  return ncoarse;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,159 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/kway_driver.hpp"
+#include "core/kway_refine.hpp"
+#include "core/rb_driver.hpp"
+#include "graph/metrics.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace mcgp {
+
+namespace {
+
+void validate_options(const Graph& g, const Options& opts) {
+  if (opts.nparts < 1) throw std::invalid_argument("partition: nparts < 1");
+  if (!opts.ubvec.empty() &&
+      opts.ubvec.size() != static_cast<std::size_t>(g.ncon) &&
+      opts.ubvec.size() != 1) {
+    throw std::invalid_argument("partition: ubvec arity mismatch");
+  }
+  for (const real_t ub : opts.ubvec) {
+    if (ub < 1.0) throw std::invalid_argument("partition: tolerance < 1.0");
+  }
+  if (!opts.tpwgts.empty()) {
+    if (opts.tpwgts.size() != static_cast<std::size_t>(opts.nparts)) {
+      throw std::invalid_argument("partition: tpwgts size != nparts");
+    }
+    real_t total = 0;
+    for (const real_t f : opts.tpwgts) {
+      if (f <= 0) throw std::invalid_argument("partition: tpwgts entry <= 0");
+      total += f;
+    }
+    if (total < 0.999 || total > 1.001) {
+      throw std::invalid_argument("partition: tpwgts must sum to 1");
+    }
+  }
+}
+
+/// Guarantee non-empty parts whenever the graph has enough vertices:
+/// weight-degenerate instances (e.g. one vertex holding half the total
+/// weight) can leave recursive bisection with empty subdomains. Repair by
+/// donating the lightest vertices of the most populous parts.
+void ensure_nonempty_parts(const Graph& g, idx_t nparts,
+                           std::vector<idx_t>& part) {
+  if (g.nvtxs < nparts) return;
+  std::vector<idx_t> count(static_cast<std::size_t>(nparts), 0);
+  for (const idx_t p : part) ++count[static_cast<std::size_t>(p)];
+  for (idx_t empty = 0; empty < nparts; ++empty) {
+    if (count[static_cast<std::size_t>(empty)] > 0) continue;
+    // Donor: the part with the most vertices.
+    idx_t donor = 0;
+    for (idx_t p = 1; p < nparts; ++p) {
+      if (count[static_cast<std::size_t>(p)] > count[static_cast<std::size_t>(donor)]) {
+        donor = p;
+      }
+    }
+    // Donate the donor's vertex with the smallest weighted degree (least
+    // cut damage) — ties broken by the smallest max normalized weight.
+    idx_t best = -1;
+    sum_t best_deg = 0;
+    for (idx_t v = 0; v < g.nvtxs; ++v) {
+      if (part[static_cast<std::size_t>(v)] != donor) continue;
+      const sum_t deg = g.weighted_degree(v);
+      if (best < 0 || deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    if (best < 0) break;  // donor vanished (cannot happen with counts > 1)
+    part[static_cast<std::size_t>(best)] = empty;
+    --count[static_cast<std::size_t>(donor)];
+    ++count[static_cast<std::size_t>(empty)];
+  }
+}
+
+void fill_quality(const Graph& g, const Options& opts, PartitionResult& r) {
+  r.cut = edge_cut(g, r.part);
+  r.imbalance = opts.tpwgts.empty()
+                    ? imbalance(g, r.part, opts.nparts)
+                    : target_imbalance(g, r.part, opts.nparts, opts.tpwgts);
+  r.max_imbalance =
+      r.imbalance.empty()
+          ? 1.0
+          : *std::max_element(r.imbalance.begin(), r.imbalance.end());
+}
+
+}  // namespace
+
+PartitionResult partition(const Graph& g, const Options& opts) {
+  validate_options(g, opts);
+
+  WallTimer timer;
+  PartitionResult result;
+  Rng rng(opts.seed);
+
+  switch (opts.algorithm) {
+    case Algorithm::kRecursiveBisection: {
+      MlBisectStats stats;
+      result.part = partition_recursive_bisection(g, opts, rng,
+                                                  &result.phases, &stats);
+      result.coarsen_levels = stats.levels;
+      result.coarsest_nvtxs = stats.coarsest_nvtxs;
+      break;
+    }
+    case Algorithm::kKWay: {
+      KWayDriverStats stats;
+      result.part = partition_kway(g, opts, rng, &result.phases, &stats);
+      result.coarsen_levels = stats.levels;
+      result.coarsest_nvtxs = stats.coarsest_nvtxs;
+      break;
+    }
+  }
+
+  ensure_nonempty_parts(g, opts.nparts, result.part);
+  fill_quality(g, opts, result);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
+                                 const Options& opts) {
+  validate_options(g, opts);
+  const std::string problem = validate_partition(g, part, opts.nparts);
+  if (!problem.empty()) {
+    throw std::invalid_argument("refine_partition: " + problem);
+  }
+
+  WallTimer timer;
+  PartitionResult result;
+  Rng rng(opts.seed);
+
+  std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));
+  for (int i = 0; i < g.ncon; ++i) {
+    ub[static_cast<std::size_t>(i)] = opts.ub_for(i);
+  }
+  const std::vector<real_t>* tp =
+      opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+
+  {
+    ScopedPhase sp(result.phases, "refine");
+    if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
+      kway_refine_pq(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
+                     tp);
+    } else {
+      kway_refine(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
+                  tp);
+    }
+  }
+
+  result.part = std::move(part);
+  fill_quality(g, opts, result);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mcgp

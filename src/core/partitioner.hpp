@@ -1,0 +1,36 @@
+// Public entry point of the multi-constraint graph partitioning library.
+//
+// Quickstart:
+//
+//   mcgp::Graph g = mcgp::grid2d(100, 100);
+//   mcgp::apply_type_s_weights(g, /*m=*/3, /*nregions=*/16, 0, 19, 42);
+//   mcgp::Options opts;
+//   opts.nparts = 16;
+//   mcgp::PartitionResult r = mcgp::partition(g, opts);
+//   // r.part, r.cut, r.imbalance, r.seconds, ...
+//
+// Setting g.ncon == 1 (the default) recovers the classical
+// single-constraint multilevel partitioner, which is the baseline the
+// SC'98 paper compares against.
+#pragma once
+
+#include "core/config.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// Partition `g` into opts.nparts parts minimizing the weighted edge-cut
+/// subject to all ncon balance constraints. Throws std::invalid_argument
+/// on malformed options (nparts < 1, tolerance < 1, ubvec arity mismatch).
+PartitionResult partition(const Graph& g, const Options& opts);
+
+/// Improve an EXISTING partition in place (flat, no multilevel): restore
+/// balance if needed, then run k-way refinement. The workhorse for
+/// adaptive computations where vertex weights changed but the current
+/// decomposition is still mostly good — far cheaper than repartitioning
+/// from scratch and it preserves locality (few vertices migrate).
+/// `part` must be a valid assignment into [0, opts.nparts).
+PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
+                                 const Options& opts);
+
+}  // namespace mcgp

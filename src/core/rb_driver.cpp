@@ -1,0 +1,215 @@
+#include "core/rb_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/balance2way.hpp"
+#include "core/initpart.hpp"
+#include "core/kway_refine.hpp"
+#include "core/project.hpp"
+#include "core/refine2way.hpp"
+#include "graph/graph_ops.hpp"
+
+namespace mcgp {
+
+namespace {
+
+idx_t bisect_coarsen_to(const Options& opts, int ncon) {
+  if (opts.coarsen_to > 0) return opts.coarsen_to;
+  return std::max<idx_t>(100, 30 * ncon);
+}
+
+/// Both sides must be populated when the graph has >= 2 vertices;
+/// a degenerate one-sided bisection would create empty parts downstream.
+void ensure_nonempty_sides(const Graph& g, std::vector<idx_t>& where) {
+  if (g.nvtxs < 2) return;
+  idx_t count0 = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    if (where[static_cast<std::size_t>(v)] == 0) ++count0;
+  }
+  if (count0 > 0 && count0 < g.nvtxs) return;
+  const int empty = count0 == 0 ? 0 : 1;
+  // Move the lightest vertex (smallest max normalized component) over.
+  idx_t best = 0;
+  real_t best_key = 1e300;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    real_t mx = 0.0;
+    for (int i = 0; i < g.ncon; ++i) {
+      mx = std::max(mx, static_cast<real_t>(g.weight(v, i)) *
+                            g.invtvwgt[static_cast<std::size_t>(i)]);
+    }
+    if (mx < best_key) {
+      best_key = mx;
+      best = v;
+    }
+  }
+  where[static_cast<std::size_t>(best)] = empty;
+}
+
+/// Sum of target fractions of parts [part0, part0 + k).
+real_t target_sum(const std::vector<real_t>& tpwgts, idx_t part0, idx_t k) {
+  if (tpwgts.empty()) return static_cast<real_t>(k);
+  real_t s = 0;
+  for (idx_t p = part0; p < part0 + k; ++p) s += tpwgts[static_cast<std::size_t>(p)];
+  return s;
+}
+
+void rb_recurse(const Graph& sub, const std::vector<idx_t>& local_to_global,
+                idx_t k, idx_t part0, const std::vector<real_t>& level_ub,
+                const Options& opts, std::vector<idx_t>& out_part, Rng& rng,
+                PhaseTimes* phases) {
+  if (sub.nvtxs == 0) return;
+  if (k <= 1) {
+    for (const idx_t gv : local_to_global) {
+      out_part[static_cast<std::size_t>(gv)] = part0;
+    }
+    return;
+  }
+  if (k >= sub.nvtxs) {
+    // Fewer vertices than requested parts: spread them one per part.
+    for (idx_t v = 0; v < sub.nvtxs; ++v) {
+      out_part[static_cast<std::size_t>(local_to_global[static_cast<std::size_t>(v)])] =
+          part0 + (v % k);
+    }
+    return;
+  }
+
+  const idx_t k_left = (k + 1) / 2;
+  BisectionTargets targets;
+  // With explicit per-part targets the split point is the fraction of the
+  // subtree's total target mass owned by the left parts.
+  targets.f0 = target_sum(opts.tpwgts, part0, k_left) /
+               target_sum(opts.tpwgts, part0, k);
+  targets.ub = level_ub;
+
+  std::vector<idx_t> where;
+  multilevel_bisect(sub, where, targets, opts, rng, nullptr, phases);
+  ensure_nonempty_sides(sub, where);
+
+  std::vector<char> select(static_cast<std::size_t>(sub.nvtxs));
+  for (int side = 0; side < 2; ++side) {
+    for (idx_t v = 0; v < sub.nvtxs; ++v) {
+      select[static_cast<std::size_t>(v)] =
+          where[static_cast<std::size_t>(v)] == side ? 1 : 0;
+    }
+    std::vector<idx_t> sub_to_parent;
+    Graph half = induced_subgraph(sub, select, sub_to_parent);
+    std::vector<idx_t> half_to_global(sub_to_parent.size());
+    for (std::size_t i = 0; i < sub_to_parent.size(); ++i) {
+      half_to_global[i] =
+          local_to_global[static_cast<std::size_t>(sub_to_parent[i])];
+    }
+    const idx_t half_k = side == 0 ? k_left : k - k_left;
+    const idx_t half_part0 = side == 0 ? part0 : part0 + k_left;
+    rb_recurse(half, half_to_global, half_k, half_part0, level_ub, opts,
+               out_part, rng, phases);
+  }
+}
+
+}  // namespace
+
+sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
+                        const BisectionTargets& targets, const Options& opts,
+                        Rng& rng, MlBisectStats* stats, PhaseTimes* phases) {
+  const idx_t ct = bisect_coarsen_to(opts, g.ncon);
+
+  PhaseTimes local_phases;
+  PhaseTimes& pt = phases != nullptr ? *phases : local_phases;
+
+  Hierarchy h;
+  {
+    ScopedPhase sp(pt, "coarsen");
+    CoarsenParams cp;
+    cp.coarsen_to = ct;
+    cp.scheme = opts.matching;
+    cp.min_reduction = opts.min_coarsen_reduction;
+    h = coarsen_graph(g, cp, rng);
+  }
+
+  const Graph& coarsest = h.coarsest();
+  if (stats != nullptr) {
+    stats->levels = h.num_levels();
+    stats->coarsest_nvtxs = coarsest.nvtxs;
+  }
+
+  std::vector<idx_t> cwhere;
+  {
+    ScopedPhase sp(pt, "initpart");
+    init_bisection(coarsest, cwhere, targets, opts.init_scheme,
+                   opts.init_trials, opts.queue_policy, rng);
+  }
+
+  sum_t cut = 0;
+  {
+    ScopedPhase sp(pt, "refine");
+    // Uncoarsen: levels[l].cmap maps level l to level l+1 (0 = finest).
+    for (int l = h.num_levels(); l >= 0; --l) {
+      const Graph& cur = h.graph_at(l);
+      if (l < h.num_levels()) {
+        std::vector<idx_t> fine_where;
+        project_partition(h.levels[static_cast<std::size_t>(l)].cmap, cwhere,
+                          fine_where);
+        cwhere = std::move(fine_where);
+      }
+      balance_2way(cur, cwhere, targets, rng);
+      cut = refine_2way(cur, cwhere, targets, opts.queue_policy,
+                        opts.refine_passes, opts.fm_move_limit, rng);
+    }
+  }
+
+  where = std::move(cwhere);
+  ensure_nonempty_sides(g, where);
+  cut = compute_cut_2way(g, where);
+  if (stats != nullptr) stats->cut = cut;
+  return cut;
+}
+
+std::vector<idx_t> partition_recursive_bisection(const Graph& g,
+                                                 const Options& opts, Rng& rng,
+                                                 PhaseTimes* phases,
+                                                 MlBisectStats* top_stats) {
+  const idx_t k = std::max<idx_t>(opts.nparts, 1);
+  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs), 0);
+  if (k == 1 || g.nvtxs == 0) return part;
+
+  std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));
+  for (int i = 0; i < g.ncon; ++i) ub[static_cast<std::size_t>(i)] = opts.ub_for(i);
+  const int depth =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(k))));
+  const std::vector<real_t> level_ub = per_bisection_ub(ub, depth);
+
+  std::vector<idx_t> identity(static_cast<std::size_t>(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) identity[static_cast<std::size_t>(v)] = v;
+
+  if (top_stats != nullptr) {
+    // Record hierarchy stats of the first (top) bisection separately.
+    BisectionTargets targets;
+    targets.f0 = static_cast<real_t>((k + 1) / 2) / static_cast<real_t>(k);
+    targets.ub = level_ub;
+    CoarsenParams cp;
+    cp.coarsen_to = bisect_coarsen_to(opts, g.ncon);
+    cp.scheme = opts.matching;
+    cp.min_reduction = opts.min_coarsen_reduction;
+    Rng probe = rng;  // copy: do not perturb the main stream
+    const Hierarchy h = coarsen_graph(g, cp, probe);
+    top_stats->levels = h.num_levels();
+    top_stats->coarsest_nvtxs = h.coarsest().nvtxs;
+  }
+
+  rb_recurse(g, identity, k, 0, level_ub, opts, part, rng, phases);
+
+  // Balance fix-up: nested bisection errors multiply, so for large k the
+  // assembled k-way partition can land outside the overall tolerance even
+  // when every bisection was close to its own target. When that happens,
+  // repair with the k-way balancer + a short greedy refinement (cheap, and
+  // a no-op whenever RB already met the tolerance).
+  const std::vector<real_t>* tp =
+      opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+  if (!kway_feasible(g, compute_part_weights(g, part, k), k, ub, tp)) {
+    kway_balance(g, k, part, ub, rng, tp);
+    kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp);
+  }
+  return part;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,41 @@
+// MC-RB: multilevel recursive bisection for multi-constraint k-way
+// partitioning (pmetis-style).
+//
+// Each bisection is itself multilevel (coarsen -> initial bisection ->
+// refined uncoarsening); k-way partitions are obtained by recursing on the
+// two induced halves with proportional target fractions (ceil(k/2) /
+// floor(k/2)), so any k >= 1 is supported. Per-bisection tolerances are
+// ub^(1/ceil(log2 k)) because nested bisection imbalances multiply.
+#pragma once
+
+#include <vector>
+
+#include "core/bisection.hpp"
+#include "core/coarsen.hpp"
+#include "core/config.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace mcgp {
+
+struct MlBisectStats {
+  int levels = 0;
+  idx_t coarsest_nvtxs = 0;
+  sum_t cut = 0;
+};
+
+/// One multilevel bisection of g according to `targets`. Fills `where`
+/// with a 0/1 assignment and returns the cut.
+sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
+                        const BisectionTargets& targets, const Options& opts,
+                        Rng& rng, MlBisectStats* stats = nullptr,
+                        PhaseTimes* phases = nullptr);
+
+/// Full MC-RB k-way partitioning. Returns the part vector (size g.nvtxs,
+/// ids in [0, opts.nparts)).
+std::vector<idx_t> partition_recursive_bisection(const Graph& g,
+                                                 const Options& opts, Rng& rng,
+                                                 PhaseTimes* phases = nullptr,
+                                                 MlBisectStats* top_stats = nullptr);
+
+}  // namespace mcgp

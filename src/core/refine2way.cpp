@@ -1,0 +1,329 @@
+#include "core/refine2way.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "support/bucket_queue.hpp"
+
+namespace mcgp {
+
+int dominant_constraint(const Graph& g, idx_t v) {
+  const wgt_t* w = g.weights(v);
+  int dom = 0;
+  real_t best = -1.0;
+  for (int i = 0; i < g.ncon; ++i) {
+    const real_t nw = static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+    if (nw > best) {
+      best = nw;
+      dom = i;
+    }
+  }
+  return dom;
+}
+
+namespace {
+
+/// How far past the tolerance an intermediate state may stray within a
+/// pass (see the exploration-envelope note in FmPass::run).
+constexpr real_t kBalanceExploreSlack = 0.10;
+
+/// One FM pass worth of state. Queues are indexed [side][constraint]
+/// (policy kSingleQueue uses constraint slot 0 only).
+class FmPass {
+ public:
+  FmPass(const Graph& g, std::vector<idx_t>& where,
+         const BisectionTargets& targets, QueuePolicy policy, Rng& rng)
+      : g_(g), where_(where), policy_(policy), rng_(rng) {
+    balance_.init(g, where, targets);
+    const auto n = static_cast<std::size_t>(g.nvtxs);
+    id_.assign(n, 0);
+    ed_.assign(n, 0);
+    moved_.assign(n, 0);
+    dom_.resize(n);
+    for (idx_t v = 0; v < g.nvtxs; ++v) {
+      dom_[static_cast<std::size_t>(v)] =
+          policy == QueuePolicy::kSingleQueue ? 0 : dominant_constraint(g, v);
+    }
+    const int nq = policy == QueuePolicy::kSingleQueue ? 1 : g.ncon;
+    for (int s = 0; s < 2; ++s) {
+      for (int c = 0; c < nq; ++c) queues_[s][c].reset(g.nvtxs);
+    }
+    nqueues_ = nq;
+  }
+
+  /// Run one pass; returns true if it improved (cut or balance).
+  bool run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats);
+
+ private:
+  struct MoveRecord {
+    idx_t v;
+    int from;
+    sum_t cut_delta;
+  };
+
+  void compute_degrees_and_seed_queues(sum_t& cut);
+  bool select(idx_t& v, int& from);
+  void commit_move(idx_t v, int from, sum_t& cut);
+  void rollback_to(std::size_t best_prefix, sum_t& cut);
+
+  wgt_t gain(idx_t v) const {
+    return static_cast<wgt_t>(ed_[static_cast<std::size_t>(v)] -
+                              id_[static_cast<std::size_t>(v)]);
+  }
+
+  void enqueue(idx_t v) {
+    const int s = where_[static_cast<std::size_t>(v)];
+    queues_[s][dom_[static_cast<std::size_t>(v)]].insert(v, gain(v));
+  }
+
+  void dequeue_if_present(idx_t v) {
+    const int s = where_[static_cast<std::size_t>(v)];
+    auto& q = queues_[s][dom_[static_cast<std::size_t>(v)]];
+    if (q.contains(v)) q.remove(v);
+  }
+
+  const Graph& g_;
+  std::vector<idx_t>& where_;
+  QueuePolicy policy_;
+  Rng& rng_;
+  BisectionBalance balance_;
+
+  std::vector<sum_t> id_, ed_;  // internal/external weighted degree
+  std::vector<char> moved_;
+  std::vector<int> dom_;
+  std::array<std::array<BucketQueue, kMaxNcon>, 2> queues_;
+  int nqueues_ = 1;
+  int rr_next_ = 0;  // round-robin cursor (kRoundRobin policy)
+  std::vector<MoveRecord> log_;
+};
+
+void FmPass::compute_degrees_and_seed_queues(sum_t& cut) {
+  sum_t cut2 = 0;
+  for (idx_t v = 0; v < g_.nvtxs; ++v) {
+    sum_t idw = 0, edw = 0;
+    const idx_t pv = where_[static_cast<std::size_t>(v)];
+    for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
+      if (where_[static_cast<std::size_t>(g_.adjncy[e])] == pv) {
+        idw += g_.adjwgt[e];
+      } else {
+        edw += g_.adjwgt[e];
+      }
+    }
+    id_[static_cast<std::size_t>(v)] = idw;
+    ed_[static_cast<std::size_t>(v)] = edw;
+    cut2 += edw;
+  }
+  cut = cut2 / 2;
+  // Seed queues with boundary vertices in random order (randomized
+  // insertion breaks ties inside equal-gain buckets differently per seed).
+  std::vector<idx_t> perm;
+  random_permutation(g_.nvtxs, perm, rng_);
+  for (const idx_t v : perm) {
+    if (ed_[static_cast<std::size_t>(v)] > 0) enqueue(v);
+  }
+}
+
+bool FmPass::select(idx_t& v, int& from) {
+  if (nqueues_ == 1) {
+    // Single-queue policy: prefer the heavier side overall, fall back to
+    // the other side.
+    const int heavy =
+        balance_.nload(0, balance_.worst_constraint()) >=
+                balance_.nload(1, balance_.worst_constraint())
+            ? 0
+            : 1;
+    for (const int s : {heavy, 1 - heavy}) {
+      if (!queues_[s][0].empty()) {
+        v = queues_[s][0].pop_max();
+        from = s;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Order constraints by tolerance-relative overload (descending) — the
+  // paper's selection rule — or cyclically for the round-robin ablation.
+  const int nq = std::clamp(nqueues_, 1, kMaxNcon);
+  std::array<int, kMaxNcon> order{};
+  std::iota(order.begin(), order.begin() + nq, 0);
+  if (policy_ == QueuePolicy::kMostImbalanced) {
+    std::sort(order.begin(), order.begin() + nq, [&](int a, int b) {
+      return balance_.constraint_potential(a) > balance_.constraint_potential(b);
+    });
+  } else {
+    std::rotate(order.begin(), order.begin() + (rr_next_ % nq),
+                order.begin() + nq);
+    rr_next_ = (rr_next_ + 1) % nq;
+  }
+
+  for (int oi = 0; oi < nq; ++oi) {
+    const int c = order[static_cast<std::size_t>(oi)];
+    const int heavy = balance_.heavy_side(c);
+    if (!queues_[heavy][c].empty()) {
+      v = queues_[heavy][c].pop_max();
+      from = heavy;
+      return true;
+    }
+  }
+  // All heavy-side queues empty: fall back to the best-gain vertex across
+  // every remaining queue so pure cut improvement can continue.
+  wgt_t best_gain = 0;
+  int bs = -1, bc = -1;
+  for (int s = 0; s < 2; ++s) {
+    for (int c = 0; c < nqueues_; ++c) {
+      if (queues_[s][c].empty()) continue;
+      const wgt_t gq = queues_[s][c].max_key();
+      if (bs < 0 || gq > best_gain) {
+        best_gain = gq;
+        bs = s;
+        bc = c;
+      }
+    }
+  }
+  if (bs < 0) return false;
+  v = queues_[bs][bc].pop_max();
+  from = bs;
+  return true;
+}
+
+void FmPass::commit_move(idx_t v, int from, sum_t& cut) {
+  const int to = 1 - from;
+  const sum_t delta = -(ed_[static_cast<std::size_t>(v)] - id_[static_cast<std::size_t>(v)]);
+  cut += delta;
+  log_.push_back(MoveRecord{v, from, delta});
+
+  where_[static_cast<std::size_t>(v)] = to;
+  balance_.apply_move(v, from);
+  std::swap(id_[static_cast<std::size_t>(v)], ed_[static_cast<std::size_t>(v)]);
+
+  for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
+    const idx_t u = g_.adjncy[e];
+    const wgt_t w = g_.adjwgt[e];
+    const bool u_with_v_now = where_[static_cast<std::size_t>(u)] == to;
+    // v left u's side (u_with_v_now == false) or joined it (true).
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (u_with_v_now) {
+      id_[su] += w;
+      ed_[su] -= w;
+    } else {
+      id_[su] -= w;
+      ed_[su] += w;
+    }
+    if (moved_[su]) continue;
+    const int s = where_[su];
+    auto& q = queues_[s][dom_[su]];
+    if (ed_[su] > 0) {
+      if (q.contains(u)) {
+        q.update(u, gain(u));
+      } else {
+        q.insert(u, gain(u));
+      }
+    } else if (q.contains(u)) {
+      q.remove(u);
+    }
+  }
+}
+
+void FmPass::rollback_to(std::size_t best_prefix, sum_t& cut) {
+  while (log_.size() > best_prefix) {
+    const MoveRecord r = log_.back();
+    log_.pop_back();
+    where_[static_cast<std::size_t>(r.v)] = r.from;
+    balance_.apply_move(r.v, 1 - r.from);
+    cut -= r.cut_delta;
+  }
+}
+
+bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats) {
+  compute_degrees_and_seed_queues(cut);
+  log_.clear();
+
+  const sum_t start_cut = cut;
+  const real_t start_potential = balance_.potential();
+  const bool start_feasible = start_potential <= 1.0 + 1e-12;
+
+  sum_t best_cut = cut;
+  real_t best_potential = start_potential;
+  bool best_feasible = start_feasible;
+  std::size_t best_prefix = 0;
+
+  // Intra-pass exploration envelope. FM only escapes local minima by
+  // passing through worse intermediate states (a vertex *swap* across the
+  // cut is two single moves whose midpoint is worse than both endpoints),
+  // so moves may overshoot the tolerance by a bounded margin; the rollback
+  // to the best prefix guarantees the pass never ends worse than it began.
+  // Multiplicative headroom above the starting potential: when the pass
+  // starts infeasible, intermediate states must still be allowed to climb
+  // above the start or no swap can ever begin.
+  const real_t explore_cap =
+      std::max(start_potential, 1.0) * (1.0 + kBalanceExploreSlack);
+
+  idx_t bad_streak = 0;
+  idx_t v;
+  int from;
+  while (bad_streak < move_limit && select(v, from)) {
+    moved_[static_cast<std::size_t>(v)] = 1;
+
+    const real_t pot = balance_.potential();
+    const real_t new_pot = balance_.potential_after(v, from);
+    const bool admissible =
+        new_pot <= explore_cap + 1e-12 || new_pot < pot - 1e-12;
+    if (!admissible) {
+      ++bad_streak;
+      continue;
+    }
+
+    commit_move(v, from, cut);
+
+    const real_t cur_pot = new_pot;
+    const bool cur_feasible = cur_pot <= 1.0 + 1e-12;
+    const bool better =
+        (cur_feasible && (!best_feasible || cut < best_cut)) ||
+        (!cur_feasible && !best_feasible &&
+         (cur_pot < best_potential - 1e-12 ||
+          (cur_pot <= best_potential + 1e-12 && cut < best_cut)));
+    if (better) {
+      best_cut = cut;
+      best_potential = cur_pot;
+      best_feasible = cur_feasible;
+      best_prefix = log_.size();
+      bad_streak = 0;
+    } else {
+      ++bad_streak;
+    }
+  }
+
+  rollback_to(best_prefix, cut);
+  if (stats != nullptr) stats->moves += static_cast<idx_t>(best_prefix);
+
+  const bool improved =
+      (best_feasible && !start_feasible) || best_cut < start_cut ||
+      best_potential < start_potential - 1e-12;
+  return improved && best_prefix > 0;
+}
+
+}  // namespace
+
+sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
+                  const BisectionTargets& targets, QueuePolicy policy,
+                  int max_passes, idx_t move_limit, Rng& rng,
+                  Refine2WayStats* stats) {
+  if (move_limit <= 0) move_limit = std::max<idx_t>(64, g.nvtxs / 100);
+
+  sum_t cut = compute_cut_2way(g, where);
+  if (stats != nullptr) stats->initial_cut = cut;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    FmPass fm(g, where, targets, policy, rng);
+    const bool improved = fm.run(cut, move_limit, stats);
+    if (stats != nullptr) ++stats->passes;
+    if (!improved) break;
+  }
+
+  if (stats != nullptr) stats->final_cut = cut;
+  return cut;
+}
+
+}  // namespace mcgp

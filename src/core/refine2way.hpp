@@ -1,0 +1,44 @@
+// Multi-constraint 2-way FM refinement (the SC'98 core refinement).
+//
+// Classic FM keeps one gain-bucket queue per side. With m constraints, a
+// single queue cannot steer which *kind* of weight leaves the heavy side,
+// so the multi-constraint algorithm keeps m queues per side (2m total):
+// vertex v lives in queue (side(v), dom(v)) where dom(v) is v's dominant
+// (largest normalized) weight component. Each step selects the constraint
+// with the largest tolerance-relative overload, pops the best-gain vertex
+// from that constraint's queue on the heavy side, and moves it if the move
+// does not leave the feasible region (or strictly improves balance when
+// already infeasible). Within the feasible region the algorithm
+// hill-climbs like classic FM, with rollback to the best prefix.
+#pragma once
+
+#include <vector>
+
+#include "core/bisection.hpp"
+#include "core/config.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+
+struct Refine2WayStats {
+  int passes = 0;
+  idx_t moves = 0;       ///< committed (kept after rollback) moves
+  sum_t initial_cut = 0;
+  sum_t final_cut = 0;
+};
+
+/// Refine a bisection in place. `where` must be a valid 0/1 assignment.
+/// Returns the final cut. Guarantees: the final cut is never worse than
+/// the initial cut unless the initial bisection was infeasible and
+/// feasibility required cut-increasing moves; the balance potential never
+/// ends worse than it started.
+sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
+                  const BisectionTargets& targets, QueuePolicy policy,
+                  int max_passes, idx_t move_limit, Rng& rng,
+                  Refine2WayStats* stats = nullptr);
+
+/// Dominant constraint of vertex v: index of its largest normalized weight
+/// component (ties to the lower index). Exposed for testing.
+int dominant_constraint(const Graph& g, idx_t v);
+
+}  // namespace mcgp

@@ -1,0 +1,175 @@
+#include "gen/mesh_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace mcgp {
+
+namespace {
+
+idx_t checked_mul(idx_t a, idx_t b) {
+  const long long p = static_cast<long long>(a) * b;
+  if (p > 2000000000LL) throw std::invalid_argument("grid too large");
+  return static_cast<idx_t>(p);
+}
+
+/// Shared geometric-graph construction over explicit points with a
+/// per-point radius. Connects i-j iff dist(i,j) <= min(r_i, r_j).
+Graph geometric_from_points(const std::vector<double>& px,
+                            const std::vector<double>& py,
+                            const std::vector<double>& pr, int ncon) {
+  const idx_t n = static_cast<idx_t>(px.size());
+  double rmax = 0;
+  for (const double r : pr) rmax = std::max(rmax, r);
+  const double cell = std::max(rmax, 1e-9);
+  const idx_t ncells = std::max<idx_t>(1, static_cast<idx_t>(1.0 / cell));
+  const double inv_cell = static_cast<double>(ncells);
+
+  auto cell_of = [&](double x) {
+    idx_t c = static_cast<idx_t>(x * inv_cell);
+    return std::clamp<idx_t>(c, 0, ncells - 1);
+  };
+
+  // Bucket points into the grid.
+  std::vector<idx_t> head(static_cast<std::size_t>(ncells) * ncells, -1);
+  std::vector<idx_t> nxt(static_cast<std::size_t>(n), -1);
+  for (idx_t i = 0; i < n; ++i) {
+    const std::size_t c = static_cast<std::size_t>(cell_of(px[static_cast<std::size_t>(i)])) * ncells +
+                          cell_of(py[static_cast<std::size_t>(i)]);
+    nxt[static_cast<std::size_t>(i)] = head[c];
+    head[c] = i;
+  }
+
+  GraphBuilder b(n, ncon);
+  for (idx_t i = 0; i < n; ++i) {
+    const double xi = px[static_cast<std::size_t>(i)];
+    const double yi = py[static_cast<std::size_t>(i)];
+    const idx_t cx = cell_of(xi);
+    const idx_t cy = cell_of(yi);
+    for (idx_t dx = -1; dx <= 1; ++dx) {
+      for (idx_t dy = -1; dy <= 1; ++dy) {
+        const idx_t gx = cx + dx;
+        const idx_t gy = cy + dy;
+        if (gx < 0 || gx >= ncells || gy < 0 || gy >= ncells) continue;
+        for (idx_t j = head[static_cast<std::size_t>(gx) * ncells + gy]; j >= 0;
+             j = nxt[static_cast<std::size_t>(j)]) {
+          if (j <= i) continue;  // each unordered pair once
+          const double r = std::min(pr[static_cast<std::size_t>(i)], pr[static_cast<std::size_t>(j)]);
+          const double ddx = xi - px[static_cast<std::size_t>(j)];
+          const double ddy = yi - py[static_cast<std::size_t>(j)];
+          if (ddx * ddx + ddy * ddy <= r * r) b.add_edge(i, j);
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+Graph grid2d(idx_t nx, idx_t ny, int ncon) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("grid2d: empty grid");
+  const idx_t n = checked_mul(nx, ny);
+  GraphBuilder b(n, ncon);
+  auto id = [&](idx_t x, idx_t y) { return x * ny + y; };
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      if (x + 1 < nx) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return b.build();
+}
+
+Graph tri_grid2d(idx_t nx, idx_t ny, int ncon) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("tri_grid2d: empty grid");
+  const idx_t n = checked_mul(nx, ny);
+  GraphBuilder b(n, ncon);
+  auto id = [&](idx_t x, idx_t y) { return x * ny + y; };
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      if (x + 1 < nx) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_edge(id(x, y), id(x, y + 1));
+      if (x + 1 < nx && y + 1 < ny) b.add_edge(id(x, y), id(x + 1, y + 1));
+    }
+  }
+  return b.build();
+}
+
+Graph grid3d(idx_t nx, idx_t ny, idx_t nz, int ncon) {
+  if (nx < 1 || ny < 1 || nz < 1)
+    throw std::invalid_argument("grid3d: empty grid");
+  const idx_t n = checked_mul(checked_mul(nx, ny), nz);
+  GraphBuilder b(n, ncon);
+  auto id = [&](idx_t x, idx_t y, idx_t z) { return (x * ny + y) * nz + z; };
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      for (idx_t z = 0; z < nz; ++z) {
+        if (x + 1 < nx) b.add_edge(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) b.add_edge(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) b.add_edge(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph random_geometric(idx_t n, double radius, std::uint64_t seed, int ncon) {
+  if (n < 1) throw std::invalid_argument("random_geometric: n < 1");
+  if (radius <= 0) {
+    radius = std::sqrt(2.2 * std::log(std::max<double>(n, 2)) /
+                       (3.14159265358979323846 * n));
+  }
+  Rng rng(seed);
+  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n)),
+      pr(static_cast<std::size_t>(n), radius);
+  for (idx_t i = 0; i < n; ++i) {
+    px[static_cast<std::size_t>(i)] = rng.next_real();
+    py[static_cast<std::size_t>(i)] = rng.next_real();
+  }
+  return geometric_from_points(px, py, pr, ncon);
+}
+
+Graph fe_mesh(idx_t n, std::uint64_t seed, int ncon) {
+  if (n < 1) throw std::invalid_argument("fe_mesh: n < 1");
+  Rng rng(seed);
+  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n)),
+      pr(static_cast<std::size_t>(n));
+  // Density gradient: warp x-coordinates toward 0 so the left side of the
+  // domain is finer (imitating refinement around a feature). The local
+  // connection radius grows with local spacing to keep degrees bounded.
+  const double base_r =
+      std::sqrt(2.4 * std::log(std::max<double>(n, 2)) /
+                (3.14159265358979323846 * n));
+  for (idx_t i = 0; i < n; ++i) {
+    const double u = rng.next_real();
+    const double x = u * u;  // quadratic warp: density ~ 1/sqrt(x)
+    px[static_cast<std::size_t>(i)] = x;
+    py[static_cast<std::size_t>(i)] = rng.next_real();
+    // Local spacing scales like sqrt of inverse density = (4x)^(1/4).
+    pr[static_cast<std::size_t>(i)] =
+        base_r * std::max(0.35, std::sqrt(2.0 * std::sqrt(std::max(x, 1e-6))));
+  }
+  return geometric_from_points(px, py, pr, ncon);
+}
+
+Graph random_graph(idx_t n, double avg_deg, std::uint64_t seed, int ncon) {
+  if (n < 1) throw std::invalid_argument("random_graph: n < 1");
+  Rng rng(seed);
+  const long long target_edges =
+      static_cast<long long>(avg_deg * n / 2.0);
+  GraphBuilder b(n, ncon);
+  for (long long e = 0; e < target_edges; ++e) {
+    const idx_t u = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    idx_t v = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) v = (v + 1) % n;
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+}  // namespace mcgp

@@ -1,0 +1,42 @@
+// Synthetic mesh-like graph generators.
+//
+// The SC'98 evaluation uses finite-element meshes (144, 598a, m14b, ...)
+// that are not redistributable here; these generators produce the same
+// structural class — well-shaped, bounded-degree 2D/3D meshes — at
+// controllable sizes, which is what the multilevel analysis assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// nx*ny 2D grid, 4-point (von Neumann) stencil.
+Graph grid2d(idx_t nx, idx_t ny, int ncon = 1);
+
+/// nx*ny 2D grid with one diagonal per cell: the dual of a structured
+/// triangular mesh (6-point stencil in the interior).
+Graph tri_grid2d(idx_t nx, idx_t ny, int ncon = 1);
+
+/// nx*ny*nz 3D grid, 6-point stencil.
+Graph grid3d(idx_t nx, idx_t ny, idx_t nz, int ncon = 1);
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs at distance <= radius (cell-hashed, O(n) expected for the
+/// standard connectivity radius). radius <= 0 selects ~sqrt(2.2*ln(n)/(pi*n)),
+/// slightly above the connectivity threshold.
+Graph random_geometric(idx_t n, double radius, std::uint64_t seed,
+                       int ncon = 1);
+
+/// Unstructured FE-surrogate: n points with a density gradient (quadratic
+/// warp toward one corner, imitating local mesh refinement) connected by an
+/// adaptive-radius geometric rule, so degrees stay bounded while element
+/// sizes vary across the domain.
+Graph fe_mesh(idx_t n, std::uint64_t seed, int ncon = 1);
+
+/// Erdos-Renyi-style random graph with expected average degree `avg_deg`
+/// (not mesh-like; used for robustness tests).
+Graph random_graph(idx_t n, double avg_deg, std::uint64_t seed, int ncon = 1);
+
+}  // namespace mcgp

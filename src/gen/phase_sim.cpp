@@ -1,0 +1,30 @@
+#include "gen/phase_sim.hpp"
+
+#include <algorithm>
+
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+
+PhaseSimResult simulate_phases(const Graph& g, const std::vector<idx_t>& part,
+                               idx_t nparts) {
+  PhaseSimResult r;
+  const std::vector<sum_t> pwgts = part_weights(g, part, nparts);
+  r.phase_makespan.resize(static_cast<std::size_t>(g.ncon));
+  r.phase_ideal.resize(static_cast<std::size_t>(g.ncon));
+  for (int p = 0; p < g.ncon; ++p) {
+    sum_t mx = 0;
+    for (idx_t q = 0; q < nparts; ++q) {
+      mx = std::max(mx, pwgts[static_cast<std::size_t>(q) * g.ncon + p]);
+    }
+    const sum_t total = g.tvwgt[static_cast<std::size_t>(p)];
+    const sum_t ideal = (total + nparts - 1) / nparts;
+    r.phase_makespan[static_cast<std::size_t>(p)] = mx;
+    r.phase_ideal[static_cast<std::size_t>(p)] = ideal;
+    r.total_makespan += mx;
+    r.total_ideal += ideal;
+  }
+  return r;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,41 @@
+// Multi-phase execution model.
+//
+// Quantifies the paper's motivating claim: a multi-phase computation with
+// synchronization between phases is governed, per phase, by the most loaded
+// processor. A decomposition that balances only the SUM of the phase works
+// can be far from optimal; balancing each phase individually (the
+// multi-constraint formulation) minimizes total makespan.
+#pragma once
+
+#include <vector>
+
+#include "gen/weight_gen.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+struct PhaseSimResult {
+  /// Per-phase makespan: max over parts of the phase work in that part.
+  std::vector<sum_t> phase_makespan;
+  /// Per-phase ideal (total phase work / nparts, rounded up).
+  std::vector<sum_t> phase_ideal;
+  /// Total makespan across all phases (sum of per-phase maxima).
+  sum_t total_makespan = 0;
+  /// Sum of ideals.
+  sum_t total_ideal = 0;
+
+  /// Total slowdown vs a perfectly balanced execution (>= 1.0).
+  double slowdown() const {
+    return total_ideal > 0
+               ? static_cast<double>(total_makespan) / static_cast<double>(total_ideal)
+               : 1.0;
+  }
+};
+
+/// Evaluate a partition under the bulk-synchronous multi-phase model.
+/// Vertex v contributes g.weight(v, p) units of work in phase p (the
+/// Type-P convention: weight p is the phase-p activity/cost).
+PhaseSimResult simulate_phases(const Graph& g, const std::vector<idx_t>& part,
+                               idx_t nparts);
+
+}  // namespace mcgp

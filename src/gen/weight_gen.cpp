@@ -1,0 +1,159 @@
+#include "gen/weight_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/graph_ops.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+
+namespace {
+
+void check_m(int m) {
+  if (m < 1 || m > kMaxNcon)
+    throw std::invalid_argument("weight generator: m out of range");
+}
+
+}  // namespace
+
+void apply_type_r_weights(Graph& g, int m, wgt_t lo, wgt_t hi,
+                          std::uint64_t seed) {
+  check_m(m);
+  if (lo > hi) throw std::invalid_argument("type_r: lo > hi");
+  Rng rng(seed);
+  g.ncon = m;
+  g.vwgt.resize(static_cast<std::size_t>(g.nvtxs) * m);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    for (int i = 0; i < m; ++i) {
+      g.vwgt[static_cast<std::size_t>(v) * m + i] =
+          static_cast<wgt_t>(rng.next_in(lo, hi));
+    }
+  }
+  g.finalize();
+  // Guard against a zero-total constraint (possible when lo == 0 on tiny
+  // graphs): bump one vertex so normalization stays well-defined.
+  for (int i = 0; i < m; ++i) {
+    if (g.tvwgt[static_cast<std::size_t>(i)] == 0 && g.nvtxs > 0) {
+      g.vwgt[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  g.finalize();
+}
+
+std::vector<idx_t> apply_type_s_weights(Graph& g, int m, idx_t nregions,
+                                        wgt_t lo, wgt_t hi,
+                                        std::uint64_t seed) {
+  check_m(m);
+  if (lo > hi) throw std::invalid_argument("type_s: lo > hi");
+  Rng rng(seed);
+  const std::vector<idx_t> region = grow_regions(g, nregions, rng.next_u64());
+  const idx_t nr = std::min(nregions, std::max<idx_t>(g.nvtxs, 1));
+
+  // One random vector per region. Ensure no constraint is zero across all
+  // regions (re-roll a region's component if a column sums to zero).
+  std::vector<wgt_t> rw(static_cast<std::size_t>(nr) * m);
+  for (auto& w : rw) w = static_cast<wgt_t>(rng.next_in(lo, hi));
+  for (int i = 0; i < m; ++i) {
+    sum_t col = 0;
+    for (idx_t r = 0; r < nr; ++r) col += rw[static_cast<std::size_t>(r) * m + i];
+    if (col == 0 && nr > 0) rw[static_cast<std::size_t>(i)] = std::max<wgt_t>(hi, 1);
+  }
+
+  g.ncon = m;
+  g.vwgt.resize(static_cast<std::size_t>(g.nvtxs) * m);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t r = region[static_cast<std::size_t>(v)];
+    for (int i = 0; i < m; ++i) {
+      g.vwgt[static_cast<std::size_t>(v) * m + i] =
+          rw[static_cast<std::size_t>(r) * m + i];
+    }
+  }
+  g.finalize();
+  return region;
+}
+
+std::vector<double> default_phase_schedule(int m) {
+  static const double base[5] = {1.0, 0.75, 0.5, 0.5, 0.25};
+  std::vector<double> s(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) s[static_cast<std::size_t>(i)] = base[std::min(i, 4)];
+  return s;
+}
+
+PhaseActivity apply_type_p_weights(Graph& g, int m, idx_t nregions,
+                                   std::uint64_t seed,
+                                   const std::vector<double>& schedule) {
+  check_m(m);
+  Rng rng(seed);
+  std::vector<double> sched = schedule.empty() ? default_phase_schedule(m) : schedule;
+  if (static_cast<int>(sched.size()) != m)
+    throw std::invalid_argument("type_p: schedule size != m");
+  sched[0] = 1.0;  // phase 0 spans the whole mesh: no all-zero weight vectors
+
+  const std::vector<idx_t> region = grow_regions(g, nregions, rng.next_u64());
+  const idx_t nr = std::min(nregions, std::max<idx_t>(g.nvtxs, 1));
+
+  PhaseActivity pa;
+  pa.nphases = m;
+  pa.active.assign(static_cast<std::size_t>(m) * g.nvtxs, 0);
+  pa.fraction.resize(static_cast<std::size_t>(m));
+
+  std::vector<char> region_active(static_cast<std::size_t>(nr));
+  std::vector<idx_t> region_ids(static_cast<std::size_t>(nr));
+  g.ncon = m;
+  g.vwgt.assign(static_cast<std::size_t>(g.nvtxs) * m, 0);
+
+  for (int p = 0; p < m; ++p) {
+    const idx_t want = std::max<idx_t>(
+        1, static_cast<idx_t>(std::lround(sched[static_cast<std::size_t>(p)] * nr)));
+    for (idx_t r = 0; r < nr; ++r) region_ids[static_cast<std::size_t>(r)] = r;
+    shuffle(region_ids, rng);
+    std::fill(region_active.begin(), region_active.end(), 0);
+    for (idx_t i = 0; i < std::min(want, nr); ++i) {
+      region_active[static_cast<std::size_t>(region_ids[static_cast<std::size_t>(i)])] = 1;
+    }
+    pa.fraction[static_cast<std::size_t>(p)] =
+        static_cast<double>(std::min(want, nr)) / nr;
+    for (idx_t v = 0; v < g.nvtxs; ++v) {
+      if (region_active[static_cast<std::size_t>(region[static_cast<std::size_t>(v)])]) {
+        pa.active[static_cast<std::size_t>(p) * g.nvtxs + v] = 1;
+        g.vwgt[static_cast<std::size_t>(v) * m + p] = 1;
+      }
+    }
+  }
+
+  // Edge weight = number of phases in which both endpoints are active,
+  // floored at 1 so no edge is free to cut.
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const idx_t u = g.adjncy[e];
+      wgt_t co = 0;
+      for (int p = 0; p < m; ++p) {
+        if (pa.active[static_cast<std::size_t>(p) * g.nvtxs + v] &&
+            pa.active[static_cast<std::size_t>(p) * g.nvtxs + u]) {
+          ++co;
+        }
+      }
+      g.adjwgt[e] = std::max<wgt_t>(co, 1);
+    }
+  }
+
+  g.finalize();
+  return pa;
+}
+
+Graph sum_collapse_constraints(const Graph& g) {
+  Graph c = g;
+  c.ncon = 1;
+  c.vwgt.resize(static_cast<std::size_t>(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    sum_t s = 0;
+    for (int i = 0; i < g.ncon; ++i) s += g.weight(v, i);
+    c.vwgt[static_cast<std::size_t>(v)] = static_cast<wgt_t>(s);
+  }
+  c.finalize();
+  return c;
+}
+
+}  // namespace mcgp

@@ -1,0 +1,78 @@
+// Multi-constraint weight generators reproducing the SC'98-style synthetic
+// test-problem constructions.
+//
+// Three recipes (names local to this repo):
+//
+//  * Type R ("random"): every vertex gets an independent random weight
+//    vector. The paper observes this is NOT a hard multi-constraint
+//    instance — by concentration, any large vertex set has nearly
+//    proportional weight sums, so the problem degenerates to
+//    single-constraint. Included as a control.
+//
+//  * Type S ("structured"): the graph is first divided into a small number
+//    of contiguous regions (16 in the paper); all vertices of a region
+//    share one random weight vector. Contiguous equal-vector regions model
+//    multi-phase meshes where phase activity clusters spatially, and make
+//    the constraints genuinely interact.
+//
+//  * Type P ("phases"): models an m-phase computation. Phase i is active
+//    on a fraction of the domain (default schedule 100%, 75%, 50%, 50%,
+//    25%), chosen as a random subset of 32 contiguous regions. Vertex
+//    weight i is 1 if the vertex is active in phase i, else 0. Edge
+//    weights are set to the number of phases in which BOTH endpoints are
+//    active (>= 1 so every edge still costs something to cut), modelling
+//    per-phase halo exchange volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// Assign independent random weight vectors: each of the m components
+/// uniform in [lo, hi]. Modifies vwgt/ncon in place.
+void apply_type_r_weights(Graph& g, int m, wgt_t lo, wgt_t hi,
+                          std::uint64_t seed);
+
+/// SC'98 Type-S construction: `nregions` contiguous regions (multi-source
+/// lockstep BFS), one random weight vector in [lo, hi]^m per region.
+/// Returns the region label of each vertex.
+std::vector<idx_t> apply_type_s_weights(Graph& g, int m, idx_t nregions,
+                                        wgt_t lo, wgt_t hi,
+                                        std::uint64_t seed);
+
+/// Multi-phase activity description produced by the Type-P generator.
+struct PhaseActivity {
+  int nphases = 0;
+  /// active[p*nvtxs + v] == 1 iff vertex v is active in phase p.
+  std::vector<char> active;
+  /// Fraction of regions active per phase (the realized schedule).
+  std::vector<double> fraction;
+
+  bool is_active(int phase, idx_t v, idx_t nvtxs) const {
+    return active[static_cast<std::size_t>(phase) * nvtxs + v] != 0;
+  }
+};
+
+/// Default activity schedule from the multi-phase construction:
+/// {1.0, 0.75, 0.5, 0.5, 0.25}, truncated/extended to m phases
+/// (phases beyond the fifth reuse 0.25).
+std::vector<double> default_phase_schedule(int m);
+
+/// SC'98 Type-P construction: m phases over `nregions` contiguous regions,
+/// phase p active on round(schedule[p]*nregions) randomly chosen regions
+/// (phase 0 is always fully active so no vertex has an all-zero vector).
+/// Sets vertex weight p = active(p, v), edge weight = max(1, #co-active
+/// phases). Returns the activity table.
+PhaseActivity apply_type_p_weights(Graph& g, int m, idx_t nregions,
+                                   std::uint64_t seed,
+                                   const std::vector<double>& schedule = {});
+
+/// Collapse an m-constraint graph to a single constraint whose weight is
+/// the sum of the m components — the "traditional" formulation the paper
+/// argues is insufficient for multi-phase simulations. Returns a copy.
+Graph sum_collapse_constraints(const Graph& g);
+
+}  // namespace mcgp

@@ -1,0 +1,202 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcgp {
+
+sum_t Graph::weighted_degree(idx_t v) const {
+  sum_t s = 0;
+  for (idx_t e = xadj[v]; e < xadj[v + 1]; ++e) s += adjwgt[e];
+  return s;
+}
+
+void Graph::finalize() {
+  tvwgt.assign(static_cast<std::size_t>(ncon), 0);
+  for (idx_t v = 0; v < nvtxs; ++v) {
+    const wgt_t* w = weights(v);
+    for (int i = 0; i < ncon; ++i) tvwgt[static_cast<std::size_t>(i)] += w[i];
+  }
+  invtvwgt.assign(static_cast<std::size_t>(ncon), 0.0);
+  for (int i = 0; i < ncon; ++i) {
+    if (tvwgt[static_cast<std::size_t>(i)] > 0) {
+      invtvwgt[static_cast<std::size_t>(i)] =
+          1.0 / static_cast<real_t>(tvwgt[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+namespace {
+
+std::string err(const std::string& msg) { return msg; }
+
+}  // namespace
+
+std::string Graph::validate() const {
+  std::ostringstream oss;
+  if (nvtxs < 0) return err("negative nvtxs");
+  if (ncon < 1 || ncon > kMaxNcon) return err("ncon out of range");
+  if (xadj.size() != static_cast<std::size_t>(nvtxs) + 1)
+    return err("xadj size != nvtxs+1");
+  if (xadj[0] != 0) return err("xadj[0] != 0");
+  for (idx_t v = 0; v < nvtxs; ++v) {
+    if (xadj[v + 1] < xadj[v]) {
+      oss << "xadj not monotone at vertex " << v;
+      return oss.str();
+    }
+  }
+  if (static_cast<std::size_t>(xadj[nvtxs]) != adjncy.size())
+    return err("xadj[nvtxs] != adjncy.size()");
+  if (adjwgt.size() != adjncy.size()) return err("adjwgt size mismatch");
+  if (vwgt.size() != static_cast<std::size_t>(nvtxs) * ncon)
+    return err("vwgt size mismatch");
+  for (idx_t v = 0; v < nvtxs; ++v) {
+    for (idx_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const idx_t u = adjncy[e];
+      if (u < 0 || u >= nvtxs) {
+        oss << "edge target out of range at vertex " << v;
+        return oss.str();
+      }
+      if (u == v) {
+        oss << "self loop at vertex " << v;
+        return oss.str();
+      }
+    }
+  }
+  // Symmetry check with equal weights: count directed edges per unordered
+  // pair via a sorted scan of each adjacency list pair. O(E * avg_deg) in
+  // the worst case; acceptable for a validation routine.
+  for (idx_t v = 0; v < nvtxs; ++v) {
+    for (idx_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const idx_t u = adjncy[e];
+      bool found = false;
+      for (idx_t f = xadj[u]; f < xadj[u + 1]; ++f) {
+        if (adjncy[f] == v && adjwgt[f] == adjwgt[e]) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        oss << "asymmetric edge (" << v << "," << u << ")";
+        return oss.str();
+      }
+    }
+  }
+  return std::string();
+}
+
+GraphBuilder::GraphBuilder(idx_t nvtxs, int ncon) : nvtxs_(nvtxs), ncon_(ncon) {
+  if (nvtxs < 0) throw std::invalid_argument("GraphBuilder: negative nvtxs");
+  if (ncon < 1 || ncon > kMaxNcon)
+    throw std::invalid_argument("GraphBuilder: ncon out of range");
+  vwgt_.assign(static_cast<std::size_t>(nvtxs) * ncon, 1);
+}
+
+void GraphBuilder::add_edge(idx_t u, idx_t v, wgt_t w) {
+  if (u < 0 || u >= nvtxs_ || v < 0 || v >= nvtxs_)
+    throw std::out_of_range("GraphBuilder::add_edge: vertex out of range");
+  if (u == v) return;
+  eu_.push_back(u);
+  ev_.push_back(v);
+  ew_.push_back(w);
+}
+
+void GraphBuilder::set_weights(idx_t v, const std::vector<wgt_t>& w) {
+  if (static_cast<int>(w.size()) != ncon_)
+    throw std::invalid_argument("GraphBuilder::set_weights: wrong arity");
+  for (int i = 0; i < ncon_; ++i) set_weight(v, i, w[static_cast<std::size_t>(i)]);
+}
+
+void GraphBuilder::set_weight(idx_t v, int i, wgt_t w) {
+  if (v < 0 || v >= nvtxs_)
+    throw std::out_of_range("GraphBuilder::set_weight: vertex out of range");
+  if (i < 0 || i >= ncon_)
+    throw std::out_of_range("GraphBuilder::set_weight: constraint out of range");
+  vwgt_[static_cast<std::size_t>(v) * ncon_ + i] = w;
+}
+
+Graph GraphBuilder::build() {
+  const std::size_t m = eu_.size();
+  // Count both directions, bucket by source, then dedup per vertex.
+  std::vector<idx_t> deg(static_cast<std::size_t>(nvtxs_) + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++deg[static_cast<std::size_t>(eu_[e]) + 1];
+    ++deg[static_cast<std::size_t>(ev_[e]) + 1];
+  }
+  for (idx_t v = 0; v < nvtxs_; ++v) deg[static_cast<std::size_t>(v) + 1] += deg[static_cast<std::size_t>(v)];
+
+  std::vector<idx_t> dst(2 * m);
+  std::vector<wgt_t> wdst(2 * m);
+  {
+    std::vector<idx_t> fill(deg.begin(), deg.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      const idx_t u = eu_[e];
+      const idx_t v = ev_[e];
+      const wgt_t w = ew_[e];
+      dst[static_cast<std::size_t>(fill[static_cast<std::size_t>(u)])] = v;
+      wdst[static_cast<std::size_t>(fill[static_cast<std::size_t>(u)]++)] = w;
+      dst[static_cast<std::size_t>(fill[static_cast<std::size_t>(v)])] = u;
+      wdst[static_cast<std::size_t>(fill[static_cast<std::size_t>(v)]++)] = w;
+    }
+  }
+
+  Graph g;
+  g.nvtxs = nvtxs_;
+  g.ncon = ncon_;
+  g.xadj.assign(static_cast<std::size_t>(nvtxs_) + 1, 0);
+  g.adjncy.reserve(2 * m);
+  g.adjwgt.reserve(2 * m);
+
+  // Dedup each vertex's list by sorting (index, weight) pairs and merging
+  // runs with equal targets.
+  std::vector<std::pair<idx_t, wgt_t>> row;
+  for (idx_t v = 0; v < nvtxs_; ++v) {
+    row.clear();
+    for (idx_t e = deg[static_cast<std::size_t>(v)]; e < deg[static_cast<std::size_t>(v) + 1]; ++e) {
+      row.emplace_back(dst[static_cast<std::size_t>(e)], wdst[static_cast<std::size_t>(e)]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = 0; i < row.size();) {
+      idx_t target = row[i].first;
+      sum_t w = 0;
+      std::size_t j = i;
+      while (j < row.size() && row[j].first == target) {
+        w += row[j].second;
+        ++j;
+      }
+      g.adjncy.push_back(target);
+      g.adjwgt.push_back(static_cast<wgt_t>(w));
+      i = j;
+    }
+    g.xadj[static_cast<std::size_t>(v) + 1] = static_cast<idx_t>(g.adjncy.size());
+  }
+
+  g.vwgt = std::move(vwgt_);
+  g.finalize();
+
+  eu_.clear();
+  ev_.clear();
+  ew_.clear();
+  vwgt_.assign(static_cast<std::size_t>(nvtxs_) * ncon_, 1);
+  return g;
+}
+
+Graph make_graph(idx_t nvtxs, int ncon, std::vector<idx_t> xadj,
+                 std::vector<idx_t> adjncy, std::vector<wgt_t> adjwgt,
+                 std::vector<wgt_t> vwgt) {
+  Graph g;
+  g.nvtxs = nvtxs;
+  g.ncon = ncon;
+  g.xadj = std::move(xadj);
+  g.adjncy = std::move(adjncy);
+  g.adjwgt = std::move(adjwgt);
+  g.vwgt = std::move(vwgt);
+  if (g.adjwgt.empty()) g.adjwgt.assign(g.adjncy.size(), 1);
+  if (g.vwgt.empty()) g.vwgt.assign(static_cast<std::size_t>(nvtxs) * ncon, 1);
+  g.finalize();
+  return g;
+}
+
+}  // namespace mcgp

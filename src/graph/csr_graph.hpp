@@ -1,0 +1,102 @@
+// CSR graph with multi-constraint (vector) vertex weights.
+//
+// This is the central data structure of the library: an undirected graph
+// stored in compressed-sparse-row form, where every vertex carries `ncon`
+// integer weights (one per balance constraint) and every edge carries an
+// integer weight. Both directions of each undirected edge are stored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mcgp {
+
+struct Graph {
+  idx_t nvtxs = 0;  ///< number of vertices
+  int ncon = 1;     ///< number of weights (constraints) per vertex
+
+  /// CSR row pointers, size nvtxs+1. Edges of v: adjncy[xadj[v]..xadj[v+1]).
+  std::vector<idx_t> xadj{0};
+  /// CSR column indices, size 2*|E| (both directions stored).
+  std::vector<idx_t> adjncy;
+  /// Edge weights, parallel to adjncy. Symmetric: w(u,v) == w(v,u).
+  std::vector<wgt_t> adjwgt;
+  /// Vertex weights, row-major: weight i of vertex v is vwgt[v*ncon + i].
+  std::vector<wgt_t> vwgt;
+
+  /// Per-constraint totals (cached by finalize()).
+  std::vector<sum_t> tvwgt;
+  /// 1 / tvwgt[i] as real, or 0 if tvwgt[i] == 0 (cached by finalize()).
+  std::vector<real_t> invtvwgt;
+
+  /// Number of undirected edges.
+  idx_t nedges() const { return static_cast<idx_t>(adjncy.size() / 2); }
+
+  /// Degree of vertex v.
+  idx_t degree(idx_t v) const { return xadj[v + 1] - xadj[v]; }
+
+  /// Weight i of vertex v.
+  wgt_t weight(idx_t v, int i) const {
+    return vwgt[static_cast<std::size_t>(v) * ncon + i];
+  }
+
+  /// Pointer to the ncon-vector of weights of vertex v.
+  const wgt_t* weights(idx_t v) const {
+    return vwgt.data() + static_cast<std::size_t>(v) * ncon;
+  }
+  wgt_t* weights(idx_t v) {
+    return vwgt.data() + static_cast<std::size_t>(v) * ncon;
+  }
+
+  /// Sum of adjwgt over all stored (directed) edges of v.
+  sum_t weighted_degree(idx_t v) const;
+
+  /// Recompute cached totals (tvwgt, invtvwgt). Must be called after any
+  /// change to vwgt or ncon. Builders and generators call this for you.
+  void finalize();
+
+  /// Verify structural invariants (sorted CSR not required): xadj monotone,
+  /// targets in range, no self loops, adjacency symmetric with equal
+  /// weights, vwgt/adjwgt sizes consistent. Returns an empty string when
+  /// valid, else a description of the first problem found.
+  std::string validate() const;
+};
+
+/// Incremental builder: collect undirected edges (u, v, w), then build a
+/// deduplicated symmetric CSR graph. Parallel edges are merged by summing
+/// their weights; self loops are dropped.
+class GraphBuilder {
+ public:
+  GraphBuilder(idx_t nvtxs, int ncon);
+
+  idx_t nvtxs() const { return nvtxs_; }
+  int ncon() const { return ncon_; }
+
+  /// Record an undirected edge. Self loops are ignored.
+  void add_edge(idx_t u, idx_t v, wgt_t w = 1);
+
+  /// Set all ncon weights of a vertex.
+  void set_weights(idx_t v, const std::vector<wgt_t>& w);
+  /// Set one weight of a vertex.
+  void set_weight(idx_t v, int i, wgt_t w);
+
+  /// Build the graph. The builder is left empty afterwards.
+  Graph build();
+
+ private:
+  idx_t nvtxs_;
+  int ncon_;
+  std::vector<idx_t> eu_, ev_;
+  std::vector<wgt_t> ew_;
+  std::vector<wgt_t> vwgt_;
+};
+
+/// Convenience: build a graph directly from CSR arrays (both directions
+/// already present and symmetric). Weights default to 1 when empty.
+Graph make_graph(idx_t nvtxs, int ncon, std::vector<idx_t> xadj,
+                 std::vector<idx_t> adjncy, std::vector<wgt_t> adjwgt = {},
+                 std::vector<wgt_t> vwgt = {});
+
+}  // namespace mcgp

@@ -1,0 +1,189 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcgp {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  std::ostringstream oss;
+  oss << "METIS graph parse error at line " << line_no << ": " << what;
+  throw std::runtime_error(oss.str());
+}
+
+/// Fetch the next non-comment, non-blank line. Returns false on EOF.
+bool next_data_line(std::istream& in, std::string& line, std::size_t& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    if (i == line.size()) continue;  // blank
+    if (line[i] == '%') continue;    // comment
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_metis_graph(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!next_data_line(in, line, line_no)) parse_error(line_no, "missing header");
+
+  long long nvtxs = 0, nedges = 0;
+  std::string fmt = "000";
+  int ncon = 0;
+  {
+    std::istringstream hs(line);
+    if (!(hs >> nvtxs >> nedges)) parse_error(line_no, "bad header");
+    std::string tok;
+    if (hs >> tok) fmt = tok;
+    if (hs >> ncon) {
+      if (ncon < 1 || ncon > kMaxNcon) parse_error(line_no, "ncon out of range");
+    }
+    if (nvtxs < 0 || nedges < 0) parse_error(line_no, "negative counts");
+  }
+  while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+  const bool has_vsize = fmt[fmt.size() - 3] == '1';
+  const bool has_vwgt = fmt[fmt.size() - 2] == '1';
+  const bool has_ewgt = fmt[fmt.size() - 1] == '1';
+  if (ncon == 0) ncon = has_vwgt ? 1 : 1;
+
+  Graph g;
+  g.nvtxs = static_cast<idx_t>(nvtxs);
+  g.ncon = ncon;
+  g.xadj.assign(static_cast<std::size_t>(nvtxs) + 1, 0);
+  g.adjncy.reserve(static_cast<std::size_t>(2 * nedges));
+  g.adjwgt.reserve(static_cast<std::size_t>(2 * nedges));
+  g.vwgt.assign(static_cast<std::size_t>(nvtxs) * ncon, 1);
+
+  for (long long v = 0; v < nvtxs; ++v) {
+    if (!next_data_line(in, line, line_no))
+      parse_error(line_no, "unexpected EOF (fewer vertex lines than nvtxs)");
+    std::istringstream ls(line);
+    if (has_vsize) {
+      long long vs;
+      if (!(ls >> vs)) parse_error(line_no, "missing vertex size");
+    }
+    if (has_vwgt) {
+      for (int i = 0; i < ncon; ++i) {
+        long long w;
+        if (!(ls >> w)) parse_error(line_no, "missing vertex weight");
+        if (w < 0) parse_error(line_no, "negative vertex weight");
+        g.vwgt[static_cast<std::size_t>(v) * ncon + i] = static_cast<wgt_t>(w);
+      }
+    }
+    long long u;
+    while (ls >> u) {
+      if (u < 1 || u > nvtxs) parse_error(line_no, "neighbor id out of range");
+      wgt_t w = 1;
+      if (has_ewgt) {
+        long long ew;
+        if (!(ls >> ew)) parse_error(line_no, "missing edge weight");
+        w = static_cast<wgt_t>(ew);
+      }
+      g.adjncy.push_back(static_cast<idx_t>(u - 1));
+      g.adjwgt.push_back(w);
+    }
+    g.xadj[static_cast<std::size_t>(v) + 1] = static_cast<idx_t>(g.adjncy.size());
+  }
+
+  if (g.adjncy.size() != static_cast<std::size_t>(2 * nedges)) {
+    std::ostringstream oss;
+    oss << "edge count mismatch: header says " << nedges << " edges, found "
+        << g.adjncy.size() / 2.0 << " (directed/2)";
+    throw std::runtime_error(oss.str());
+  }
+
+  g.finalize();
+  const std::string problem = g.validate();
+  if (!problem.empty())
+    throw std::runtime_error("METIS graph invalid: " + problem);
+  return g;
+}
+
+Graph read_metis_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return read_metis_graph(in);
+}
+
+void write_metis_graph(std::ostream& out, const Graph& g) {
+  bool need_vwgt = g.ncon > 1;
+  if (!need_vwgt) {
+    for (const wgt_t w : g.vwgt) {
+      if (w != 1) {
+        need_vwgt = true;
+        break;
+      }
+    }
+  }
+  bool need_ewgt = false;
+  for (const wgt_t w : g.adjwgt) {
+    if (w != 1) {
+      need_ewgt = true;
+      break;
+    }
+  }
+  out << g.nvtxs << ' ' << g.nedges();
+  if (need_vwgt || need_ewgt) {
+    out << " 0" << (need_vwgt ? '1' : '0') << (need_ewgt ? '1' : '0');
+    if (need_vwgt) out << ' ' << g.ncon;
+  }
+  out << '\n';
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    bool first = true;
+    if (need_vwgt) {
+      for (int i = 0; i < g.ncon; ++i) {
+        if (!first) out << ' ';
+        out << g.weight(v, i);
+        first = false;
+      }
+    }
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (!first) out << ' ';
+      out << (g.adjncy[e] + 1);
+      first = false;
+      if (need_ewgt) out << ' ' << g.adjwgt[e];
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  write_metis_graph(out, g);
+}
+
+std::vector<idx_t> read_partition(std::istream& in) {
+  std::vector<idx_t> part;
+  long long p;
+  while (in >> p) part.push_back(static_cast<idx_t>(p));
+  return part;
+}
+
+std::vector<idx_t> read_partition_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open partition file: " + path);
+  return read_partition(in);
+}
+
+void write_partition(std::ostream& out, const std::vector<idx_t>& part) {
+  for (const idx_t p : part) out << p << '\n';
+}
+
+void write_partition_file(const std::string& path,
+                          const std::vector<idx_t>& part) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  write_partition(out, part);
+}
+
+}  // namespace mcgp

@@ -1,0 +1,42 @@
+// METIS-compatible graph and partition file I/O.
+//
+// The .graph format (METIS 4/5 manual):
+//   header:  <nvtxs> <nedges> [fmt [ncon]]
+//   fmt is a 3-digit flag string "abc": a = vertex sizes present (ignored
+//   here), b = vertex weights present, c = edge weights present.
+//   Each following non-comment line i lists vertex i's [ncon weights]
+//   followed by (neighbor, [edge weight]) pairs with 1-based neighbor ids.
+//   Lines starting with '%' are comments.
+//
+// Partition files contain one 0-based part id per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// Parse a METIS-format graph from a stream. Throws std::runtime_error on
+/// malformed input (with a line number in the message).
+Graph read_metis_graph(std::istream& in);
+
+/// Parse a METIS-format graph from a file. Throws on I/O or parse errors.
+Graph read_metis_graph_file(const std::string& path);
+
+/// Write a graph in METIS format. Vertex weights are emitted whenever
+/// ncon > 1 or any weight differs from 1; edge weights whenever any edge
+/// weight differs from 1.
+void write_metis_graph(std::ostream& out, const Graph& g);
+void write_metis_graph_file(const std::string& path, const Graph& g);
+
+/// Read / write a partition vector (one part id per line).
+std::vector<idx_t> read_partition(std::istream& in);
+std::vector<idx_t> read_partition_file(const std::string& path);
+void write_partition(std::ostream& out, const std::vector<idx_t>& part);
+void write_partition_file(const std::string& path,
+                          const std::vector<idx_t>& part);
+
+}  // namespace mcgp

@@ -1,0 +1,204 @@
+#include "graph/graph_ops.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "support/random.hpp"
+
+namespace mcgp {
+
+std::vector<idx_t> bfs_distances(const Graph& g, idx_t source) {
+  std::vector<idx_t> dist(static_cast<std::size_t>(g.nvtxs), -1);
+  if (source < 0 || source >= g.nvtxs) return dist;
+  std::vector<idx_t> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  idx_t d = 0;
+  std::vector<idx_t> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const idx_t v : frontier) {
+      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const idx_t u = g.adjncy[e];
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] = d + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+    ++d;
+  }
+  return dist;
+}
+
+idx_t connected_components(const Graph& g, std::vector<idx_t>& comp) {
+  comp.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  idx_t count = 0;
+  std::vector<idx_t> stack;
+  for (idx_t s = 0; s < g.nvtxs; ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    comp[static_cast<std::size_t>(s)] = count;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      stack.pop_back();
+      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const idx_t u = g.adjncy[e];
+        if (comp[static_cast<std::size_t>(u)] < 0) {
+          comp[static_cast<std::size_t>(u)] = count;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+idx_t count_components(const Graph& g) {
+  std::vector<idx_t> comp;
+  return connected_components(g, comp);
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
+                       std::vector<idx_t>& local_to_global) {
+  if (select.size() != static_cast<std::size_t>(g.nvtxs))
+    throw std::invalid_argument("induced_subgraph: select size mismatch");
+
+  std::vector<idx_t> global_to_local(static_cast<std::size_t>(g.nvtxs), -1);
+  local_to_global.clear();
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    if (select[static_cast<std::size_t>(v)]) {
+      global_to_local[static_cast<std::size_t>(v)] =
+          static_cast<idx_t>(local_to_global.size());
+      local_to_global.push_back(v);
+    }
+  }
+
+  Graph s;
+  s.nvtxs = static_cast<idx_t>(local_to_global.size());
+  s.ncon = g.ncon;
+  s.xadj.assign(static_cast<std::size_t>(s.nvtxs) + 1, 0);
+  s.vwgt.resize(static_cast<std::size_t>(s.nvtxs) * s.ncon);
+
+  for (idx_t lv = 0; lv < s.nvtxs; ++lv) {
+    const idx_t v = local_to_global[static_cast<std::size_t>(lv)];
+    for (int i = 0; i < s.ncon; ++i) {
+      s.vwgt[static_cast<std::size_t>(lv) * s.ncon + i] = g.weight(v, i);
+    }
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const idx_t lu = global_to_local[static_cast<std::size_t>(g.adjncy[e])];
+      if (lu >= 0) {
+        s.adjncy.push_back(lu);
+        s.adjwgt.push_back(g.adjwgt[e]);
+      }
+    }
+    s.xadj[static_cast<std::size_t>(lv) + 1] = static_cast<idx_t>(s.adjncy.size());
+  }
+  s.finalize();
+  return s;
+}
+
+Graph permute_graph(const Graph& g, const std::vector<idx_t>& perm) {
+  if (perm.size() != static_cast<std::size_t>(g.nvtxs))
+    throw std::invalid_argument("permute_graph: perm size mismatch");
+  std::vector<idx_t> inv(static_cast<std::size_t>(g.nvtxs), -1);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t p = perm[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= g.nvtxs || inv[static_cast<std::size_t>(p)] != -1)
+      throw std::invalid_argument("permute_graph: not a permutation");
+    inv[static_cast<std::size_t>(p)] = v;
+  }
+
+  Graph r;
+  r.nvtxs = g.nvtxs;
+  r.ncon = g.ncon;
+  r.xadj.assign(static_cast<std::size_t>(g.nvtxs) + 1, 0);
+  r.adjncy.reserve(g.adjncy.size());
+  r.adjwgt.reserve(g.adjwgt.size());
+  r.vwgt.resize(g.vwgt.size());
+
+  for (idx_t nv = 0; nv < r.nvtxs; ++nv) {
+    const idx_t v = inv[static_cast<std::size_t>(nv)];
+    for (int i = 0; i < r.ncon; ++i) {
+      r.vwgt[static_cast<std::size_t>(nv) * r.ncon + i] = g.weight(v, i);
+    }
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      r.adjncy.push_back(perm[static_cast<std::size_t>(g.adjncy[e])]);
+      r.adjwgt.push_back(g.adjwgt[e]);
+    }
+    r.xadj[static_cast<std::size_t>(nv) + 1] = static_cast<idx_t>(r.adjncy.size());
+  }
+  r.finalize();
+  return r;
+}
+
+std::vector<idx_t> grow_regions(const Graph& g, idx_t nregions,
+                                std::uint64_t seed) {
+  if (nregions < 1) throw std::invalid_argument("grow_regions: nregions < 1");
+  std::vector<idx_t> label(static_cast<std::size_t>(g.nvtxs), -1);
+  if (g.nvtxs == 0) return label;
+  nregions = std::min(nregions, g.nvtxs);
+
+  Rng rng(seed);
+  std::vector<idx_t> perm;
+  random_permutation(g.nvtxs, perm, rng);
+
+  // Pick distinct seeds; lockstep BFS: each round, every region expands by
+  // one frontier layer, so regions end up with comparable vertex counts.
+  std::vector<std::vector<idx_t>> frontier(static_cast<std::size_t>(nregions));
+  for (idx_t r = 0; r < nregions; ++r) {
+    const idx_t s = perm[static_cast<std::size_t>(r)];
+    label[static_cast<std::size_t>(s)] = r;
+    frontier[static_cast<std::size_t>(r)].push_back(s);
+  }
+
+  std::vector<idx_t> next;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (idx_t r = 0; r < nregions; ++r) {
+      auto& f = frontier[static_cast<std::size_t>(r)];
+      if (f.empty()) continue;
+      next.clear();
+      for (const idx_t v : f) {
+        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+          const idx_t u = g.adjncy[e];
+          if (label[static_cast<std::size_t>(u)] < 0) {
+            label[static_cast<std::size_t>(u)] = r;
+            next.push_back(u);
+          }
+        }
+      }
+      f.swap(next);
+      grew = grew || !f.empty();
+    }
+  }
+
+  // Sweep components that contained no seed: BFS each from an unlabeled
+  // vertex, cycling region ids so leftover components spread across regions.
+  idx_t next_region = 0;
+  std::vector<idx_t> stack;
+  for (idx_t s = 0; s < g.nvtxs; ++s) {
+    if (label[static_cast<std::size_t>(s)] >= 0) continue;
+    const idx_t r = next_region;
+    next_region = (next_region + 1) % nregions;
+    label[static_cast<std::size_t>(s)] = r;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      stack.pop_back();
+      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const idx_t u = g.adjncy[e];
+        if (label[static_cast<std::size_t>(u)] < 0) {
+          label[static_cast<std::size_t>(u)] = r;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace mcgp

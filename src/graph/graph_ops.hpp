@@ -1,0 +1,42 @@
+// Structural graph algorithms used throughout the partitioner: traversal,
+// connected components, induced subgraphs, and permutation.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// BFS distances from `source` (-1 for unreachable vertices).
+std::vector<idx_t> bfs_distances(const Graph& g, idx_t source);
+
+/// Connected component labels in [0, count). Returns component count.
+idx_t connected_components(const Graph& g, std::vector<idx_t>& comp);
+
+/// Number of connected components.
+idx_t count_components(const Graph& g);
+
+/// Induced subgraph on the vertices v with select[v] != 0. Edges to
+/// non-selected vertices are dropped (their weight is lost — callers that
+/// care about the cut account for it separately, as recursive bisection
+/// does). `local_to_global[i]` maps subgraph vertex i back to g's ids.
+Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
+                       std::vector<idx_t>& local_to_global);
+
+/// Relabel vertices: vertex v of g becomes vertex perm[v] of the result.
+/// `perm` must be a permutation of [0, nvtxs).
+Graph permute_graph(const Graph& g, const std::vector<idx_t>& perm);
+
+/// Multi-source BFS region growing: grows `nregions` contiguous regions
+/// from random seeds until every reachable vertex is labeled; vertices in
+/// components not containing a seed are swept up afterwards (assigned to a
+/// fresh BFS from an arbitrary unlabeled vertex, reusing region labels
+/// round-robin). Regions are approximately vertex-balanced because growth
+/// proceeds in lockstep (one frontier layer per region per round).
+/// Used by the synthetic weight generators to create contiguous
+/// equal-weight regions, mirroring the SC'98 test-problem construction.
+std::vector<idx_t> grow_regions(const Graph& g, idx_t nregions,
+                                std::uint64_t seed);
+
+}  // namespace mcgp

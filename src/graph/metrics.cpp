@@ -1,0 +1,168 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcgp {
+
+sum_t edge_cut(const Graph& g, const std::vector<idx_t>& part) {
+  sum_t cut = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (part[static_cast<std::size_t>(g.adjncy[e])] != pv) cut += g.adjwgt[e];
+    }
+  }
+  return cut / 2;
+}
+
+std::vector<sum_t> part_weights(const Graph& g, const std::vector<idx_t>& part,
+                                idx_t nparts) {
+  std::vector<sum_t> pwgts(static_cast<std::size_t>(nparts) * g.ncon, 0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t p = part[static_cast<std::size_t>(v)];
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      pwgts[static_cast<std::size_t>(p) * g.ncon + i] += w[i];
+    }
+  }
+  return pwgts;
+}
+
+std::vector<real_t> imbalance(const Graph& g, const std::vector<idx_t>& part,
+                              idx_t nparts) {
+  const std::vector<sum_t> pwgts = part_weights(g, part, nparts);
+  std::vector<real_t> lb(static_cast<std::size_t>(g.ncon), 1.0);
+  for (int i = 0; i < g.ncon; ++i) {
+    if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+    sum_t maxw = 0;
+    for (idx_t p = 0; p < nparts; ++p) {
+      maxw = std::max(maxw, pwgts[static_cast<std::size_t>(p) * g.ncon + i]);
+    }
+    lb[static_cast<std::size_t>(i)] = static_cast<real_t>(maxw) * nparts *
+                                      g.invtvwgt[static_cast<std::size_t>(i)];
+  }
+  return lb;
+}
+
+real_t max_imbalance(const Graph& g, const std::vector<idx_t>& part,
+                     idx_t nparts) {
+  const std::vector<real_t> lb = imbalance(g, part, nparts);
+  return *std::max_element(lb.begin(), lb.end());
+}
+
+std::vector<real_t> target_imbalance(const Graph& g,
+                                     const std::vector<idx_t>& part,
+                                     idx_t nparts,
+                                     const std::vector<real_t>& tpwgts) {
+  const std::vector<sum_t> pwgts = part_weights(g, part, nparts);
+  std::vector<real_t> lb(static_cast<std::size_t>(g.ncon), 1.0);
+  for (int i = 0; i < g.ncon; ++i) {
+    if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+    real_t worst = 0.0;
+    for (idx_t p = 0; p < nparts; ++p) {
+      const real_t share =
+          static_cast<real_t>(pwgts[static_cast<std::size_t>(p) * g.ncon + i]) *
+          g.invtvwgt[static_cast<std::size_t>(i)];
+      worst = std::max(worst, share / tpwgts[static_cast<std::size_t>(p)]);
+    }
+    lb[static_cast<std::size_t>(i)] = worst;
+  }
+  return lb;
+}
+
+sum_t communication_volume(const Graph& g, const std::vector<idx_t>& part,
+                           idx_t nparts) {
+  sum_t total = 0;
+  std::vector<idx_t> marker(static_cast<std::size_t>(nparts), -1);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const idx_t pu = part[static_cast<std::size_t>(g.adjncy[e])];
+      if (pu != pv && marker[static_cast<std::size_t>(pu)] != v) {
+        marker[static_cast<std::size_t>(pu)] = v;
+        ++total;
+      }
+    }
+  }
+  return total;
+}
+
+idx_t boundary_vertices(const Graph& g, const std::vector<idx_t>& part) {
+  idx_t count = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (part[static_cast<std::size_t>(g.adjncy[e])] != pv) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+idx_t count_part_components(const Graph& g, const std::vector<idx_t>& part,
+                            idx_t nparts) {
+  (void)nparts;
+  std::vector<char> seen(static_cast<std::size_t>(g.nvtxs), 0);
+  std::vector<idx_t> stack;
+  idx_t components = 0;
+  for (idx_t s = 0; s < g.nvtxs; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++components;
+    const idx_t p = part[static_cast<std::size_t>(s)];
+    seen[static_cast<std::size_t>(s)] = 1;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      stack.pop_back();
+      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const idx_t u = g.adjncy[e];
+        if (!seen[static_cast<std::size_t>(u)] &&
+            part[static_cast<std::size_t>(u)] == p) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+idx_t moved_vertices(const std::vector<idx_t>& a, const std::vector<idx_t>& b) {
+  idx_t moved = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    if (a[v] != b[v]) ++moved;
+  }
+  return moved;
+}
+
+std::string validate_partition(const Graph& g, const std::vector<idx_t>& part,
+                               idx_t nparts, bool require_nonempty) {
+  std::ostringstream oss;
+  if (part.size() != static_cast<std::size_t>(g.nvtxs))
+    return "partition size != nvtxs";
+  if (nparts < 1) return "nparts < 1";
+  std::vector<idx_t> count(static_cast<std::size_t>(nparts), 0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t p = part[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= nparts) {
+      oss << "part id " << p << " of vertex " << v << " out of range";
+      return oss.str();
+    }
+    ++count[static_cast<std::size_t>(p)];
+  }
+  if (require_nonempty && g.nvtxs >= nparts) {
+    for (idx_t p = 0; p < nparts; ++p) {
+      if (count[static_cast<std::size_t>(p)] == 0) {
+        oss << "part " << p << " is empty";
+        return oss.str();
+      }
+    }
+  }
+  return std::string();
+}
+
+}  // namespace mcgp

@@ -1,0 +1,63 @@
+// Partition quality metrics: edge-cut, per-constraint load imbalance,
+// communication volume, boundary statistics, and validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// Weighted edge-cut: total weight of edges whose endpoints lie in
+/// different parts (each undirected edge counted once).
+sum_t edge_cut(const Graph& g, const std::vector<idx_t>& part);
+
+/// Per-part, per-constraint weight sums: result[p*ncon + i].
+std::vector<sum_t> part_weights(const Graph& g, const std::vector<idx_t>& part,
+                                idx_t nparts);
+
+/// Per-constraint load imbalance: lb[i] = nparts * max_p ŵ_i(V_p), the
+/// paper's definition (1.0 = perfect balance; 1.05 = 5% over average).
+/// A constraint with zero total weight reports 1.0 (trivially balanced).
+std::vector<real_t> imbalance(const Graph& g, const std::vector<idx_t>& part,
+                              idx_t nparts);
+
+/// Worst imbalance over all constraints.
+real_t max_imbalance(const Graph& g, const std::vector<idx_t>& part,
+                     idx_t nparts);
+
+/// Per-constraint load imbalance against explicit per-part target
+/// fractions: lb[i] = max_p ŵ_i(V_p) / tpwgts[p]. With uniform targets
+/// (tpwgts[p] = 1/nparts) this equals imbalance(). `tpwgts` must have
+/// size nparts and sum to ~1.
+std::vector<real_t> target_imbalance(const Graph& g,
+                                     const std::vector<idx_t>& part,
+                                     idx_t nparts,
+                                     const std::vector<real_t>& tpwgts);
+
+/// Total communication volume: for every vertex, the number of distinct
+/// remote parts among its neighbors (METIS "totalv" definition).
+sum_t communication_volume(const Graph& g, const std::vector<idx_t>& part,
+                           idx_t nparts);
+
+/// Number of boundary vertices (vertices with at least one cut edge).
+idx_t boundary_vertices(const Graph& g, const std::vector<idx_t>& part);
+
+/// Total number of connected components summed over all parts (equals
+/// nparts when every subdomain is contiguous — a property FE solvers
+/// often prefer but multilevel partitioners do not guarantee).
+idx_t count_part_components(const Graph& g, const std::vector<idx_t>& part,
+                            idx_t nparts);
+
+/// Number of vertices whose part differs between two assignments (the
+/// migration volume of a repartitioning step).
+idx_t moved_vertices(const std::vector<idx_t>& a, const std::vector<idx_t>& b);
+
+/// Check that `part` is a structurally valid nparts-way partition of g:
+/// right size, all ids in range. If `require_nonempty`, every part must
+/// contain at least one vertex. Returns "" when valid, else a description.
+std::string validate_partition(const Graph& g, const std::vector<idx_t>& part,
+                               idx_t nparts, bool require_nonempty = false);
+
+}  // namespace mcgp

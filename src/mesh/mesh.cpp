@@ -1,0 +1,257 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcgp {
+
+std::string Mesh::validate() const {
+  if (nelems < 0 || nnodes < 0) return "negative counts";
+  if (eptr.size() != static_cast<std::size_t>(nelems) + 1)
+    return "eptr size != nelems+1";
+  if (eptr[0] != 0) return "eptr[0] != 0";
+  for (idx_t e = 0; e < nelems; ++e) {
+    if (eptr[static_cast<std::size_t>(e) + 1] < eptr[static_cast<std::size_t>(e)])
+      return "eptr not monotone";
+  }
+  if (static_cast<std::size_t>(eptr[static_cast<std::size_t>(nelems)]) != eind.size())
+    return "eptr[nelems] != eind.size()";
+  for (idx_t e = 0; e < nelems; ++e) {
+    for (idx_t i = eptr[static_cast<std::size_t>(e)]; i < eptr[static_cast<std::size_t>(e) + 1]; ++i) {
+      const idx_t n = eind[static_cast<std::size_t>(i)];
+      if (n < 0 || n >= nnodes) return "node id out of range";
+      for (idx_t j = eptr[static_cast<std::size_t>(e)]; j < i; ++j) {
+        if (eind[static_cast<std::size_t>(j)] == n) return "duplicate node in element";
+      }
+    }
+  }
+  return std::string();
+}
+
+namespace {
+
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    if (i == line.size()) continue;
+    if (line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Mesh read_metis_mesh(std::istream& in) {
+  std::string line;
+  if (!next_data_line(in, line))
+    throw std::runtime_error("mesh parse error: missing header");
+  long long ne = 0, nn = -1;
+  {
+    std::istringstream hs(line);
+    if (!(hs >> ne)) throw std::runtime_error("mesh parse error: bad header");
+    hs >> nn;  // optional
+    if (ne < 0) throw std::runtime_error("mesh parse error: negative nelems");
+  }
+
+  Mesh m;
+  m.nelems = static_cast<idx_t>(ne);
+  m.eptr.reserve(static_cast<std::size_t>(ne) + 1);
+  idx_t max_node = -1;
+  for (long long e = 0; e < ne; ++e) {
+    if (!next_data_line(in, line))
+      throw std::runtime_error("mesh parse error: fewer element lines than nelems");
+    std::istringstream ls(line);
+    long long node;
+    idx_t count = 0;
+    while (ls >> node) {
+      if (node < 1)
+        throw std::runtime_error("mesh parse error: node id must be >= 1");
+      m.eind.push_back(static_cast<idx_t>(node - 1));
+      max_node = std::max(max_node, static_cast<idx_t>(node - 1));
+      ++count;
+    }
+    if (count == 0)
+      throw std::runtime_error("mesh parse error: empty element line");
+    m.eptr.push_back(static_cast<idx_t>(m.eind.size()));
+  }
+  m.nnodes = nn >= 0 ? static_cast<idx_t>(nn) : max_node + 1;
+  if (max_node >= m.nnodes)
+    throw std::runtime_error("mesh parse error: node id exceeds declared nnodes");
+
+  const std::string problem = m.validate();
+  if (!problem.empty()) throw std::runtime_error("mesh invalid: " + problem);
+  return m;
+}
+
+Mesh read_metis_mesh_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open mesh file: " + path);
+  return read_metis_mesh(in);
+}
+
+void write_metis_mesh(std::ostream& out, const Mesh& m) {
+  out << m.nelems << ' ' << m.nnodes << '\n';
+  for (idx_t e = 0; e < m.nelems; ++e) {
+    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
+         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
+      if (i > m.eptr[static_cast<std::size_t>(e)]) out << ' ';
+      out << (m.eind[static_cast<std::size_t>(i)] + 1);
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_mesh_file(const std::string& path, const Mesh& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  write_metis_mesh(out, m);
+}
+
+Mesh quad_mesh(idx_t nx, idx_t ny) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("quad_mesh: empty mesh");
+  Mesh m;
+  m.nelems = nx * ny;
+  m.nnodes = (nx + 1) * (ny + 1);
+  auto node = [&](idx_t x, idx_t y) { return x * (ny + 1) + y; };
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      m.eind.push_back(node(x, y));
+      m.eind.push_back(node(x + 1, y));
+      m.eind.push_back(node(x + 1, y + 1));
+      m.eind.push_back(node(x, y + 1));
+      m.eptr.push_back(static_cast<idx_t>(m.eind.size()));
+    }
+  }
+  return m;
+}
+
+Mesh tri_mesh(idx_t nx, idx_t ny) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("tri_mesh: empty mesh");
+  Mesh m;
+  m.nelems = 2 * nx * ny;
+  m.nnodes = (nx + 1) * (ny + 1);
+  auto node = [&](idx_t x, idx_t y) { return x * (ny + 1) + y; };
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      // Split each cell along the (x,y)-(x+1,y+1) diagonal.
+      m.eind.push_back(node(x, y));
+      m.eind.push_back(node(x + 1, y));
+      m.eind.push_back(node(x + 1, y + 1));
+      m.eptr.push_back(static_cast<idx_t>(m.eind.size()));
+      m.eind.push_back(node(x, y));
+      m.eind.push_back(node(x + 1, y + 1));
+      m.eind.push_back(node(x, y + 1));
+      m.eptr.push_back(static_cast<idx_t>(m.eind.size()));
+    }
+  }
+  return m;
+}
+
+Mesh hex_mesh(idx_t nx, idx_t ny, idx_t nz) {
+  if (nx < 1 || ny < 1 || nz < 1)
+    throw std::invalid_argument("hex_mesh: empty mesh");
+  Mesh m;
+  m.nelems = nx * ny * nz;
+  m.nnodes = (nx + 1) * (ny + 1) * (nz + 1);
+  auto node = [&](idx_t x, idx_t y, idx_t z) {
+    return (x * (ny + 1) + y) * (nz + 1) + z;
+  };
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      for (idx_t z = 0; z < nz; ++z) {
+        static constexpr std::array<std::array<idx_t, 3>, 8> kCorners = {
+            {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+             {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}}};
+        for (const auto& [dx, dy, dz] : kCorners) {
+          m.eind.push_back(node(x + dx, y + dy, z + dz));
+        }
+        m.eptr.push_back(static_cast<idx_t>(m.eind.size()));
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// node -> elements incidence in CSR form.
+void build_node_to_elem(const Mesh& m, std::vector<idx_t>& nptr,
+                        std::vector<idx_t>& nind) {
+  nptr.assign(static_cast<std::size_t>(m.nnodes) + 1, 0);
+  for (const idx_t n : m.eind) ++nptr[static_cast<std::size_t>(n) + 1];
+  for (idx_t n = 0; n < m.nnodes; ++n) {
+    nptr[static_cast<std::size_t>(n) + 1] += nptr[static_cast<std::size_t>(n)];
+  }
+  nind.resize(m.eind.size());
+  std::vector<idx_t> fill(nptr.begin(), nptr.end() - 1);
+  for (idx_t e = 0; e < m.nelems; ++e) {
+    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
+         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
+      const idx_t n = m.eind[static_cast<std::size_t>(i)];
+      nind[static_cast<std::size_t>(fill[static_cast<std::size_t>(n)]++)] = e;
+    }
+  }
+}
+
+}  // namespace
+
+Graph mesh_to_dual(const Mesh& m, idx_t ncommon, int ncon) {
+  if (ncommon < 1) throw std::invalid_argument("mesh_to_dual: ncommon < 1");
+  const std::string problem = m.validate();
+  if (!problem.empty())
+    throw std::invalid_argument("mesh_to_dual: invalid mesh: " + problem);
+
+  std::vector<idx_t> nptr, nind;
+  build_node_to_elem(m, nptr, nind);
+
+  GraphBuilder b(m.nelems, ncon);
+  // For each element, count shared nodes with every element that shares
+  // at least one node, using a dense timestamped counter.
+  std::vector<idx_t> shared(static_cast<std::size_t>(m.nelems), 0);
+  std::vector<idx_t> touched;
+  for (idx_t e = 0; e < m.nelems; ++e) {
+    touched.clear();
+    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
+         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
+      const idx_t n = m.eind[static_cast<std::size_t>(i)];
+      for (idx_t j = nptr[static_cast<std::size_t>(n)];
+           j < nptr[static_cast<std::size_t>(n) + 1]; ++j) {
+        const idx_t f = nind[static_cast<std::size_t>(j)];
+        if (f <= e) continue;  // each unordered pair once
+        if (shared[static_cast<std::size_t>(f)] == 0) touched.push_back(f);
+        ++shared[static_cast<std::size_t>(f)];
+      }
+    }
+    for (const idx_t f : touched) {
+      if (shared[static_cast<std::size_t>(f)] >= ncommon) b.add_edge(e, f);
+      shared[static_cast<std::size_t>(f)] = 0;
+    }
+  }
+  return b.build();
+}
+
+Graph mesh_to_nodal(const Mesh& m, int ncon) {
+  const std::string problem = m.validate();
+  if (!problem.empty())
+    throw std::invalid_argument("mesh_to_nodal: invalid mesh: " + problem);
+  GraphBuilder b(m.nnodes, ncon);
+  for (idx_t e = 0; e < m.nelems; ++e) {
+    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
+         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
+      for (idx_t j = m.eptr[static_cast<std::size_t>(e)]; j < i; ++j) {
+        b.add_edge(m.eind[static_cast<std::size_t>(i)],
+                   m.eind[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace mcgp

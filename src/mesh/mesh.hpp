@@ -1,0 +1,56 @@
+// Finite-element mesh substrate: mesh storage, METIS-style .mesh file
+// I/O, structured mesh generators, and the mesh -> graph conversions
+// (dual and nodal) that turn a mesh-partitioning problem into the graph
+// problem this library solves — the standard workflow for the paper's
+// target applications.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace mcgp {
+
+/// A mesh as an element->node incidence list (mixed element types are
+/// allowed: each element simply lists its nodes).
+struct Mesh {
+  idx_t nelems = 0;
+  idx_t nnodes = 0;
+  /// Element i's nodes: eind[eptr[i] .. eptr[i+1]).
+  std::vector<idx_t> eptr{0};
+  std::vector<idx_t> eind;
+
+  idx_t element_size(idx_t e) const { return eptr[e + 1] - eptr[e]; }
+
+  /// Structural validation: monotone eptr, node ids in range, no
+  /// duplicate node within one element. Returns "" when valid.
+  std::string validate() const;
+};
+
+/// Read a METIS-style mesh file:
+///   header: <nelems> [nnodes]     (nnodes inferred from the data if absent)
+///   then one line per element listing its 1-based node ids.
+///   '%' lines are comments.
+Mesh read_metis_mesh(std::istream& in);
+Mesh read_metis_mesh_file(const std::string& path);
+void write_metis_mesh(std::ostream& out, const Mesh& m);
+void write_metis_mesh_file(const std::string& path, const Mesh& m);
+
+/// Structured generators (node numbering row-major).
+Mesh quad_mesh(idx_t nx, idx_t ny);             ///< nx*ny quadrilaterals
+Mesh tri_mesh(idx_t nx, idx_t ny);              ///< 2*nx*ny triangles
+Mesh hex_mesh(idx_t nx, idx_t ny, idx_t nz);    ///< nx*ny*nz hexahedra
+
+/// Dual graph: one vertex per element; elements are adjacent when they
+/// share at least `ncommon` nodes (2 for 2D FE meshes -> shared edge,
+/// 3-4 for 3D -> shared face). This is the graph the partitioner runs on
+/// when decomposing a mesh by elements.
+Graph mesh_to_dual(const Mesh& m, idx_t ncommon, int ncon = 1);
+
+/// Nodal graph: one vertex per node; nodes are adjacent when they appear
+/// together in some element.
+Graph mesh_to_nodal(const Mesh& m, int ncon = 1);
+
+}  // namespace mcgp

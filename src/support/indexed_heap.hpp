@@ -1,0 +1,131 @@
+// Indexed binary max-heap with real-valued keys.
+//
+// Used where gains are fractional (e.g. greedy graph growing scores that mix
+// edge-cut gain with balance terms) and a bucket queue does not apply.
+// Supports O(log n) insert / remove / update by element id.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mcgp {
+
+class IndexedMaxHeap {
+ public:
+  /// Prepare for elements with ids in [0, n). Clears contents.
+  void reset(idx_t n) {
+    pos_.assign(static_cast<std::size_t>(n), kNil);
+    heap_.clear();
+    keys_.resize(static_cast<std::size_t>(n));
+  }
+
+  idx_t size() const { return static_cast<idx_t>(heap_.size()); }
+  bool empty() const { return heap_.empty(); }
+  bool contains(idx_t id) const { return pos_[static_cast<std::size_t>(id)] != kNil; }
+
+  real_t key(idx_t id) const {
+    assert(contains(id));
+    return keys_[static_cast<std::size_t>(id)];
+  }
+
+  void insert(idx_t id, real_t key) {
+    assert(!contains(id));
+    keys_[static_cast<std::size_t>(id)] = key;
+    pos_[static_cast<std::size_t>(id)] = static_cast<idx_t>(heap_.size());
+    heap_.push_back(id);
+    sift_up(heap_.size() - 1);
+  }
+
+  void update(idx_t id, real_t key) {
+    assert(contains(id));
+    const real_t old = keys_[static_cast<std::size_t>(id)];
+    keys_[static_cast<std::size_t>(id)] = key;
+    const auto p = static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]);
+    if (key > old) {
+      sift_up(p);
+    } else if (key < old) {
+      sift_down(p);
+    }
+  }
+
+  void remove(idx_t id) {
+    assert(contains(id));
+    const auto p = static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]);
+    swap_nodes(p, heap_.size() - 1);
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(id)] = kNil;
+    if (p < heap_.size()) {
+      // Re-heapify the element that replaced position p. If sift_up moves
+      // it, the element left at p is a former ancestor that already
+      // dominates this subtree, so the subsequent sift_down is a no-op.
+      sift_up(p);
+      sift_down(p);
+    }
+  }
+
+  idx_t top() const {
+    assert(!empty());
+    return heap_[0];
+  }
+
+  real_t top_key() const {
+    assert(!empty());
+    return keys_[static_cast<std::size_t>(heap_[0])];
+  }
+
+  idx_t pop_max() {
+    const idx_t id = top();
+    remove(id);
+    return id;
+  }
+
+ private:
+  static constexpr idx_t kNil = -1;
+
+  void swap_nodes(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    std::swap(heap_[a], heap_[b]);
+    pos_[static_cast<std::size_t>(heap_[a])] = static_cast<idx_t>(a);
+    pos_[static_cast<std::size_t>(heap_[b])] = static_cast<idx_t>(b);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (keys_[static_cast<std::size_t>(heap_[i])] <=
+          keys_[static_cast<std::size_t>(heap_[parent])]) {
+        break;
+      }
+      swap_nodes(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && keys_[static_cast<std::size_t>(heap_[l])] >
+                       keys_[static_cast<std::size_t>(heap_[best])]) {
+        best = l;
+      }
+      if (r < n && keys_[static_cast<std::size_t>(heap_[r])] >
+                       keys_[static_cast<std::size_t>(heap_[best])]) {
+        best = r;
+      }
+      if (best == i) break;
+      swap_nodes(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<idx_t> heap_;  // heap order -> id
+  std::vector<idx_t> pos_;   // id -> heap position or kNil
+  std::vector<real_t> keys_;
+};
+
+}  // namespace mcgp

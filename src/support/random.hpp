@@ -1,0 +1,54 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every randomized component of the partitioner (matching order, initial
+// partition seeds, tie-breaking, refinement visit order) draws from an
+// explicitly passed Rng so that a whole partitioning run is reproducible
+// from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mcgp {
+
+/// xoshiro256** generator seeded via SplitMix64. Small, fast, and good
+/// enough statistically for combinatorial randomization (not for crypto).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform idx_t in [lo, hi] inclusive. Requires lo <= hi.
+  idx_t next_in(idx_t lo, idx_t hi);
+
+  /// Uniform real in [0, 1).
+  double next_real();
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Fill `perm` with the identity permutation of size n and Fisher-Yates
+/// shuffle it in place.
+void random_permutation(idx_t n, std::vector<idx_t>& perm, Rng& rng);
+
+/// Shuffle an existing vector in place.
+void shuffle(std::vector<idx_t>& v, Rng& rng);
+
+}  // namespace mcgp

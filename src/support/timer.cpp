@@ -1,0 +1,22 @@
+#include "support/timer.hpp"
+
+namespace mcgp {
+
+void PhaseTimes::add(const std::string& phase, double seconds) {
+  for (auto& [name, total] : entries_) {
+    if (name == phase) {
+      total += seconds;
+      return;
+    }
+  }
+  entries_.emplace_back(phase, seconds);
+}
+
+double PhaseTimes::get(const std::string& phase) const {
+  for (const auto& [name, total] : entries_) {
+    if (name == phase) return total;
+  }
+  return 0.0;
+}
+
+}  // namespace mcgp

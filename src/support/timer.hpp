@@ -1,0 +1,66 @@
+// Lightweight wall-clock timers and a named phase-timing accumulator.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mcgp {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates per-phase timings (coarsening / initial / refinement / ...)
+/// across a partitioning run.
+class PhaseTimes {
+ public:
+  /// Add `seconds` to the named phase, creating it on first use.
+  void add(const std::string& phase, double seconds);
+
+  /// Total accumulated for the named phase (0 if never recorded).
+  double get(const std::string& phase) const;
+
+  /// All (phase, seconds) pairs in first-use order.
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// RAII helper that adds its lifetime to a PhaseTimes entry.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimes& times, std::string phase)
+      : times_(times), phase_(std::move(phase)) {}
+  ~ScopedPhase() { times_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimes& times_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace mcgp

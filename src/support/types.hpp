@@ -1,0 +1,26 @@
+// Fundamental scalar types and limits shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace mcgp {
+
+/// Vertex / edge index type. 32-bit indices cover graphs up to ~2 billion
+/// vertices/edges which is far beyond the laptop-scale instances this
+/// library targets, while halving the memory traffic of the hot loops.
+using idx_t = std::int32_t;
+
+/// Integer vertex/edge weight as stored in the graph.
+using wgt_t = std::int32_t;
+
+/// Wide accumulator for sums of weights (cut values, subdomain weights).
+using sum_t = std::int64_t;
+
+/// Floating point type for normalized weights and imbalance ratios.
+using real_t = double;
+
+/// Maximum number of balance constraints (weights per vertex) supported.
+/// The SC'98 evaluation uses up to 5; 8 leaves headroom for extensions.
+inline constexpr int kMaxNcon = 8;
+
+}  // namespace mcgp

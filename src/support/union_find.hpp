@@ -1,0 +1,56 @@
+// Disjoint-set forest with path halving and union by size.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mcgp {
+
+class UnionFind {
+ public:
+  explicit UnionFind(idx_t n = 0) { reset(n); }
+
+  void reset(idx_t n) {
+    parent_.resize(static_cast<std::size_t>(n));
+    std::iota(parent_.begin(), parent_.end(), idx_t{0});
+    size_.assign(static_cast<std::size_t>(n), 1);
+    num_sets_ = n;
+  }
+
+  idx_t find(idx_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      auto& p = parent_[static_cast<std::size_t>(x)];
+      p = parent_[static_cast<std::size_t>(p)];
+      x = p;
+    }
+    return x;
+  }
+
+  /// Merge the sets containing a and b; returns false if already merged.
+  bool unite(idx_t a, idx_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    --num_sets_;
+    return true;
+  }
+
+  bool same(idx_t a, idx_t b) { return find(a) == find(b); }
+
+  idx_t set_size(idx_t x) { return size_[static_cast<std::size_t>(find(x))]; }
+  idx_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<idx_t> parent_;
+  std::vector<idx_t> size_;
+  idx_t num_sets_ = 0;
+};
+
+}  // namespace mcgp

@@ -1,0 +1,104 @@
+#include "core/balance2way.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+BisectionTargets even_targets(int ncon, real_t ub = 1.05) {
+  BisectionTargets t;
+  t.f0 = 0.5;
+  t.ub.assign(static_cast<std::size_t>(ncon), ub);
+  return t;
+}
+
+TEST(Balance2Way, NoopWhenFeasible) {
+  Graph g = grid2d(10, 10);
+  std::vector<idx_t> where(100);
+  for (idx_t v = 0; v < 100; ++v) where[static_cast<std::size_t>(v)] = v < 50 ? 0 : 1;
+  const std::vector<idx_t> before = where;
+  Rng rng(1);
+  EXPECT_TRUE(balance_2way(g, where, even_targets(1), rng));
+  EXPECT_EQ(where, before);
+}
+
+TEST(Balance2Way, FixesGrossSingleConstraintImbalance) {
+  Graph g = grid2d(16, 16);
+  std::vector<idx_t> where(256, 0);
+  where[0] = 1;  // 255 vs 1
+  Rng rng(2);
+  const BisectionTargets t = even_targets(1);
+  EXPECT_TRUE(balance_2way(g, where, t, rng));
+  BisectionBalance b;
+  b.init(g, where, t);
+  EXPECT_LE(b.potential(), 1.0 + 1e-9);
+}
+
+TEST(Balance2Way, FixesMultiConstraintImbalance) {
+  Graph g = random_geometric(600, 0, 4, 3);
+  apply_type_s_weights(g, 3, 8, 0, 19, 9);
+  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs), 0);
+  for (idx_t v = 0; v < g.nvtxs / 4; ++v) where[static_cast<std::size_t>(v)] = 1;
+  Rng rng(3);
+  const BisectionTargets t = even_targets(3, 1.10);
+  balance_2way(g, where, t, rng);
+  BisectionBalance b;
+  b.init(g, where, t);
+  // A generous tolerance must be reachable from a 75/25 start.
+  EXPECT_LE(b.potential(), 1.05);
+}
+
+TEST(Balance2Way, NeverWorsensPotential) {
+  Graph g = grid2d(14, 14, 2);
+  apply_type_s_weights(g, 2, 4, 0, 9, 5);
+  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  Rng seedr(4);
+  for (auto& s : where) s = static_cast<idx_t>(seedr.next_below(2));
+  const BisectionTargets t = even_targets(2, 1.02);
+  BisectionBalance b;
+  b.init(g, where, t);
+  const real_t before = b.potential();
+  Rng rng(5);
+  balance_2way(g, where, t, rng);
+  b.init(g, where, t);
+  EXPECT_LE(b.potential(), before + 1e-9);
+}
+
+TEST(Balance2Way, UnevenTargets) {
+  Graph g = grid2d(20, 20);
+  BisectionTargets t = even_targets(1);
+  t.f0 = 0.3;
+  // Start 50/50: side 0 overloaded relative to 0.3 target.
+  std::vector<idx_t> where(400);
+  for (idx_t v = 0; v < 400; ++v) where[static_cast<std::size_t>(v)] = v < 200 ? 0 : 1;
+  Rng rng(6);
+  EXPECT_TRUE(balance_2way(g, where, t, rng));
+  idx_t c0 = 0;
+  for (const idx_t s : where) c0 += s == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(c0) / 400, 0.3, 0.02);
+}
+
+TEST(Balance2Way, ZeroWeightVerticesCannotRelieve) {
+  // Side 0 overloaded in constraint 1, but only vertices with zero weight
+  // in constraint 1 are movable candidates -> must pick the weighted ones.
+  GraphBuilder bld(8, 2);
+  for (idx_t v = 0; v + 1 < 8; ++v) bld.add_edge(v, v + 1);
+  for (idx_t v = 0; v < 8; ++v) {
+    bld.set_weights(v, v < 4 ? std::vector<wgt_t>{1, 2}
+                             : std::vector<wgt_t>{1, 0});
+  }
+  Graph g = bld.build();
+  std::vector<idx_t> where = {0, 0, 0, 0, 1, 1, 1, 1};  // all c1 weight on side 0
+  Rng rng(7);
+  const BisectionTargets t = even_targets(2, 1.10);
+  balance_2way(g, where, t, rng);
+  BisectionBalance b;
+  b.init(g, where, t);
+  EXPECT_LT(b.nload(0, 1), 2.0);  // moved at least one (1,2) vertex across
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,147 @@
+#include "core/bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+Graph two_group_graph() {
+  // 4 vertices, 2 constraints with known weights.
+  GraphBuilder b(4, 2);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 2);
+  b.set_weights(0, {4, 0});
+  b.set_weights(1, {2, 2});
+  b.set_weights(2, {0, 4});
+  b.set_weights(3, {2, 2});
+  return b.build();  // totals: (8, 8)
+}
+
+BisectionTargets even2(real_t ub = 1.05) {
+  BisectionTargets t;
+  t.f0 = 0.5;
+  t.ub = {ub, ub};
+  return t;
+}
+
+TEST(BisectionTargets, FractionAccessor) {
+  BisectionTargets t;
+  t.f0 = 0.3;
+  EXPECT_DOUBLE_EQ(t.fraction(0), 0.3);
+  EXPECT_DOUBLE_EQ(t.fraction(1), 0.7);
+}
+
+TEST(BisectionBalance, SideWeightsAndNload) {
+  Graph g = two_group_graph();
+  const BisectionTargets t = even2();
+  BisectionBalance b;
+  b.init(g, {0, 0, 1, 1}, t);
+  EXPECT_EQ(b.side_weight(0, 0), 6);
+  EXPECT_EQ(b.side_weight(0, 1), 2);
+  EXPECT_EQ(b.side_weight(1, 0), 2);
+  EXPECT_EQ(b.side_weight(1, 1), 6);
+  // nload = w / total / f = 6/8/0.5 = 1.5
+  EXPECT_DOUBLE_EQ(b.nload(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(b.nload(1, 1), 1.5);
+  EXPECT_DOUBLE_EQ(b.nload(0, 1), 0.5);
+}
+
+TEST(BisectionBalance, PotentialAndFeasibility) {
+  Graph g = two_group_graph();
+  const BisectionTargets t = even2(1.05);
+  BisectionBalance b;
+  b.init(g, {0, 0, 1, 1}, t);
+  EXPECT_NEAR(b.potential(), 1.5 / 1.05, 1e-12);
+  EXPECT_FALSE(b.feasible());
+  // Perfectly balanced split: {0,2} vs {1,3} -> (4,4)/(4,4).
+  b.init(g, {0, 1, 0, 1}, t);
+  EXPECT_NEAR(b.potential(), 1.0 / 1.05, 1e-12);
+  EXPECT_TRUE(b.feasible());
+}
+
+TEST(BisectionBalance, ApplyMoveMatchesReinit) {
+  Graph g = two_group_graph();
+  const BisectionTargets t = even2();
+  std::vector<idx_t> where = {0, 0, 1, 1};
+  BisectionBalance b;
+  b.init(g, where, t);
+  b.apply_move(1, 0);
+  where[1] = 1;
+  BisectionBalance fresh;
+  fresh.init(g, where, t);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(b.side_weight(s, i), fresh.side_weight(s, i));
+    }
+  }
+  EXPECT_DOUBLE_EQ(b.potential(), fresh.potential());
+}
+
+TEST(BisectionBalance, PotentialAfterIsHypothetical) {
+  Graph g = two_group_graph();
+  const BisectionTargets t = even2();
+  BisectionBalance b;
+  // side0 = (4,0), side1 = (4,8): constraint 1 at nload 2.0 on side 1.
+  b.init(g, {0, 1, 1, 1}, t);
+  const real_t before = b.potential();
+  // Moving vertex 2 (0,4) off side 1 equalizes constraint 1 -> (4,4)/(4,4).
+  const real_t hypothetical = b.potential_after(2, 1);
+  EXPECT_LT(hypothetical, before);
+  // State unchanged by the hypothetical query.
+  EXPECT_DOUBLE_EQ(b.potential(), before);
+  // Committing matches the prediction.
+  b.apply_move(2, 1);
+  EXPECT_DOUBLE_EQ(b.potential(), hypothetical);
+}
+
+TEST(BisectionBalance, WorstConstraintAndHeavySide) {
+  Graph g = two_group_graph();
+  const BisectionTargets t = even2();
+  BisectionBalance b;
+  // {0} vs rest: side0 = (4,0), side1 = (4,8) -> constraint 1 worst.
+  b.init(g, {0, 1, 1, 1}, t);
+  EXPECT_EQ(b.worst_constraint(), 1);
+  EXPECT_EQ(b.heavy_side(1), 1);
+  EXPECT_EQ(b.heavy_side(0), 0);  // tie 4/4 -> nload equal -> side 0
+}
+
+TEST(BisectionBalance, ZeroTotalConstraintIgnored) {
+  GraphBuilder bld(2, 2);
+  bld.add_edge(0, 1);
+  bld.set_weights(0, {1, 0});
+  bld.set_weights(1, {1, 0});
+  Graph g = bld.build();
+  BisectionTargets t = even2();
+  BisectionBalance b;
+  b.init(g, {0, 1}, t);
+  EXPECT_DOUBLE_EQ(b.constraint_potential(1), 0.0);
+  EXPECT_TRUE(b.feasible());
+}
+
+TEST(ComputeCut2Way, MatchesMetric) {
+  Graph g = grid2d(8, 8);
+  std::vector<idx_t> where(64);
+  for (idx_t v = 0; v < 64; ++v) where[static_cast<std::size_t>(v)] = (v / 8) % 2;
+  // Alternating 1-wide row stripes: 7 boundaries of 8 edges each.
+  EXPECT_EQ(compute_cut_2way(g, where), 7 * 8);
+}
+
+TEST(PerBisectionUb, RootOfOverallTolerance) {
+  const auto ub = per_bisection_ub({1.05, 1.1025}, 2);
+  EXPECT_NEAR(ub[0], std::sqrt(1.05), 1e-12);
+  EXPECT_NEAR(ub[1], 1.05, 1e-12);
+}
+
+TEST(PerBisectionUb, FloorApplies) {
+  const auto ub = per_bisection_ub({1.05}, 50);
+  EXPECT_DOUBLE_EQ(ub[0], 1.004);
+  // Degenerate depth clamps to 1.
+  const auto ub0 = per_bisection_ub({1.05}, 0);
+  EXPECT_DOUBLE_EQ(ub0[0], 1.05);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,158 @@
+#include "support/bucket_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/random.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(BucketQueue, EmptyAfterReset) {
+  BucketQueue q;
+  q.reset(10);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0);
+  EXPECT_FALSE(q.contains(0));
+}
+
+TEST(BucketQueue, InsertPopSingle) {
+  BucketQueue q;
+  q.reset(4);
+  q.insert(2, 7);
+  EXPECT_TRUE(q.contains(2));
+  EXPECT_EQ(q.size(), 1);
+  EXPECT_EQ(q.max_key(), 7);
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, PopsInDescendingKeyOrder) {
+  BucketQueue q;
+  q.reset(5);
+  q.insert(0, -3);
+  q.insert(1, 10);
+  q.insert(2, 0);
+  q.insert(3, 10);
+  q.insert(4, 5);
+  wgt_t last = 1000;
+  while (!q.empty()) {
+    const wgt_t k = q.max_key();
+    EXPECT_LE(k, last);
+    last = k;
+    q.pop_max();
+  }
+}
+
+TEST(BucketQueue, RemoveMiddle) {
+  BucketQueue q;
+  q.reset(3);
+  q.insert(0, 1);
+  q.insert(1, 2);
+  q.insert(2, 3);
+  q.remove(1);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueue, UpdateChangesOrder) {
+  BucketQueue q;
+  q.reset(2);
+  q.insert(0, 1);
+  q.insert(1, 2);
+  q.update(0, 5);
+  EXPECT_EQ(q.key(0), 5);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueue, UpdateSameKeyIsNoop) {
+  BucketQueue q;
+  q.reset(2);
+  q.insert(0, 3);
+  q.update(0, 3);
+  EXPECT_EQ(q.key(0), 3);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueue, GrowsRangeOnDemand) {
+  BucketQueue q;
+  q.reset(4, /*expected_max_gain=*/2);
+  q.insert(0, 1000000);
+  q.insert(1, -1000000);
+  q.insert(2, 0);
+  EXPECT_EQ(q.pop_max(), 0);
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_EQ(q.pop_max(), 1);
+}
+
+TEST(BucketQueue, TiesPopLifoWithinBucket) {
+  BucketQueue q;
+  q.reset(3);
+  q.insert(0, 5);
+  q.insert(1, 5);
+  q.insert(2, 5);
+  // Intrusive head insertion: most recently inserted pops first.
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_EQ(q.pop_max(), 1);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueue, ResetClearsState) {
+  BucketQueue q;
+  q.reset(3);
+  q.insert(0, 1);
+  q.reset(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(0));
+  q.insert(0, 2);
+  EXPECT_EQ(q.key(0), 2);
+}
+
+/// Randomized stress test against a reference implementation.
+TEST(BucketQueue, StressAgainstReference) {
+  constexpr idx_t kN = 200;
+  BucketQueue q;
+  q.reset(kN);
+  // Reference: key per id plus an ordered multiset of (key, id).
+  std::map<idx_t, wgt_t> ref;
+  Rng rng(99);
+
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.next_below(4));
+    const idx_t id = static_cast<idx_t>(rng.next_below(kN));
+    const wgt_t key = static_cast<wgt_t>(rng.next_in(-50, 50));
+    if (op == 0) {  // insert
+      if (ref.find(id) == ref.end()) {
+        ref[id] = key;
+        q.insert(id, key);
+      }
+    } else if (op == 1) {  // remove
+      if (ref.find(id) != ref.end()) {
+        ref.erase(id);
+        q.remove(id);
+      }
+    } else if (op == 2) {  // update
+      if (ref.find(id) != ref.end()) {
+        ref[id] = key;
+        q.update(id, key);
+      }
+    } else {  // pop max
+      if (!ref.empty()) {
+        ASSERT_FALSE(q.empty());
+        wgt_t expect_max = -1000;
+        for (const auto& [i, k] : ref) expect_max = std::max(expect_max, k);
+        ASSERT_EQ(q.max_key(), expect_max);
+        const idx_t popped = q.pop_max();
+        ASSERT_EQ(ref[popped], expect_max);
+        ref.erase(popped);
+      }
+    }
+    ASSERT_EQ(q.size(), static_cast<idx_t>(ref.size()));
+  }
+}
+
+}  // namespace
+}  // namespace mcgp

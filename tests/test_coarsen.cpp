@@ -1,0 +1,177 @@
+#include "core/coarsen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(ContractGraph, PairContractionByHand) {
+  // Path 0-1-2-3; contract {0,1} and {2,3}.
+  GraphBuilder b(4, 1);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 4);
+  Graph g = b.build();
+  Graph c = contract_graph(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(c.nvtxs, 2);
+  EXPECT_EQ(c.nedges(), 1);
+  EXPECT_EQ(c.adjwgt[c.xadj[0]], 3);  // only the 1-2 edge survives
+  EXPECT_EQ(c.weight(0, 0), 2);
+  EXPECT_EQ(c.weight(1, 0), 2);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(ContractGraph, MergesParallelCoarseEdges) {
+  // Square 0-1-2-3-0; contract {0,1} and {2,3}: two parallel edges merge.
+  GraphBuilder b(4, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 5);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0, 7);
+  Graph g = b.build();
+  Graph c = contract_graph(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(c.nedges(), 1);
+  EXPECT_EQ(c.adjwgt[c.xadj[0]], 12);
+}
+
+TEST(ContractGraph, PreservesWeightVectorTotals) {
+  Graph g = random_geometric(500, 0, 9, 3);
+  apply_type_s_weights(g, 3, 8, 0, 19, 4);
+  Rng rng(1);
+  const auto match = compute_matching(g, MatchScheme::kHeavyEdgeBalanced, rng);
+  std::vector<idx_t> cmap;
+  const idx_t nc = build_coarse_map(g, match, cmap);
+  Graph c = contract_graph(g, cmap, nc);
+  ASSERT_EQ(c.ncon, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.tvwgt[static_cast<std::size_t>(i)], g.tvwgt[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(ContractGraph, EdgeWeightConservation) {
+  // Total edge weight = surviving coarse edge weight + collapsed weight.
+  Graph g = grid2d(12, 12);
+  Rng rng(2);
+  const auto match = compute_matching(g, MatchScheme::kHeavyEdge, rng);
+  std::vector<idx_t> cmap;
+  const idx_t nc = build_coarse_map(g, match, cmap);
+  Graph c = contract_graph(g, cmap, nc);
+
+  sum_t fine_total = 0, collapsed = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      fine_total += g.adjwgt[e];
+      if (cmap[static_cast<std::size_t>(v)] ==
+          cmap[static_cast<std::size_t>(g.adjncy[e])]) {
+        collapsed += g.adjwgt[e];
+      }
+    }
+  }
+  sum_t coarse_total = 0;
+  for (const wgt_t w : c.adjwgt) coarse_total += w;
+  EXPECT_EQ(coarse_total, fine_total - collapsed);
+}
+
+TEST(CoarsenGraph, ReachesTarget) {
+  Graph g = grid2d(40, 40);
+  CoarsenParams params;
+  params.coarsen_to = 100;
+  Rng rng(3);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  EXPECT_GT(h.num_levels(), 2);
+  EXPECT_LE(h.coarsest().nvtxs, 200);  // within a factor of the target
+  // Strictly decreasing level sizes.
+  for (int l = 1; l <= h.num_levels(); ++l) {
+    EXPECT_LT(h.graph_at(l).nvtxs, h.graph_at(l - 1).nvtxs);
+  }
+}
+
+TEST(CoarsenGraph, CmapsComposeToValidMaps) {
+  Graph g = tri_grid2d(25, 25);
+  CoarsenParams params;
+  params.coarsen_to = 60;
+  Rng rng(4);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  for (int l = 0; l < h.num_levels(); ++l) {
+    const Graph& fine = h.graph_at(l);
+    const Graph& coarse = h.graph_at(l + 1);
+    const auto& cmap = h.levels[static_cast<std::size_t>(l)].cmap;
+    ASSERT_EQ(cmap.size(), static_cast<std::size_t>(fine.nvtxs));
+    for (const idx_t cv : cmap) {
+      ASSERT_GE(cv, 0);
+      ASSERT_LT(cv, coarse.nvtxs);
+    }
+  }
+}
+
+TEST(CoarsenGraph, AllLevelsValidAndTotalsPreserved) {
+  Graph g = random_geometric(1500, 0, 5, 2);
+  apply_type_s_weights(g, 2, 8, 1, 9, 6);
+  CoarsenParams params;
+  params.coarsen_to = 80;
+  Rng rng(5);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  for (int l = 0; l <= h.num_levels(); ++l) {
+    const Graph& cur = h.graph_at(l);
+    EXPECT_TRUE(cur.validate().empty()) << "level " << l;
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(cur.tvwgt[static_cast<std::size_t>(i)], g.tvwgt[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(CoarsenGraph, NoCoarseningWhenAlreadySmall) {
+  Graph g = grid2d(5, 5);
+  CoarsenParams params;
+  params.coarsen_to = 100;
+  Rng rng(6);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  EXPECT_EQ(h.num_levels(), 0);
+  EXPECT_EQ(&h.coarsest(), &g);
+}
+
+TEST(CoarsenGraph, StallsGracefullyOnStarGraph) {
+  // A star matches only one pair per level from the hub; the reduction
+  // test must kick in rather than looping forever.
+  GraphBuilder b(500, 1);
+  for (idx_t v = 1; v < 500; ++v) b.add_edge(0, v);
+  Graph g = b.build();
+  CoarsenParams params;
+  params.coarsen_to = 10;
+  Rng rng(7);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  EXPECT_GT(h.coarsest().nvtxs, 10);  // stopped early
+  EXPECT_LE(h.num_levels(), params.max_levels);
+}
+
+TEST(CoarsenGraph, ProjectionIdentityOnCut) {
+  // A cut computed on a coarse partition equals the cut of its projection
+  // (no edges change sides when a pair is wholly on one side).
+  Graph g = grid2d(20, 20);
+  CoarsenParams params;
+  params.coarsen_to = 50;
+  Rng rng(8);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  const Graph& c = h.coarsest();
+  std::vector<idx_t> cpart(static_cast<std::size_t>(c.nvtxs));
+  for (idx_t v = 0; v < c.nvtxs; ++v) cpart[static_cast<std::size_t>(v)] = v % 2;
+  // Project down through all levels.
+  std::vector<idx_t> part = cpart;
+  for (int l = h.num_levels() - 1; l >= 0; --l) {
+    const auto& cmap = h.levels[static_cast<std::size_t>(l)].cmap;
+    std::vector<idx_t> fine(cmap.size());
+    for (std::size_t v = 0; v < cmap.size(); ++v) {
+      fine[v] = part[static_cast<std::size_t>(cmap[v])];
+    }
+    part = std::move(fine);
+  }
+  EXPECT_EQ(edge_cut(g, part), edge_cut(c, cpart));
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,48 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcgp {
+namespace {
+
+TEST(Options, DefaultsAreSane) {
+  const Options o;
+  EXPECT_EQ(o.nparts, 2);
+  EXPECT_TRUE(o.ubvec.empty());
+  EXPECT_EQ(o.algorithm, Algorithm::kKWay);
+  EXPECT_EQ(o.matching, MatchScheme::kHeavyEdgeBalanced);
+  EXPECT_EQ(o.queue_policy, QueuePolicy::kMostImbalanced);
+  EXPECT_GT(o.init_trials, 0);
+  EXPECT_GT(o.refine_passes, 0);
+}
+
+TEST(Options, UbForDefaults) {
+  const Options o;
+  EXPECT_DOUBLE_EQ(o.ub_for(0), 1.05);
+  EXPECT_DOUBLE_EQ(o.ub_for(7), 1.05);
+}
+
+TEST(Options, UbForExplicitVector) {
+  Options o;
+  o.ubvec = {1.01, 1.10, 1.20};
+  EXPECT_DOUBLE_EQ(o.ub_for(0), 1.01);
+  EXPECT_DOUBLE_EQ(o.ub_for(2), 1.20);
+}
+
+TEST(Options, UbForBroadcastsLastEntry) {
+  Options o;
+  o.ubvec = {1.07};
+  EXPECT_DOUBLE_EQ(o.ub_for(0), 1.07);
+  EXPECT_DOUBLE_EQ(o.ub_for(5), 1.07);
+}
+
+TEST(PartitionResultDefaults, ZeroInitialized) {
+  const PartitionResult r;
+  EXPECT_TRUE(r.part.empty());
+  EXPECT_EQ(r.cut, 0);
+  EXPECT_DOUBLE_EQ(r.max_imbalance, 1.0);
+  EXPECT_EQ(r.coarsen_levels, 0);
+}
+
+}  // namespace
+}  // namespace mcgp

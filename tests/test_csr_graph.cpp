@@ -1,0 +1,172 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcgp {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return b.build();
+}
+
+TEST(GraphBuilder, TriangleBasics) {
+  Graph g = triangle();
+  EXPECT_EQ(g.nvtxs, 3);
+  EXPECT_EQ(g.nedges(), 3);
+  for (idx_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(GraphBuilder, SelfLoopsDropped) {
+  GraphBuilder b(2, 1);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.nedges(), 1);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphBuilder, ParallelEdgesMergedBySummingWeights) {
+  GraphBuilder b(2, 1);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 0, 4);
+  Graph g = b.build();
+  EXPECT_EQ(g.nedges(), 1);
+  EXPECT_EQ(g.adjwgt[g.xadj[0]], 7);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphBuilder, VertexWeightsDefaultToOne) {
+  Graph g = triangle();
+  for (idx_t v = 0; v < 3; ++v) EXPECT_EQ(g.weight(v, 0), 1);
+  EXPECT_EQ(g.tvwgt[0], 3);
+}
+
+TEST(GraphBuilder, MultiConstraintWeights) {
+  GraphBuilder b(2, 3);
+  b.add_edge(0, 1);
+  b.set_weights(0, {1, 2, 3});
+  b.set_weight(1, 2, 9);
+  Graph g = b.build();
+  EXPECT_EQ(g.ncon, 3);
+  EXPECT_EQ(g.weight(0, 0), 1);
+  EXPECT_EQ(g.weight(0, 1), 2);
+  EXPECT_EQ(g.weight(0, 2), 3);
+  EXPECT_EQ(g.weight(1, 0), 1);  // default
+  EXPECT_EQ(g.weight(1, 2), 9);
+  EXPECT_EQ(g.tvwgt[2], 12);
+  EXPECT_DOUBLE_EQ(g.invtvwgt[2], 1.0 / 12.0);
+}
+
+TEST(GraphBuilder, RejectsBadArguments) {
+  EXPECT_THROW(GraphBuilder(-1, 1), std::invalid_argument);
+  EXPECT_THROW(GraphBuilder(1, 0), std::invalid_argument);
+  EXPECT_THROW(GraphBuilder(1, kMaxNcon + 1), std::invalid_argument);
+  GraphBuilder b(2, 2);
+  EXPECT_THROW(b.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(b.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW(b.set_weights(0, {1}), std::invalid_argument);
+  EXPECT_THROW(b.set_weight(5, 0, 1), std::out_of_range);
+  EXPECT_THROW(b.set_weight(0, 3, 1), std::out_of_range);
+}
+
+TEST(GraphBuilder, IsolatedVertices) {
+  GraphBuilder b(4, 1);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.nvtxs, 0);
+  EXPECT_EQ(g.nedges(), 0);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Graph, WeightedDegree) {
+  GraphBuilder b(3, 1);
+  b.add_edge(0, 1, 3);
+  b.add_edge(0, 2, 4);
+  Graph g = b.build();
+  EXPECT_EQ(g.weighted_degree(0), 7);
+  EXPECT_EQ(g.weighted_degree(1), 3);
+}
+
+TEST(Graph, FinalizeHandlesZeroTotal) {
+  GraphBuilder b(2, 2);
+  b.add_edge(0, 1);
+  b.set_weights(0, {1, 0});
+  b.set_weights(1, {1, 0});
+  Graph g = b.build();
+  EXPECT_EQ(g.tvwgt[1], 0);
+  EXPECT_DOUBLE_EQ(g.invtvwgt[1], 0.0);
+}
+
+TEST(MakeGraph, FillsDefaults) {
+  // Path 0-1-2 given directly in CSR form.
+  Graph g = make_graph(3, 1, {0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.nedges(), 2);
+  EXPECT_EQ(g.adjwgt.size(), 4u);
+  EXPECT_EQ(g.vwgt.size(), 3u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Validate, CatchesAsymmetry) {
+  Graph g;
+  g.nvtxs = 2;
+  g.ncon = 1;
+  g.xadj = {0, 1, 1};
+  g.adjncy = {1};
+  g.adjwgt = {1};
+  g.vwgt = {1, 1};
+  g.finalize();
+  EXPECT_NE(g.validate().find("asymmetric"), std::string::npos);
+}
+
+TEST(Validate, CatchesSelfLoop) {
+  Graph g = make_graph(2, 1, {0, 2, 3}, {0, 1, 0});
+  EXPECT_NE(g.validate().find("self loop"), std::string::npos);
+}
+
+TEST(Validate, CatchesOutOfRangeTarget) {
+  Graph g;
+  g.nvtxs = 2;
+  g.ncon = 1;
+  g.xadj = {0, 1, 2};
+  g.adjncy = {5, 0};
+  g.adjwgt = {1, 1};
+  g.vwgt = {1, 1};
+  g.finalize();
+  EXPECT_NE(g.validate().find("out of range"), std::string::npos);
+}
+
+TEST(Validate, CatchesWeightMismatch) {
+  Graph g;
+  g.nvtxs = 2;
+  g.ncon = 1;
+  g.xadj = {0, 1, 2};
+  g.adjncy = {1, 0};
+  g.adjwgt = {1, 2};  // asymmetric weights
+  g.vwgt = {1, 1};
+  g.finalize();
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Validate, CatchesSizeErrors) {
+  Graph g = make_graph(2, 1, {0, 1, 2}, {1, 0});
+  g.vwgt.pop_back();
+  EXPECT_NE(g.validate().find("vwgt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,153 @@
+// Robustness sweep: degenerate graphs, extreme options, and adversarial
+// weight patterns that the pipeline must survive without crashing or
+// producing invalid partitions.
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+namespace {
+
+Options both(Algorithm alg, idx_t k) {
+  Options o;
+  o.algorithm = alg;
+  o.nparts = k;
+  return o;
+}
+
+class EdgeCases : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(EdgeCases, SingleVertex) {
+  Graph g = make_graph(1, 1, {0, 0}, {});
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  ASSERT_EQ(r.part.size(), 1u);
+  EXPECT_EQ(r.cut, 0);
+}
+
+TEST_P(EdgeCases, TwoVerticesTwoParts) {
+  GraphBuilder b(2, 1);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  const PartitionResult r = partition(g, both(GetParam(), 2));
+  EXPECT_NE(r.part[0], r.part[1]);
+  EXPECT_EQ(r.cut, 1);
+}
+
+TEST_P(EdgeCases, EdgelessGraph) {
+  Graph g = make_graph(50, 1, std::vector<idx_t>(51, 0), {});
+  const PartitionResult r = partition(g, both(GetParam(), 5));
+  EXPECT_TRUE(validate_partition(g, r.part, 5, true).empty());
+  EXPECT_EQ(r.cut, 0);
+  EXPECT_LE(r.max_imbalance, 1.05 + 1e-9);
+}
+
+TEST_P(EdgeCases, ManyIsolatedPlusOneClique) {
+  GraphBuilder b(60, 1);
+  for (idx_t u = 0; u < 10; ++u) {
+    for (idx_t v = u + 1; v < 10; ++v) b.add_edge(u, v);
+  }
+  Graph g = b.build();
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  EXPECT_LE(r.max_imbalance, 1.10);
+}
+
+TEST_P(EdgeCases, MaximumConstraints) {
+  Graph g = grid2d(24, 24, kMaxNcon);
+  apply_type_s_weights(g, kMaxNcon, 16, 0, 19, 3);
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  ASSERT_EQ(r.imbalance.size(), static_cast<std::size_t>(kMaxNcon));
+  // m = 8 is beyond the paper's quality regime; only sanity-bound it.
+  EXPECT_LE(r.max_imbalance, 1.5);
+}
+
+TEST_P(EdgeCases, HugeVertexWeights) {
+  Graph g = grid2d(16, 16, 2);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    g.vwgt[static_cast<std::size_t>(v) * 2] = 1000000;
+    g.vwgt[static_cast<std::size_t>(v) * 2 + 1] = 1 + v % 7;
+  }
+  g.finalize();
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  EXPECT_LE(r.max_imbalance, 1.06);
+}
+
+TEST_P(EdgeCases, ZeroWeightConstraintEverywhere) {
+  Graph g = grid2d(12, 12, 3);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    g.vwgt[static_cast<std::size_t>(v) * 3 + 0] = 1;
+    g.vwgt[static_cast<std::size_t>(v) * 3 + 1] = 0;  // dead constraint
+    g.vwgt[static_cast<std::size_t>(v) * 3 + 2] = 2;
+  }
+  g.finalize();
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  EXPECT_DOUBLE_EQ(r.imbalance[1], 1.0);  // trivially balanced
+  EXPECT_LE(r.imbalance[0], 1.06);
+}
+
+TEST_P(EdgeCases, SingleHeavyVertex) {
+  // One vertex holds half the total weight: no partition can balance, but
+  // the result must stay valid and the heavy vertex isolated-ish.
+  Graph g = grid2d(10, 10);
+  g.vwgt[0] = 99;
+  g.finalize();
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  // Best possible: heavy vertex's part has ~99+, avg ~49.5 -> lb ~2.0.
+  EXPECT_LE(r.max_imbalance, 2.2);
+}
+
+TEST_P(EdgeCases, LongPathGraph) {
+  Graph g = grid2d(500, 1);
+  const PartitionResult r = partition(g, both(GetParam(), 8));
+  EXPECT_TRUE(validate_partition(g, r.part, 8, true).empty());
+  EXPECT_LE(r.max_imbalance, 1.06);
+  // Optimal path cut for 8 parts is 7.
+  EXPECT_LE(r.cut, 25);
+}
+
+TEST_P(EdgeCases, StarGraph) {
+  GraphBuilder b(201, 1);
+  for (idx_t v = 1; v < 201; ++v) b.add_edge(0, v);
+  Graph g = b.build();
+  const PartitionResult r = partition(g, both(GetParam(), 4));
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  EXPECT_LE(r.max_imbalance, 1.10);
+}
+
+TEST_P(EdgeCases, TightTolerance) {
+  Graph g = grid2d(40, 40);
+  Options o = both(GetParam(), 4);
+  o.ubvec = {1.001};
+  const PartitionResult r = partition(g, o);
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  // Unit weights: near-exact balance is achievable.
+  EXPECT_LE(r.max_imbalance, 1.01);
+}
+
+TEST_P(EdgeCases, VeryLooseTolerance) {
+  Graph g = grid2d(20, 20, 2);
+  apply_type_s_weights(g, 2, 8, 0, 9, 5);
+  Options o = both(GetParam(), 4);
+  o.ubvec = {2.0, 2.0};
+  const PartitionResult r = partition(g, o);
+  EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
+  EXPECT_LE(r.max_imbalance, 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAlgorithms, EdgeCases,
+                         testing::Values(Algorithm::kRecursiveBisection,
+                                         Algorithm::kKWay),
+                         [](const testing::TestParamInfo<Algorithm>& info) {
+                           return info.param == Algorithm::kKWay ? "kway"
+                                                                 : "rb";
+                         });
+
+}  // namespace
+}  // namespace mcgp

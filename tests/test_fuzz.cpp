@@ -1,0 +1,121 @@
+// Randomized invariant fuzzing: generate random (but valid) graphs,
+// weights, and options; every configuration must yield a structurally
+// valid partition whose reported metrics are internally consistent.
+// Failures print the generating seed for deterministic replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/partitioner.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+namespace {
+
+Graph random_valid_graph(Rng& rng) {
+  const int kind = static_cast<int>(rng.next_below(4));
+  const idx_t n = 50 + static_cast<idx_t>(rng.next_below(800));
+  switch (kind) {
+    case 0: {
+      const idx_t side = std::max<idx_t>(4, static_cast<idx_t>(std::sqrt(n)));
+      return grid2d(side, side);
+    }
+    case 1:
+      return random_geometric(n, 0, rng.next_u64());
+    case 2:
+      return random_graph(n, 2.0 + 6.0 * rng.next_real(), rng.next_u64());
+    default: {
+      // Disconnected union of two random graphs.
+      Graph a = random_graph(n / 2 + 2, 4.0, rng.next_u64());
+      GraphBuilder b(a.nvtxs * 2, 1);
+      for (idx_t v = 0; v < a.nvtxs; ++v) {
+        for (idx_t e = a.xadj[v]; e < a.xadj[v + 1]; ++e) {
+          if (a.adjncy[e] > v) {
+            b.add_edge(v, a.adjncy[e]);
+            b.add_edge(v + a.nvtxs, a.adjncy[e] + a.nvtxs);
+          }
+        }
+      }
+      return b.build();
+    }
+  }
+}
+
+void apply_random_weights(Graph& g, Rng& rng) {
+  const int m = 1 + static_cast<int>(rng.next_below(5));
+  switch (rng.next_below(3)) {
+    case 0:
+      apply_type_r_weights(g, m, 0, 1 + static_cast<wgt_t>(rng.next_below(30)),
+                           rng.next_u64());
+      break;
+    case 1:
+      apply_type_s_weights(g, m, 2 + static_cast<idx_t>(rng.next_below(30)), 0,
+                           19, rng.next_u64());
+      break;
+    default:
+      apply_type_p_weights(g, m, 4 + static_cast<idx_t>(rng.next_below(40)),
+                           rng.next_u64());
+      break;
+  }
+}
+
+class FuzzInvariants : public testing::TestWithParam<int> {};
+
+TEST_P(FuzzInvariants, RandomConfigurationsStayValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    const std::uint64_t replay_seed = rng.next_u64();
+    Rng gen(replay_seed);
+
+    Graph g = random_valid_graph(gen);
+    apply_random_weights(g, gen);
+    ASSERT_TRUE(g.validate().empty()) << "seed " << replay_seed;
+
+    Options o;
+    o.nparts = 1 + static_cast<idx_t>(gen.next_below(24));
+    o.algorithm = gen.next_bool() ? Algorithm::kKWay
+                                  : Algorithm::kRecursiveBisection;
+    o.kway_scheme = gen.next_bool() ? KWayRefineScheme::kSweep
+                                    : KWayRefineScheme::kPriorityQueue;
+    o.matching = static_cast<MatchScheme>(gen.next_below(3));
+    o.queue_policy = static_cast<QueuePolicy>(gen.next_below(3));
+    o.init_scheme = static_cast<InitScheme>(gen.next_below(3));
+    o.init_trials = 1 + static_cast<int>(gen.next_below(6));
+    o.ubvec = {1.01 + 0.4 * gen.next_real()};
+    o.seed = gen.next_u64();
+
+    const PartitionResult r = partition(g, o);
+
+    // Invariant 1: structural validity (non-empty when possible).
+    EXPECT_TRUE(validate_partition(g, r.part, o.nparts,
+                                   g.nvtxs >= o.nparts)
+                    .empty())
+        << "seed " << replay_seed;
+
+    // Invariant 2: reported metrics match recomputation.
+    EXPECT_EQ(r.cut, edge_cut(g, r.part)) << "seed " << replay_seed;
+    const auto lb = imbalance(g, r.part, o.nparts);
+    ASSERT_EQ(lb.size(), r.imbalance.size()) << "seed " << replay_seed;
+    for (std::size_t i = 0; i < lb.size(); ++i) {
+      EXPECT_NEAR(lb[i], r.imbalance[i], 1e-9) << "seed " << replay_seed;
+    }
+
+    // Invariant 3: imbalance can never be below 1 or absurdly high for
+    // these bounded-weight generators.
+    EXPECT_GE(r.max_imbalance, 1.0 - 1e-9) << "seed " << replay_seed;
+    EXPECT_LE(r.max_imbalance, 25.0) << "seed " << replay_seed;
+
+    // Invariant 4: determinism — replaying the same options reproduces
+    // the exact partition.
+    const PartitionResult again = partition(g, o);
+    EXPECT_EQ(again.part, r.part) << "seed " << replay_seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, FuzzInvariants, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,160 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(GraphIo, ParsesPlainGraph) {
+  // The 7-vertex example from the METIS manual (unweighted).
+  std::istringstream in(
+      "7 11\n"
+      "5 3 2\n"
+      "1 3 4\n"
+      "5 4 2 1\n"
+      "2 3 6 7\n"
+      "1 3 6\n"
+      "5 4 7\n"
+      "6 4\n");
+  Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.nvtxs, 7);
+  EXPECT_EQ(g.nedges(), 11);
+  EXPECT_EQ(g.ncon, 1);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "% a comment\n"
+      "\n"
+      "2 1\n"
+      "% another\n"
+      "2\n"
+      "1\n");
+  Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.nvtxs, 2);
+  EXPECT_EQ(g.nedges(), 1);
+}
+
+TEST(GraphIo, ParsesEdgeWeights) {
+  std::istringstream in(
+      "3 2 001\n"
+      "2 7\n"
+      "1 7 3 2\n"
+      "2 2\n");
+  Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.adjwgt[g.xadj[0]], 7);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(GraphIo, ParsesVertexWeightsMultiConstraint) {
+  std::istringstream in(
+      "2 1 010 3\n"
+      "1 2 3 2\n"
+      "4 5 6 1\n");
+  Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.ncon, 3);
+  EXPECT_EQ(g.weight(0, 1), 2);
+  EXPECT_EQ(g.weight(1, 2), 6);
+}
+
+TEST(GraphIo, ParsesVertexSizesFlagIgnored) {
+  std::istringstream in(
+      "2 1 100\n"
+      "9 2\n"
+      "4 1\n");
+  Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.nedges(), 1);
+}
+
+TEST(GraphIo, ErrorsOnBadHeader) {
+  std::istringstream in("x y\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnMissingLines) {
+  std::istringstream in("3 2\n2\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnNeighborOutOfRange) {
+  std::istringstream in("2 1\n3\n1\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnEdgeCountMismatch) {
+  std::istringstream in("3 5\n2\n1 3\n2\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnAsymmetricInput) {
+  std::istringstream in("2 1\n2\n\n");
+  // vertex 1 lists vertex 2, but vertex 2's line is empty -> asymmetric.
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnMissingEdgeWeight) {
+  std::istringstream in("2 1 001\n2\n1 5\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, RoundTripPlain) {
+  Graph g = grid2d(5, 7);
+  std::ostringstream out;
+  write_metis_graph(out, g);
+  std::istringstream in(out.str());
+  Graph h = read_metis_graph(in);
+  EXPECT_EQ(h.nvtxs, g.nvtxs);
+  EXPECT_EQ(h.nedges(), g.nedges());
+  EXPECT_EQ(h.xadj, g.xadj);
+  EXPECT_EQ(h.adjncy, g.adjncy);
+}
+
+TEST(GraphIo, RoundTripMultiConstraintWeighted) {
+  Graph g = grid2d(6, 6);
+  apply_type_p_weights(g, 3, 8, 7);
+  std::ostringstream out;
+  write_metis_graph(out, g);
+  std::istringstream in(out.str());
+  Graph h = read_metis_graph(in);
+  EXPECT_EQ(h.ncon, 3);
+  EXPECT_EQ(h.vwgt, g.vwgt);
+  EXPECT_EQ(h.adjwgt, g.adjwgt);
+  EXPECT_EQ(h.adjncy, g.adjncy);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Graph g = tri_grid2d(4, 4);
+  const std::string path = testing::TempDir() + "/mcgp_io_test.graph";
+  write_metis_graph_file(path, g);
+  Graph h = read_metis_graph_file(path);
+  EXPECT_EQ(h.adjncy, g.adjncy);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_metis_graph_file("/nonexistent/path.graph"),
+               std::runtime_error);
+}
+
+TEST(PartitionIo, RoundTrip) {
+  const std::vector<idx_t> part = {0, 3, 1, 2, 2, 0};
+  std::ostringstream out;
+  write_partition(out, part);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_partition(in), part);
+}
+
+TEST(PartitionIo, FileRoundTrip) {
+  const std::vector<idx_t> part = {1, 0, 1};
+  const std::string path = testing::TempDir() + "/mcgp_part_test.part";
+  write_partition_file(path, part);
+  EXPECT_EQ(read_partition_file(path), part);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,192 @@
+#include "graph/graph_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/mesh_gen.hpp"
+#include "graph/metrics.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  Graph g = grid2d(5, 1);  // path of 5 vertices
+  const auto dist = bfs_distances(g, 0);
+  for (idx_t v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(BfsDistances, GridManhattan) {
+  Graph g = grid2d(4, 4);
+  const auto dist = bfs_distances(g, 0);  // vertex (0,0)
+  // 4-point grid: BFS distance == Manhattan distance from the corner.
+  for (idx_t x = 0; x < 4; ++x) {
+    for (idx_t y = 0; y < 4; ++y) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(x * 4 + y)], x + y);
+    }
+  }
+}
+
+TEST(BfsDistances, UnreachableIsMinusOne) {
+  GraphBuilder b(3, 1);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  Graph g = grid2d(6, 6);
+  EXPECT_EQ(count_components(g), 1);
+}
+
+TEST(ConnectedComponents, DisjointUnion) {
+  GraphBuilder b(7, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  // 5 and 6 isolated
+  Graph g = b.build();
+  std::vector<idx_t> comp;
+  EXPECT_EQ(connected_components(g, comp), 4);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+}
+
+TEST(InducedSubgraph, ExtractsHalfGrid) {
+  Graph g = grid2d(4, 4);
+  std::vector<char> select(16, 0);
+  for (idx_t v = 0; v < 8; ++v) select[static_cast<std::size_t>(v)] = 1;  // x in {0,1}
+  std::vector<idx_t> l2g;
+  Graph s = induced_subgraph(g, select, l2g);
+  EXPECT_EQ(s.nvtxs, 8);
+  EXPECT_EQ(s.nedges(), 10);  // 2x4 grid has 4+6 edges
+  EXPECT_TRUE(s.validate().empty());
+  for (idx_t lv = 0; lv < 8; ++lv) EXPECT_EQ(l2g[static_cast<std::size_t>(lv)], lv);
+}
+
+TEST(InducedSubgraph, PreservesWeights) {
+  Graph g = grid2d(3, 3, 2);
+  for (idx_t v = 0; v < 9; ++v) {
+    g.vwgt[static_cast<std::size_t>(v) * 2] = v;
+    g.vwgt[static_cast<std::size_t>(v) * 2 + 1] = 2 * v;
+  }
+  g.finalize();
+  std::vector<char> select(9, 0);
+  select[4] = select[5] = 1;
+  std::vector<idx_t> l2g;
+  Graph s = induced_subgraph(g, select, l2g);
+  ASSERT_EQ(s.nvtxs, 2);
+  EXPECT_EQ(s.weight(0, 0), 4);
+  EXPECT_EQ(s.weight(1, 1), 10);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  Graph g = grid2d(3, 3);
+  std::vector<char> select(9, 0);
+  std::vector<idx_t> l2g;
+  Graph s = induced_subgraph(g, select, l2g);
+  EXPECT_EQ(s.nvtxs, 0);
+  EXPECT_TRUE(l2g.empty());
+}
+
+TEST(InducedSubgraph, SizeMismatchThrows) {
+  Graph g = grid2d(3, 3);
+  std::vector<char> select(4, 1);
+  std::vector<idx_t> l2g;
+  EXPECT_THROW(induced_subgraph(g, select, l2g), std::invalid_argument);
+}
+
+TEST(PermuteGraph, PreservesStructure) {
+  Graph g = tri_grid2d(5, 5);
+  Rng rng(3);
+  std::vector<idx_t> perm;
+  random_permutation(g.nvtxs, perm, rng);
+  Graph p = permute_graph(g, perm);
+  EXPECT_EQ(p.nvtxs, g.nvtxs);
+  EXPECT_EQ(p.nedges(), g.nedges());
+  EXPECT_TRUE(p.validate().empty());
+  // Degree multiset preserved.
+  std::vector<idx_t> dg, dp;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    dg.push_back(g.degree(v));
+    dp.push_back(p.degree(perm[static_cast<std::size_t>(v)]));
+  }
+  EXPECT_EQ(dg, dp);
+}
+
+TEST(PermuteGraph, RejectsNonPermutation) {
+  Graph g = grid2d(2, 2);
+  EXPECT_THROW(permute_graph(g, {0, 0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(permute_graph(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(GrowRegions, CoversAllVertices) {
+  Graph g = grid2d(10, 10);
+  const auto label = grow_regions(g, 4, 7);
+  for (const idx_t l : label) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+  std::set<idx_t> used(label.begin(), label.end());
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(GrowRegions, RegionsAreContiguous) {
+  Graph g = grid2d(12, 12);
+  const idx_t nregions = 6;
+  const auto label = grow_regions(g, nregions, 11);
+  // Each region, viewed as an induced subgraph, must be connected.
+  for (idx_t r = 0; r < nregions; ++r) {
+    std::vector<char> select(static_cast<std::size_t>(g.nvtxs), 0);
+    idx_t count = 0;
+    for (idx_t v = 0; v < g.nvtxs; ++v) {
+      if (label[static_cast<std::size_t>(v)] == r) {
+        select[static_cast<std::size_t>(v)] = 1;
+        ++count;
+      }
+    }
+    ASSERT_GT(count, 0);
+    std::vector<idx_t> l2g;
+    Graph s = induced_subgraph(g, select, l2g);
+    EXPECT_EQ(count_components(s), 1) << "region " << r << " not contiguous";
+  }
+}
+
+TEST(GrowRegions, RoughlyBalancedOnGrid) {
+  Graph g = grid2d(20, 20);
+  const auto label = grow_regions(g, 8, 5);
+  std::vector<idx_t> count(8, 0);
+  for (const idx_t l : label) ++count[static_cast<std::size_t>(l)];
+  for (const idx_t c : count) {
+    EXPECT_GT(c, 400 / 8 / 4);  // no region absurdly small
+  }
+}
+
+TEST(GrowRegions, HandlesDisconnectedGraph) {
+  GraphBuilder b(10, 1);
+  for (idx_t v = 0; v < 4; ++v) b.add_edge(v, (v + 1) % 5);
+  // vertices 5..9 isolated
+  Graph g = b.build();
+  const auto label = grow_regions(g, 3, 1);
+  for (const idx_t l : label) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+TEST(GrowRegions, MoreRegionsThanVertices) {
+  Graph g = grid2d(2, 2);
+  const auto label = grow_regions(g, 100, 1);
+  for (const idx_t l : label) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+}  // namespace
+}  // namespace mcgp

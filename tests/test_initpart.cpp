@@ -1,0 +1,164 @@
+#include "core/initpart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+BisectionTargets even_targets(int ncon, real_t ub = 1.05) {
+  BisectionTargets t;
+  t.f0 = 0.5;
+  t.ub.assign(static_cast<std::size_t>(ncon), ub);
+  return t;
+}
+
+TEST(GrowBisection, ProducesTwoSides) {
+  Graph g = grid2d(12, 12);
+  Rng rng(1);
+  std::vector<idx_t> where;
+  grow_bisection(g, where, even_targets(1), rng);
+  idx_t c0 = 0;
+  for (const idx_t s : where) c0 += s == 0 ? 1 : 0;
+  EXPECT_GT(c0, 0);
+  EXPECT_LT(c0, g.nvtxs);
+}
+
+TEST(GrowBisection, RespectsTargetOverflowBound) {
+  Graph g = grid2d(14, 14);
+  Rng rng(2);
+  std::vector<idx_t> where;
+  const BisectionTargets t = even_targets(1, 1.05);
+  grow_bisection(g, where, t, rng);
+  BisectionBalance b;
+  b.init(g, where, t);
+  // Side 0 never exceeds its allowance (growth is admission-checked).
+  EXPECT_LE(b.nload(0, 0), 1.05 + 1e-9);
+}
+
+TEST(GrowBisection, UnevenTargets) {
+  Graph g = grid2d(16, 16);
+  Rng rng(3);
+  std::vector<idx_t> where;
+  BisectionTargets t = even_targets(1);
+  t.f0 = 0.25;
+  grow_bisection(g, where, t, rng);
+  idx_t c0 = 0;
+  for (const idx_t s : where) c0 += s == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(c0) / g.nvtxs, 0.25, 0.08);
+}
+
+TEST(GrowBisection, HandlesDisconnected) {
+  GraphBuilder b(40, 1);
+  for (idx_t v = 0; v < 19; ++v) b.add_edge(v, v + 1);
+  for (idx_t v = 20; v < 39; ++v) b.add_edge(v, v + 1);
+  Graph g = b.build();
+  Rng rng(4);
+  std::vector<idx_t> where;
+  grow_bisection(g, where, even_targets(1), rng);
+  idx_t c0 = 0;
+  for (const idx_t s : where) c0 += s == 0 ? 1 : 0;
+  EXPECT_GT(c0, 5);
+  EXPECT_LT(c0, 35);
+}
+
+TEST(BinpackBisection, NearPerfectBalanceSingleConstraint) {
+  Graph g = grid2d(10, 10);
+  Rng rng(5);
+  std::vector<idx_t> where;
+  const BisectionTargets t = even_targets(1);
+  binpack_bisection(g, where, t, rng);
+  BisectionBalance b;
+  b.init(g, where, t);
+  EXPECT_LE(b.potential(), 1.0 + 1e-9);  // unit weights: trivially balanced
+}
+
+TEST(BinpackBisection, BalancesAllConstraints) {
+  Graph g = random_geometric(600, 0, 6, 4);
+  apply_type_s_weights(g, 4, 8, 0, 19, 7);
+  Rng rng(6);
+  std::vector<idx_t> where;
+  const BisectionTargets t = even_targets(4, 1.05);
+  binpack_bisection(g, where, t, rng);
+  BisectionBalance b;
+  b.init(g, where, t);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LE(std::max(b.nload(0, i), b.nload(1, i)), 1.06)
+        << "constraint " << i;
+  }
+}
+
+TEST(BinpackBisection, SkewedVectorsStillBalance) {
+  // Half the vertices weigh only in constraint 0, half only in 1.
+  GraphBuilder bld(100, 2);
+  for (idx_t v = 0; v + 1 < 100; ++v) bld.add_edge(v, v + 1);
+  for (idx_t v = 0; v < 100; ++v) {
+    bld.set_weights(v, v < 50 ? std::vector<wgt_t>{3, 0}
+                              : std::vector<wgt_t>{0, 3});
+  }
+  Graph g = bld.build();
+  Rng rng(7);
+  std::vector<idx_t> where;
+  const BisectionTargets t = even_targets(2);
+  binpack_bisection(g, where, t, rng);
+  BisectionBalance b;
+  b.init(g, where, t);
+  EXPECT_LE(b.potential(), 1.0 + 0.05);
+}
+
+class InitBisection
+    : public testing::TestWithParam<std::tuple<InitScheme, int>> {};
+
+TEST_P(InitBisection, FeasibleAndNonTrivialOnStructuredWeights) {
+  const auto [scheme, ncon] = GetParam();
+  Graph g = grid2d(20, 20);
+  if (ncon > 1) apply_type_s_weights(g, ncon, 8, 0, 19, 11);
+  Rng rng(8);
+  std::vector<idx_t> where;
+  const BisectionTargets t = even_targets(ncon, 1.10);
+  const sum_t cut = init_bisection(g, where, t, scheme, 8,
+                                   QueuePolicy::kMostImbalanced, rng);
+  ASSERT_EQ(where.size(), static_cast<std::size_t>(g.nvtxs));
+  EXPECT_EQ(cut, compute_cut_2way(g, where));
+  EXPECT_GT(cut, 0);
+  BisectionBalance b;
+  b.init(g, where, t);
+  EXPECT_LE(b.potential(), 1.0 + 0.02) << "scheme/ncon " << ncon;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndArities, InitBisection,
+    testing::Combine(testing::Values(InitScheme::kMixed,
+                                     InitScheme::kGreedyGrow,
+                                     InitScheme::kBinPack),
+                     testing::Values(1, 2, 3, 5)));
+
+TEST(InitBisectionQuality, GrowBeatsBinpackOnCut) {
+  // On a plain grid the edge-aware construction should usually produce a
+  // lower cut than pure bin packing.
+  Graph g = grid2d(24, 24);
+  Rng r1(9), r2(9);
+  std::vector<idx_t> wg, wb;
+  const BisectionTargets t = even_targets(1);
+  const sum_t cg = init_bisection(g, wg, t, InitScheme::kGreedyGrow, 6,
+                                  QueuePolicy::kMostImbalanced, r1);
+  const sum_t cb = init_bisection(g, wb, t, InitScheme::kBinPack, 6,
+                                  QueuePolicy::kMostImbalanced, r2);
+  EXPECT_LE(cg, cb);
+}
+
+TEST(InitBisection, TinyGraphs) {
+  GraphBuilder bld(2, 1);
+  bld.add_edge(0, 1);
+  Graph g = bld.build();
+  Rng rng(10);
+  std::vector<idx_t> where;
+  init_bisection(g, where, even_targets(1, 1.5), InitScheme::kMixed, 4,
+                 QueuePolicy::kMostImbalanced, rng);
+  ASSERT_EQ(where.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcgp

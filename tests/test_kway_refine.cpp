@@ -1,0 +1,224 @@
+#include "core/kway_refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+namespace {
+
+std::vector<real_t> ubvec(int ncon, real_t ub = 1.05) {
+  return std::vector<real_t>(static_cast<std::size_t>(ncon), ub);
+}
+
+/// Stripe partition of a grid along x (contiguous, balanced).
+std::vector<idx_t> stripes(idx_t nx, idx_t ny, idx_t k) {
+  std::vector<idx_t> part(static_cast<std::size_t>(nx) * ny);
+  for (idx_t x = 0; x < nx; ++x) {
+    for (idx_t y = 0; y < ny; ++y) {
+      part[static_cast<std::size_t>(x * ny + y)] = std::min<idx_t>(x * k / nx, k - 1);
+    }
+  }
+  return part;
+}
+
+/// Scrambled-but-balanced partition (round robin = terrible cut).
+std::vector<idx_t> round_robin(idx_t n, idx_t k) {
+  std::vector<idx_t> part(static_cast<std::size_t>(n));
+  for (idx_t v = 0; v < n; ++v) part[static_cast<std::size_t>(v)] = v % k;
+  return part;
+}
+
+/// Randomly scrambled partition: unlike round robin on a grid (which
+/// forms 1-wide stripes with no positive-gain single moves), a random
+/// scramble leaves plenty of greedy improvements.
+std::vector<idx_t> scrambled(idx_t n, idx_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<idx_t> part(static_cast<std::size_t>(n));
+  for (idx_t v = 0; v < n; ++v) {
+    part[static_cast<std::size_t>(v)] = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(k)));
+  }
+  return part;
+}
+
+TEST(KWayFeasible, DetectsOverload) {
+  Graph g = grid2d(4, 4);
+  const auto balanced = round_robin(16, 4);
+  EXPECT_TRUE(kway_feasible(g, compute_part_weights(g, balanced, 4), 4,
+                            ubvec(1)));
+  std::vector<idx_t> skewed(16, 0);
+  skewed[0] = 1;
+  skewed[1] = 2;
+  skewed[2] = 3;
+  EXPECT_FALSE(kway_feasible(g, compute_part_weights(g, skewed, 4), 4,
+                             ubvec(1)));
+}
+
+TEST(KWayRefine, ImprovesScrambledCutMassively) {
+  Graph g = grid2d(20, 20);
+  std::vector<idx_t> part = scrambled(400, 4, 17);
+  Rng balance_rng(0);
+  kway_balance(g, 4, part, ubvec(1), balance_rng);  // make the start feasible
+  const sum_t before = edge_cut(g, part);
+  Rng rng(1);
+  const sum_t after = kway_refine(g, 4, part, ubvec(1), 8, rng);
+  EXPECT_LT(after, before / 2);
+  EXPECT_EQ(after, edge_cut(g, part));
+  EXPECT_TRUE(kway_feasible(g, compute_part_weights(g, part, 4), 4, ubvec(1)));
+}
+
+TEST(KWayRefine, StripesAreAGreedyLocalMinimum) {
+  // 1-wide stripes (round robin by column) admit no positive-gain single
+  // moves; greedy refinement must not make the cut worse and must keep
+  // the partition feasible. (Escaping this minimum is the multilevel
+  // driver's job, not the flat refiner's.)
+  Graph g = grid2d(20, 20);
+  std::vector<idx_t> part = round_robin(400, 4);
+  const sum_t before = edge_cut(g, part);
+  Rng rng(1);
+  const sum_t after = kway_refine(g, 4, part, ubvec(1), 8, rng);
+  EXPECT_LE(after, before);
+  EXPECT_TRUE(kway_feasible(g, compute_part_weights(g, part, 4), 4, ubvec(1)));
+}
+
+TEST(KWayRefine, NeverWorsensGoodPartition) {
+  Graph g = grid2d(24, 24);
+  std::vector<idx_t> part = stripes(24, 24, 4);
+  const sum_t before = edge_cut(g, part);
+  Rng rng(2);
+  const sum_t after = kway_refine(g, 4, part, ubvec(1), 8, rng);
+  EXPECT_LE(after, before);
+}
+
+TEST(KWayRefine, KeepsAllPartsNonEmpty) {
+  Graph g = grid2d(12, 12);
+  std::vector<idx_t> part = round_robin(144, 9);
+  Rng rng(3);
+  kway_refine(g, 9, part, ubvec(1), 8, rng);
+  EXPECT_TRUE(validate_partition(g, part, 9, /*require_nonempty=*/true).empty());
+}
+
+TEST(KWayRefine, MultiConstraintStaysFeasible) {
+  Graph g = random_geometric(1200, 0, 8, 3);
+  apply_type_s_weights(g, 3, 16, 0, 19, 4);
+  // Start from contiguous regions mapped onto 8 parts via stripes of ids.
+  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 8;
+  Rng rng(5);
+  KWayRefineStats stats;
+  kway_refine(g, 8, part, ubvec(3, 1.10), 8, rng, &stats);
+  EXPECT_TRUE(stats.feasible);
+  for (const real_t lb : imbalance(g, part, 8)) EXPECT_LE(lb, 1.10 + 1e-9);
+}
+
+TEST(KWayBalance, RepairsSkewedPartition) {
+  Graph g = grid2d(16, 16);
+  // Everything in part 0 except a few vertices.
+  std::vector<idx_t> part(256, 0);
+  for (idx_t p = 1; p < 4; ++p) part[static_cast<std::size_t>(p)] = p;
+  Rng rng(6);
+  EXPECT_TRUE(kway_balance(g, 4, part, ubvec(1, 1.05), rng));
+  EXPECT_LE(max_imbalance(g, part, 4), 1.05 + 1e-9);
+}
+
+TEST(KWayBalance, NoopWhenFeasible) {
+  Graph g = grid2d(10, 10);
+  std::vector<idx_t> part = round_robin(100, 4);
+  const auto before = part;
+  Rng rng(7);
+  EXPECT_TRUE(kway_balance(g, 4, part, ubvec(1), rng));
+  EXPECT_EQ(part, before);
+}
+
+TEST(KWayBalance, ComplementaryOverloadEscape) {
+  // Two parts overloaded in different constraints; the potential-reducing
+  // acceptance must route weight through the slack parts.
+  GraphBuilder bld(120, 2);
+  for (idx_t v = 0; v + 1 < 120; ++v) bld.add_edge(v, v + 1);
+  for (idx_t v = 0; v < 120; ++v) {
+    bld.set_weights(v, v < 60 ? std::vector<wgt_t>{3, 1}
+                              : std::vector<wgt_t>{1, 3});
+  }
+  Graph g = bld.build();
+  // part 0 = all (3,1) vertices, part 1 = all (1,3), parts 2,3 get scraps.
+  std::vector<idx_t> part(120);
+  for (idx_t v = 0; v < 120; ++v) {
+    part[static_cast<std::size_t>(v)] =
+        v < 55 ? 0 : (v < 60 ? 2 : (v < 115 ? 1 : 3));
+  }
+  Rng rng(8);
+  kway_balance(g, 4, part, ubvec(2, 1.10), rng);
+  EXPECT_LE(max_imbalance(g, part, 4), 1.35);  // from ~1.8+ initially
+}
+
+TEST(KWayRefine, StatsConsistent) {
+  Graph g = grid2d(15, 15);
+  std::vector<idx_t> part = scrambled(225, 5, 3);
+  KWayRefineStats stats;
+  Rng rng(9);
+  const sum_t cut = kway_refine(g, 5, part, ubvec(1), 6, rng, &stats);
+  EXPECT_EQ(stats.final_cut, cut);
+  EXPECT_GT(stats.passes, 0);
+  EXPECT_GT(stats.moves, 0);
+}
+
+TEST(KWayRefinePq, ImprovesScrambledCutMassively) {
+  Graph g = grid2d(20, 20);
+  std::vector<idx_t> part = scrambled(400, 4, 17);
+  Rng balance_rng(0);
+  kway_balance(g, 4, part, ubvec(1), balance_rng);
+  const sum_t before = edge_cut(g, part);
+  Rng rng(1);
+  const sum_t after = kway_refine_pq(g, 4, part, ubvec(1), 8, rng);
+  EXPECT_LT(after, before / 2);
+  EXPECT_EQ(after, edge_cut(g, part));
+  EXPECT_TRUE(kway_feasible(g, compute_part_weights(g, part, 4), 4, ubvec(1)));
+}
+
+TEST(KWayRefinePq, NeverWorsensGoodPartition) {
+  Graph g = grid2d(24, 24);
+  std::vector<idx_t> part = stripes(24, 24, 4);
+  const sum_t before = edge_cut(g, part);
+  Rng rng(2);
+  EXPECT_LE(kway_refine_pq(g, 4, part, ubvec(1), 8, rng), before);
+}
+
+TEST(KWayRefinePq, MultiConstraintStaysFeasible) {
+  Graph g = random_geometric(1000, 0, 9, 3);
+  apply_type_s_weights(g, 3, 16, 0, 19, 6);
+  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 6;
+  Rng rng(7);
+  KWayRefineStats stats;
+  kway_refine_pq(g, 6, part, ubvec(3, 1.10), 8, rng, &stats);
+  EXPECT_TRUE(stats.feasible);
+  EXPECT_TRUE(validate_partition(g, part, 6, true).empty());
+}
+
+TEST(KWayRefinePq, ComparableToSweepOnGrids) {
+  Graph g = grid2d(30, 30);
+  std::vector<idx_t> a = scrambled(900, 5, 9);
+  std::vector<idx_t> b = a;
+  Rng r0(0), r1(1), r2(1);
+  kway_balance(g, 5, a, ubvec(1), r0);
+  b = a;
+  const sum_t cut_sweep = kway_refine(g, 5, a, ubvec(1), 8, r1);
+  const sum_t cut_pq = kway_refine_pq(g, 5, b, ubvec(1), 8, r2);
+  // Both refiners converge to the same quality class.
+  EXPECT_LT(static_cast<double>(cut_pq), 1.5 * static_cast<double>(cut_sweep));
+  EXPECT_LT(static_cast<double>(cut_sweep), 1.5 * static_cast<double>(cut_pq));
+}
+
+TEST(KWayRefine, SinglePartIsNoop) {
+  Graph g = grid2d(6, 6);
+  std::vector<idx_t> part(36, 0);
+  Rng rng(10);
+  const sum_t cut = kway_refine(g, 1, part, ubvec(1), 4, rng);
+  EXPECT_EQ(cut, 0);
+  for (const idx_t p : part) EXPECT_EQ(p, 0);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,108 @@
+#include "gen/mesh_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_ops.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(Grid2d, SizesAndDegrees) {
+  Graph g = grid2d(5, 4);
+  EXPECT_EQ(g.nvtxs, 20);
+  // Edges: 4*(5-1) horizontal-ish + 5*(4-1) = 16 + 15 = 31.
+  EXPECT_EQ(g.nedges(), 31);
+  EXPECT_TRUE(g.validate().empty());
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2);
+  idx_t max_deg = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_EQ(max_deg, 4);
+}
+
+TEST(Grid2d, DegenerateSizes) {
+  Graph g1 = grid2d(1, 1);
+  EXPECT_EQ(g1.nvtxs, 1);
+  EXPECT_EQ(g1.nedges(), 0);
+  Graph g2 = grid2d(1, 7);
+  EXPECT_EQ(g2.nedges(), 6);
+  EXPECT_THROW(grid2d(0, 4), std::invalid_argument);
+}
+
+TEST(TriGrid2d, AddsDiagonals) {
+  Graph g = tri_grid2d(3, 3);
+  // 3x3 grid: 12 grid edges + 4 diagonals.
+  EXPECT_EQ(g.nedges(), 16);
+  EXPECT_TRUE(g.validate().empty());
+  idx_t max_deg = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_EQ(max_deg, 6);
+}
+
+TEST(Grid3d, SizesAndConnectivity) {
+  Graph g = grid3d(3, 3, 3);
+  EXPECT_EQ(g.nvtxs, 27);
+  // 3 * (2*3*3) = 54 edges.
+  EXPECT_EQ(g.nedges(), 54);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(count_components(g), 1);
+  idx_t max_deg = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_EQ(max_deg, 6);
+}
+
+TEST(RandomGeometric, ValidAndDeterministic) {
+  Graph a = random_geometric(500, 0, 42);
+  Graph b = random_geometric(500, 0, 42);
+  EXPECT_TRUE(a.validate().empty());
+  EXPECT_EQ(a.adjncy, b.adjncy);
+  EXPECT_GT(a.nedges(), 500);  // above connectivity threshold: avg deg > 2
+}
+
+TEST(RandomGeometric, DifferentSeedsDiffer) {
+  Graph a = random_geometric(300, 0, 1);
+  Graph b = random_geometric(300, 0, 2);
+  EXPECT_NE(a.adjncy, b.adjncy);
+}
+
+TEST(RandomGeometric, MostlyConnectedAtDefaultRadius) {
+  Graph g = random_geometric(2000, 0, 7);
+  std::vector<idx_t> comp;
+  const idx_t ncomp = connected_components(g, comp);
+  // Above the threshold the giant component dominates; allow few strays.
+  EXPECT_LE(ncomp, 20);
+}
+
+TEST(RandomGeometric, BoundedDegree) {
+  Graph g = random_geometric(2000, 0, 13);
+  idx_t max_deg = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_LT(max_deg, 60);  // geometric graphs have concentrated degrees
+}
+
+TEST(FeMesh, ValidBoundedDegreeAndDeterministic) {
+  Graph a = fe_mesh(2000, 5);
+  Graph b = fe_mesh(2000, 5);
+  EXPECT_TRUE(a.validate().empty());
+  EXPECT_EQ(a.adjncy, b.adjncy);
+  idx_t max_deg = 0;
+  for (idx_t v = 0; v < a.nvtxs; ++v) max_deg = std::max(max_deg, a.degree(v));
+  EXPECT_LT(max_deg, 100);
+  EXPECT_GT(a.nedges(), a.nvtxs);  // denser than a tree
+}
+
+TEST(RandomGraph, ApproximatesTargetDegree) {
+  Graph g = random_graph(5000, 8.0, 3);
+  EXPECT_TRUE(g.validate().empty());
+  const double avg = 2.0 * g.nedges() / g.nvtxs;
+  EXPECT_NEAR(avg, 8.0, 1.0);  // dedup removes a few
+}
+
+TEST(Generators, NconPropagates) {
+  EXPECT_EQ(grid2d(3, 3, 4).ncon, 4);
+  EXPECT_EQ(grid3d(2, 2, 2, 2).ncon, 2);
+  EXPECT_EQ(random_geometric(50, 0, 1, 3).ncon, 3);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,125 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+Graph path4() {
+  GraphBuilder b(4, 1);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 5);
+  return b.build();
+}
+
+TEST(EdgeCut, ByHandOnPath) {
+  Graph g = path4();
+  EXPECT_EQ(edge_cut(g, {0, 0, 1, 1}), 3);
+  EXPECT_EQ(edge_cut(g, {0, 1, 0, 1}), 10);
+  EXPECT_EQ(edge_cut(g, {0, 0, 0, 0}), 0);
+  EXPECT_EQ(edge_cut(g, {0, 1, 2, 3}), 10);
+}
+
+TEST(EdgeCut, GridBisection) {
+  Graph g = grid2d(4, 4);
+  std::vector<idx_t> part(16);
+  for (idx_t v = 0; v < 16; ++v) part[static_cast<std::size_t>(v)] = v < 8 ? 0 : 1;
+  EXPECT_EQ(edge_cut(g, part), 4);  // one straight cut through a 4x4 grid
+}
+
+TEST(PartWeights, MultiConstraint) {
+  GraphBuilder b(3, 2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.set_weights(0, {1, 10});
+  b.set_weights(1, {2, 20});
+  b.set_weights(2, {3, 30});
+  Graph g = b.build();
+  const auto pw = part_weights(g, {0, 1, 0}, 2);
+  EXPECT_EQ(pw[0 * 2 + 0], 4);
+  EXPECT_EQ(pw[0 * 2 + 1], 40);
+  EXPECT_EQ(pw[1 * 2 + 0], 2);
+  EXPECT_EQ(pw[1 * 2 + 1], 20);
+}
+
+TEST(Imbalance, PerfectBalance) {
+  Graph g = path4();
+  const auto lb = imbalance(g, {0, 0, 1, 1}, 2);
+  ASSERT_EQ(lb.size(), 1u);
+  EXPECT_DOUBLE_EQ(lb[0], 1.0);
+}
+
+TEST(Imbalance, SkewedPartition) {
+  Graph g = path4();
+  // 3 vertices vs 1: max part weight 3 of total 4, k=2 -> lb = 1.5.
+  EXPECT_DOUBLE_EQ(max_imbalance(g, {0, 0, 0, 1}, 2), 1.5);
+}
+
+TEST(Imbalance, ZeroTotalConstraintIgnored) {
+  GraphBuilder b(2, 2);
+  b.add_edge(0, 1);
+  b.set_weights(0, {1, 0});
+  b.set_weights(1, {1, 0});
+  Graph g = b.build();
+  const auto lb = imbalance(g, {0, 1}, 2);
+  EXPECT_DOUBLE_EQ(lb[1], 1.0);
+}
+
+TEST(Imbalance, PerConstraintIndependent) {
+  GraphBuilder b(2, 2);
+  b.add_edge(0, 1);
+  b.set_weights(0, {3, 1});
+  b.set_weights(1, {1, 3});
+  Graph g = b.build();
+  const auto lb = imbalance(g, {0, 1}, 2);
+  EXPECT_DOUBLE_EQ(lb[0], 1.5);
+  EXPECT_DOUBLE_EQ(lb[1], 1.5);
+}
+
+TEST(CommunicationVolume, ByHand) {
+  // Star: center 0 with 3 leaves in different parts.
+  GraphBuilder b(4, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  Graph g = b.build();
+  // part: 0 alone; leaves in parts 1,1,2. Center sees 2 remote parts;
+  // each leaf sees 1 remote part -> total 5.
+  EXPECT_EQ(communication_volume(g, {0, 1, 1, 2}, 3), 5);
+  EXPECT_EQ(communication_volume(g, {0, 0, 0, 0}, 1), 0);
+}
+
+TEST(BoundaryVertices, GridCut) {
+  Graph g = grid2d(4, 4);
+  std::vector<idx_t> part(16);
+  for (idx_t v = 0; v < 16; ++v) part[static_cast<std::size_t>(v)] = v < 8 ? 0 : 1;
+  EXPECT_EQ(boundary_vertices(g, part), 8);
+}
+
+TEST(ValidatePartition, AcceptsValid) {
+  Graph g = path4();
+  EXPECT_TRUE(validate_partition(g, {0, 1, 1, 0}, 2).empty());
+  EXPECT_TRUE(validate_partition(g, {0, 1, 1, 0}, 2, true).empty());
+}
+
+TEST(ValidatePartition, RejectsBad) {
+  Graph g = path4();
+  EXPECT_FALSE(validate_partition(g, {0, 1, 1}, 2).empty());      // size
+  EXPECT_FALSE(validate_partition(g, {0, 1, 2, 0}, 2).empty());   // range
+  EXPECT_FALSE(validate_partition(g, {0, -1, 1, 0}, 2).empty());  // range
+  EXPECT_FALSE(validate_partition(g, {0, 0, 0, 0}, 2, true).empty());  // empty part
+}
+
+TEST(ValidatePartition, EmptyPartAllowedWhenFewVertices) {
+  GraphBuilder b(2, 1);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  // nvtxs < nparts: emptiness check is waived.
+  EXPECT_TRUE(validate_partition(g, {0, 1}, 5, true).empty());
+}
+
+}  // namespace
+}  // namespace mcgp

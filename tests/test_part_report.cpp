@@ -1,0 +1,85 @@
+#include "graph/part_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/partitioner.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(PartReport, ByHandOnPath) {
+  GraphBuilder b(4, 1);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 5);
+  Graph g = b.build();
+  const PartitionReport rep = analyze_partition(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(rep.edge_cut, 3);
+  EXPECT_EQ(rep.nparts, 2);
+  EXPECT_EQ(rep.max_adjacent_parts, 1);
+  ASSERT_EQ(rep.parts.size(), 2u);
+  EXPECT_EQ(rep.parts[0].vertices, 2);
+  EXPECT_EQ(rep.parts[0].boundary_vertices, 1);   // vertex 1
+  EXPECT_EQ(rep.parts[0].external_edge_weight, 3);
+  EXPECT_EQ(rep.parts[1].external_edge_weight, 3);
+  EXPECT_DOUBLE_EQ(rep.parts[0].shares[0], 0.5);
+}
+
+TEST(PartReport, ConsistentWithMetrics) {
+  Graph g = random_geometric(1200, 0, 3, 2);
+  apply_type_s_weights(g, 2, 8, 0, 9, 7);
+  Options o;
+  o.nparts = 6;
+  const PartitionResult r = partition(g, o);
+  const PartitionReport rep = analyze_partition(g, r.part, 6);
+  EXPECT_EQ(rep.edge_cut, r.cut);
+  EXPECT_EQ(rep.communication_volume, communication_volume(g, r.part, 6));
+  ASSERT_EQ(rep.imbalance.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(rep.imbalance[i], r.imbalance[i]);
+  }
+  // Vertex and weight totals add up.
+  idx_t nv = 0;
+  sum_t w0 = 0;
+  idx_t boundary_total = 0;
+  for (const auto& ps : rep.parts) {
+    nv += ps.vertices;
+    w0 += ps.weights[0];
+    boundary_total += ps.boundary_vertices;
+    EXPECT_LE(ps.adjacent_parts, 5);
+  }
+  EXPECT_EQ(nv, g.nvtxs);
+  EXPECT_EQ(w0, g.tvwgt[0]);
+  EXPECT_EQ(boundary_total, boundary_vertices(g, r.part));
+  EXPECT_GE(rep.max_adjacent_parts, 1);
+}
+
+TEST(PartReport, SinglePart) {
+  Graph g = grid2d(5, 5);
+  const PartitionReport rep = analyze_partition(g, std::vector<idx_t>(25, 0), 1);
+  EXPECT_EQ(rep.edge_cut, 0);
+  EXPECT_EQ(rep.max_adjacent_parts, 0);
+  EXPECT_EQ(rep.parts[0].boundary_vertices, 0);
+}
+
+TEST(PartReport, PrintsSomethingSane) {
+  Graph g = grid2d(8, 8);
+  Options o;
+  o.nparts = 4;
+  const PartitionResult r = partition(g, o);
+  std::ostringstream out;
+  print_report(out, analyze_partition(g, r.part, 4));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("edge-cut"), std::string::npos);
+  EXPECT_NE(text.find("imbalance"), std::string::npos);
+  // One line per part plus headers.
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,109 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(Partition, ResultFieldsConsistent) {
+  Graph g = grid2d(25, 25);
+  Options o;
+  o.nparts = 6;
+  const PartitionResult r = partition(g, o);
+  EXPECT_TRUE(validate_partition(g, r.part, 6, true).empty());
+  EXPECT_EQ(r.cut, edge_cut(g, r.part));
+  ASSERT_EQ(r.imbalance.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.imbalance[0], max_imbalance(g, r.part, 6));
+  EXPECT_DOUBLE_EQ(r.max_imbalance, r.imbalance[0]);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.coarsen_levels, 0);
+}
+
+TEST(Partition, BothAlgorithmsAgreeOnContract) {
+  Graph g = tri_grid2d(30, 30);
+  apply_type_s_weights(g, 2, 8, 0, 19, 3);
+  for (const auto alg :
+       {Algorithm::kRecursiveBisection, Algorithm::kKWay}) {
+    Options o;
+    o.nparts = 8;
+    o.algorithm = alg;
+    const PartitionResult r = partition(g, o);
+    EXPECT_TRUE(validate_partition(g, r.part, 8, true).empty());
+    EXPECT_LE(r.max_imbalance, 1.05 + 0.02);
+    EXPECT_GT(r.cut, 0);
+  }
+}
+
+TEST(Partition, RejectsBadOptions) {
+  Graph g = grid2d(5, 5);
+  Options o;
+  o.nparts = 0;
+  EXPECT_THROW(partition(g, o), std::invalid_argument);
+  o.nparts = 2;
+  o.ubvec = {0.9};
+  EXPECT_THROW(partition(g, o), std::invalid_argument);
+  o.ubvec = {1.05, 1.05};  // arity mismatch for ncon == 1... allowed? no:
+  EXPECT_THROW(partition(g, o), std::invalid_argument);
+}
+
+TEST(Partition, SingleUbBroadcasts) {
+  Graph g = grid2d(20, 20, 3);
+  apply_type_s_weights(g, 3, 8, 0, 9, 5);
+  Options o;
+  o.nparts = 4;
+  o.ubvec = {1.10};  // one entry for three constraints
+  const PartitionResult r = partition(g, o);
+  EXPECT_LE(r.max_imbalance, 1.10 + 0.02);
+}
+
+TEST(Partition, EmptyGraph) {
+  Graph g = make_graph(0, 1, {0}, {});
+  Options o;
+  o.nparts = 4;
+  const PartitionResult r = partition(g, o);
+  EXPECT_TRUE(r.part.empty());
+  EXPECT_EQ(r.cut, 0);
+}
+
+TEST(Partition, PhaseTimesRecorded) {
+  Graph g = grid2d(40, 40);
+  Options o;
+  o.nparts = 8;
+  const PartitionResult r = partition(g, o);
+  EXPECT_GT(r.phases.get("coarsen"), 0.0);
+  EXPECT_GT(r.phases.get("refine"), 0.0);
+}
+
+TEST(Partition, SeedChangesResultButNotQualityClass) {
+  Graph g = grid2d(30, 30);
+  Options o;
+  o.nparts = 4;
+  o.seed = 1;
+  const PartitionResult r1 = partition(g, o);
+  o.seed = 2;
+  const PartitionResult r2 = partition(g, o);
+  EXPECT_NE(r1.part, r2.part);
+  // Cuts of different seeds stay within a reasonable band of each other.
+  const double ratio = static_cast<double>(r1.cut) / static_cast<double>(r2.cut);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Partition, SingleConstraintIsBaselinePath) {
+  // ncon == 1 must behave like a classical partitioner: tight balance and
+  // near-optimal cuts on a structured mesh.
+  Graph g = grid2d(32, 32);
+  Options o;
+  o.nparts = 2;
+  o.algorithm = Algorithm::kRecursiveBisection;
+  const PartitionResult r = partition(g, o);
+  EXPECT_LE(r.cut, 48);  // optimal 32
+  EXPECT_LE(r.max_imbalance, 1.05);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,69 @@
+#include "gen/phase_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mesh_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(PhaseSim, PerfectBalanceHasUnitSlowdown) {
+  GraphBuilder b(4, 2);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  for (idx_t v = 0; v < 4; ++v) b.set_weights(v, {1, 1});
+  Graph g = b.build();
+  const PhaseSimResult r = simulate_phases(g, {0, 1, 0, 1}, 2);
+  EXPECT_EQ(r.total_makespan, r.total_ideal);
+  EXPECT_DOUBLE_EQ(r.slowdown(), 1.0);
+}
+
+TEST(PhaseSim, DetectsPerPhaseImbalance) {
+  // Two phases, four vertices: vertices 0,1 active in phase 0 only;
+  // vertices 2,3 active in phase 1 only. The partition {0,1 | 2,3}
+  // balances the SUM perfectly but each phase runs on one processor.
+  GraphBuilder b(4, 2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.set_weights(0, {1, 0});
+  b.set_weights(1, {1, 0});
+  b.set_weights(2, {0, 1});
+  b.set_weights(3, {0, 1});
+  Graph g = b.build();
+
+  const PhaseSimResult bad = simulate_phases(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(bad.phase_makespan[0], 2);
+  EXPECT_EQ(bad.phase_makespan[1], 2);
+  EXPECT_EQ(bad.total_ideal, 2);
+  EXPECT_DOUBLE_EQ(bad.slowdown(), 2.0);
+
+  const PhaseSimResult good = simulate_phases(g, {0, 1, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(good.slowdown(), 1.0);
+}
+
+TEST(PhaseSim, IdealRoundsUp) {
+  GraphBuilder b(3, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g = b.build();
+  const PhaseSimResult r = simulate_phases(g, {0, 0, 1}, 2);
+  EXPECT_EQ(r.phase_ideal[0], 2);  // ceil(3/2)
+  EXPECT_EQ(r.phase_makespan[0], 2);
+}
+
+TEST(PhaseSim, MatchesTypePGenerator) {
+  Graph g = grid2d(12, 12);
+  apply_type_p_weights(g, 3, 16, 5);
+  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 4;
+  const PhaseSimResult r = simulate_phases(g, part, 4);
+  ASSERT_EQ(r.phase_makespan.size(), 3u);
+  EXPECT_GE(r.slowdown(), 1.0);
+  sum_t total = 0;
+  for (const sum_t m : r.phase_makespan) total += m;
+  EXPECT_EQ(total, r.total_makespan);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,52 @@
+#include "core/project.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coarsen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(ProjectPartition, ByHand) {
+  const std::vector<idx_t> cmap = {0, 0, 1, 2, 1};
+  const std::vector<idx_t> coarse = {5, 7, 9};
+  std::vector<idx_t> fine;
+  project_partition(cmap, coarse, fine);
+  EXPECT_EQ(fine, (std::vector<idx_t>{5, 5, 7, 9, 7}));
+}
+
+TEST(ProjectPartition, EmptyCmap) {
+  std::vector<idx_t> fine;
+  project_partition({}, {1, 2}, fine);
+  EXPECT_TRUE(fine.empty());
+}
+
+TEST(ProjectPartition, PreservesCutAndWeights) {
+  Graph g = grid2d(16, 16);
+  CoarsenParams params;
+  params.coarsen_to = 40;
+  Rng rng(1);
+  Hierarchy h = coarsen_graph(g, params, rng);
+  ASSERT_GT(h.num_levels(), 0);
+
+  // Arbitrary partition of the coarsest graph.
+  const Graph& c = h.coarsest();
+  std::vector<idx_t> part(static_cast<std::size_t>(c.nvtxs));
+  for (idx_t v = 0; v < c.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 3;
+
+  const sum_t coarse_cut = edge_cut(c, part);
+  const auto coarse_pw = part_weights(c, part, 3);
+
+  for (int l = h.num_levels() - 1; l >= 0; --l) {
+    std::vector<idx_t> fine;
+    project_partition(h.levels[static_cast<std::size_t>(l)].cmap, part, fine);
+    part = std::move(fine);
+  }
+  EXPECT_EQ(edge_cut(g, part), coarse_cut);
+  EXPECT_EQ(part_weights(g, part, 3), coarse_pw);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -1,0 +1,75 @@
+#include "support/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (idx_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1);
+  }
+  EXPECT_FALSE(uf.same(0, 1));
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.set_size(1), 2);
+  EXPECT_FALSE(uf.unite(1, 0));  // already united
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFind, TransitiveUnion) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.set_size(0), 4);
+  EXPECT_FALSE(uf.same(0, 4));
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFind, ChainUnion) {
+  constexpr idx_t kN = 1000;
+  UnionFind uf(kN);
+  for (idx_t i = 0; i + 1 < kN; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_EQ(uf.set_size(0), kN);
+  EXPECT_TRUE(uf.same(0, kN - 1));
+}
+
+TEST(UnionFind, RandomizedSizesConsistent) {
+  constexpr idx_t kN = 300;
+  UnionFind uf(kN);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    uf.unite(static_cast<idx_t>(rng.next_below(kN)),
+             static_cast<idx_t>(rng.next_below(kN)));
+  }
+  // Sum of distinct-root set sizes must equal n.
+  sum_t total = 0;
+  for (idx_t v = 0; v < kN; ++v) {
+    if (uf.find(v) == v) total += uf.set_size(v);
+  }
+  EXPECT_EQ(total, kN);
+}
+
+TEST(UnionFind, ResetRestores) {
+  UnionFind uf(3);
+  uf.unite(0, 2);
+  uf.reset(3);
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_FALSE(uf.same(0, 2));
+}
+
+}  // namespace
+}  // namespace mcgp

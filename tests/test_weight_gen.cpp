@@ -1,0 +1,150 @@
+#include "gen/weight_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/mesh_gen.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(TypeR, RangeAndArity) {
+  Graph g = grid2d(10, 10);
+  apply_type_r_weights(g, 4, 0, 19, 1);
+  EXPECT_EQ(g.ncon, 4);
+  ASSERT_EQ(g.vwgt.size(), 400u);
+  for (const wgt_t w : g.vwgt) {
+    EXPECT_GE(w, 0);
+    EXPECT_LE(w, 19);
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_GT(g.tvwgt[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(TypeR, Deterministic) {
+  Graph a = grid2d(8, 8), b = grid2d(8, 8);
+  apply_type_r_weights(a, 3, 0, 9, 7);
+  apply_type_r_weights(b, 3, 0, 9, 7);
+  EXPECT_EQ(a.vwgt, b.vwgt);
+  apply_type_r_weights(b, 3, 0, 9, 8);
+  EXPECT_NE(a.vwgt, b.vwgt);
+}
+
+TEST(TypeR, RejectsBadArgs) {
+  Graph g = grid2d(3, 3);
+  EXPECT_THROW(apply_type_r_weights(g, 0, 0, 9, 1), std::invalid_argument);
+  EXPECT_THROW(apply_type_r_weights(g, 9, 0, 9, 1), std::invalid_argument);
+  EXPECT_THROW(apply_type_r_weights(g, 2, 5, 2, 1), std::invalid_argument);
+}
+
+TEST(TypeS, ConstantVectorPerRegion) {
+  Graph g = grid2d(16, 16);
+  const auto region = apply_type_s_weights(g, 3, 8, 0, 19, 11);
+  ASSERT_EQ(region.size(), 256u);
+  // All vertices in the same region share the same weight vector.
+  std::vector<std::vector<wgt_t>> region_vec(8);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t r = region[static_cast<std::size_t>(v)];
+    std::vector<wgt_t> w(g.weights(v), g.weights(v) + 3);
+    if (region_vec[static_cast<std::size_t>(r)].empty()) {
+      region_vec[static_cast<std::size_t>(r)] = w;
+    } else {
+      EXPECT_EQ(region_vec[static_cast<std::size_t>(r)], w);
+    }
+  }
+  // Not all regions share one vector (overwhelmingly likely).
+  std::set<std::vector<wgt_t>> distinct(region_vec.begin(), region_vec.end());
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(TypeS, PositiveTotals) {
+  Graph g = grid2d(12, 12);
+  apply_type_s_weights(g, 5, 16, 0, 19, 3);
+  for (int i = 0; i < 5; ++i) EXPECT_GT(g.tvwgt[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(TypeS, Deterministic) {
+  Graph a = grid2d(10, 10), b = grid2d(10, 10);
+  apply_type_s_weights(a, 2, 16, 0, 19, 5);
+  apply_type_s_weights(b, 2, 16, 0, 19, 5);
+  EXPECT_EQ(a.vwgt, b.vwgt);
+}
+
+TEST(DefaultPhaseSchedule, MatchesPaperShape) {
+  const auto s5 = default_phase_schedule(5);
+  const std::vector<double> expect = {1.0, 0.75, 0.5, 0.5, 0.25};
+  EXPECT_EQ(s5, expect);
+  const auto s2 = default_phase_schedule(2);
+  EXPECT_EQ(s2, (std::vector<double>{1.0, 0.75}));
+  const auto s7 = default_phase_schedule(7);
+  EXPECT_DOUBLE_EQ(s7[6], 0.25);
+}
+
+TEST(TypeP, ZeroOneWeightsAndFullFirstPhase) {
+  Graph g = grid2d(20, 20);
+  const PhaseActivity pa = apply_type_p_weights(g, 4, 32, 9);
+  EXPECT_EQ(pa.nphases, 4);
+  EXPECT_DOUBLE_EQ(pa.fraction[0], 1.0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    EXPECT_EQ(g.weight(v, 0), 1);  // phase 0 fully active
+    for (int p = 0; p < 4; ++p) {
+      const wgt_t w = g.weight(v, p);
+      EXPECT_TRUE(w == 0 || w == 1);
+      EXPECT_EQ(w == 1, pa.is_active(p, v, g.nvtxs));
+    }
+  }
+}
+
+TEST(TypeP, ActiveFractionsTrackSchedule) {
+  Graph g = grid2d(40, 40);
+  const PhaseActivity pa = apply_type_p_weights(g, 5, 32, 21);
+  const auto sched = default_phase_schedule(5);
+  for (int p = 0; p < 5; ++p) {
+    sum_t active = g.tvwgt[static_cast<std::size_t>(p)];
+    const double frac = static_cast<double>(active) / g.nvtxs;
+    // Regions are only approximately equal-sized; allow slack.
+    EXPECT_NEAR(frac, sched[static_cast<std::size_t>(p)], 0.2)
+        << "phase " << p;
+  }
+}
+
+TEST(TypeP, EdgeWeightsEqualCoActivityFlooredAtOne) {
+  Graph g = grid2d(15, 15);
+  const PhaseActivity pa = apply_type_p_weights(g, 3, 16, 33);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const idx_t u = g.adjncy[e];
+      wgt_t co = 0;
+      for (int p = 0; p < 3; ++p) {
+        if (pa.is_active(p, v, g.nvtxs) && pa.is_active(p, u, g.nvtxs)) ++co;
+      }
+      EXPECT_EQ(g.adjwgt[e], std::max<wgt_t>(co, 1));
+    }
+  }
+}
+
+TEST(TypeP, CustomSchedule) {
+  Graph g = grid2d(10, 10);
+  const PhaseActivity pa = apply_type_p_weights(g, 2, 8, 3, {0.3, 0.5});
+  // Phase 0 is forced to 1.0 regardless of the requested value.
+  EXPECT_DOUBLE_EQ(pa.fraction[0], 1.0);
+  EXPECT_NEAR(pa.fraction[1], 0.5, 0.01);
+  EXPECT_THROW(apply_type_p_weights(g, 2, 8, 3, {0.5}), std::invalid_argument);
+}
+
+TEST(SumCollapse, SumsComponents) {
+  Graph g = grid2d(6, 6);
+  apply_type_s_weights(g, 3, 4, 1, 5, 13);
+  Graph c = sum_collapse_constraints(g);
+  EXPECT_EQ(c.ncon, 1);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    EXPECT_EQ(c.weight(v, 0),
+              g.weight(v, 0) + g.weight(v, 1) + g.weight(v, 2));
+  }
+  EXPECT_EQ(c.tvwgt[0], g.tvwgt[0] + g.tvwgt[1] + g.tvwgt[2]);
+  // Structure untouched.
+  EXPECT_EQ(c.adjncy, g.adjncy);
+}
+
+}  // namespace
+}  // namespace mcgp
