@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_ablation_initpart"
+  "../bench/exp_ablation_initpart.pdb"
+  "CMakeFiles/exp_ablation_initpart.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_ablation_initpart.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_ablation_initpart.dir/exp_ablation_initpart.cpp.o"
+  "CMakeFiles/exp_ablation_initpart.dir/exp_ablation_initpart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_initpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

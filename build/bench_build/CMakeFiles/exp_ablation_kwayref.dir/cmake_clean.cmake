@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_ablation_kwayref"
+  "../bench/exp_ablation_kwayref.pdb"
+  "CMakeFiles/exp_ablation_kwayref.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_ablation_kwayref.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_ablation_kwayref.dir/exp_ablation_kwayref.cpp.o"
+  "CMakeFiles/exp_ablation_kwayref.dir/exp_ablation_kwayref.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_kwayref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

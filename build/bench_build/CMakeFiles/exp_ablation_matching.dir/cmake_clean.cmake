@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_ablation_matching"
+  "../bench/exp_ablation_matching.pdb"
+  "CMakeFiles/exp_ablation_matching.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_ablation_matching.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_ablation_matching.dir/exp_ablation_matching.cpp.o"
+  "CMakeFiles/exp_ablation_matching.dir/exp_ablation_matching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

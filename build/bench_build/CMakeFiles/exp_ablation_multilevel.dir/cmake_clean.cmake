@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_ablation_multilevel"
+  "../bench/exp_ablation_multilevel.pdb"
+  "CMakeFiles/exp_ablation_multilevel.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_ablation_multilevel.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_ablation_multilevel.dir/exp_ablation_multilevel.cpp.o"
+  "CMakeFiles/exp_ablation_multilevel.dir/exp_ablation_multilevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

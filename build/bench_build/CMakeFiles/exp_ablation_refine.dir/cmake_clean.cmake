@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_ablation_refine"
+  "../bench/exp_ablation_refine.pdb"
+  "CMakeFiles/exp_ablation_refine.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_ablation_refine.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_ablation_refine.dir/exp_ablation_refine.cpp.o"
+  "CMakeFiles/exp_ablation_refine.dir/exp_ablation_refine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

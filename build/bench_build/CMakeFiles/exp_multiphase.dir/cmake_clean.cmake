@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_multiphase"
+  "../bench/exp_multiphase.pdb"
+  "CMakeFiles/exp_multiphase.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_multiphase.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_multiphase.dir/exp_multiphase.cpp.o"
+  "CMakeFiles/exp_multiphase.dir/exp_multiphase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_multiphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench_build/CMakeFiles/exp_quality_kway.dir/bench_common.cpp.o" "gcc" "bench_build/CMakeFiles/exp_quality_kway.dir/bench_common.cpp.o.d"
+  "/root/repo/bench/exp_quality_kway.cpp" "bench_build/CMakeFiles/exp_quality_kway.dir/exp_quality_kway.cpp.o" "gcc" "bench_build/CMakeFiles/exp_quality_kway.dir/exp_quality_kway.cpp.o.d"
+  "/root/repo/bench/quality_experiment.cpp" "bench_build/CMakeFiles/exp_quality_kway.dir/quality_experiment.cpp.o" "gcc" "bench_build/CMakeFiles/exp_quality_kway.dir/quality_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

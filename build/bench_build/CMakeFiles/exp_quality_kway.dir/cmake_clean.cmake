@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../bench/exp_quality_kway"
+  "../bench/exp_quality_kway.pdb"
+  "CMakeFiles/exp_quality_kway.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_quality_kway.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_quality_kway.dir/exp_quality_kway.cpp.o"
+  "CMakeFiles/exp_quality_kway.dir/exp_quality_kway.cpp.o.d"
+  "CMakeFiles/exp_quality_kway.dir/quality_experiment.cpp.o"
+  "CMakeFiles/exp_quality_kway.dir/quality_experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_quality_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../bench/exp_quality_rb"
+  "../bench/exp_quality_rb.pdb"
+  "CMakeFiles/exp_quality_rb.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_quality_rb.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_quality_rb.dir/exp_quality_rb.cpp.o"
+  "CMakeFiles/exp_quality_rb.dir/exp_quality_rb.cpp.o.d"
+  "CMakeFiles/exp_quality_rb.dir/quality_experiment.cpp.o"
+  "CMakeFiles/exp_quality_rb.dir/quality_experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_quality_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

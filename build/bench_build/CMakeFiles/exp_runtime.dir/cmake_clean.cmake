@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_runtime"
+  "../bench/exp_runtime.pdb"
+  "CMakeFiles/exp_runtime.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_runtime.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_runtime.dir/exp_runtime.cpp.o"
+  "CMakeFiles/exp_runtime.dir/exp_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

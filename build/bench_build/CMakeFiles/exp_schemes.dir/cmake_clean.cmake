@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/exp_schemes"
+  "../bench/exp_schemes.pdb"
+  "CMakeFiles/exp_schemes.dir/bench_common.cpp.o"
+  "CMakeFiles/exp_schemes.dir/bench_common.cpp.o.d"
+  "CMakeFiles/exp_schemes.dir/exp_schemes.cpp.o"
+  "CMakeFiles/exp_schemes.dir/exp_schemes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table1_graphs"
+  "../bench/table1_graphs.pdb"
+  "CMakeFiles/table1_graphs.dir/bench_common.cpp.o"
+  "CMakeFiles/table1_graphs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table1_graphs.dir/table1_graphs.cpp.o"
+  "CMakeFiles/table1_graphs.dir/table1_graphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_remesh.dir/adaptive_remesh.cpp.o"
+  "CMakeFiles/adaptive_remesh.dir/adaptive_remesh.cpp.o.d"
+  "adaptive_remesh"
+  "adaptive_remesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_remesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

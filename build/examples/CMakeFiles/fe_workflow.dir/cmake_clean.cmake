@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_workflow.dir/fe_workflow.cpp.o"
+  "CMakeFiles/fe_workflow.dir/fe_workflow.cpp.o.d"
+  "fe_workflow"
+  "fe_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpart.dir/mcpart_cli.cpp.o"
+  "CMakeFiles/mcpart.dir/mcpart_cli.cpp.o.d"
+  "mcpart"
+  "mcpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

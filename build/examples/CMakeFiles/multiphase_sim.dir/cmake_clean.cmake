@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiphase_sim.dir/multiphase_sim.cpp.o"
+  "CMakeFiles/multiphase_sim.dir/multiphase_sim.cpp.o.d"
+  "multiphase_sim"
+  "multiphase_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiphase_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

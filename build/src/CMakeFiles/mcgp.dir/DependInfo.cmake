@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance2way.cpp" "src/CMakeFiles/mcgp.dir/core/balance2way.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/balance2way.cpp.o.d"
+  "/root/repo/src/core/coarsen.cpp" "src/CMakeFiles/mcgp.dir/core/coarsen.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/coarsen.cpp.o.d"
+  "/root/repo/src/core/initpart.cpp" "src/CMakeFiles/mcgp.dir/core/initpart.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/initpart.cpp.o.d"
+  "/root/repo/src/core/kway_driver.cpp" "src/CMakeFiles/mcgp.dir/core/kway_driver.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/kway_driver.cpp.o.d"
+  "/root/repo/src/core/kway_refine.cpp" "src/CMakeFiles/mcgp.dir/core/kway_refine.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/kway_refine.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/CMakeFiles/mcgp.dir/core/matching.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/matching.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/mcgp.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/partitioner.cpp.o.d"
+  "/root/repo/src/core/project.cpp" "src/CMakeFiles/mcgp.dir/core/project.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/project.cpp.o.d"
+  "/root/repo/src/core/rb_driver.cpp" "src/CMakeFiles/mcgp.dir/core/rb_driver.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/rb_driver.cpp.o.d"
+  "/root/repo/src/core/refine2way.cpp" "src/CMakeFiles/mcgp.dir/core/refine2way.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/core/refine2way.cpp.o.d"
+  "/root/repo/src/gen/mesh_gen.cpp" "src/CMakeFiles/mcgp.dir/gen/mesh_gen.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/gen/mesh_gen.cpp.o.d"
+  "/root/repo/src/gen/phase_sim.cpp" "src/CMakeFiles/mcgp.dir/gen/phase_sim.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/gen/phase_sim.cpp.o.d"
+  "/root/repo/src/gen/weight_gen.cpp" "src/CMakeFiles/mcgp.dir/gen/weight_gen.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/gen/weight_gen.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/mcgp.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/mcgp.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_ops.cpp" "src/CMakeFiles/mcgp.dir/graph/graph_ops.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/graph/graph_ops.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/mcgp.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/part_report.cpp" "src/CMakeFiles/mcgp.dir/graph/part_report.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/graph/part_report.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/mcgp.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/support/bucket_queue.cpp" "src/CMakeFiles/mcgp.dir/support/bucket_queue.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/support/bucket_queue.cpp.o.d"
+  "/root/repo/src/support/random.cpp" "src/CMakeFiles/mcgp.dir/support/random.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/support/random.cpp.o.d"
+  "/root/repo/src/support/timer.cpp" "src/CMakeFiles/mcgp.dir/support/timer.cpp.o" "gcc" "src/CMakeFiles/mcgp.dir/support/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_balance2way.cpp" "tests/CMakeFiles/test_core.dir/test_balance2way.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_balance2way.cpp.o.d"
+  "/root/repo/tests/test_bisection.cpp" "tests/CMakeFiles/test_core.dir/test_bisection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_bisection.cpp.o.d"
+  "/root/repo/tests/test_coarsen.cpp" "tests/CMakeFiles/test_core.dir/test_coarsen.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_coarsen.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/test_core.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_initpart.cpp" "tests/CMakeFiles/test_core.dir/test_initpart.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_initpart.cpp.o.d"
+  "/root/repo/tests/test_kway_refine.cpp" "tests/CMakeFiles/test_core.dir/test_kway_refine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_kway_refine.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/test_core.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_project.cpp" "tests/CMakeFiles/test_core.dir/test_project.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_project.cpp.o.d"
+  "/root/repo/tests/test_refine2way.cpp" "tests/CMakeFiles/test_core.dir/test_refine2way.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_refine2way.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

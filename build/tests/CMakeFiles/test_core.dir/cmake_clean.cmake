@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_balance2way.cpp.o"
+  "CMakeFiles/test_core.dir/test_balance2way.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_bisection.cpp.o"
+  "CMakeFiles/test_core.dir/test_bisection.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_coarsen.cpp.o"
+  "CMakeFiles/test_core.dir/test_coarsen.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_initpart.cpp.o"
+  "CMakeFiles/test_core.dir/test_initpart.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_kway_refine.cpp.o"
+  "CMakeFiles/test_core.dir/test_kway_refine.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_matching.cpp.o"
+  "CMakeFiles/test_core.dir/test_matching.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_project.cpp.o"
+  "CMakeFiles/test_core.dir/test_project.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_refine2way.cpp.o"
+  "CMakeFiles/test_core.dir/test_refine2way.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kway_driver.cpp" "tests/CMakeFiles/test_drivers.dir/test_kway_driver.cpp.o" "gcc" "tests/CMakeFiles/test_drivers.dir/test_kway_driver.cpp.o.d"
+  "/root/repo/tests/test_partitioner.cpp" "tests/CMakeFiles/test_drivers.dir/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/test_drivers.dir/test_partitioner.cpp.o.d"
+  "/root/repo/tests/test_rb_driver.cpp" "tests/CMakeFiles/test_drivers.dir/test_rb_driver.cpp.o" "gcc" "tests/CMakeFiles/test_drivers.dir/test_rb_driver.cpp.o.d"
+  "/root/repo/tests/test_refine_api.cpp" "tests/CMakeFiles/test_drivers.dir/test_refine_api.cpp.o" "gcc" "tests/CMakeFiles/test_drivers.dir/test_refine_api.cpp.o.d"
+  "/root/repo/tests/test_tpwgts.cpp" "tests/CMakeFiles/test_drivers.dir/test_tpwgts.cpp.o" "gcc" "tests/CMakeFiles/test_drivers.dir/test_tpwgts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

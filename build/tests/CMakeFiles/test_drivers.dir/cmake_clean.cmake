@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drivers.dir/test_kway_driver.cpp.o"
+  "CMakeFiles/test_drivers.dir/test_kway_driver.cpp.o.d"
+  "CMakeFiles/test_drivers.dir/test_partitioner.cpp.o"
+  "CMakeFiles/test_drivers.dir/test_partitioner.cpp.o.d"
+  "CMakeFiles/test_drivers.dir/test_rb_driver.cpp.o"
+  "CMakeFiles/test_drivers.dir/test_rb_driver.cpp.o.d"
+  "CMakeFiles/test_drivers.dir/test_refine_api.cpp.o"
+  "CMakeFiles/test_drivers.dir/test_refine_api.cpp.o.d"
+  "CMakeFiles/test_drivers.dir/test_tpwgts.cpp.o"
+  "CMakeFiles/test_drivers.dir/test_tpwgts.cpp.o.d"
+  "test_drivers"
+  "test_drivers.pdb"
+  "test_drivers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

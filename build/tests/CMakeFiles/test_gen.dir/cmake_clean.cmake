@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen.dir/test_mesh_gen.cpp.o"
+  "CMakeFiles/test_gen.dir/test_mesh_gen.cpp.o.d"
+  "CMakeFiles/test_gen.dir/test_phase_sim.cpp.o"
+  "CMakeFiles/test_gen.dir/test_phase_sim.cpp.o.d"
+  "CMakeFiles/test_gen.dir/test_weight_gen.cpp.o"
+  "CMakeFiles/test_gen.dir/test_weight_gen.cpp.o.d"
+  "test_gen"
+  "test_gen.pdb"
+  "test_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csr_graph.cpp" "tests/CMakeFiles/test_graph.dir/test_csr_graph.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_csr_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_graph_ops.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_ops.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_ops.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/test_graph.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_graph.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_part_report.cpp" "tests/CMakeFiles/test_graph.dir/test_part_report.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_part_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

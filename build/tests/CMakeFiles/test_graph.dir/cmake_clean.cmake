@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/test_csr_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/test_csr_graph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_io.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_io.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_ops.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_ops.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_mesh.cpp.o"
+  "CMakeFiles/test_graph.dir/test_mesh.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_graph.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_part_report.cpp.o"
+  "CMakeFiles/test_graph.dir/test_part_report.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

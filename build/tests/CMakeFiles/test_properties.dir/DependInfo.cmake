@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/test_properties.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/test_properties.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_properties.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/test_properties.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_property_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/test_properties.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_fuzz.cpp.o"
+  "CMakeFiles/test_properties.dir/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_integration.cpp.o"
+  "CMakeFiles/test_properties.dir/test_integration.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_property_sweeps.cpp.o"
+  "CMakeFiles/test_properties.dir/test_property_sweeps.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

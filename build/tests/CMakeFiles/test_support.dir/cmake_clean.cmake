@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/test_bucket_queue.cpp.o"
+  "CMakeFiles/test_support.dir/test_bucket_queue.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_indexed_heap.cpp.o"
+  "CMakeFiles/test_support.dir/test_indexed_heap.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_random.cpp.o"
+  "CMakeFiles/test_support.dir/test_random.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_timer.cpp.o"
+  "CMakeFiles/test_support.dir/test_timer.cpp.o.d"
+  "CMakeFiles/test_support.dir/test_union_find.cpp.o"
+  "CMakeFiles/test_support.dir/test_union_find.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
