@@ -4,9 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "gen/mesh_gen.hpp"
+#include "graph/part_report.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp::bench {
 
@@ -21,9 +25,12 @@ Args parse_args(int argc, char** argv) {
       args.reps = std::max(1, std::atoi(a.c_str() + 7));
     } else if (a == "--quick") {
       args.quick = true;
+    } else if (a.rfind("--trace-dir=", 0) == 0) {
+      args.trace_dir = a.substr(12);
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--scale=<f>] [--reps=<n>] [--quick]\n";
+                << " [--scale=<f>] [--reps=<n>] [--quick]"
+                << " [--trace-dir=<dir>]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
@@ -110,6 +117,37 @@ RunSummary run_average(const Graph& g, Options opts, int reps) {
   s.max_imbalance /= reps;
   s.seconds /= reps;
   return s;
+}
+
+bool emit_trace_artifacts(const Args& args, const std::string& name,
+                          const Graph& g, Options opts) {
+  if (args.trace_dir.empty()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(args.trace_dir, ec);
+
+  TraceRecorder recorder;
+  opts.trace = &recorder;
+  const PartitionResult res = partition(g, opts);
+
+  const std::string base = args.trace_dir + "/" + name;
+  bool ok = recorder.save_chrome_trace(base + ".trace.json");
+  ok = recorder.save_jsonl(base + ".events.jsonl") && ok;
+
+  std::ofstream report(base + ".report.json");
+  if (report) {
+    write_report_json(report, analyze_partition(g, res.part, opts.nparts));
+  }
+  ok = static_cast<bool>(report) && ok;
+
+  std::ofstream counters(base + ".counters.json");
+  if (counters) res.counters.write_json(counters);
+  ok = static_cast<bool>(counters) && ok;
+
+  if (!ok) {
+    std::cerr << "warning: failed writing trace artifacts under "
+              << args.trace_dir << "\n";
+  }
+  return ok;
 }
 
 }  // namespace mcgp::bench

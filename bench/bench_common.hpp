@@ -15,10 +15,14 @@ struct Args {
   double scale = 1.0;   ///< multiplies the vertex counts of the suite
   int reps = 3;         ///< seeds averaged per configuration (paper: 3)
   bool quick = false;   ///< trim the parameter grid (CI-friendly)
+  /// When non-empty, benches additionally run one traced partition per
+  /// configuration and write machine-readable artifacts into this
+  /// directory (see emit_trace_artifacts).
+  std::string trace_dir;
 };
 
-/// Parse --scale=<f>, --reps=<n>, --quick. Unknown arguments abort with a
-/// usage message.
+/// Parse --scale=<f>, --reps=<n>, --quick, --trace-dir=<dir>. Unknown
+/// arguments abort with a usage message.
 Args parse_args(int argc, char** argv);
 
 struct SuiteGraph {
@@ -60,5 +64,13 @@ struct RunSummary {
 
 /// Partition `reps` times with seeds 1..reps and average.
 RunSummary run_average(const Graph& g, Options opts, int reps);
+
+/// When args.trace_dir is set, run one traced partition of `g` and write
+///   <trace_dir>/<name>.trace.json   (chrome://tracing / Perfetto)
+///   <trace_dir>/<name>.events.jsonl (one JSON object per trace event)
+///   <trace_dir>/<name>.report.json  (PartitionReport + counters)
+/// No-op when trace_dir is empty. Returns true iff artifacts were written.
+bool emit_trace_artifacts(const Args& args, const std::string& name,
+                          const Graph& g, Options opts);
 
 }  // namespace mcgp::bench

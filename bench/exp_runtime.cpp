@@ -44,6 +44,12 @@ int main(int argc, char** argv) {
         o.nparts = k;
         o.algorithm = alg;
         const RunSummary s = run_average(g, o, args.reps);
+        // With --trace-dir, also dump per-level trace artifacts of one run.
+        emit_trace_artifacts(
+            args,
+            name + (alg == Algorithm::kKWay ? "-kway" : "-rb") + "-m" +
+                std::to_string(m),
+            g, o);
         if (m == 1) {
           t1 = s.seconds;
           row.push_back(Table::fmt(s.seconds, 3));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/trace.hpp"
+
 namespace mcgp {
 
 Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
@@ -71,24 +73,51 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng) {
   Hierarchy h;
   h.finest = &g;
 
+  TraceSpan coarsen_span(params.trace, "coarsen");
+
   const Graph* cur = &g;
   for (int level = 0; level < params.max_levels; ++level) {
     if (cur->nvtxs <= params.coarsen_to) break;
 
-    const std::vector<idx_t> match = compute_matching(*cur, params.scheme, rng);
+    TraceSpan sp(params.trace, "coarsen.level");
+    const std::vector<idx_t> match =
+        compute_matching(*cur, params.scheme, rng, params.trace);
     std::vector<idx_t> cmap;
     const idx_t ncoarse = build_coarse_map(*cur, match, cmap);
+
+    if (sp.enabled()) {
+      idx_t singletons = 0;
+      for (idx_t v = 0; v < cur->nvtxs; ++v) {
+        if (match[static_cast<std::size_t>(v)] == v) ++singletons;
+      }
+      sp.arg({"level", level});
+      sp.arg({"nvtxs", cur->nvtxs});
+      sp.arg({"nedges", cur->nedges()});
+      sp.arg({"ncoarse", ncoarse});
+      sp.arg({"matched_fraction",
+              static_cast<double>(cur->nvtxs - singletons) /
+                  static_cast<double>(cur->nvtxs)});
+      sp.arg({"reduction", static_cast<double>(ncoarse) /
+                               static_cast<double>(cur->nvtxs)});
+    }
 
     // Stop when matching no longer shrinks the graph meaningfully
     // (e.g. star-like coarse graphs where almost nothing matches).
     if (ncoarse >= static_cast<idx_t>(params.min_reduction * cur->nvtxs) &&
         ncoarse > params.coarsen_to) {
+      trace_count(params.trace, "coarsen.stalled");
       break;
     }
 
     Graph coarse = contract_graph(*cur, cmap, ncoarse);
     h.levels.push_back(CoarseLevel{std::move(coarse), std::move(cmap)});
     cur = &h.levels.back().graph;
+    trace_count(params.trace, "coarsen.levels");
+  }
+
+  if (coarsen_span.enabled()) {
+    coarsen_span.arg({"levels", h.num_levels()});
+    coarsen_span.arg({"coarsest_nvtxs", h.coarsest().nvtxs});
   }
   return h;
 }

@@ -44,6 +44,7 @@ struct CoarsenParams {
   MatchScheme scheme = MatchScheme::kHeavyEdgeBalanced;
   real_t min_reduction = 0.95;  ///< stop if ncoarse > min_reduction * n
   int max_levels = 60;
+  TraceRecorder* trace = nullptr;  ///< optional per-level span recording
 };
 
 /// Repeatedly match-and-contract until the graph is small enough or

@@ -2,14 +2,19 @@
 // partitioner.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "support/counters.hpp"
 #include "support/timer.hpp"
 #include "support/types.hpp"
 
 namespace mcgp {
+
+class TraceRecorder;
 
 /// Which multilevel partitioner to run.
 enum class Algorithm {
@@ -82,12 +87,17 @@ struct Options {
   /// non-improving moves (0 = automatic: max(64, nvtxs/100)).
   idx_t fm_move_limit = 0;
 
+  /// Optional trace recorder (see support/trace.hpp). When non-null the
+  /// pipeline records hierarchical span events (run -> bisection ->
+  /// coarsen level -> FM pass) and per-run counters/histograms into it;
+  /// null (the default) disables all instrumentation at the cost of one
+  /// pointer test per site. The recorder must outlive the run.
+  TraceRecorder* trace = nullptr;
+
   /// Tolerance for constraint i (handles the empty-default case).
   real_t ub_for(int i) const {
     if (ubvec.empty()) return 1.05;
-    return ubvec[static_cast<std::size_t>(i) < ubvec.size()
-                     ? static_cast<std::size_t>(i)
-                     : ubvec.size() - 1];
+    return ubvec[std::min(static_cast<std::size_t>(i), ubvec.size() - 1)];
   }
 };
 
@@ -101,6 +111,9 @@ struct PartitionResult {
   PhaseTimes phases;             ///< coarsen / init / refine breakdown
   int coarsen_levels = 0;        ///< levels created by the top coarsener
   idx_t coarsest_nvtxs = 0;      ///< size of the coarsest graph
+  /// Per-run pipeline counters/histograms (fm.moves, match.failed, ...).
+  /// Populated only when Options::trace was set; empty otherwise.
+  CounterRegistry counters;
 };
 
 }  // namespace mcgp

@@ -7,6 +7,7 @@
 #include "core/balance2way.hpp"
 #include "core/refine2way.hpp"
 #include "support/indexed_heap.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp {
 
@@ -147,8 +148,10 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
 
 sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
-                     int trials, QueuePolicy policy, Rng& rng) {
+                     int trials, QueuePolicy policy, Rng& rng,
+                     TraceRecorder* trace) {
   trials = std::max(trials, 1);
+  TraceSpan span(trace, "initpart");
 
   std::vector<idx_t> best, cand;
   sum_t best_cut = 0;
@@ -174,6 +177,14 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
     const bool feasible = pot <= 1.0 + 1e-12;
     const sum_t cut = compute_cut_2way(g, cand);
 
+    trace_count(trace, "initpart.trials");
+    trace_instant(trace, "initpart.trial",
+                  {{"trial", t},
+                   {"grow", static_cast<std::int64_t>(use_grow ? 1 : 0)},
+                   {"cut", cut},
+                   {"potential", pot},
+                   {"feasible", static_cast<std::int64_t>(feasible ? 1 : 0)}});
+
     // Feasible trials compete on cut; infeasible trials compete on
     // balance FIRST — an initial bisection that starts far out of balance
     // is unlikely to ever be repaired during multilevel refinement, so a
@@ -198,6 +209,13 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
     }
   }
 
+  if (span.enabled()) {
+    span.arg({"nvtxs", g.nvtxs});
+    span.arg({"trials", trials});
+    span.arg({"best_cut", best_cut});
+    span.arg({"best_potential", best_pot});
+    span.arg({"feasible", static_cast<std::int64_t>(best_feasible ? 1 : 0)});
+  }
   where = std::move(best);
   return best_cut;
 }

@@ -34,9 +34,11 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
                        const BisectionTargets& targets, Rng& rng);
 
 /// Best-of-`trials` initial bisection with polishing. Fills `where`.
-/// Returns the cut of the selected bisection.
+/// Returns the cut of the selected bisection. A non-null `trace` records
+/// an "initpart" span with one "initpart.trial" instant per attempt.
 sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
-                     int trials, QueuePolicy policy, Rng& rng);
+                     int trials, QueuePolicy policy, Rng& rng,
+                     TraceRecorder* trace = nullptr);
 
 }  // namespace mcgp

@@ -6,6 +6,8 @@
 #include "core/kway_refine.hpp"
 #include "core/project.hpp"
 #include "core/rb_driver.hpp"
+#include "graph/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp {
 
@@ -42,6 +44,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     cp.coarsen_to = kway_coarsen_to(opts, k, g.ncon, g.nvtxs);
     cp.scheme = opts.matching;
     cp.min_reduction = opts.min_coarsen_reduction;
+    cp.trace = opts.trace;
     // The coarsest graph must retain enough vertices to seed k parts.
     cp.coarsen_to = std::max<idx_t>(cp.coarsen_to, 4 * k);
     h = coarsen_graph(g, cp, rng);
@@ -58,6 +61,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
   std::vector<idx_t> cwhere;
   {
     ScopedPhase sp(pt, "initpart");
+    TraceSpan tsp(opts.trace, "initpart.kway");
     Options init_opts = opts;
     init_opts.nparts = k;
     init_opts.coarsen_to = 0;  // let the bisections pick their own size
@@ -83,15 +87,31 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
                           fine_where);
         cwhere = std::move(fine_where);
       }
+      TraceSpan lvl(opts.trace, "uncoarsen.level");
       // Extra sweeps on the finest graph, where moves are cheapest in
       // balance terms and most plentiful.
       const int passes = l == 0 ? opts.kway_passes + 2 : opts.kway_passes;
       const std::vector<real_t>* tp =
           opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+      sum_t cut;
       if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
-        kway_refine_pq(cur, k, cwhere, ub, passes, rng, nullptr, tp);
+        cut = kway_refine_pq(cur, k, cwhere, ub, passes, rng, nullptr, tp,
+                             opts.trace);
       } else {
-        kway_refine(cur, k, cwhere, ub, passes, rng, nullptr, tp);
+        cut = kway_refine(cur, k, cwhere, ub, passes, rng, nullptr, tp,
+                          opts.trace);
+      }
+      if (lvl.enabled()) {
+        const std::vector<real_t> lb =
+            tp != nullptr ? target_imbalance(cur, cwhere, k, *tp)
+                          : imbalance(cur, cwhere, k);
+        real_t worst = 1.0;
+        for (const real_t x : lb) worst = std::max(worst, x);
+        lvl.arg({"level", l});
+        lvl.arg({"nvtxs", cur.nvtxs});
+        lvl.arg({"nedges", cur.nedges()});
+        lvl.arg({"cut", cut});
+        lvl.arg({"max_imbalance", worst});
       }
     }
   }

@@ -4,6 +4,7 @@
 
 #include "graph/metrics.hpp"
 #include "support/bucket_queue.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp {
 
@@ -416,9 +417,13 @@ idx_t pq_pass(const Graph& g, KWayContext& ctx, std::vector<idx_t>& where,
 
 bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, Rng& rng,
-                  const std::vector<real_t>* tpwgts) {
+                  const std::vector<real_t>* tpwgts, TraceRecorder* trace) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
   if (ctx.feasible()) return true;
+
+  TraceSpan span(trace, "kway.balance");
+  idx_t total_moves = 0;
+  int episodes = 0;
   // Each episode drains the current argmax part, so (peak, #loads at the
   // peak) decreases lexicographically while episodes make progress —
   // several parts can tie at the peak, so the peak alone is not the right
@@ -437,21 +442,35 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
   };
   auto prev = progress_state();
   for (int ep = 0; ep < max_episodes && !ctx.feasible(); ++ep) {
-    if (balance_episode(g, ctx, nparts, where, rng) == 0) break;
+    const idx_t moves = balance_episode(g, ctx, nparts, where, rng);
+    if (moves == 0) break;
+    total_moves += moves;
+    ++episodes;
     const auto cur = progress_state();
     if (cur.first >= prev.first - 1e-12 && cur.second >= prev.second) break;
     prev = cur;
   }
-  return ctx.feasible();
+
+  const bool ok = ctx.feasible();
+  if (span.enabled()) {
+    trace_count(trace, "kway.balance.moves", total_moves);
+    trace_count(trace, "kway.balance.episodes", episodes);
+    span.arg({"moves", total_moves});
+    span.arg({"episodes", episodes});
+    span.arg({"max_overload", ctx.max_overload()});
+    span.arg({"feasible", static_cast<std::int64_t>(ok ? 1 : 0)});
+  }
+  return ok;
 }
 
 sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, int max_passes, Rng& rng,
-                  KWayRefineStats* stats, const std::vector<real_t>* tpwgts) {
+                  KWayRefineStats* stats, const std::vector<real_t>* tpwgts,
+                  TraceRecorder* trace) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
     ctx.reload();
   }
 
@@ -460,17 +479,26 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
   // pass count as a safety net against oscillation.
   const int pass_cap = 4 * max_passes;
   for (int pass = 0; pass < pass_cap; ++pass) {
+    TraceSpan span(trace, "kway.pass");
     sum_t gain_sum = 0;
     const idx_t moves = refine_sweep(ctx, where, rng, gain_sum);
     if (stats != nullptr) {
       ++stats->passes;
       stats->moves += moves;
     }
+    if (span.enabled()) {
+      trace_count(trace, "kway.passes");
+      trace_count(trace, "kway.moves", moves);
+      span.arg({"pass", pass});
+      span.arg({"moves", moves});
+      span.arg({"gain", gain_sum});
+      span.arg({"max_overload", ctx.max_overload()});
+    }
     if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
   }
 
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
     ctx.reload();
   }
 
@@ -485,28 +513,37 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
 sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                      const std::vector<real_t>& ub, int max_passes, Rng& rng,
                      KWayRefineStats* stats,
-                     const std::vector<real_t>* tpwgts) {
+                     const std::vector<real_t>* tpwgts, TraceRecorder* trace) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
     ctx.reload();
   }
 
   BucketQueue queue;
   const int pass_cap = 4 * max_passes;
   for (int pass = 0; pass < pass_cap; ++pass) {
+    TraceSpan span(trace, "kway.pass");
     sum_t gain_sum = 0;
     const idx_t moves = pq_pass(g, ctx, where, queue, rng, gain_sum);
     if (stats != nullptr) {
       ++stats->passes;
       stats->moves += moves;
     }
+    if (span.enabled()) {
+      trace_count(trace, "kway.passes");
+      trace_count(trace, "kway.moves", moves);
+      span.arg({"pass", pass});
+      span.arg({"moves", moves});
+      span.arg({"gain", gain_sum});
+      span.arg({"max_overload", ctx.max_overload()});
+    }
     if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
   }
 
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
     ctx.reload();
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/trace.hpp"
+
 namespace mcgp {
 
 real_t balanced_edge_score(const Graph& g, idx_t v, idx_t u) {
@@ -21,7 +23,7 @@ real_t balanced_edge_score(const Graph& g, idx_t v, idx_t u) {
 }
 
 std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
-                                    Rng& rng) {
+                                    Rng& rng, TraceRecorder* trace) {
   std::vector<idx_t> match(static_cast<std::size_t>(g.nvtxs), -1);
   std::vector<idx_t> perm;
   random_permutation(g.nvtxs, perm, rng);
@@ -81,6 +83,19 @@ std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
     } else {
       match[static_cast<std::size_t>(v)] = v;
     }
+  }
+
+  if (trace != nullptr) {
+    idx_t pairs = 0, failed = 0;
+    for (idx_t v = 0; v < g.nvtxs; ++v) {
+      if (match[static_cast<std::size_t>(v)] != v) {
+        ++pairs;  // counts both endpoints; halved below
+      } else if (g.degree(v) > 0) {
+        ++failed;  // had neighbors but every one was already taken
+      }
+    }
+    trace_count(trace, "match.pairs", pairs / 2);
+    trace_count(trace, "match.failed", failed);
   }
   return match;
 }

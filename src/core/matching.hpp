@@ -19,9 +19,11 @@ namespace mcgp {
 
 /// Compute a matching. match[v] == partner of v, or v itself if unmatched.
 /// The relation is symmetric (match[match[v]] == v) and only adjacent
-/// vertices are matched.
+/// vertices are matched. A non-null `trace` accumulates the
+/// `match.pairs` / `match.failed` counters (failed = vertices left
+/// unmatched although they had neighbors).
 std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
-                                    Rng& rng);
+                                    Rng& rng, TraceRecorder* trace = nullptr);
 
 /// Derive the fine-to-coarse vertex map from a matching. Coarse ids are
 /// assigned in order of the smaller endpoint. Returns the number of coarse

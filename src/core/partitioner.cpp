@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/kway_driver.hpp"
 #include "core/kway_refine.hpp"
@@ -9,6 +10,7 @@
 #include "graph/metrics.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp {
 
@@ -26,15 +28,25 @@ void validate_options(const Graph& g, const Options& opts) {
   }
   if (!opts.tpwgts.empty()) {
     if (opts.tpwgts.size() != static_cast<std::size_t>(opts.nparts)) {
-      throw std::invalid_argument("partition: tpwgts size != nparts");
+      throw std::invalid_argument(
+          "partition: tpwgts must hold one target fraction per part (got " +
+          std::to_string(opts.tpwgts.size()) + " entries for nparts = " +
+          std::to_string(opts.nparts) + ")");
     }
     real_t total = 0;
-    for (const real_t f : opts.tpwgts) {
-      if (f <= 0) throw std::invalid_argument("partition: tpwgts entry <= 0");
+    for (std::size_t p = 0; p < opts.tpwgts.size(); ++p) {
+      const real_t f = opts.tpwgts[p];
+      if (f <= 0) {
+        throw std::invalid_argument(
+            "partition: tpwgts[" + std::to_string(p) + "] = " +
+            std::to_string(f) + " — every target fraction must be > 0");
+      }
       total += f;
     }
     if (total < 0.999 || total > 1.001) {
-      throw std::invalid_argument("partition: tpwgts must sum to 1");
+      throw std::invalid_argument(
+          "partition: tpwgts must sum to 1 (got " + std::to_string(total) +
+          ")");
     }
   }
 }
@@ -96,6 +108,18 @@ PartitionResult partition(const Graph& g, const Options& opts) {
   PartitionResult result;
   Rng rng(opts.seed);
 
+  TraceSpan run_span(opts.trace, "partition");
+  if (run_span.enabled()) {
+    run_span.arg({"nvtxs", g.nvtxs});
+    run_span.arg({"nedges", g.nedges()});
+    run_span.arg({"ncon", g.ncon});
+    run_span.arg({"nparts", opts.nparts});
+    run_span.arg({"seed", static_cast<std::int64_t>(opts.seed)});
+    run_span.arg({"algorithm",
+                  static_cast<std::int64_t>(
+                      opts.algorithm == Algorithm::kKWay ? 1 : 0)});
+  }
+
   switch (opts.algorithm) {
     case Algorithm::kRecursiveBisection: {
       MlBisectStats stats;
@@ -116,6 +140,12 @@ PartitionResult partition(const Graph& g, const Options& opts) {
 
   ensure_nonempty_parts(g, opts.nparts, result.part);
   fill_quality(g, opts, result);
+  if (run_span.enabled()) {
+    run_span.arg({"cut", result.cut});
+    run_span.arg({"max_imbalance", result.max_imbalance});
+    run_span.finish();
+    result.counters = opts.trace->counters();
+  }
   result.seconds = timer.seconds();
   return result;
 }
@@ -141,17 +171,19 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
 
   {
     ScopedPhase sp(result.phases, "refine");
+    TraceSpan tsp(opts.trace, "refine_partition");
     if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
       kway_refine_pq(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                     tp);
+                     tp, opts.trace);
     } else {
       kway_refine(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                  tp);
+                  tp, opts.trace);
     }
   }
 
   result.part = std::move(part);
   fill_quality(g, opts, result);
+  if (opts.trace != nullptr) result.counters = opts.trace->counters();
   result.seconds = timer.seconds();
   return result;
 }

@@ -9,6 +9,7 @@
 #include "core/project.hpp"
 #include "core/refine2way.hpp"
 #include "graph/graph_ops.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp {
 
@@ -74,6 +75,13 @@ void rb_recurse(const Graph& sub, const std::vector<idx_t>& local_to_global,
     return;
   }
 
+  TraceSpan span(opts.trace, "rb.split");
+  if (span.enabled()) {
+    span.arg({"k", k});
+    span.arg({"part0", part0});
+    span.arg({"nvtxs", sub.nvtxs});
+  }
+
   const idx_t k_left = (k + 1) / 2;
   BisectionTargets targets;
   // With explicit per-part targets the split point is the fraction of the
@@ -116,6 +124,8 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
   PhaseTimes local_phases;
   PhaseTimes& pt = phases != nullptr ? *phases : local_phases;
 
+  TraceSpan bisect_span(opts.trace, "bisect");
+
   Hierarchy h;
   {
     ScopedPhase sp(pt, "coarsen");
@@ -123,6 +133,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     cp.coarsen_to = ct;
     cp.scheme = opts.matching;
     cp.min_reduction = opts.min_coarsen_reduction;
+    cp.trace = opts.trace;
     h = coarsen_graph(g, cp, rng);
   }
 
@@ -136,7 +147,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
   {
     ScopedPhase sp(pt, "initpart");
     init_bisection(coarsest, cwhere, targets, opts.init_scheme,
-                   opts.init_trials, opts.queue_policy, rng);
+                   opts.init_trials, opts.queue_policy, rng, opts.trace);
   }
 
   sum_t cut = 0;
@@ -151,9 +162,20 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
                           fine_where);
         cwhere = std::move(fine_where);
       }
+      TraceSpan lvl(opts.trace, "uncoarsen.level");
       balance_2way(cur, cwhere, targets, rng);
       cut = refine_2way(cur, cwhere, targets, opts.queue_policy,
-                        opts.refine_passes, opts.fm_move_limit, rng);
+                        opts.refine_passes, opts.fm_move_limit, rng,
+                        nullptr, opts.trace);
+      if (lvl.enabled()) {
+        BisectionBalance bal;
+        bal.init(cur, cwhere, targets);
+        lvl.arg({"level", l});
+        lvl.arg({"nvtxs", cur.nvtxs});
+        lvl.arg({"nedges", cur.nedges()});
+        lvl.arg({"cut", cut});
+        lvl.arg({"potential", bal.potential()});
+      }
     }
   }
 
@@ -161,6 +183,12 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
   ensure_nonempty_sides(g, where);
   cut = compute_cut_2way(g, where);
   if (stats != nullptr) stats->cut = cut;
+  if (bisect_span.enabled()) {
+    bisect_span.arg({"nvtxs", g.nvtxs});
+    bisect_span.arg({"levels", h.num_levels()});
+    bisect_span.arg({"coarsest_nvtxs", coarsest.nvtxs});
+    bisect_span.arg({"cut", cut});
+  }
   return cut;
 }
 
@@ -206,8 +234,10 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
   const std::vector<real_t>* tp =
       opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
   if (!kway_feasible(g, compute_part_weights(g, part, k), k, ub, tp)) {
-    kway_balance(g, k, part, ub, rng, tp);
-    kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp);
+    trace_count(opts.trace, "rb.fixup");
+    kway_balance(g, k, part, ub, rng, tp, opts.trace);
+    kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp,
+                opts.trace);
   }
   return part;
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "support/bucket_queue.hpp"
+#include "support/trace.hpp"
 
 namespace mcgp {
 
@@ -53,7 +54,8 @@ class FmPass {
   }
 
   /// Run one pass; returns true if it improved (cut or balance).
-  bool run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats);
+  bool run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
+           TraceRecorder* trace, int pass_index);
 
  private:
   struct MoveRecord {
@@ -236,7 +238,12 @@ void FmPass::rollback_to(std::size_t best_prefix, sum_t& cut) {
   }
 }
 
-bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats) {
+bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
+                 TraceRecorder* trace, int pass_index) {
+  TraceSpan span(trace, "fm.pass");
+  Histogram* gain_hist =
+      trace != nullptr ? &trace->counters().hist("gain.histogram") : nullptr;
+
   compute_degrees_and_seed_queues(cut);
   log_.clear();
 
@@ -275,6 +282,7 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats) {
       continue;
     }
 
+    if (gain_hist != nullptr) gain_hist->record(gain(v));
     commit_move(v, from, cut);
 
     const real_t cur_pot = new_pot;
@@ -295,8 +303,24 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats) {
     }
   }
 
+  const std::size_t total_moves = log_.size();
   rollback_to(best_prefix, cut);
   if (stats != nullptr) stats->moves += static_cast<idx_t>(best_prefix);
+
+  if (span.enabled()) {
+    trace_count(trace, "fm.passes");
+    trace_count(trace, "fm.moves", static_cast<std::int64_t>(best_prefix));
+    trace_count(trace, "fm.rollbacks",
+                static_cast<std::int64_t>(total_moves - best_prefix));
+    span.arg({"pass", pass_index});
+    span.arg({"cut_before", start_cut});
+    span.arg({"cut_after", cut});
+    span.arg({"moves", static_cast<std::int64_t>(best_prefix)});
+    span.arg({"rolled_back", static_cast<std::int64_t>(total_moves - best_prefix)});
+    span.arg({"potential_before", start_potential});
+    span.arg({"potential_after", best_potential});
+    span.arg({"feasible", static_cast<std::int64_t>(best_feasible ? 1 : 0)});
+  }
 
   const bool improved =
       (best_feasible && !start_feasible) || best_cut < start_cut ||
@@ -309,7 +333,7 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats) {
 sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
                   const BisectionTargets& targets, QueuePolicy policy,
                   int max_passes, idx_t move_limit, Rng& rng,
-                  Refine2WayStats* stats) {
+                  Refine2WayStats* stats, TraceRecorder* trace) {
   if (move_limit <= 0) move_limit = std::max<idx_t>(64, g.nvtxs / 100);
 
   sum_t cut = compute_cut_2way(g, where);
@@ -317,7 +341,7 @@ sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
 
   for (int pass = 0; pass < max_passes; ++pass) {
     FmPass fm(g, where, targets, policy, rng);
-    const bool improved = fm.run(cut, move_limit, stats);
+    const bool improved = fm.run(cut, move_limit, stats, trace, pass);
     if (stats != nullptr) ++stats->passes;
     if (!improved) break;
   }

@@ -31,11 +31,14 @@ struct Refine2WayStats {
 /// Returns the final cut. Guarantees: the final cut is never worse than
 /// the initial cut unless the initial bisection was infeasible and
 /// feasibility required cut-increasing moves; the balance potential never
-/// ends worse than it started.
+/// ends worse than it started. A non-null `trace` records one "fm.pass"
+/// span per pass plus the fm.moves / fm.rollbacks counters and the
+/// gain.histogram of committed move gains.
 sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
                   const BisectionTargets& targets, QueuePolicy policy,
                   int max_passes, idx_t move_limit, Rng& rng,
-                  Refine2WayStats* stats = nullptr);
+                  Refine2WayStats* stats = nullptr,
+                  TraceRecorder* trace = nullptr);
 
 /// Dominant constraint of vertex v: index of its largest normalized weight
 /// component (ties to the lower index). Exposed for testing.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "graph/metrics.hpp"
+#include "support/json_writer.hpp"
 
 namespace mcgp {
 
@@ -83,6 +85,46 @@ void print_report(std::ostream& out, const PartitionReport& rep) {
     for (const real_t s : ps.shares) out << ' ' << std::setprecision(4) << s;
     out << "\n";
   }
+}
+
+void write_report_json(std::ostream& out, const PartitionReport& rep) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("nparts", rep.nparts);
+  w.member("edge_cut", rep.edge_cut);
+  w.member("communication_volume", rep.communication_volume);
+  w.member("max_adjacent_parts", rep.max_adjacent_parts);
+  w.key("imbalance");
+  w.begin_array();
+  for (const real_t lb : rep.imbalance) w.value(lb);
+  w.end_array();
+  w.key("parts");
+  w.begin_array();
+  for (const PartStats& ps : rep.parts) {
+    w.begin_object();
+    w.member("vertices", ps.vertices);
+    w.member("boundary_vertices", ps.boundary_vertices);
+    w.member("adjacent_parts", ps.adjacent_parts);
+    w.member("external_edge_weight", ps.external_edge_weight);
+    w.key("weights");
+    w.begin_array();
+    for (const sum_t wt : ps.weights) w.value(wt);
+    w.end_array();
+    w.key("shares");
+    w.begin_array();
+    for (const real_t s : ps.shares) w.value(s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+std::string report_to_json(const PartitionReport& rep) {
+  std::ostringstream out;
+  write_report_json(out, rep);
+  return out.str();
 }
 
 }  // namespace mcgp

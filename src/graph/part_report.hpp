@@ -37,4 +37,9 @@ PartitionReport analyze_partition(const Graph& g,
 /// Pretty-print (fixed-width table plus summary lines).
 void print_report(std::ostream& out, const PartitionReport& report);
 
+/// Machine-readable counterpart of print_report: serialize every report
+/// field as one JSON object.
+void write_report_json(std::ostream& out, const PartitionReport& report);
+std::string report_to_json(const PartitionReport& report);
+
 }  // namespace mcgp

@@ -1,0 +1,131 @@
+#include "support/counters.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/json_writer.hpp"
+
+namespace mcgp {
+
+namespace {
+
+int bucket_index(std::int64_t v) {
+  if (v == 0) return 0;
+  const std::uint64_t mag =
+      v > 0 ? static_cast<std::uint64_t>(v)
+            : static_cast<std::uint64_t>(-(v + 1)) + 1;  // safe for INT64_MIN
+  int k = 1;
+  std::uint64_t hi = 1;  // bucket k covers magnitudes [2^(k-1), 2^k)
+  while (mag >= hi * 2 && k < 63) {
+    hi *= 2;
+    ++k;
+  }
+  return v > 0 ? k : -k;
+}
+
+/// Inclusive magnitude range of bucket |index| = k: [2^(k-1), 2^k - 1].
+std::pair<std::int64_t, std::int64_t> bucket_range(int index) {
+  if (index == 0) return {0, 0};
+  const int k = index > 0 ? index : -index;
+  const std::int64_t lo = std::int64_t{1} << (k - 1);
+  const std::int64_t hi = (std::int64_t{1} << k) - 1;
+  if (index > 0) return {lo, hi};
+  return {-hi, -lo};
+}
+
+}  // namespace
+
+void Histogram::record(std::int64_t v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++sparse_[bucket_index(v)];
+}
+
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<std::pair<int, std::uint64_t>> items(sparse_.begin(),
+                                                   sparse_.end());
+  std::sort(items.begin(), items.end());
+  std::vector<Bucket> out;
+  out.reserve(items.size());
+  for (const auto& [index, count] : items) {
+    const auto [lo, hi] = bucket_range(index);
+    out.push_back(Bucket{lo, hi, count});
+  }
+  return out;
+}
+
+void CounterRegistry::incr(std::string_view name, std::int64_t delta) {
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) {
+    counters_[it->second].second += delta;
+    return;
+  }
+  counter_index_.emplace(std::string(name), counters_.size());
+  counters_.emplace_back(std::string(name), delta);
+}
+
+std::int64_t CounterRegistry::get(std::string_view name) const {
+  const auto it = counter_index_.find(std::string(name));
+  return it != counter_index_.end() ? counters_[it->second].second : 0;
+}
+
+Histogram& CounterRegistry::hist(std::string_view name) {
+  const auto it = hist_index_.find(std::string(name));
+  if (it != hist_index_.end()) return hists_[it->second].second;
+  hist_index_.emplace(std::string(name), hists_.size());
+  hists_.emplace_back(std::string(name), Histogram{});
+  return hists_.back().second;
+}
+
+const Histogram* CounterRegistry::find_hist(std::string_view name) const {
+  const auto it = hist_index_.find(std::string(name));
+  return it != hist_index_.end() ? &hists_[it->second].second : nullptr;
+}
+
+void CounterRegistry::clear() {
+  counters_.clear();
+  counter_index_.clear();
+  hists_.clear();
+  hist_index_.clear();
+}
+
+void CounterRegistry::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : counters_) w.member(name, value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : hists_) {
+    w.key(name);
+    w.begin_object();
+    w.member("count", static_cast<std::uint64_t>(h.count()));
+    w.member("min", h.min());
+    w.member("max", h.max());
+    w.member("sum", h.sum());
+    w.member("mean", h.mean());
+    w.key("buckets");
+    w.begin_array();
+    for (const auto& b : h.buckets()) {
+      w.begin_object();
+      w.member("lo", b.lo);
+      w.member("hi", b.hi);
+      w.member("count", static_cast<std::uint64_t>(b.count));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace mcgp

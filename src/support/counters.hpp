@@ -1,0 +1,91 @@
+// Named counter / histogram registry for per-run pipeline statistics
+// (fm.moves, fm.rollbacks, match.failed, gain.histogram, ...).
+//
+// Counters are plain int64 accumulators; histograms bucket integer samples
+// by sign-aware powers of two (bucket k holds magnitudes [2^(k-1), 2^k)),
+// which keeps FM gain distributions compact no matter how heavy the tails.
+// Both live in first-use order so reports are stable across runs.
+//
+// The registry is owned by a TraceRecorder and only ever touched through a
+// non-null `Options::trace`, so a disabled run pays nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mcgp {
+
+/// Power-of-two bucketed histogram of signed integer samples.
+class Histogram {
+ public:
+  void record(std::int64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::int64_t max() const { return count_ > 0 ? max_ : 0; }
+  std::int64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  struct Bucket {
+    std::int64_t lo = 0;  ///< inclusive lower bound of the value range
+    std::int64_t hi = 0;  ///< inclusive upper bound
+    std::uint64_t count = 0;
+  };
+  /// Non-empty buckets in increasing value order.
+  std::vector<Bucket> buckets() const;
+
+ private:
+  // Bucket index: 0 for v == 0, +k / -k for positive / negative magnitudes
+  // in [2^(k-1), 2^k). Stored sparse; at most ~128 distinct indices exist.
+  std::unordered_map<int, std::uint64_t> sparse_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+/// Named counters and histograms, first-use ordered.
+class CounterRegistry {
+ public:
+  /// Add `delta` to the named counter, creating it at 0 on first use.
+  void incr(std::string_view name, std::int64_t delta = 1);
+
+  /// Current value (0 if the counter was never touched).
+  std::int64_t get(std::string_view name) const;
+
+  /// Histogram by name, created empty on first use.
+  Histogram& hist(std::string_view name);
+
+  /// Histogram by name, or nullptr if never created.
+  const Histogram* find_hist(std::string_view name) const;
+
+  /// (name, value) pairs in first-use order.
+  const std::vector<std::pair<std::string, std::int64_t>>& counters() const {
+    return counters_;
+  }
+  /// (name, histogram) pairs in first-use order.
+  const std::vector<std::pair<std::string, Histogram>>& histograms() const {
+    return hists_;
+  }
+
+  bool empty() const { return counters_.empty() && hists_.empty(); }
+  void clear();
+
+  /// Serialize as {"counters": {...}, "histograms": {...}}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<std::pair<std::string, std::int64_t>> counters_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::vector<std::pair<std::string, Histogram>> hists_;
+  std::unordered_map<std::string, std::size_t> hist_index_;
+};
+
+}  // namespace mcgp

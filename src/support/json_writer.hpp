@@ -1,0 +1,131 @@
+// Minimal streaming JSON writer shared by the trace/counter/report
+// exporters. Emits syntactically valid JSON (correct escaping, no
+// trailing commas) without building an in-memory document tree.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace mcgp {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() {
+    separate();
+    out_ << '{';
+    stack_.push_back(State{false, true});
+  }
+  void end_object() {
+    out_ << '}';
+    stack_.pop_back();
+  }
+  void begin_array() {
+    separate();
+    out_ << '[';
+    stack_.push_back(State{false, false});
+  }
+  void end_array() {
+    out_ << ']';
+    stack_.pop_back();
+  }
+
+  /// Key of the next object member.
+  void key(std::string_view k) {
+    separate();
+    write_string(k);
+    out_ << ':';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    out_ << (v ? "true" : "false");
+  }
+  void value(std::int64_t v) {
+    separate();
+    out_ << v;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    out_ << v;
+  }
+  void value(std::int32_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+      out_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ << buf;
+  }
+
+  template <typename T>
+  void member(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  struct State {
+    bool has_items;
+    bool is_object;
+  };
+
+  /// Emit the comma between siblings; a value directly after key() never
+  /// needs one.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back().has_items) out_ << ',';
+      stack_.back().has_items = true;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mcgp

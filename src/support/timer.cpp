@@ -3,20 +3,18 @@
 namespace mcgp {
 
 void PhaseTimes::add(const std::string& phase, double seconds) {
-  for (auto& [name, total] : entries_) {
-    if (name == phase) {
-      total += seconds;
-      return;
-    }
+  const auto it = index_.find(phase);
+  if (it != index_.end()) {
+    entries_[it->second].second += seconds;
+    return;
   }
+  index_.emplace(phase, entries_.size());
   entries_.emplace_back(phase, seconds);
 }
 
 double PhaseTimes::get(const std::string& phase) const {
-  for (const auto& [name, total] : entries_) {
-    if (name == phase) return total;
-  }
-  return 0.0;
+  const auto it = index_.find(phase);
+  return it != index_.end() ? entries_[it->second].second : 0.0;
 }
 
 }  // namespace mcgp

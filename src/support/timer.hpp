@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/types.hpp"
@@ -41,10 +42,16 @@ class PhaseTimes {
     return entries_;
   }
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
 
  private:
   std::vector<std::pair<std::string, double>> entries_;
+  /// Phase name -> position in entries_ (O(1) add/get; entries_ keeps
+  /// first-use order for reporting).
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 /// RAII helper that adds its lifetime to a PhaseTimes entry.

@@ -1,0 +1,137 @@
+#include "support/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/json_writer.hpp"
+
+namespace mcgp {
+
+void TraceRecorder::begin(const char* name) {
+  TraceEvent ev;
+  ev.type = TraceEvent::Type::kBegin;
+  ev.depth = depth_;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  events_.push_back(std::move(ev));
+  ++depth_;
+}
+
+void TraceRecorder::end(std::initializer_list<TraceArg> args) {
+  end(args.begin(), static_cast<int>(args.size()));
+}
+
+void TraceRecorder::end(const TraceArg* args, int nargs) {
+  if (depth_ == 0) return;  // unmatched end: drop rather than corrupt
+  --depth_;
+  TraceEvent ev;
+  ev.type = TraceEvent::Type::kEnd;
+  ev.depth = depth_;
+  // Name of the innermost open span (for JSONL readability).
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->type == TraceEvent::Type::kBegin && it->depth == depth_) {
+      ev.name = it->name;
+      break;
+    }
+  }
+  ev.ts_ns = now_ns();
+  ev.args.assign(args, args + nargs);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(const char* name,
+                            std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.type = TraceEvent::Type::kInstant;
+  ev.depth = depth_;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  ev.args.assign(args.begin(), args.end());
+  events_.push_back(std::move(ev));
+}
+
+namespace {
+
+void write_args_object(JsonWriter& w, const std::vector<TraceArg>& args) {
+  w.begin_object();
+  for (const TraceArg& a : args) {
+    if (a.is_float) {
+      w.member(a.key, a.f);
+    } else {
+      w.member(a.key, a.i);
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& ev : events_) {
+    w.begin_object();
+    w.member("name", ev.name);
+    w.member("cat", "mcgp");
+    switch (ev.type) {
+      case TraceEvent::Type::kBegin: w.member("ph", "B"); break;
+      case TraceEvent::Type::kEnd: w.member("ph", "E"); break;
+      case TraceEvent::Type::kInstant:
+        w.member("ph", "i");
+        w.member("s", "t");
+        break;
+    }
+    // Chrome trace timestamps are microseconds (fractions allowed).
+    w.member("ts", static_cast<double>(ev.ts_ns) / 1000.0);
+    w.member("pid", std::int64_t{1});
+    w.member("tid", std::int64_t{1});
+    if (!ev.args.empty()) {
+      w.key("args");
+      write_args_object(w, ev.args);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void TraceRecorder::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& ev : events_) {
+    JsonWriter w(out);
+    w.begin_object();
+    switch (ev.type) {
+      case TraceEvent::Type::kBegin: w.member("type", "begin"); break;
+      case TraceEvent::Type::kEnd: w.member("type", "end"); break;
+      case TraceEvent::Type::kInstant: w.member("type", "instant"); break;
+    }
+    w.member("name", ev.name);
+    w.member("ts_ns", ev.ts_ns);
+    w.member("depth", std::int64_t{ev.depth});
+    if (!ev.args.empty()) {
+      w.key("args");
+      write_args_object(w, ev.args);
+    }
+    w.end_object();
+    out << '\n';
+  }
+}
+
+bool TraceRecorder::save_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+bool TraceRecorder::save_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mcgp

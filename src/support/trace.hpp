@@ -1,0 +1,158 @@
+// Structured trace instrumentation for the multilevel pipeline.
+//
+// A TraceRecorder captures timestamped hierarchical span events
+// (run -> RB bisection -> coarsen level -> FM pass) with typed numeric
+// payloads, plus a CounterRegistry of named counters/histograms. The
+// pipeline is instrumented through `Options::trace`: a null pointer
+// disables everything and costs one pointer test per instrumentation
+// point — no allocation, no clock read, no branch into library code.
+//
+// Exporters:
+//   * write_chrome_trace() — chrome://tracing / Perfetto "trace event"
+//     JSON (B/E pairs, microsecond timestamps, args on the end event)
+//   * write_jsonl()        — one JSON object per event, for ad-hoc tooling
+//
+// Span names and arg keys must be string literals (or otherwise outlive
+// the recorder); events store the pointers, never copies. A recorder is
+// single-threaded, matching the pipeline. It accumulates across runs —
+// call clear() between runs for per-run artifacts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/counters.hpp"
+
+namespace mcgp {
+
+/// One typed key/value payload entry attached to an event.
+struct TraceArg {
+  constexpr TraceArg() = default;
+  constexpr TraceArg(const char* k, std::int64_t v)
+      : key(k), is_float(false), i(v) {}
+  constexpr TraceArg(const char* k, std::int32_t v)
+      : TraceArg(k, static_cast<std::int64_t>(v)) {}
+  constexpr TraceArg(const char* k, std::uint64_t v)
+      : TraceArg(k, static_cast<std::int64_t>(v)) {}
+  constexpr TraceArg(const char* k, double v)
+      : key(k), is_float(true), f(v) {}
+
+  const char* key = "";
+  bool is_float = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+struct TraceEvent {
+  enum class Type : std::uint8_t { kBegin, kEnd, kInstant };
+
+  Type type = Type::kInstant;
+  int depth = 0;          ///< nesting depth at emission (begin: of the span)
+  const char* name = "";  ///< span/event name (static lifetime)
+  std::int64_t ts_ns = 0; ///< nanoseconds since recorder construction
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(clock::now()) {}
+
+  /// Open a span. Every begin() must be matched by one end().
+  void begin(const char* name);
+  /// Close the innermost span, attaching `args` to the end event.
+  void end(std::initializer_list<TraceArg> args = {});
+  void end(const TraceArg* args, int nargs);
+  /// Zero-duration event at the current depth.
+  void instant(const char* name, std::initializer_list<TraceArg> args = {});
+
+  int depth() const { return depth_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+
+  /// Drop all events and counters; the time origin is kept.
+  void clear() {
+    events_.clear();
+    counters_.clear();
+    depth_ = 0;
+  }
+
+  void write_chrome_trace(std::ostream& out) const;
+  void write_jsonl(std::ostream& out) const;
+
+  /// File-path conveniences; return false if the file cannot be opened.
+  bool save_chrome_trace(const std::string& path) const;
+  bool save_jsonl(const std::string& path) const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                origin_)
+        .count();
+  }
+
+  clock::time_point origin_;
+  std::vector<TraceEvent> events_;
+  int depth_ = 0;
+  CounterRegistry counters_;
+};
+
+/// RAII span that is a no-op (and allocation-free) on a null recorder.
+/// Payload values observed mid-span are attached with arg() and emitted on
+/// the span's end event.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* tr, const char* name) : tr_(tr) {
+    if (tr_ != nullptr) tr_->begin(name);
+  }
+  ~TraceSpan() { finish(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a payload entry to the end event (capped at kMaxArgs).
+  void arg(TraceArg a) {
+    if (tr_ != nullptr && nargs_ < kMaxArgs) args_[nargs_++] = a;
+  }
+
+  /// True when tracing is live — guard for payload computations that are
+  /// not worth doing on an untraced run.
+  bool enabled() const { return tr_ != nullptr; }
+
+  /// End the span now (idempotent; the destructor becomes a no-op).
+  void finish() {
+    if (tr_ == nullptr) return;
+    tr_->end(args_, nargs_);
+    tr_ = nullptr;
+  }
+
+ private:
+  static constexpr int kMaxArgs = 12;
+
+  TraceRecorder* tr_;
+  TraceArg args_[kMaxArgs];
+  int nargs_ = 0;
+};
+
+/// Null-safe free helpers for one-line instrumentation points.
+inline void trace_instant(TraceRecorder* tr, const char* name,
+                          std::initializer_list<TraceArg> args = {}) {
+  if (tr != nullptr) tr->instant(name, args);
+}
+inline void trace_count(TraceRecorder* tr, std::string_view name,
+                        std::int64_t delta = 1) {
+  if (tr != nullptr) tr->counters().incr(name, delta);
+}
+inline void trace_hist(TraceRecorder* tr, std::string_view name,
+                       std::int64_t value) {
+  if (tr != nullptr) tr->counters().hist(name).record(value);
+}
+
+}  // namespace mcgp

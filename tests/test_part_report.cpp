@@ -8,6 +8,7 @@
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
+#include "json_test_util.hpp"
 
 namespace mcgp {
 namespace {
@@ -79,6 +80,58 @@ TEST(PartReport, PrintsSomethingSane) {
   EXPECT_NE(text.find("imbalance"), std::string::npos);
   // One line per part plus headers.
   EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST(PartReport, JsonMatchesAnalyzedFields) {
+  Graph g = random_geometric(900, 0, 3, 2);
+  apply_type_s_weights(g, 2, 8, 0, 9, 11);
+  Options o;
+  o.nparts = 5;
+  const PartitionResult r = partition(g, o);
+  const PartitionReport rep = analyze_partition(g, r.part, 5);
+
+  const auto doc = testing::parse_json(report_to_json(rep));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_DOUBLE_EQ(doc->find("nparts")->number, 5.0);
+  EXPECT_DOUBLE_EQ(doc->find("edge_cut")->number,
+                   static_cast<double>(rep.edge_cut));
+  EXPECT_DOUBLE_EQ(doc->find("communication_volume")->number,
+                   static_cast<double>(rep.communication_volume));
+  EXPECT_DOUBLE_EQ(doc->find("max_adjacent_parts")->number,
+                   static_cast<double>(rep.max_adjacent_parts));
+
+  const testing::JsonValue* imb = doc->find("imbalance");
+  ASSERT_NE(imb, nullptr);
+  ASSERT_EQ(imb->array.size(), rep.imbalance.size());
+  for (std::size_t i = 0; i < rep.imbalance.size(); ++i) {
+    EXPECT_NEAR(imb->array[i].number, rep.imbalance[i], 1e-6);
+  }
+
+  const testing::JsonValue* parts = doc->find("parts");
+  ASSERT_NE(parts, nullptr);
+  ASSERT_EQ(parts->array.size(), rep.parts.size());
+  for (std::size_t p = 0; p < rep.parts.size(); ++p) {
+    const testing::JsonValue& jp = parts->array[p];
+    const PartStats& ps = rep.parts[p];
+    EXPECT_DOUBLE_EQ(jp.find("vertices")->number,
+                     static_cast<double>(ps.vertices));
+    EXPECT_DOUBLE_EQ(jp.find("boundary_vertices")->number,
+                     static_cast<double>(ps.boundary_vertices));
+    EXPECT_DOUBLE_EQ(jp.find("adjacent_parts")->number,
+                     static_cast<double>(ps.adjacent_parts));
+    EXPECT_DOUBLE_EQ(jp.find("external_edge_weight")->number,
+                     static_cast<double>(ps.external_edge_weight));
+    ASSERT_EQ(jp.find("weights")->array.size(), ps.weights.size());
+    for (std::size_t i = 0; i < ps.weights.size(); ++i) {
+      EXPECT_DOUBLE_EQ(jp.find("weights")->array[i].number,
+                       static_cast<double>(ps.weights[i]));
+    }
+    ASSERT_EQ(jp.find("shares")->array.size(), ps.shares.size());
+    for (std::size_t i = 0; i < ps.shares.size(); ++i) {
+      EXPECT_NEAR(jp.find("shares")->array[i].number, ps.shares[i], 1e-6);
+    }
+  }
 }
 
 }  // namespace
