@@ -25,11 +25,25 @@ Args parse_args(int argc, char** argv) {
       args.reps = std::max(1, std::atoi(a.c_str() + 7));
     } else if (a == "--quick") {
       args.quick = true;
+    } else if (a.rfind("--threads=", 0) == 0) {
+      args.threads.clear();
+      std::string list = a.substr(10);
+      for (std::size_t start = 0; start <= list.size();) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        const int n = std::atoi(list.substr(start, comma - start).c_str());
+        if (n >= 1) args.threads.push_back(n);
+        start = comma + 1;
+      }
+      if (args.threads.empty()) args.threads.push_back(1);
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.json_path = a.substr(7);
     } else if (a.rfind("--trace-dir=", 0) == 0) {
       args.trace_dir = a.substr(12);
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--scale=<f>] [--reps=<n>] [--quick]"
+                << " [--threads=<a,b,...>] [--json=<path>]"
                 << " [--trace-dir=<dir>]\n";
       std::exit(0);
     } else {

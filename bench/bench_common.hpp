@@ -15,14 +15,20 @@ struct Args {
   double scale = 1.0;   ///< multiplies the vertex counts of the suite
   int reps = 3;         ///< seeds averaged per configuration (paper: 3)
   bool quick = false;   ///< trim the parameter grid (CI-friendly)
+  /// Thread counts swept by benches that honor --threads (exp_runtime).
+  std::vector<int> threads = {1};
+  /// Machine-readable results file for benches that emit one (exp_runtime
+  /// writes per-thread-count timings here). Empty = bench default.
+  std::string json_path;
   /// When non-empty, benches additionally run one traced partition per
   /// configuration and write machine-readable artifacts into this
   /// directory (see emit_trace_artifacts).
   std::string trace_dir;
 };
 
-/// Parse --scale=<f>, --reps=<n>, --quick, --trace-dir=<dir>. Unknown
-/// arguments abort with a usage message.
+/// Parse --scale=<f>, --reps=<n>, --quick, --threads=<a,b,...>,
+/// --json=<path>, --trace-dir=<dir>. Unknown arguments abort with a usage
+/// message.
 Args parse_args(int argc, char** argv);
 
 struct SuiteGraph {

@@ -10,6 +10,8 @@
 #include "core/refine2way.hpp"
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
+#include "graph/graph_ops.hpp"
+#include "support/workspace.hpp"
 
 namespace {
 
@@ -33,6 +35,21 @@ void BM_Matching(benchmark::State& state) {
 }
 BENCHMARK(BM_Matching)->Args({200, 1})->Args({200, 3})->Args({400, 3});
 
+void BM_MatchingWorkspace(benchmark::State& state) {
+  const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)),
+                                   static_cast<int>(state.range(1)));
+  Rng rng(1);
+  Workspace ws;
+  std::vector<idx_t> match;
+  for (auto _ : state) {
+    compute_matching_into(g, MatchScheme::kHeavyEdgeBalanced, rng, match,
+                          nullptr, &ws);
+    benchmark::DoNotOptimize(match.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_MatchingWorkspace)->Args({200, 1})->Args({200, 3})->Args({400, 3});
+
 void BM_Contract(benchmark::State& state) {
   const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)), 3);
   Rng rng(1);
@@ -46,6 +63,40 @@ void BM_Contract(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.nedges());
 }
 BENCHMARK(BM_Contract)->Arg(200)->Arg(400);
+
+void BM_ContractWorkspace(benchmark::State& state) {
+  const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)), 3);
+  Rng rng(1);
+  const auto match = compute_matching(g, MatchScheme::kHeavyEdge, rng);
+  std::vector<idx_t> cmap;
+  const idx_t nc = build_coarse_map(g, match, cmap);
+  Workspace ws;
+  for (auto _ : state) {
+    Graph c = contract_graph(g, cmap, nc, &ws);
+    benchmark::DoNotOptimize(c.adjncy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.nedges());
+}
+BENCHMARK(BM_ContractWorkspace)->Arg(200)->Arg(400);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)), 1);
+  const bool use_ws = state.range(1) != 0;
+  // Halve along a jagged diagonal so the extraction walks real adjacency.
+  std::vector<char> select(static_cast<std::size_t>(g.nvtxs));
+  const idx_t side = static_cast<idx_t>(state.range(0));
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    select[static_cast<std::size_t>(v)] = (v / side + v % side) % 2 == 0;
+  }
+  Workspace ws;
+  std::vector<idx_t> l2g;
+  for (auto _ : state) {
+    Graph s = induced_subgraph(g, select, l2g, use_ws ? &ws : nullptr);
+    benchmark::DoNotOptimize(s.adjncy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_InducedSubgraph)->Args({400, 0})->Args({400, 1});
 
 void BM_Refine2Way(benchmark::State& state) {
   const idx_t side = static_cast<idx_t>(state.range(0));

@@ -11,12 +11,14 @@
 //   --alg=rb|kway        algorithm (default kway)
 //   --ub=<f>             balance tolerance for all constraints (default 1.05)
 //   --seed=<n>           random seed (default 1)
+//   --threads=<n>        worker threads (default 1; same result any value)
 //   --match=rm|hem|hembal  matching scheme (default hembal)
 //   --out=<path>         partition output path (default <graph>.part.<k>)
 //   --no-write           skip writing the partition file
 //   --mesh               input is a METIS .mesh file; partition its dual
 //   --ncommon=<n>        dual-graph adjacency threshold (default 2)
 //   --report             print the full per-part report
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -36,6 +38,8 @@ void usage(const char* argv0) {
       << "  --alg=rb|kway       algorithm (default kway)\n"
       << "  --ub=<f>            balance tolerance (default 1.05)\n"
       << "  --seed=<n>          random seed (default 1)\n"
+      << "  --threads=<n>       worker threads (default 1; the partition\n"
+      << "                      is identical for every thread count)\n"
       << "  --match=rm|hem|hembal  matching scheme (default hembal)\n"
       << "  --out=<path>        output path (default <graph>.part.<k>)\n"
       << "  --no-write          skip writing the partition file\n"
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
       ub = std::atof(a.c_str() + 5);
     } else if (a.rfind("--seed=", 0) == 0) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(a.c_str() + 7));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      opts.num_threads = std::max(1, std::atoi(a.c_str() + 10));
     } else if (a == "--match=rm") {
       opts.matching = MatchScheme::kRandom;
     } else if (a == "--match=hem") {

@@ -7,7 +7,7 @@
 namespace mcgp {
 
 Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
-                     idx_t ncoarse) {
+                     idx_t ncoarse, Workspace* ws) {
   Graph c;
   c.nvtxs = ncoarse;
   c.ncon = g.ncon;
@@ -24,8 +24,11 @@ Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
   }
 
   // Invert cmap into constituent lists: every coarse vertex has 1 or 2.
-  std::vector<idx_t> first(static_cast<std::size_t>(ncoarse), -1);
-  std::vector<idx_t> second(static_cast<std::size_t>(ncoarse), -1);
+  std::vector<idx_t> local_first, local_second;
+  std::vector<idx_t>& first = ws != nullptr ? ws->first : local_first;
+  std::vector<idx_t>& second = ws != nullptr ? ws->second : local_second;
+  first.assign(static_cast<std::size_t>(ncoarse), -1);
+  second.assign(static_cast<std::size_t>(ncoarse), -1);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
     const idx_t cv = cmap[static_cast<std::size_t>(v)];
     if (first[static_cast<std::size_t>(cv)] < 0) {
@@ -39,8 +42,14 @@ Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
   c.adjwgt.reserve(g.adjwgt.size());
 
   // Merge adjacency lists with a dense scratch map (position of each coarse
-  // neighbor in the row being built, or -1).
-  std::vector<idx_t> pos(static_cast<std::size_t>(ncoarse), -1);
+  // neighbor in the row being built, or -1). Every touched entry is reset
+  // to -1 after its row, preserving the workspace map's all minus-one
+  // invariant across calls.
+  std::vector<idx_t> local_pos;
+  if (ws == nullptr) local_pos.assign(static_cast<std::size_t>(ncoarse), -1);
+  std::vector<idx_t>& pos =
+      ws != nullptr ? ws->pos_map(static_cast<std::size_t>(ncoarse))
+                    : local_pos;
   for (idx_t cv = 0; cv < ncoarse; ++cv) {
     const idx_t row_start = static_cast<idx_t>(c.adjncy.size());
     for (const idx_t v : {first[static_cast<std::size_t>(cv)],
@@ -69,20 +78,23 @@ Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
   return c;
 }
 
-Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng) {
+Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
+                        Workspace* ws) {
   Hierarchy h;
   h.finest = &g;
 
   TraceSpan coarsen_span(params.trace, "coarsen");
+
+  std::vector<idx_t> local_match;
+  std::vector<idx_t>& match = ws != nullptr ? ws->match : local_match;
 
   const Graph* cur = &g;
   for (int level = 0; level < params.max_levels; ++level) {
     if (cur->nvtxs <= params.coarsen_to) break;
 
     TraceSpan sp(params.trace, "coarsen.level");
-    const std::vector<idx_t> match =
-        compute_matching(*cur, params.scheme, rng, params.trace);
-    std::vector<idx_t> cmap;
+    compute_matching_into(*cur, params.scheme, rng, match, params.trace, ws);
+    std::vector<idx_t> cmap;  // kept by the hierarchy: allocated fresh
     const idx_t ncoarse = build_coarse_map(*cur, match, cmap);
 
     if (sp.enabled()) {
@@ -109,7 +121,7 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng) {
       break;
     }
 
-    Graph coarse = contract_graph(*cur, cmap, ncoarse);
+    Graph coarse = contract_graph(*cur, cmap, ncoarse, ws);
     h.levels.push_back(CoarseLevel{std::move(coarse), std::move(cmap)});
     cur = &h.levels.back().graph;
     trace_count(params.trace, "coarsen.levels");

@@ -12,9 +12,11 @@ namespace mcgp {
 /// Contract a graph according to a fine-to-coarse vertex map.
 /// Coarse vertex weights are the (vector) sums of their constituents;
 /// parallel coarse edges are merged by summing weights; edges internal to
-/// a coarse vertex vanish.
+/// a coarse vertex vanish. A non-null `ws` supplies the constituent-list
+/// and dense position scratch buffers so repeated contractions allocate
+/// nothing beyond the coarse graph itself.
 Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
-                     idx_t ncoarse);
+                     idx_t ncoarse, Workspace* ws = nullptr);
 
 /// One level of the hierarchy below the finest graph.
 struct CoarseLevel {
@@ -48,7 +50,10 @@ struct CoarsenParams {
 };
 
 /// Repeatedly match-and-contract until the graph is small enough or
-/// coarsening stalls. `g` must outlive the returned hierarchy.
-Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng);
+/// coarsening stalls. `g` must outlive the returned hierarchy. A non-null
+/// `ws` supplies reusable scratch (match/perm/contract buffers); only the
+/// per-level cmap vectors, which the hierarchy keeps, are still allocated.
+Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
+                        Workspace* ws = nullptr);
 
 }  // namespace mcgp

@@ -87,6 +87,15 @@ struct Options {
   /// non-improving moves (0 = automatic: max(64, nvtxs/100)).
   idx_t fm_move_limit = 0;
 
+  /// Worker threads for the task-parallel drivers (>= 1). 1 (the default)
+  /// runs fully serial with no pool. Larger values run the two halves of
+  /// every recursive-bisection split and the initial-bisection trials
+  /// concurrently. Results are identical for every value of num_threads at
+  /// a fixed seed: each subproblem draws from its own deterministic RNG
+  /// stream derived from the seed and the subproblem's position, not from
+  /// a shared sequential stream.
+  int num_threads = 1;
+
   /// Optional trace recorder (see support/trace.hpp). When non-null the
   /// pipeline records hierarchical span events (run -> bisection ->
   /// coarsen level -> FM pass) and per-run counters/histograms into it;

@@ -146,78 +146,102 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
   }
 }
 
+namespace {
+
+/// Outcome of one polished construction attempt.
+struct InitTrial {
+  std::vector<idx_t> where;
+  sum_t cut = 0;
+  real_t pot = 0.0;
+  bool feasible = false;
+};
+
+}  // namespace
+
 sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
                      int trials, QueuePolicy policy, Rng& rng,
-                     TraceRecorder* trace) {
+                     TraceRecorder* trace, ThreadPool* pool) {
   trials = std::max(trials, 1);
   TraceSpan span(trace, "initpart");
 
-  std::vector<idx_t> best, cand;
-  sum_t best_cut = 0;
-  real_t best_pot = 0.0;
-  bool best_feasible = false;
-  bool have_best = false;
+  // One seed value feeds every trial's private stream; results land in a
+  // per-trial slot and the winner is picked serially in trial order, so
+  // the outcome does not depend on completion order or thread count.
+  const std::uint64_t base_seed = rng.next_u64();
+  std::vector<InitTrial> results(static_cast<std::size_t>(trials));
 
-  BisectionBalance balance;
-  for (int t = 0; t < trials; ++t) {
+  auto run_trial = [&](int t) {
+    InitTrial& out = results[static_cast<std::size_t>(t)];
+    Rng trng(mix_seed(base_seed, static_cast<std::uint64_t>(t)));
     const bool use_grow = scheme == InitScheme::kGreedyGrow ||
                           (scheme == InitScheme::kMixed && t % 2 == 0);
     if (use_grow) {
-      grow_bisection(g, cand, targets, rng);
+      grow_bisection(g, out.where, targets, trng);
     } else {
-      binpack_bisection(g, cand, targets, rng);
+      binpack_bisection(g, out.where, targets, trng);
     }
-    balance_2way(g, cand, targets, rng);
-    refine_2way(g, cand, targets, policy, /*max_passes=*/4,
-                /*move_limit=*/std::max<idx_t>(32, g.nvtxs / 10), rng);
+    balance_2way(g, out.where, targets, trng);
+    refine_2way(g, out.where, targets, policy, /*max_passes=*/4,
+                /*move_limit=*/std::max<idx_t>(32, g.nvtxs / 10), trng);
 
-    balance.init(g, cand, targets);
-    const real_t pot = balance.potential();
-    const bool feasible = pot <= 1.0 + 1e-12;
-    const sum_t cut = compute_cut_2way(g, cand);
+    BisectionBalance balance;
+    balance.init(g, out.where, targets);
+    out.pot = balance.potential();
+    out.feasible = out.pot <= 1.0 + 1e-12;
+    out.cut = compute_cut_2way(g, out.where);
 
     trace_count(trace, "initpart.trials");
-    trace_instant(trace, "initpart.trial",
-                  {{"trial", t},
-                   {"grow", static_cast<std::int64_t>(use_grow ? 1 : 0)},
-                   {"cut", cut},
-                   {"potential", pot},
-                   {"feasible", static_cast<std::int64_t>(feasible ? 1 : 0)}});
+    trace_instant(
+        trace, "initpart.trial",
+        {{"trial", t},
+         {"grow", static_cast<std::int64_t>(use_grow ? 1 : 0)},
+         {"cut", out.cut},
+         {"potential", out.pot},
+         {"feasible", static_cast<std::int64_t>(out.feasible ? 1 : 0)}});
+  };
 
-    // Feasible trials compete on cut; infeasible trials compete on
-    // balance FIRST — an initial bisection that starts far out of balance
-    // is unlikely to ever be repaired during multilevel refinement, so a
-    // low cut cannot compensate for bad balance here.
-    bool better = false;
-    if (!have_best) {
-      better = true;
-    } else if (feasible != best_feasible) {
-      better = feasible;
-    } else if (feasible) {
-      better = cut < best_cut || (cut == best_cut && pot < best_pot);
-    } else {
-      better = pot < best_pot - 1e-12 ||
-               (pot <= best_pot + 1e-12 && cut < best_cut);
+  if (pool != nullptr && trials > 1) {
+    TaskGroup group(pool);
+    for (int t = 1; t < trials; ++t) {
+      group.run([&run_trial, t] { run_trial(t); });
     }
-    if (better) {
-      best = cand;
-      best_cut = cut;
-      best_pot = pot;
-      best_feasible = feasible;
-      have_best = true;
-    }
+    run_trial(0);
+    group.wait();
+  } else {
+    for (int t = 0; t < trials; ++t) run_trial(t);
   }
+
+  // Feasible trials compete on cut; infeasible trials compete on
+  // balance FIRST — an initial bisection that starts far out of balance
+  // is unlikely to ever be repaired during multilevel refinement, so a
+  // low cut cannot compensate for bad balance here.
+  int best_t = 0;
+  for (int t = 1; t < trials; ++t) {
+    const InitTrial& c = results[static_cast<std::size_t>(t)];
+    const InitTrial& b = results[static_cast<std::size_t>(best_t)];
+    bool better = false;
+    if (c.feasible != b.feasible) {
+      better = c.feasible;
+    } else if (c.feasible) {
+      better = c.cut < b.cut || (c.cut == b.cut && c.pot < b.pot);
+    } else {
+      better = c.pot < b.pot - 1e-12 ||
+               (c.pot <= b.pot + 1e-12 && c.cut < b.cut);
+    }
+    if (better) best_t = t;
+  }
+  InitTrial& best = results[static_cast<std::size_t>(best_t)];
 
   if (span.enabled()) {
     span.arg({"nvtxs", g.nvtxs});
     span.arg({"trials", trials});
-    span.arg({"best_cut", best_cut});
-    span.arg({"best_potential", best_pot});
-    span.arg({"feasible", static_cast<std::int64_t>(best_feasible ? 1 : 0)});
+    span.arg({"best_cut", best.cut});
+    span.arg({"best_potential", best.pot});
+    span.arg({"feasible", static_cast<std::int64_t>(best.feasible ? 1 : 0)});
   }
-  where = std::move(best);
-  return best_cut;
+  where = std::move(best.where);
+  return best.cut;
 }
 
 }  // namespace mcgp

@@ -24,6 +24,7 @@
 #include "core/bisection.hpp"
 #include "core/config.hpp"
 #include "support/random.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mcgp {
 
@@ -36,9 +37,15 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
 /// Best-of-`trials` initial bisection with polishing. Fills `where`.
 /// Returns the cut of the selected bisection. A non-null `trace` records
 /// an "initpart" span with one "initpart.trial" instant per attempt.
+///
+/// Each trial draws from its own RNG stream derived from one value taken
+/// off `rng`, and the best trial is selected by a serial reduction in
+/// trial order — so the result is a pure function of the rng state and is
+/// identical whether the trials run serially or concurrently on `pool`.
 sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
                      int trials, QueuePolicy policy, Rng& rng,
-                     TraceRecorder* trace = nullptr);
+                     TraceRecorder* trace = nullptr,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace mcgp

@@ -28,7 +28,7 @@ idx_t kway_coarsen_to(const Options& opts, idx_t nparts, int ncon,
 
 std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
                                   Rng& rng, PhaseTimes* phases,
-                                  KWayDriverStats* stats) {
+                                  KWayDriverStats* stats, ThreadPool* pool) {
   const idx_t k = std::max<idx_t>(opts.nparts, 1);
   if (k == 1 || g.nvtxs == 0) {
     return std::vector<idx_t>(static_cast<std::size_t>(g.nvtxs), 0);
@@ -37,6 +37,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
   PhaseTimes local_phases;
   PhaseTimes& pt = phases != nullptr ? *phases : local_phases;
 
+  Workspace ws;
   Hierarchy h;
   {
     ScopedPhase sp(pt, "coarsen");
@@ -47,7 +48,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     cp.trace = opts.trace;
     // The coarsest graph must retain enough vertices to seed k parts.
     cp.coarsen_to = std::max<idx_t>(cp.coarsen_to, 4 * k);
-    h = coarsen_graph(g, cp, rng);
+    h = coarsen_graph(g, cp, rng, &ws);
   }
 
   if (stats != nullptr) {
@@ -71,7 +72,8 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
           std::max<real_t>(1.0 + (opts.ub_for(i) - 1.0) * 0.9, 1.003);
     }
     init_opts.tpwgts = opts.tpwgts;
-    cwhere = partition_recursive_bisection(h.coarsest(), init_opts, rng);
+    cwhere = partition_recursive_bisection(h.coarsest(), init_opts, rng,
+                                           nullptr, nullptr, pool);
   }
 
   std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));

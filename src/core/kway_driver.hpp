@@ -10,6 +10,7 @@
 #include "core/config.hpp"
 #include "graph/csr_graph.hpp"
 #include "support/random.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace mcgp {
@@ -19,8 +20,11 @@ struct KWayDriverStats {
   idx_t coarsest_nvtxs = 0;
 };
 
+/// `pool` (optional) parallelizes the RB initial partitioning of the
+/// coarsest graph; coarsening and k-way refinement remain serial.
 std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
                                   Rng& rng, PhaseTimes* phases = nullptr,
-                                  KWayDriverStats* stats = nullptr);
+                                  KWayDriverStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr);
 
 }  // namespace mcgp

@@ -24,8 +24,17 @@ real_t balanced_edge_score(const Graph& g, idx_t v, idx_t u) {
 
 std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
                                     Rng& rng, TraceRecorder* trace) {
-  std::vector<idx_t> match(static_cast<std::size_t>(g.nvtxs), -1);
-  std::vector<idx_t> perm;
+  std::vector<idx_t> match;
+  compute_matching_into(g, scheme, rng, match, trace);
+  return match;
+}
+
+void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
+                           std::vector<idx_t>& match, TraceRecorder* trace,
+                           Workspace* ws) {
+  match.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t> local_perm;
+  std::vector<idx_t>& perm = ws != nullptr ? ws->perm : local_perm;
   random_permutation(g.nvtxs, perm, rng);
 
   for (const idx_t v : perm) {
@@ -97,7 +106,6 @@ std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
     trace_count(trace, "match.pairs", pairs / 2);
     trace_count(trace, "match.failed", failed);
   }
-  return match;
 }
 
 idx_t build_coarse_map(const Graph& g, const std::vector<idx_t>& match,

@@ -14,6 +14,7 @@
 #include "core/config.hpp"
 #include "graph/csr_graph.hpp"
 #include "support/random.hpp"
+#include "support/workspace.hpp"
 
 namespace mcgp {
 
@@ -24,6 +25,14 @@ namespace mcgp {
 /// unmatched although they had neighbors).
 std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
                                     Rng& rng, TraceRecorder* trace = nullptr);
+
+/// As compute_matching, but fills a caller-owned `match` vector and, when
+/// `ws` is non-null, reuses ws->perm for the traversal order so repeated
+/// coarsening levels allocate nothing.
+void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
+                           std::vector<idx_t>& match,
+                           TraceRecorder* trace = nullptr,
+                           Workspace* ws = nullptr);
 
 /// Derive the fine-to-coarse vertex map from a matching. Coarse ids are
 /// assigned in order of the smaller endpoint. Returns the number of coarse

@@ -1,6 +1,7 @@
 #include "core/partitioner.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "core/rb_driver.hpp"
 #include "graph/metrics.hpp"
 #include "support/random.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -18,6 +20,9 @@ namespace {
 
 void validate_options(const Graph& g, const Options& opts) {
   if (opts.nparts < 1) throw std::invalid_argument("partition: nparts < 1");
+  if (opts.num_threads < 1) {
+    throw std::invalid_argument("partition: num_threads < 1");
+  }
   if (!opts.ubvec.empty() &&
       opts.ubvec.size() != static_cast<std::size_t>(g.ncon) &&
       opts.ubvec.size() != 1) {
@@ -120,18 +125,23 @@ PartitionResult partition(const Graph& g, const Options& opts) {
                       opts.algorithm == Algorithm::kKWay ? 1 : 0)});
   }
 
+  std::optional<ThreadPool> pool;
+  if (opts.num_threads > 1) pool.emplace(opts.num_threads);
+  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+
   switch (opts.algorithm) {
     case Algorithm::kRecursiveBisection: {
       MlBisectStats stats;
-      result.part = partition_recursive_bisection(g, opts, rng,
-                                                  &result.phases, &stats);
+      result.part = partition_recursive_bisection(
+          g, opts, rng, &result.phases, &stats, pool_ptr);
       result.coarsen_levels = stats.levels;
       result.coarsest_nvtxs = stats.coarsest_nvtxs;
       break;
     }
     case Algorithm::kKWay: {
       KWayDriverStats stats;
-      result.part = partition_kway(g, opts, rng, &result.phases, &stats);
+      result.part =
+          partition_kway(g, opts, rng, &result.phases, &stats, pool_ptr);
       result.coarsen_levels = stats.levels;
       result.coarsest_nvtxs = stats.coarsest_nvtxs;
       break;
@@ -144,7 +154,7 @@ PartitionResult partition(const Graph& g, const Options& opts) {
     run_span.arg({"cut", result.cut});
     run_span.arg({"max_imbalance", result.max_imbalance});
     run_span.finish();
-    result.counters = opts.trace->counters();
+    result.counters = opts.trace->merged_counters();
   }
   result.seconds = timer.seconds();
   return result;
@@ -183,7 +193,7 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
 
   result.part = std::move(part);
   fill_quality(g, opts, result);
-  if (opts.trace != nullptr) result.counters = opts.trace->counters();
+  if (opts.trace != nullptr) result.counters = opts.trace->merged_counters();
   result.seconds = timer.seconds();
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/balance2way.hpp"
 #include "core/initpart.hpp"
@@ -55,70 +56,107 @@ real_t target_sum(const std::vector<real_t>& tpwgts, idx_t part0, idx_t k) {
   return s;
 }
 
-void rb_recurse(const Graph& sub, const std::vector<idx_t>& local_to_global,
-                idx_t k, idx_t part0, const std::vector<real_t>& level_ub,
-                const Options& opts, std::vector<idx_t>& out_part, Rng& rng,
-                PhaseTimes* phases) {
+/// Shared, immutable-per-run state threaded through the RB recursion.
+struct RbContext {
+  const Options& opts;
+  const std::vector<real_t>& level_ub;
+  std::vector<idx_t>& out_part;  ///< subtrees write disjoint entries
+  std::uint64_t root_seed = 0;
+  ThreadPool* pool = nullptr;        ///< null = fully serial
+  WorkspacePool* wspool = nullptr;
+  PhaseTimes* phases = nullptr;
+};
+
+void rb_recurse(const RbContext& ctx, const Graph& sub,
+                const std::vector<idx_t>& local_to_global, idx_t k,
+                idx_t part0, MlBisectStats* stats) {
   if (sub.nvtxs == 0) return;
   if (k <= 1) {
     for (const idx_t gv : local_to_global) {
-      out_part[static_cast<std::size_t>(gv)] = part0;
+      ctx.out_part[static_cast<std::size_t>(gv)] = part0;
     }
     return;
   }
   if (k >= sub.nvtxs) {
     // Fewer vertices than requested parts: spread them one per part.
     for (idx_t v = 0; v < sub.nvtxs; ++v) {
-      out_part[static_cast<std::size_t>(local_to_global[static_cast<std::size_t>(v)])] =
-          part0 + (v % k);
+      ctx.out_part[static_cast<std::size_t>(
+          local_to_global[static_cast<std::size_t>(v)])] = part0 + (v % k);
     }
     return;
   }
 
-  TraceSpan span(opts.trace, "rb.split");
+  TraceSpan span(ctx.opts.trace, "rb.split");
   if (span.enabled()) {
     span.arg({"k", k});
     span.arg({"part0", part0});
     span.arg({"nvtxs", sub.nvtxs});
   }
 
+  // Private RNG stream for this subproblem. (part0, k) uniquely names a
+  // node of the recursion tree (children own disjoint part ranges), so
+  // every subtree computes the same bisection regardless of the order or
+  // thread the scheduler runs it on.
+  Rng rng(mix_seed(mix_seed(ctx.root_seed, static_cast<std::uint64_t>(part0)),
+                   static_cast<std::uint64_t>(k)));
+
   const idx_t k_left = (k + 1) / 2;
   BisectionTargets targets;
   // With explicit per-part targets the split point is the fraction of the
   // subtree's total target mass owned by the left parts.
-  targets.f0 = target_sum(opts.tpwgts, part0, k_left) /
-               target_sum(opts.tpwgts, part0, k);
-  targets.ub = level_ub;
+  targets.f0 = target_sum(ctx.opts.tpwgts, part0, k_left) /
+               target_sum(ctx.opts.tpwgts, part0, k);
+  targets.ub = ctx.level_ub;
 
-  std::vector<idx_t> where;
-  multilevel_bisect(sub, where, targets, opts, rng, nullptr, phases);
-  ensure_nonempty_sides(sub, where);
+  Graph half[2];
+  std::vector<idx_t> half_to_global[2];
+  {
+    // Scratch is leased only for this serial stretch and returned before
+    // any task boundary: wait() below may run OTHER queued tasks on this
+    // thread, and those must be free to lease the same workspace.
+    WorkspacePool::Lease lease = ctx.wspool->acquire();
+    Workspace& ws = *lease;
 
-  std::vector<char> select(static_cast<std::size_t>(sub.nvtxs));
-  for (int side = 0; side < 2; ++side) {
-    for (idx_t v = 0; v < sub.nvtxs; ++v) {
-      select[static_cast<std::size_t>(v)] =
-          where[static_cast<std::size_t>(v)] == side ? 1 : 0;
+    std::vector<idx_t> where;
+    multilevel_bisect(sub, where, targets, ctx.opts, rng, stats, ctx.phases,
+                      ctx.pool, &ws);
+    ensure_nonempty_sides(sub, where);
+
+    std::vector<char>& select = ws.select;
+    select.assign(static_cast<std::size_t>(sub.nvtxs), 0);
+    for (int side = 0; side < 2; ++side) {
+      for (idx_t v = 0; v < sub.nvtxs; ++v) {
+        select[static_cast<std::size_t>(v)] =
+            where[static_cast<std::size_t>(v)] == side ? 1 : 0;
+      }
+      std::vector<idx_t> sub_to_parent;
+      half[side] = induced_subgraph(sub, select, sub_to_parent, &ws);
+      half_to_global[side].resize(sub_to_parent.size());
+      for (std::size_t i = 0; i < sub_to_parent.size(); ++i) {
+        half_to_global[side][i] =
+            local_to_global[static_cast<std::size_t>(sub_to_parent[i])];
+      }
     }
-    std::vector<idx_t> sub_to_parent;
-    Graph half = induced_subgraph(sub, select, sub_to_parent);
-    std::vector<idx_t> half_to_global(sub_to_parent.size());
-    for (std::size_t i = 0; i < sub_to_parent.size(); ++i) {
-      half_to_global[i] =
-          local_to_global[static_cast<std::size_t>(sub_to_parent[i])];
-    }
-    const idx_t half_k = side == 0 ? k_left : k - k_left;
-    const idx_t half_part0 = side == 0 ? part0 : part0 + k_left;
-    rb_recurse(half, half_to_global, half_k, half_part0, level_ub, opts,
-               out_part, rng, phases);
   }
+
+  // Fork: side 1 goes to the pool (or runs inline when there is none),
+  // side 0 runs here. Both halves live on this frame, which outlives the
+  // tasks because wait() joins them before returning.
+  TaskGroup group(ctx.pool);
+  group.run([&ctx, &half, &half_to_global, k, k_left, part0] {
+    rb_recurse(ctx, half[1], half_to_global[1], k - k_left, part0 + k_left,
+               nullptr);
+  });
+  rb_recurse(ctx, half[0], half_to_global[0], k_left, part0, nullptr);
+  group.wait();
 }
 
 }  // namespace
 
 sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
                         const BisectionTargets& targets, const Options& opts,
-                        Rng& rng, MlBisectStats* stats, PhaseTimes* phases) {
+                        Rng& rng, MlBisectStats* stats, PhaseTimes* phases,
+                        ThreadPool* pool, Workspace* ws) {
   const idx_t ct = bisect_coarsen_to(opts, g.ncon);
 
   PhaseTimes local_phases;
@@ -134,7 +172,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     cp.scheme = opts.matching;
     cp.min_reduction = opts.min_coarsen_reduction;
     cp.trace = opts.trace;
-    h = coarsen_graph(g, cp, rng);
+    h = coarsen_graph(g, cp, rng, ws);
   }
 
   const Graph& coarsest = h.coarsest();
@@ -147,20 +185,22 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
   {
     ScopedPhase sp(pt, "initpart");
     init_bisection(coarsest, cwhere, targets, opts.init_scheme,
-                   opts.init_trials, opts.queue_policy, rng, opts.trace);
+                   opts.init_trials, opts.queue_policy, rng, opts.trace,
+                   pool);
   }
 
   sum_t cut = 0;
   {
     ScopedPhase sp(pt, "refine");
+    std::vector<idx_t> local_proj;
+    std::vector<idx_t>& proj = ws != nullptr ? ws->proj : local_proj;
     // Uncoarsen: levels[l].cmap maps level l to level l+1 (0 = finest).
     for (int l = h.num_levels(); l >= 0; --l) {
       const Graph& cur = h.graph_at(l);
       if (l < h.num_levels()) {
-        std::vector<idx_t> fine_where;
         project_partition(h.levels[static_cast<std::size_t>(l)].cmap, cwhere,
-                          fine_where);
-        cwhere = std::move(fine_where);
+                          proj);
+        std::swap(cwhere, proj);  // ping-pong: both buffers stay warm
       }
       TraceSpan lvl(opts.trace, "uncoarsen.level");
       balance_2way(cur, cwhere, targets, rng);
@@ -195,7 +235,8 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
 std::vector<idx_t> partition_recursive_bisection(const Graph& g,
                                                  const Options& opts, Rng& rng,
                                                  PhaseTimes* phases,
-                                                 MlBisectStats* top_stats) {
+                                                 MlBisectStats* top_stats,
+                                                 ThreadPool* pool) {
   const idx_t k = std::max<idx_t>(opts.nparts, 1);
   std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs), 0);
   if (k == 1 || g.nvtxs == 0) return part;
@@ -209,22 +250,18 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
   std::vector<idx_t> identity(static_cast<std::size_t>(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) identity[static_cast<std::size_t>(v)] = v;
 
-  if (top_stats != nullptr) {
-    // Record hierarchy stats of the first (top) bisection separately.
-    BisectionTargets targets;
-    targets.f0 = static_cast<real_t>((k + 1) / 2) / static_cast<real_t>(k);
-    targets.ub = level_ub;
-    CoarsenParams cp;
-    cp.coarsen_to = bisect_coarsen_to(opts, g.ncon);
-    cp.scheme = opts.matching;
-    cp.min_reduction = opts.min_coarsen_reduction;
-    Rng probe = rng;  // copy: do not perturb the main stream
-    const Hierarchy h = coarsen_graph(g, cp, probe);
-    top_stats->levels = h.num_levels();
-    top_stats->coarsest_nvtxs = h.coarsest().nvtxs;
+  std::optional<ThreadPool> local_pool;
+  if (pool == nullptr && opts.num_threads > 1) {
+    local_pool.emplace(opts.num_threads);
+    pool = &*local_pool;
   }
 
-  rb_recurse(g, identity, k, 0, level_ub, opts, part, rng, phases);
+  WorkspacePool wspool;
+  RbContext ctx{opts,     level_ub, part,  /*root_seed=*/rng.next_u64(),
+                pool,     &wspool,  phases};
+  // The root call fills top_stats from the first (top) bisection's real
+  // hierarchy — no separate probe coarsening needed.
+  rb_recurse(ctx, g, identity, k, 0, top_stats);
 
   // Balance fix-up: nested bisection errors multiply, so for large k the
   // assembled k-way partition can land outside the overall tolerance even

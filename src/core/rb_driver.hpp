@@ -6,6 +6,12 @@
 // two induced halves with proportional target fractions (ceil(k/2) /
 // floor(k/2)), so any k >= 1 is supported. Per-bisection tolerances are
 // ub^(1/ceil(log2 k)) because nested bisection imbalances multiply.
+//
+// Parallelism: the two halves of every split recurse as independent tasks
+// on an optional thread pool, and initial-bisection trials fan out on the
+// same pool. Every subproblem seeds a private RNG stream from the root
+// seed and its (part0, k) position in the recursion tree, so the result is
+// a pure function of the seed — identical for every thread count.
 #pragma once
 
 #include <vector>
@@ -14,7 +20,9 @@
 #include "core/coarsen.hpp"
 #include "core/config.hpp"
 #include "support/random.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "support/workspace.hpp"
 
 namespace mcgp {
 
@@ -25,17 +33,22 @@ struct MlBisectStats {
 };
 
 /// One multilevel bisection of g according to `targets`. Fills `where`
-/// with a 0/1 assignment and returns the cut.
+/// with a 0/1 assignment and returns the cut. A non-null `pool` runs the
+/// initial-bisection trials concurrently; a non-null `ws` supplies scratch
+/// buffers for coarsening and projection.
 sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
                         const BisectionTargets& targets, const Options& opts,
                         Rng& rng, MlBisectStats* stats = nullptr,
-                        PhaseTimes* phases = nullptr);
+                        PhaseTimes* phases = nullptr,
+                        ThreadPool* pool = nullptr, Workspace* ws = nullptr);
 
 /// Full MC-RB k-way partitioning. Returns the part vector (size g.nvtxs,
-/// ids in [0, opts.nparts)).
+/// ids in [0, opts.nparts)). Runs on `pool` when non-null; otherwise
+/// creates its own pool when opts.num_threads > 1.
 std::vector<idx_t> partition_recursive_bisection(const Graph& g,
                                                  const Options& opts, Rng& rng,
                                                  PhaseTimes* phases = nullptr,
-                                                 MlBisectStats* top_stats = nullptr);
+                                                 MlBisectStats* top_stats = nullptr,
+                                                 ThreadPool* pool = nullptr);
 
 }  // namespace mcgp

@@ -242,7 +242,7 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
                  TraceRecorder* trace, int pass_index) {
   TraceSpan span(trace, "fm.pass");
   Histogram* gain_hist =
-      trace != nullptr ? &trace->counters().hist("gain.histogram") : nullptr;
+      trace != nullptr ? &trace->hist("gain.histogram") : nullptr;
 
   compute_degrees_and_seed_queues(cut);
   log_.clear();

@@ -62,17 +62,23 @@ idx_t count_components(const Graph& g) {
 }
 
 Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
-                       std::vector<idx_t>& local_to_global) {
+                       std::vector<idx_t>& local_to_global, Workspace* ws) {
   if (select.size() != static_cast<std::size_t>(g.nvtxs))
     throw std::invalid_argument("induced_subgraph: select size mismatch");
 
-  std::vector<idx_t> global_to_local(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t> local_g2l;
+  if (ws == nullptr) local_g2l.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t>& global_to_local =
+      ws != nullptr ? ws->g2l_map(static_cast<std::size_t>(g.nvtxs))
+                    : local_g2l;
   local_to_global.clear();
+  std::size_t sel_degree = 0;  // upper bound on the subgraph's edge count
   for (idx_t v = 0; v < g.nvtxs; ++v) {
     if (select[static_cast<std::size_t>(v)]) {
       global_to_local[static_cast<std::size_t>(v)] =
           static_cast<idx_t>(local_to_global.size());
       local_to_global.push_back(v);
+      sel_degree += static_cast<std::size_t>(g.xadj[v + 1] - g.xadj[v]);
     }
   }
 
@@ -81,6 +87,8 @@ Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
   s.ncon = g.ncon;
   s.xadj.assign(static_cast<std::size_t>(s.nvtxs) + 1, 0);
   s.vwgt.resize(static_cast<std::size_t>(s.nvtxs) * s.ncon);
+  s.adjncy.reserve(sel_degree);
+  s.adjwgt.reserve(sel_degree);
 
   for (idx_t lv = 0; lv < s.nvtxs; ++lv) {
     const idx_t v = local_to_global[static_cast<std::size_t>(lv)];
@@ -95,6 +103,12 @@ Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
       }
     }
     s.xadj[static_cast<std::size_t>(lv) + 1] = static_cast<idx_t>(s.adjncy.size());
+  }
+  // Sparse reset restores the workspace map's all minus-one invariant.
+  if (ws != nullptr) {
+    for (const idx_t v : local_to_global) {
+      global_to_local[static_cast<std::size_t>(v)] = -1;
+    }
   }
   s.finalize();
   return s;

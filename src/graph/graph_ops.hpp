@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "support/workspace.hpp"
 
 namespace mcgp {
 
@@ -21,8 +22,11 @@ idx_t count_components(const Graph& g);
 /// non-selected vertices are dropped (their weight is lost — callers that
 /// care about the cut account for it separately, as recursive bisection
 /// does). `local_to_global[i]` maps subgraph vertex i back to g's ids.
+/// A non-null `ws` supplies the dense global-to-local scratch map so
+/// repeated extractions allocate only the subgraph itself.
 Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
-                       std::vector<idx_t>& local_to_global);
+                       std::vector<idx_t>& local_to_global,
+                       Workspace* ws = nullptr);
 
 /// Relabel vertices: vertex v of g becomes vertex perm[v] of the result.
 /// `perm` must be a permutation of [0, nvtxs).

@@ -47,6 +47,20 @@ void Histogram::record(std::int64_t v) {
   ++sparse_[bucket_index(v)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [index, count] : other.sparse_) sparse_[index] += count;
+}
+
 std::vector<Histogram::Bucket> Histogram::buckets() const {
   std::vector<std::pair<int, std::uint64_t>> items(sparse_.begin(),
                                                    sparse_.end());
@@ -86,6 +100,11 @@ Histogram& CounterRegistry::hist(std::string_view name) {
 const Histogram* CounterRegistry::find_hist(std::string_view name) const {
   const auto it = hist_index_.find(std::string(name));
   return it != hist_index_.end() ? &hists_[it->second].second : nullptr;
+}
+
+void CounterRegistry::merge_from(const CounterRegistry& other) {
+  for (const auto& [name, value] : other.counters_) incr(name, value);
+  for (const auto& [name, h] : other.hists_) hist(name).merge(h);
 }
 
 void CounterRegistry::clear() {

@@ -24,6 +24,9 @@ class Histogram {
  public:
   void record(std::int64_t v);
 
+  /// Fold another histogram's samples into this one.
+  void merge(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   std::int64_t min() const { return count_ > 0 ? min_ : 0; }
   std::int64_t max() const { return count_ > 0 ? max_ : 0; }
@@ -65,6 +68,10 @@ class CounterRegistry {
 
   /// Histogram by name, or nullptr if never created.
   const Histogram* find_hist(std::string_view name) const;
+
+  /// Fold another registry into this one: counters add, histograms merge.
+  /// Names new to this registry keep the other's relative order.
+  void merge_from(const CounterRegistry& other);
 
   /// (name, value) pairs in first-use order.
   const std::vector<std::pair<std::string, std::int64_t>>& counters() const {

@@ -70,6 +70,15 @@ bool Rng::next_bool(double p) { return next_real() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  // Golden-ratio combine, then one SplitMix64 finalizer round on each
+  // word so low-entropy inputs (small structural ids) diffuse fully.
+  std::uint64_t x = b + 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t mixed_b = splitmix64(x);
+  std::uint64_t y = a ^ mixed_b;
+  return splitmix64(y);
+}
+
 void random_permutation(idx_t n, std::vector<idx_t>& perm, Rng& rng) {
   perm.resize(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), idx_t{0});

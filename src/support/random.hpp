@@ -44,6 +44,15 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Combine two 64-bit words into a well-mixed derived seed (SplitMix64
+/// finalizer over a golden-ratio combination). Used to give every
+/// independent subproblem of a run its own deterministic RNG stream:
+/// seeding Rng(mix_seed(root, structural_id)) yields identical streams
+/// regardless of how many threads execute the subproblems or in which
+/// order, because the derivation depends only on the subproblem's
+/// position, never on a shared generator's consumption history.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+
 /// Fill `perm` with the identity permutation of size n and Fisher-Yates
 /// shuffle it in place.
 void random_permutation(idx_t n, std::vector<idx_t>& perm, Rng& rng);

@@ -1,0 +1,109 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mcgp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::clamp(num_threads - 1, 0, 256);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // pool is destroyed only after all groups joined
+    Task task = std::move(queue_.back());
+    queue_.pop_back();
+    lk.unlock();
+    execute(std::move(task));
+    lk.lock();
+  }
+}
+
+void ThreadPool::execute(Task task) {
+  std::exception_ptr err;
+  try {
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (err != nullptr && task.group->error_ == nullptr) {
+      task.group->error_ = err;
+    }
+    --task.group->pending_;
+  }
+  // Wake both idle workers and any thread blocked in TaskGroup::wait().
+  cv_.notify_all();
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor join: errors were abandoned by not calling wait().
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    // Serial mode: execute inline, surface errors at wait() like the
+    // pooled mode does.
+    try {
+      fn();
+    } catch (...) {
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pool_->mu_);
+    ++pending_;
+    pool_->queue_.push_back(ThreadPool::Task{std::move(fn), this});
+  }
+  pool_->cv_.notify_one();
+}
+
+void TaskGroup::wait() {
+  if (pool_ == nullptr) {
+    if (error_ != nullptr) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(pool_->mu_);
+  while (pending_ > 0) {
+    if (!pool_->queue_.empty()) {
+      ThreadPool::Task task = std::move(pool_->queue_.back());
+      pool_->queue_.pop_back();
+      lk.unlock();
+      pool_->execute(std::move(task));
+      lk.lock();
+      continue;
+    }
+    pool_->cv_.wait(lk);
+  }
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  lk.unlock();
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+}  // namespace mcgp

@@ -2,7 +2,24 @@
 
 namespace mcgp {
 
+PhaseTimes::PhaseTimes(const PhaseTimes& o) {
+  std::lock_guard<std::mutex> lk(o.mu_);
+  entries_ = o.entries_;
+  index_ = o.index_;
+}
+
+PhaseTimes& PhaseTimes::operator=(const PhaseTimes& o) {
+  if (this == &o) return *this;
+  // Consistent order not needed: distinct locks, self-assign handled above.
+  std::lock_guard<std::mutex> lo(o.mu_);
+  std::lock_guard<std::mutex> lt(mu_);
+  entries_ = o.entries_;
+  index_ = o.index_;
+  return *this;
+}
+
 void PhaseTimes::add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = index_.find(phase);
   if (it != index_.end()) {
     entries_[it->second].second += seconds;
@@ -13,6 +30,7 @@ void PhaseTimes::add(const std::string& phase, double seconds) {
 }
 
 double PhaseTimes::get(const std::string& phase) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = index_.find(phase);
   return it != index_.end() ? entries_[it->second].second : 0.0;
 }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,9 +29,17 @@ class WallTimer {
 };
 
 /// Accumulates per-phase timings (coarsening / initial / refinement / ...)
-/// across a partitioning run.
+/// across a partitioning run. add()/get() are thread-safe so concurrent
+/// subproblems of the task-parallel drivers can share one accumulator; the
+/// totals then sum CPU-side time across threads, which can exceed wall
+/// time. entries() is unsynchronized — read it only after parallel work
+/// has been joined.
 class PhaseTimes {
  public:
+  PhaseTimes() = default;
+  PhaseTimes(const PhaseTimes& o);
+  PhaseTimes& operator=(const PhaseTimes& o);
+
   /// Add `seconds` to the named phase, creating it on first use.
   void add(const std::string& phase, double seconds);
 
@@ -43,11 +52,13 @@ class PhaseTimes {
   }
 
   void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
     entries_.clear();
     index_.clear();
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, double>> entries_;
   /// Phase name -> position in entries_ (O(1) add/get; entries_ keeps
   /// first-use order for reporting).

@@ -7,47 +7,95 @@
 
 namespace mcgp {
 
-void TraceRecorder::begin(const char* name) {
+TraceRecorder::ThreadLog& TraceRecorder::local_log() {
+  if (std::this_thread::get_id() == home_id_) return home_;
+  std::lock_guard<std::mutex> lk(mu_);
+  ThreadLog*& slot = aux_index_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    aux_.push_back(std::make_unique<ThreadLog>());
+    slot = aux_.back().get();
+  }
+  return *slot;
+}
+
+void TraceRecorder::append_begin(ThreadLog& log, const char* name) {
   TraceEvent ev;
   ev.type = TraceEvent::Type::kBegin;
-  ev.depth = depth_;
+  ev.depth = log.depth;
   ev.name = name;
   ev.ts_ns = now_ns();
-  events_.push_back(std::move(ev));
-  ++depth_;
+  log.events.push_back(std::move(ev));
+  ++log.depth;
 }
 
-void TraceRecorder::end(std::initializer_list<TraceArg> args) {
-  end(args.begin(), static_cast<int>(args.size()));
-}
-
-void TraceRecorder::end(const TraceArg* args, int nargs) {
-  if (depth_ == 0) return;  // unmatched end: drop rather than corrupt
-  --depth_;
+void TraceRecorder::append_end(ThreadLog& log, const TraceArg* args,
+                               int nargs) {
+  if (log.depth == 0) return;  // unmatched end: drop rather than corrupt
+  --log.depth;
   TraceEvent ev;
   ev.type = TraceEvent::Type::kEnd;
-  ev.depth = depth_;
+  ev.depth = log.depth;
   // Name of the innermost open span (for JSONL readability).
-  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
-    if (it->type == TraceEvent::Type::kBegin && it->depth == depth_) {
+  for (auto it = log.events.rbegin(); it != log.events.rend(); ++it) {
+    if (it->type == TraceEvent::Type::kBegin && it->depth == log.depth) {
       ev.name = it->name;
       break;
     }
   }
   ev.ts_ns = now_ns();
   ev.args.assign(args, args + nargs);
-  events_.push_back(std::move(ev));
+  log.events.push_back(std::move(ev));
+}
+
+void TraceRecorder::begin(const char* name) { append_begin(local_log(), name); }
+
+void TraceRecorder::end(std::initializer_list<TraceArg> args) {
+  end(args.begin(), static_cast<int>(args.size()));
+}
+
+void TraceRecorder::end(const TraceArg* args, int nargs) {
+  append_end(local_log(), args, nargs);
 }
 
 void TraceRecorder::instant(const char* name,
                             std::initializer_list<TraceArg> args) {
+  ThreadLog& log = local_log();
   TraceEvent ev;
   ev.type = TraceEvent::Type::kInstant;
-  ev.depth = depth_;
+  ev.depth = log.depth;
   ev.name = name;
   ev.ts_ns = now_ns();
   ev.args.assign(args.begin(), args.end());
-  events_.push_back(std::move(ev));
+  log.events.push_back(std::move(ev));
+}
+
+void TraceRecorder::count(std::string_view name, std::int64_t delta) {
+  local_log().counters.incr(name, delta);
+}
+
+Histogram& TraceRecorder::hist(std::string_view name) {
+  return local_log().counters.hist(name);
+}
+
+CounterRegistry TraceRecorder::merged_counters() const {
+  CounterRegistry merged = home_.counters;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& log : aux_) merged.merge_from(log->counters);
+  return merged;
+}
+
+std::size_t TraceRecorder::num_thread_logs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return 1 + aux_.size();
+}
+
+void TraceRecorder::clear() {
+  home_.events.clear();
+  home_.counters.clear();
+  home_.depth = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  aux_.clear();
+  aux_index_.clear();
 }
 
 namespace {
@@ -72,52 +120,71 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
   w.member("displayTimeUnit", "ms");
   w.key("traceEvents");
   w.begin_array();
-  for (const TraceEvent& ev : events_) {
-    w.begin_object();
-    w.member("name", ev.name);
-    w.member("cat", "mcgp");
-    switch (ev.type) {
-      case TraceEvent::Type::kBegin: w.member("ph", "B"); break;
-      case TraceEvent::Type::kEnd: w.member("ph", "E"); break;
-      case TraceEvent::Type::kInstant:
-        w.member("ph", "i");
-        w.member("s", "t");
-        break;
+  // One tid per thread log: the home thread is tid 1, auxiliary threads
+  // tid 2+ in registration order. Events within a log are in emission
+  // order, so every tid's B/E stream is properly nested on its own.
+  std::lock_guard<std::mutex> lk(mu_);
+  std::int64_t tid = 1;
+  const ThreadLog* home = &home_;
+  auto write_log = [&](const ThreadLog& log) {
+    for (const TraceEvent& ev : log.events) {
+      w.begin_object();
+      w.member("name", ev.name);
+      w.member("cat", "mcgp");
+      switch (ev.type) {
+        case TraceEvent::Type::kBegin: w.member("ph", "B"); break;
+        case TraceEvent::Type::kEnd: w.member("ph", "E"); break;
+        case TraceEvent::Type::kInstant:
+          w.member("ph", "i");
+          w.member("s", "t");
+          break;
+      }
+      // Chrome trace timestamps are microseconds (fractions allowed).
+      w.member("ts", static_cast<double>(ev.ts_ns) / 1000.0);
+      w.member("pid", std::int64_t{1});
+      w.member("tid", tid);
+      if (!ev.args.empty()) {
+        w.key("args");
+        write_args_object(w, ev.args);
+      }
+      w.end_object();
     }
-    // Chrome trace timestamps are microseconds (fractions allowed).
-    w.member("ts", static_cast<double>(ev.ts_ns) / 1000.0);
-    w.member("pid", std::int64_t{1});
-    w.member("tid", std::int64_t{1});
-    if (!ev.args.empty()) {
-      w.key("args");
-      write_args_object(w, ev.args);
-    }
-    w.end_object();
-  }
+    ++tid;
+  };
+  write_log(*home);
+  for (const auto& log : aux_) write_log(*log);
   w.end_array();
   w.end_object();
   out << '\n';
 }
 
 void TraceRecorder::write_jsonl(std::ostream& out) const {
-  for (const TraceEvent& ev : events_) {
-    JsonWriter w(out);
-    w.begin_object();
-    switch (ev.type) {
-      case TraceEvent::Type::kBegin: w.member("type", "begin"); break;
-      case TraceEvent::Type::kEnd: w.member("type", "end"); break;
-      case TraceEvent::Type::kInstant: w.member("type", "instant"); break;
+  std::lock_guard<std::mutex> lk(mu_);
+  std::int64_t tid = 1;
+  auto write_log = [&](const ThreadLog& log) {
+    for (const TraceEvent& ev : log.events) {
+      JsonWriter w(out);
+      w.begin_object();
+      switch (ev.type) {
+        case TraceEvent::Type::kBegin: w.member("type", "begin"); break;
+        case TraceEvent::Type::kEnd: w.member("type", "end"); break;
+        case TraceEvent::Type::kInstant: w.member("type", "instant"); break;
+      }
+      w.member("name", ev.name);
+      w.member("ts_ns", ev.ts_ns);
+      w.member("depth", std::int64_t{ev.depth});
+      w.member("tid", tid);
+      if (!ev.args.empty()) {
+        w.key("args");
+        write_args_object(w, ev.args);
+      }
+      w.end_object();
+      out << '\n';
     }
-    w.member("name", ev.name);
-    w.member("ts_ns", ev.ts_ns);
-    w.member("depth", std::int64_t{ev.depth});
-    if (!ev.args.empty()) {
-      w.key("args");
-      write_args_object(w, ev.args);
-    }
-    w.end_object();
-    out << '\n';
-  }
+    ++tid;
+  };
+  write_log(home_);
+  for (const auto& log : aux_) write_log(*log);
 }
 
 bool TraceRecorder::save_chrome_trace(const std::string& path) const {

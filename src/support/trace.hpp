@@ -7,22 +7,35 @@
 // disables everything and costs one pointer test per instrumentation
 // point — no allocation, no clock read, no branch into library code.
 //
+// Concurrency: the recorder keeps one event log and one counter registry
+// PER THREAD. The thread that constructed the recorder writes to its log
+// lock-free (the common single-threaded path is unchanged); any other
+// thread registers a log of its own on first use and then also appends
+// lock-free. Spans therefore nest correctly within each thread no matter
+// how the task pool schedules work, and the exporters emit each thread's
+// log under its own `tid`, so Chrome traces stay well-formed under
+// concurrency. Counters are merged across threads with merged_counters().
+//
 // Exporters:
 //   * write_chrome_trace() — chrome://tracing / Perfetto "trace event"
 //     JSON (B/E pairs, microsecond timestamps, args on the end event)
 //   * write_jsonl()        — one JSON object per event, for ad-hoc tooling
 //
 // Span names and arg keys must be string literals (or otherwise outlive
-// the recorder); events store the pointers, never copies. A recorder is
-// single-threaded, matching the pipeline. It accumulates across runs —
-// call clear() between runs for per-run artifacts.
+// the recorder); events store the pointers, never copies. A recorder
+// accumulates across runs — call clear() between runs for per-run
+// artifacts (only while no other thread is tracing).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "support/counters.hpp"
@@ -59,28 +72,43 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
-  TraceRecorder() : origin_(clock::now()) {}
+  TraceRecorder()
+      : origin_(clock::now()), home_id_(std::this_thread::get_id()) {}
 
-  /// Open a span. Every begin() must be matched by one end().
+  /// Open a span on the calling thread's log. Every begin() must be
+  /// matched by one end() on the same thread.
   void begin(const char* name);
-  /// Close the innermost span, attaching `args` to the end event.
+  /// Close the calling thread's innermost span, attaching `args` to the
+  /// end event.
   void end(std::initializer_list<TraceArg> args = {});
   void end(const TraceArg* args, int nargs);
-  /// Zero-duration event at the current depth.
+  /// Zero-duration event at the calling thread's current depth.
   void instant(const char* name, std::initializer_list<TraceArg> args = {});
 
-  int depth() const { return depth_; }
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Add `delta` to the named counter on the calling thread's registry.
+  void count(std::string_view name, std::int64_t delta = 1);
+  /// Histogram by name on the calling thread's registry. The reference
+  /// stays valid for the thread's lifetime within the run; callers may
+  /// cache it across a serial stretch of work.
+  Histogram& hist(std::string_view name);
 
-  CounterRegistry& counters() { return counters_; }
-  const CounterRegistry& counters() const { return counters_; }
+  /// Depth / events / counters of the HOME thread (the thread that
+  /// constructed the recorder) — the full view of any single-threaded run.
+  int depth() const { return home_.depth; }
+  const std::vector<TraceEvent>& events() const { return home_.events; }
+  CounterRegistry& counters() { return home_.counters; }
+  const CounterRegistry& counters() const { return home_.counters; }
 
-  /// Drop all events and counters; the time origin is kept.
-  void clear() {
-    events_.clear();
-    counters_.clear();
-    depth_ = 0;
-  }
+  /// Counters of all thread logs folded together. Call after parallel
+  /// work has been joined.
+  CounterRegistry merged_counters() const;
+
+  /// Number of per-thread logs (1 = only the home thread ever traced).
+  std::size_t num_thread_logs() const;
+
+  /// Drop all events and counters on every thread log; the time origin is
+  /// kept. Only valid while no other thread is tracing.
+  void clear();
 
   void write_chrome_trace(std::ostream& out) const;
   void write_jsonl(std::ostream& out) const;
@@ -92,21 +120,37 @@ class TraceRecorder {
  private:
   using clock = std::chrono::steady_clock;
 
+  struct ThreadLog {
+    std::vector<TraceEvent> events;
+    int depth = 0;
+    CounterRegistry counters;
+  };
+
   std::int64_t now_ns() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
                                                                 origin_)
         .count();
   }
 
+  /// The calling thread's log: the home log lock-free, or an auxiliary
+  /// log registered under the mutex on first use.
+  ThreadLog& local_log();
+
+  void append_begin(ThreadLog& log, const char* name);
+  void append_end(ThreadLog& log, const TraceArg* args, int nargs);
+
   clock::time_point origin_;
-  std::vector<TraceEvent> events_;
-  int depth_ = 0;
-  CounterRegistry counters_;
+  std::thread::id home_id_;
+  ThreadLog home_;
+
+  mutable std::mutex mu_;  ///< guards aux_ / aux_index_ registration
+  std::vector<std::unique_ptr<ThreadLog>> aux_;
+  std::unordered_map<std::thread::id, ThreadLog*> aux_index_;
 };
 
 /// RAII span that is a no-op (and allocation-free) on a null recorder.
 /// Payload values observed mid-span are attached with arg() and emitted on
-/// the span's end event.
+/// the span's end event. Must begin and end on the same thread.
 class TraceSpan {
  public:
   TraceSpan(TraceRecorder* tr, const char* name) : tr_(tr) {
@@ -148,11 +192,11 @@ inline void trace_instant(TraceRecorder* tr, const char* name,
 }
 inline void trace_count(TraceRecorder* tr, std::string_view name,
                         std::int64_t delta = 1) {
-  if (tr != nullptr) tr->counters().incr(name, delta);
+  if (tr != nullptr) tr->count(name, delta);
 }
 inline void trace_hist(TraceRecorder* tr, std::string_view name,
                        std::int64_t value) {
-  if (tr != nullptr) tr->counters().hist(name).record(value);
+  if (tr != nullptr) tr->hist(name).record(value);
 }
 
 }  // namespace mcgp

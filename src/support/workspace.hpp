@@ -1,0 +1,106 @@
+// Reusable scratch buffers for the multilevel pipeline.
+//
+// Every level of coarsening and every recursive-bisection split used to
+// allocate its own permutation / dense-map / selection vectors; a
+// Workspace owns those buffers once and the pipeline reuses them down the
+// hierarchy, turning per-level allocations into amortized O(1) capacity
+// reuse. The dense maps (`pos`, `global_to_local`) follow the classic
+// sparse-reset discipline: they are all -1 between uses and every user
+// restores the entries it touched, so growing them is the only cost ever
+// paid.
+//
+// A Workspace is single-threaded state. Concurrent tasks each acquire
+// their own from a WorkspacePool (mutex-guarded free list, grows on
+// demand); the pool hands a buffer to one task at a time, so workspace
+// contents never cross threads. Workspace reuse is invisible to results —
+// buffers carry no information between uses.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mcgp {
+
+struct Workspace {
+  std::vector<idx_t> perm;    ///< matching visit order
+  std::vector<idx_t> match;   ///< matching scratch of coarsen_graph
+  std::vector<idx_t> first;   ///< constituent lists of contract_graph
+  std::vector<idx_t> second;
+  std::vector<char> select;   ///< side mask of the RB driver
+  std::vector<idx_t> proj;    ///< uncoarsening projection ping-pong buffer
+
+  /// Dense coarse-neighbor position map (contract_graph). All -1 between
+  /// uses; users restore the entries they touch.
+  std::vector<idx_t>& pos_map(std::size_t n) {
+    if (pos_.size() < n) pos_.resize(n, idx_t{-1});
+    return pos_;
+  }
+
+  /// Dense global-to-local vertex map (induced_subgraph). Same all--1
+  /// discipline as pos_map().
+  std::vector<idx_t>& g2l_map(std::size_t n) {
+    if (g2l_.size() < n) g2l_.resize(n, idx_t{-1});
+    return g2l_;
+  }
+
+ private:
+  std::vector<idx_t> pos_;
+  std::vector<idx_t> g2l_;
+};
+
+/// Thread-safe grow-on-demand pool of Workspaces. Acquire returns an RAII
+/// lease that returns the workspace to the free list on destruction.
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, Workspace* ws) : pool_(pool), ws_(ws) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(ws_);
+    }
+
+    Lease(Lease&& o) noexcept : pool_(o.pool_), ws_(o.ws_) {
+      o.pool_ = nullptr;
+      o.ws_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    Workspace& operator*() const { return *ws_; }
+    Workspace* operator->() const { return ws_; }
+    Workspace* get() const { return ws_; }
+
+   private:
+    WorkspacePool* pool_;
+    Workspace* ws_;
+  };
+
+  Lease acquire() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.empty()) {
+      owned_.push_back(std::make_unique<Workspace>());
+      free_.push_back(owned_.back().get());
+    }
+    Workspace* ws = free_.back();
+    free_.pop_back();
+    return Lease(this, ws);
+  }
+
+ private:
+  friend class Lease;
+
+  void release(Workspace* ws) {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(ws);
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Workspace>> owned_;
+  std::vector<Workspace*> free_;
+};
+
+}  // namespace mcgp

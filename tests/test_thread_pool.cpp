@@ -1,0 +1,110 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace mcgp {
+namespace {
+
+TEST(TaskGroup, NullPoolRunsInlineInSubmissionOrder) {
+  std::vector<int> order;
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&order, i] { order.push_back(i); });
+  }
+  group.wait();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& r : runs) r.store(0);
+
+  TaskGroup group(&pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.run([&runs, i] { runs[static_cast<std::size_t>(i)].fetch_add(1); });
+  }
+  group.wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletesWork) {
+  ThreadPool pool(1);  // no workers: wait() executes everything
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.run([&done] { done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  // Binary fork/join recursion, the shape the RB driver produces.
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    TaskGroup inner(&pool);
+    inner.run([&recurse, depth] { recurse(depth - 1); });
+    recurse(depth - 1);
+    inner.wait();
+  };
+  TaskGroup group(&pool);
+  group.run([&recurse] { recurse(6); });
+  group.wait();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.run([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+  }
+  // The pool stays usable after a failed group.
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) group.run([&done] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskGroup, NullPoolExceptionSurfacesAtWait) {
+  TaskGroup group(nullptr);
+  group.run([] { throw std::runtime_error("serial boom"); });
+  group.run([] {});  // later tasks still run; first error wins
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  group.wait();  // error consumed; a second wait is clean
+}
+
+TEST(TaskGroup, WaitIsReusableWithinOneGroup) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  group.run([&done] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 1);
+  group.run([&done] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
+}  // namespace
+}  // namespace mcgp
