@@ -161,4 +161,30 @@ BENCHMARK(BM_PartitionEndToEnd)
     ->Args({150, 1, 1})
     ->Args({150, 3, 1});
 
+// Cost of the invariant-audit layer per level: off must be free (a
+// pointer test per audit point), boundaries/paranoid quantify what a
+// fully audited debug run pays.
+void BM_PartitionAudited(benchmark::State& state) {
+  const Graph g = make_bench_graph(150, 3);
+  Options o;
+  o.nparts = 32;
+  o.algorithm = state.range(0) == 0 ? Algorithm::kRecursiveBisection
+                                    : Algorithm::kKWay;
+  o.audit_level = static_cast<AuditLevel>(state.range(1));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    const PartitionResult r = partition(g, o);
+    benchmark::DoNotOptimize(r.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_PartitionAudited)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2});
+
 }  // namespace

@@ -18,12 +18,15 @@
 //   --mesh               input is a METIS .mesh file; partition its dual
 //   --ncommon=<n>        dual-graph adjacency threshold (default 2)
 //   --report             print the full per-part report
+//   --audit=<level>      runtime invariant auditing: off|boundaries|paranoid
+//   --refine=<partfile>  refine an existing partition instead of partitioning
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "core/audit.hpp"
 #include "core/partitioner.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/metrics.hpp"
@@ -45,7 +48,11 @@ void usage(const char* argv0) {
       << "  --no-write          skip writing the partition file\n"
       << "  --mesh              input is a METIS .mesh file (partition dual)\n"
       << "  --ncommon=<n>       dual adjacency threshold (default 2)\n"
-      << "  --report            print the full per-part report\n";
+      << "  --report            print the full per-part report\n"
+      << "  --audit=<level>     invariant auditing: off|boundaries|paranoid\n"
+      << "                      (default off; MCGP_AUDIT env overrides)\n"
+      << "  --refine=<partfile> refine an existing partition in place\n"
+      << "                      instead of partitioning from scratch\n";
 }
 
 }  // namespace
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   bool is_mesh = false;
   bool report = false;
   idx_t ncommon = 2;
+  std::string refine_path;
 
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -100,6 +108,18 @@ int main(int argc, char** argv) {
       ncommon = std::atoi(a.c_str() + 10);
     } else if (a == "--report") {
       report = true;
+    } else if (a.rfind("--audit=", 0) == 0) {
+      if (!parse_audit_level(a.substr(8), opts.audit_level)) {
+        std::cerr << "error: --audit expects off|boundaries|paranoid, got \""
+                  << a.substr(8) << "\"\n";
+        return 2;
+      }
+    } else if (a.rfind("--refine=", 0) == 0) {
+      refine_path = a.substr(9);
+      if (refine_path.empty()) {
+        std::cerr << "error: --refine needs a partition file path\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown option: " << a << "\n";
       usage(argv[0]);
@@ -123,11 +143,24 @@ int main(int argc, char** argv) {
               << g.nedges() << " edges, " << g.ncon << " constraint"
               << (g.ncon > 1 ? "s" : "") << ")\n";
 
-    const PartitionResult r = partition(g, opts);
+    PartitionResult r;
+    if (!refine_path.empty()) {
+      // Validated load: exactly one entry per vertex, every id in range —
+      // a bad file fails here with a precise message instead of crashing
+      // (or silently mis-refining) deep inside the refiner.
+      std::vector<idx_t> part =
+          read_partition_file(refine_path, g.nvtxs, nparts);
+      r = refine_partition(g, std::move(part), opts);
+    } else {
+      r = partition(g, opts);
+    }
 
     std::cout << "nparts:  " << nparts << "  ("
-              << (opts.algorithm == Algorithm::kKWay ? "multilevel k-way"
-                                                     : "recursive bisection")
+              << (!refine_path.empty()
+                      ? "refine existing"
+                      : opts.algorithm == Algorithm::kKWay
+                            ? "multilevel k-way"
+                            : "recursive bisection")
               << ")\n";
     std::cout << "edgecut: " << r.cut << "\n";
     std::cout << "commvol: " << communication_volume(g, r.part, nparts) << "\n";

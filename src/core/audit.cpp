@@ -1,0 +1,322 @@
+#include "core/audit.hpp"
+
+#include <sstream>
+
+namespace mcgp {
+
+namespace {
+
+/// Directed-sum cut with overflow checking; also verifies the directed
+/// total is even (an odd total means the adjacency weights are not
+/// symmetric, which every later cut/2 silently truncates).
+sum_t audited_cut(const InvariantAuditor* aud, const Graph& g,
+                  const std::vector<idx_t>& part, const char* site) {
+  sum_t directed = 0;
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (part[static_cast<std::size_t>(g.adjncy[e])] != pv) {
+        directed = checked_add(directed, g.adjwgt[static_cast<std::size_t>(e)]);
+      }
+    }
+  }
+  MCGP_AUDIT_MSG(aud, directed % 2 == 0, site,
+                 ": directed cut total ", directed,
+                 " is odd (asymmetric edge weights)");
+  return directed / 2;
+}
+
+}  // namespace
+
+bool parse_audit_level(const std::string& s, AuditLevel& out) {
+  if (s == "off" || s == "0") {
+    out = AuditLevel::kOff;
+  } else if (s == "boundaries" || s == "1") {
+    out = AuditLevel::kBoundaries;
+  } else if (s == "paranoid" || s == "2") {
+    out = AuditLevel::kParanoid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* audit_check_name(AuditCheck c) {
+  switch (c) {
+    case AuditCheck::kCoarseLevel: return "coarse_level";
+    case AuditCheck::kProjection: return "projection";
+    case AuditCheck::kBisectionState: return "bisection_state";
+    case AuditCheck::kKWayState: return "kway_state";
+    case AuditCheck::kGainSample: return "gain_sample";
+    case AuditCheck::kCutDelta: return "cut_delta";
+    case AuditCheck::kFinalPartition: return "final_partition";
+    case AuditCheck::kCount_: break;
+  }
+  return "?";
+}
+
+std::uint64_t InvariantAuditor::total_checks() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string InvariantAuditor::summary() const {
+  std::ostringstream oss;
+  for (int c = 0; c < static_cast<int>(AuditCheck::kCount_); ++c) {
+    if (c > 0) oss << ' ';
+    oss << audit_check_name(static_cast<AuditCheck>(c)) << '='
+        << counts_[static_cast<std::size_t>(c)].load(
+               std::memory_order_relaxed);
+  }
+  return oss.str();
+}
+
+void InvariantAuditor::fail(const char* file, int line, const char* expr,
+                            const std::string& msg) const {
+  std::ostringstream oss;
+  oss << "invariant audit failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) oss << " — " << msg;
+  throw AuditFailure(oss.str());
+}
+
+void InvariantAuditor::check_coarse_level(const Graph& fine,
+                                          const Graph& coarse,
+                                          const std::vector<idx_t>& cmap,
+                                          const char* site) {
+  MCGP_AUDIT_MSG(this, cmap.size() == static_cast<std::size_t>(fine.nvtxs),
+                 site, ": cmap size ", cmap.size(), " != fine nvtxs ",
+                 fine.nvtxs);
+  MCGP_AUDIT_MSG(this, coarse.ncon == fine.ncon, site, ": ncon changed ",
+                 fine.ncon, " -> ", coarse.ncon);
+
+  // Per-coarse-vertex weight conservation (stronger than totals alone:
+  // also catches weight landing on the wrong coarse vertex).
+  const std::size_t ncw =
+      static_cast<std::size_t>(coarse.nvtxs) * coarse.ncon;
+  MCGP_AUDIT_MSG(this, coarse.vwgt.size() == ncw, site,
+                 ": coarse vwgt size ", coarse.vwgt.size(), " != ", ncw);
+  std::vector<sum_t> expect(ncw, 0);
+  std::vector<idx_t> constituents(static_cast<std::size_t>(coarse.nvtxs), 0);
+  for (idx_t v = 0; v < fine.nvtxs; ++v) {
+    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    MCGP_AUDIT_MSG(this, cv >= 0 && cv < coarse.nvtxs, site, ": cmap[", v,
+                   "] = ", cv, " out of range [0, ", coarse.nvtxs, ")");
+    ++constituents[static_cast<std::size_t>(cv)];
+    const wgt_t* w = fine.weights(v);
+    for (int i = 0; i < fine.ncon; ++i) {
+      sum_t& slot = expect[static_cast<std::size_t>(cv) * fine.ncon + i];
+      slot = checked_add(slot, w[i]);
+    }
+  }
+  for (idx_t cv = 0; cv < coarse.nvtxs; ++cv) {
+    MCGP_AUDIT_MSG(this, constituents[static_cast<std::size_t>(cv)] > 0,
+                   site, ": coarse vertex ", cv, " has no constituents");
+    for (int i = 0; i < coarse.ncon; ++i) {
+      const std::size_t s = static_cast<std::size_t>(cv) * coarse.ncon + i;
+      MCGP_AUDIT_MSG(this, static_cast<sum_t>(coarse.vwgt[s]) == expect[s],
+                     site, ": coarse vertex ", cv, " weight ", i, " is ",
+                     coarse.vwgt[s], ", constituents sum to ", expect[s]);
+    }
+  }
+
+  // Cached totals must agree with the conserved per-constraint sums.
+  for (int i = 0; i < coarse.ncon; ++i) {
+    MCGP_AUDIT_MSG(this,
+                   coarse.tvwgt[static_cast<std::size_t>(i)] ==
+                       fine.tvwgt[static_cast<std::size_t>(i)],
+                   site, ": constraint ", i, " total not conserved: fine ",
+                   fine.tvwgt[static_cast<std::size_t>(i)], " vs coarse ",
+                   coarse.tvwgt[static_cast<std::size_t>(i)]);
+  }
+
+  // Edge-weight conservation: the directed weight of the coarse graph plus
+  // the directed weight collapsed inside coarse vertices equals the fine
+  // directed weight (merging parallel edges sums their weights).
+  sum_t fine_total = 0, internal = 0, coarse_total = 0;
+  for (idx_t v = 0; v < fine.nvtxs; ++v) {
+    for (idx_t e = fine.xadj[v]; e < fine.xadj[v + 1]; ++e) {
+      fine_total =
+          checked_add(fine_total, fine.adjwgt[static_cast<std::size_t>(e)]);
+      if (cmap[static_cast<std::size_t>(fine.adjncy[e])] ==
+          cmap[static_cast<std::size_t>(v)]) {
+        internal =
+            checked_add(internal, fine.adjwgt[static_cast<std::size_t>(e)]);
+      }
+    }
+  }
+  for (const wgt_t w : coarse.adjwgt) coarse_total = checked_add(coarse_total, w);
+  MCGP_AUDIT_MSG(this, checked_add(coarse_total, internal) == fine_total,
+                 site, ": edge weight not conserved: fine ", fine_total,
+                 " != coarse ", coarse_total, " + internal ", internal);
+
+  if (paranoid()) {
+    const std::string problem = coarse.validate();
+    MCGP_AUDIT_MSG(this, problem.empty(), site,
+                   ": coarse graph structurally invalid: ", problem);
+  }
+  bump(AuditCheck::kCoarseLevel);
+}
+
+void InvariantAuditor::check_projection(const Graph& fine, const Graph& coarse,
+                                        const std::vector<idx_t>& cmap,
+                                        const std::vector<idx_t>& coarse_part,
+                                        const std::vector<idx_t>& fine_part,
+                                        const char* site) {
+  MCGP_AUDIT_MSG(this,
+                 fine_part.size() == static_cast<std::size_t>(fine.nvtxs),
+                 site, ": projected partition size ", fine_part.size(),
+                 " != nvtxs ", fine.nvtxs);
+  MCGP_AUDIT_MSG(this,
+                 coarse_part.size() == static_cast<std::size_t>(coarse.nvtxs),
+                 site, ": coarse partition size ", coarse_part.size(),
+                 " != coarse nvtxs ", coarse.nvtxs);
+  for (idx_t v = 0; v < fine.nvtxs; ++v) {
+    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    MCGP_AUDIT_MSG(this,
+                   fine_part[static_cast<std::size_t>(v)] ==
+                       coarse_part[static_cast<std::size_t>(cv)],
+                   site, ": vertex ", v, " projected to part ",
+                   fine_part[static_cast<std::size_t>(v)],
+                   " but its coarse vertex ", cv, " is in part ",
+                   coarse_part[static_cast<std::size_t>(cv)]);
+  }
+  const sum_t coarse_cut = audited_cut(this, coarse, coarse_part, site);
+  const sum_t fine_cut = audited_cut(this, fine, fine_part, site);
+  MCGP_AUDIT_MSG(this, coarse_cut == fine_cut, site,
+                 ": projection changed the cut: coarse ", coarse_cut,
+                 " -> fine ", fine_cut);
+  bump(AuditCheck::kProjection);
+}
+
+void InvariantAuditor::check_bisection_weights(const Graph& g,
+                                               const std::vector<idx_t>& where,
+                                               const BisectionBalance& bal,
+                                               const char* site) {
+  MCGP_AUDIT_MSG(this, where.size() == static_cast<std::size_t>(g.nvtxs),
+                 site, ": where size ", where.size(), " != nvtxs ", g.nvtxs);
+  sum_t fresh[2 * kMaxNcon] = {};
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t s = where[static_cast<std::size_t>(v)];
+    MCGP_AUDIT_MSG(this, s == 0 || s == 1, site, ": vertex ", v,
+                   " has side ", s, " (not 0/1)");
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      sum_t& slot = fresh[s * kMaxNcon + i];
+      slot = checked_add(slot, w[i]);
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < g.ncon; ++i) {
+      MCGP_AUDIT_MSG(this, bal.side_weight(s, i) == fresh[s * kMaxNcon + i],
+                     site, ": side ", s, " constraint ", i,
+                     " bookkeeping says ", bal.side_weight(s, i),
+                     ", recompute says ", fresh[s * kMaxNcon + i]);
+    }
+  }
+  bump(AuditCheck::kBisectionState);
+}
+
+void InvariantAuditor::check_bisection_cut(const Graph& g,
+                                           const std::vector<idx_t>& where,
+                                           sum_t claimed_cut,
+                                           const char* site) {
+  const sum_t fresh = audited_cut(this, g, where, site);
+  MCGP_AUDIT_MSG(this, claimed_cut == fresh, site,
+                 ": incremental cut ", claimed_cut, " != recomputed cut ",
+                 fresh);
+  bump(AuditCheck::kBisectionState);
+}
+
+void InvariantAuditor::check_kway_state(const Graph& g,
+                                        const std::vector<idx_t>& where,
+                                        idx_t nparts,
+                                        const std::vector<sum_t>& pwgts,
+                                        const std::vector<idx_t>* vcount,
+                                        const char* site) {
+  MCGP_AUDIT_MSG(this, where.size() == static_cast<std::size_t>(g.nvtxs),
+                 site, ": where size ", where.size(), " != nvtxs ", g.nvtxs);
+  MCGP_AUDIT_MSG(this,
+                 pwgts.size() ==
+                     static_cast<std::size_t>(nparts) * g.ncon,
+                 site, ": pwgts size ", pwgts.size(), " != nparts*ncon ",
+                 static_cast<std::size_t>(nparts) * g.ncon);
+  std::vector<sum_t> fresh(static_cast<std::size_t>(nparts) * g.ncon, 0);
+  std::vector<idx_t> counts(static_cast<std::size_t>(nparts), 0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t p = where[static_cast<std::size_t>(v)];
+    MCGP_AUDIT_MSG(this, p >= 0 && p < nparts, site, ": vertex ", v,
+                   " in part ", p, " out of range [0, ", nparts, ")");
+    ++counts[static_cast<std::size_t>(p)];
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      sum_t& slot = fresh[static_cast<std::size_t>(p) * g.ncon + i];
+      slot = checked_add(slot, w[i]);
+    }
+  }
+  for (idx_t p = 0; p < nparts; ++p) {
+    for (int i = 0; i < g.ncon; ++i) {
+      const std::size_t s = static_cast<std::size_t>(p) * g.ncon + i;
+      MCGP_AUDIT_MSG(this, pwgts[s] == fresh[s], site, ": part ", p,
+                     " constraint ", i, " bookkeeping says ", pwgts[s],
+                     ", recompute says ", fresh[s]);
+    }
+    if (vcount != nullptr) {
+      MCGP_AUDIT_MSG(this,
+                     (*vcount)[static_cast<std::size_t>(p)] ==
+                         counts[static_cast<std::size_t>(p)],
+                     site, ": part ", p, " vertex count bookkeeping says ",
+                     (*vcount)[static_cast<std::size_t>(p)],
+                     ", recompute says ", counts[static_cast<std::size_t>(p)]);
+    }
+  }
+  bump(AuditCheck::kKWayState);
+}
+
+void InvariantAuditor::check_gain(const Graph& g,
+                                  const std::vector<idx_t>& where, idx_t v,
+                                  sum_t claimed_gain, const char* site) {
+  sum_t idw = 0, edw = 0;
+  const idx_t pv = where[static_cast<std::size_t>(v)];
+  for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+    const wgt_t w = g.adjwgt[static_cast<std::size_t>(e)];
+    if (where[static_cast<std::size_t>(g.adjncy[e])] == pv) {
+      idw = checked_add(idw, w);
+    } else {
+      edw = checked_add(edw, w);
+    }
+  }
+  const sum_t fresh = checked_sub(edw, idw);
+  MCGP_AUDIT_MSG(this, claimed_gain == fresh, site, ": vertex ", v,
+                 " queue gain ", claimed_gain, " != recomputed gain ", fresh,
+                 " (ed ", edw, ", id ", idw, ")");
+  bump(AuditCheck::kGainSample);
+}
+
+void InvariantAuditor::check_cut_delta(sum_t cut_before, sum_t gain_sum,
+                                       sum_t cut_after, const char* site) {
+  MCGP_AUDIT_MSG(this, checked_sub(cut_before, gain_sum) == cut_after, site,
+                 ": cut delta inconsistent: started at ", cut_before,
+                 ", accumulated gain ", gain_sum, ", ended at ", cut_after);
+  bump(AuditCheck::kCutDelta);
+}
+
+void InvariantAuditor::check_final_partition(const Graph& g,
+                                             const std::vector<idx_t>& part,
+                                             idx_t nparts, sum_t claimed_cut,
+                                             const char* site) {
+  MCGP_AUDIT_MSG(this, part.size() == static_cast<std::size_t>(g.nvtxs),
+                 site, ": partition size ", part.size(), " != nvtxs ",
+                 g.nvtxs);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t p = part[static_cast<std::size_t>(v)];
+    MCGP_AUDIT_MSG(this, p >= 0 && p < nparts, site, ": vertex ", v,
+                   " in part ", p, " out of range [0, ", nparts, ")");
+  }
+  const sum_t fresh = audited_cut(this, g, part, site);
+  MCGP_AUDIT_MSG(this, claimed_cut == fresh, site, ": claimed cut ",
+                 claimed_cut, " != recomputed cut ", fresh);
+  bump(AuditCheck::kFinalPartition);
+}
+
+}  // namespace mcgp

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
 #include "support/bucket_queue.hpp"
 
 namespace mcgp {
 
 bool balance_2way(const Graph& g, std::vector<idx_t>& where,
-                  const BisectionTargets& targets, Rng& rng) {
+                  const BisectionTargets& targets, Rng& rng,
+                  InvariantAuditor* audit) {
   BisectionBalance balance;
   balance.init(g, where, targets);
   if (balance.feasible()) return true;
@@ -73,6 +75,9 @@ bool balance_2way(const Graph& g, std::vector<idx_t>& where,
       }
     }
     if (!progressed) break;
+  }
+  if (audit != nullptr && audit->boundaries()) {
+    audit->check_bisection_weights(g, where, balance, "balance2way");
   }
   return balance.feasible();
 }

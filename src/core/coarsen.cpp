@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -122,6 +123,9 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
     }
 
     Graph coarse = contract_graph(*cur, cmap, ncoarse, ws);
+    if (params.audit != nullptr && params.audit->boundaries()) {
+      params.audit->check_coarse_level(*cur, coarse, cmap, "coarsen.level");
+    }
     h.levels.push_back(CoarseLevel{std::move(coarse), std::move(cmap)});
     cur = &h.levels.back().graph;
     trace_count(params.trace, "coarsen.levels");

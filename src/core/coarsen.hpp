@@ -47,6 +47,9 @@ struct CoarsenParams {
   real_t min_reduction = 0.95;  ///< stop if ncoarse > min_reduction * n
   int max_levels = 60;
   TraceRecorder* trace = nullptr;  ///< optional per-level span recording
+  /// Optional invariant auditor: verifies weight/edge conservation of
+  /// every contraction (see core/audit.hpp). Null = no checks.
+  InvariantAuditor* audit = nullptr;
 };
 
 /// Repeatedly match-and-contract until the graph is small enough or

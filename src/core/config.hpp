@@ -15,6 +15,18 @@
 namespace mcgp {
 
 class TraceRecorder;
+class InvariantAuditor;
+
+/// How aggressively the pipeline verifies its own bookkeeping invariants
+/// at runtime (see core/audit.hpp). Violations raise AuditFailure.
+enum class AuditLevel {
+  kOff = 0,         ///< no checks (production default; one pointer test)
+  kBoundaries = 1,  ///< recompute-and-compare at every pipeline seam:
+                    ///< coarse-level conservation, projection cut
+                    ///< equality, refiner pwgts/cut bookkeeping
+  kParanoid = 2,    ///< boundaries + per-pass bookkeeping audits and
+                    ///< sampled FM gain cross-checks inside refinement
+};
 
 /// Which multilevel partitioner to run.
 enum class Algorithm {
@@ -102,6 +114,20 @@ struct Options {
   /// null (the default) disables all instrumentation at the cost of one
   /// pointer test per site. The recorder must outlive the run.
   TraceRecorder* trace = nullptr;
+
+  /// Runtime invariant auditing (see core/audit.hpp). At kOff every audit
+  /// site is a single null-pointer test; kBoundaries recomputes conserved
+  /// quantities at pipeline seams; kParanoid additionally cross-checks
+  /// incremental refinement bookkeeping per pass and samples FM gains.
+  /// Violations throw AuditFailure. Audits never alter results.
+  AuditLevel audit_level = AuditLevel::kOff;
+
+  /// Optional externally owned auditor. When non-null it is used directly
+  /// (its own level governs, letting callers read check counters after the
+  /// run); when null and audit_level != kOff, partition() creates an
+  /// internal auditor for the run. The auditor must outlive the run and
+  /// may be shared across concurrent tasks (it is thread-safe).
+  InvariantAuditor* audit = nullptr;
 
   /// Tolerance for constraint i (handles the empty-default case).
   real_t ub_for(int i) const {

@@ -161,7 +161,8 @@ struct InitTrial {
 sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
                      int trials, QueuePolicy policy, Rng& rng,
-                     TraceRecorder* trace, ThreadPool* pool) {
+                     TraceRecorder* trace, ThreadPool* pool,
+                     InvariantAuditor* audit) {
   trials = std::max(trials, 1);
   TraceSpan span(trace, "initpart");
 
@@ -181,9 +182,10 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
     } else {
       binpack_bisection(g, out.where, targets, trng);
     }
-    balance_2way(g, out.where, targets, trng);
+    balance_2way(g, out.where, targets, trng, audit);
     refine_2way(g, out.where, targets, policy, /*max_passes=*/4,
-                /*move_limit=*/std::max<idx_t>(32, g.nvtxs / 10), trng);
+                /*move_limit=*/std::max<idx_t>(32, g.nvtxs / 10), trng,
+                /*stats=*/nullptr, /*trace=*/nullptr, audit);
 
     BisectionBalance balance;
     balance.init(g, out.where, targets);

@@ -28,6 +28,8 @@
 
 namespace mcgp {
 
+class InvariantAuditor;
+
 /// Single-construction entry points (exposed for tests and ablations).
 void grow_bisection(const Graph& g, std::vector<idx_t>& where,
                     const BisectionTargets& targets, Rng& rng);
@@ -46,6 +48,7 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
                      int trials, QueuePolicy policy, Rng& rng,
                      TraceRecorder* trace = nullptr,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr,
+                     InvariantAuditor* audit = nullptr);
 
 }  // namespace mcgp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
 #include "core/coarsen.hpp"
 #include "core/kway_refine.hpp"
 #include "core/project.hpp"
@@ -46,6 +47,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     cp.scheme = opts.matching;
     cp.min_reduction = opts.min_coarsen_reduction;
     cp.trace = opts.trace;
+    cp.audit = opts.audit;
     // The coarsest graph must retain enough vertices to seed k parts.
     cp.coarsen_to = std::max<idx_t>(cp.coarsen_to, 4 * k);
     h = coarsen_graph(g, cp, rng, &ws);
@@ -84,9 +86,14 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     for (int l = h.num_levels(); l >= 0; --l) {
       const Graph& cur = h.graph_at(l);
       if (l < h.num_levels()) {
+        const std::vector<idx_t>& cmap =
+            h.levels[static_cast<std::size_t>(l)].cmap;
         std::vector<idx_t> fine_where;
-        project_partition(h.levels[static_cast<std::size_t>(l)].cmap, cwhere,
-                          fine_where);
+        project_partition(cmap, cwhere, fine_where);
+        if (opts.audit != nullptr && opts.audit->boundaries()) {
+          opts.audit->check_projection(cur, h.graph_at(l + 1), cmap, cwhere,
+                                       fine_where, "kway.uncoarsen");
+        }
         cwhere = std::move(fine_where);
       }
       TraceSpan lvl(opts.trace, "uncoarsen.level");
@@ -98,10 +105,10 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
       sum_t cut;
       if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
         cut = kway_refine_pq(cur, k, cwhere, ub, passes, rng, nullptr, tp,
-                             opts.trace);
+                             opts.trace, opts.audit);
       } else {
         cut = kway_refine(cur, k, cwhere, ub, passes, rng, nullptr, tp,
-                          opts.trace);
+                          opts.trace, opts.audit);
       }
       if (lvl.enabled()) {
         const std::vector<real_t> lb =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
 #include "graph/metrics.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/trace.hpp"
@@ -73,6 +74,7 @@ class KWayContext {
   }
 
   const std::vector<sum_t>& pwgts() const { return pwgts_; }
+  const std::vector<idx_t>& vcounts() const { return vcount_; }
 
   bool feasible() const {
     return kway_feasible(g_, pwgts_, nparts_, ub_, tpwgts_);
@@ -417,7 +419,8 @@ idx_t pq_pass(const Graph& g, KWayContext& ctx, std::vector<idx_t>& where,
 
 bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, Rng& rng,
-                  const std::vector<real_t>* tpwgts, TraceRecorder* trace) {
+                  const std::vector<real_t>* tpwgts, TraceRecorder* trace,
+                  InvariantAuditor* audit) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
   if (ctx.feasible()) return true;
 
@@ -451,6 +454,12 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
     prev = cur;
   }
 
+  // The episodes mutated pwgts/vcount incrementally across many moves.
+  if (audit != nullptr && audit->boundaries()) {
+    audit->check_kway_state(g, where, nparts, ctx.pwgts(), &ctx.vcounts(),
+                            "kway.balance");
+  }
+
   const bool ok = ctx.feasible();
   if (span.enabled()) {
     trace_count(trace, "kway.balance.moves", total_moves);
@@ -466,22 +475,32 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
 sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, int max_passes, Rng& rng,
                   KWayRefineStats* stats, const std::vector<real_t>* tpwgts,
-                  TraceRecorder* trace) {
+                  TraceRecorder* trace, InvariantAuditor* audit) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace, audit);
     ctx.reload();
   }
 
   // Sweep until the cut stops improving (zero-gain balance jiggling alone
   // is not progress), bounded by a generous multiple of the configured
   // pass count as a safety net against oscillation.
+  const bool delta_audit = audit != nullptr && audit->paranoid();
   const int pass_cap = 4 * max_passes;
   for (int pass = 0; pass < pass_cap; ++pass) {
     TraceSpan span(trace, "kway.pass");
     sum_t gain_sum = 0;
+    const sum_t cut_before = delta_audit ? edge_cut(g, where) : 0;
     const idx_t moves = refine_sweep(ctx, where, rng, gain_sum);
+    if (delta_audit) {
+      // Every accepted move's gain was exact at commit time, so the sum
+      // must account for the sweep's cut change to the last unit.
+      audit->check_cut_delta(cut_before, gain_sum, edge_cut(g, where),
+                             "kway.sweep");
+      audit->check_kway_state(g, where, nparts, ctx.pwgts(), &ctx.vcounts(),
+                              "kway.sweep");
+    }
     if (stats != nullptr) {
       ++stats->passes;
       stats->moves += moves;
@@ -497,8 +516,13 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
     if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
   }
 
+  if (audit != nullptr && audit->boundaries()) {
+    audit->check_kway_state(g, where, nparts, ctx.pwgts(), &ctx.vcounts(),
+                            "kway.refine");
+  }
+
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace, audit);
     ctx.reload();
   }
 
@@ -513,20 +537,29 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
 sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                      const std::vector<real_t>& ub, int max_passes, Rng& rng,
                      KWayRefineStats* stats,
-                     const std::vector<real_t>* tpwgts, TraceRecorder* trace) {
+                     const std::vector<real_t>* tpwgts, TraceRecorder* trace,
+                     InvariantAuditor* audit) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace, audit);
     ctx.reload();
   }
 
   BucketQueue queue;
+  const bool delta_audit = audit != nullptr && audit->paranoid();
   const int pass_cap = 4 * max_passes;
   for (int pass = 0; pass < pass_cap; ++pass) {
     TraceSpan span(trace, "kway.pass");
     sum_t gain_sum = 0;
+    const sum_t cut_before = delta_audit ? edge_cut(g, where) : 0;
     const idx_t moves = pq_pass(g, ctx, where, queue, rng, gain_sum);
+    if (delta_audit) {
+      audit->check_cut_delta(cut_before, gain_sum, edge_cut(g, where),
+                             "kway.pq_pass");
+      audit->check_kway_state(g, where, nparts, ctx.pwgts(), &ctx.vcounts(),
+                              "kway.pq_pass");
+    }
     if (stats != nullptr) {
       ++stats->passes;
       stats->moves += moves;
@@ -542,8 +575,13 @@ sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
     if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
   }
 
+  if (audit != nullptr && audit->boundaries()) {
+    audit->check_kway_state(g, where, nparts, ctx.pwgts(), &ctx.vcounts(),
+                            "kway.refine_pq");
+  }
+
   if (!ctx.feasible()) {
-    kway_balance(g, nparts, where, ub, rng, tpwgts, trace);
+    kway_balance(g, nparts, where, ub, rng, tpwgts, trace, audit);
     ctx.reload();
   }
 

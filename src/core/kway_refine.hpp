@@ -41,17 +41,23 @@ bool kway_feasible(const Graph& g, const std::vector<sum_t>& pwgts,
 bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, Rng& rng,
                   const std::vector<real_t>* tpwgts = nullptr,
-                  TraceRecorder* trace = nullptr);
+                  TraceRecorder* trace = nullptr,
+                  InvariantAuditor* audit = nullptr);
 
 /// Greedy refinement. Runs up to `max_passes` sweeps (plus balancing when
 /// needed) and returns the final cut. `tpwgts` (optional) gives per-part
 /// target fractions; null = uniform. A non-null `trace` records one
 /// "kway.pass" span per sweep plus the kway.moves / kway.passes counters.
+/// A non-null `audit` verifies the incrementally maintained part weights
+/// and vertex counts against fresh recomputes when refinement finishes
+/// (kBoundaries) and, per sweep, that the accumulated move gains account
+/// exactly for the cut change (kParanoid).
 sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, int max_passes, Rng& rng,
                   KWayRefineStats* stats = nullptr,
                   const std::vector<real_t>* tpwgts = nullptr,
-                  TraceRecorder* trace = nullptr);
+                  TraceRecorder* trace = nullptr,
+                  InvariantAuditor* audit = nullptr);
 
 /// Priority-queue k-way refinement: boundary vertices are kept in a gain
 /// bucket queue keyed by their best potential move (kmetis-style), so the
@@ -61,6 +67,7 @@ sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                      const std::vector<real_t>& ub, int max_passes, Rng& rng,
                      KWayRefineStats* stats = nullptr,
                      const std::vector<real_t>* tpwgts = nullptr,
-                     TraceRecorder* trace = nullptr);
+                     TraceRecorder* trace = nullptr,
+                     InvariantAuditor* audit = nullptr);
 
 }  // namespace mcgp

@@ -1,10 +1,13 @@
 #include "core/partitioner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "core/audit.hpp"
 #include "core/kway_driver.hpp"
 #include "core/kway_refine.hpp"
 #include "core/rb_driver.hpp"
@@ -28,8 +31,20 @@ void validate_options(const Graph& g, const Options& opts) {
       opts.ubvec.size() != 1) {
     throw std::invalid_argument("partition: ubvec arity mismatch");
   }
-  for (const real_t ub : opts.ubvec) {
-    if (ub < 1.0) throw std::invalid_argument("partition: tolerance < 1.0");
+  for (std::size_t i = 0; i < opts.ubvec.size(); ++i) {
+    const real_t ub = opts.ubvec[i];
+    if (!std::isfinite(ub) || ub < 1.0) {
+      throw std::invalid_argument(
+          "partition: ubvec[" + std::to_string(i) + "] = " +
+          std::to_string(ub) + " — every tolerance must be finite and >= 1.0");
+    }
+  }
+  const int audit_level = static_cast<int>(opts.audit_level);
+  if (audit_level < static_cast<int>(AuditLevel::kOff) ||
+      audit_level > static_cast<int>(AuditLevel::kParanoid)) {
+    throw std::invalid_argument(
+        "partition: audit_level " + std::to_string(audit_level) +
+        " out of range [0, 2]");
   }
   if (!opts.tpwgts.empty()) {
     if (opts.tpwgts.size() != static_cast<std::size_t>(opts.nparts)) {
@@ -104,10 +119,37 @@ void fill_quality(const Graph& g, const Options& opts, PartitionResult& r) {
           : *std::max_element(r.imbalance.begin(), r.imbalance.end());
 }
 
+/// Effective audit level: the MCGP_AUDIT environment variable (parsed once
+/// per process) overrides the per-run option, so an existing application or
+/// test suite can be re-run fully audited without code changes.
+AuditLevel effective_audit_level(AuditLevel opt_level) {
+  static const int env_level = [] {
+    const char* s = std::getenv("MCGP_AUDIT");
+    AuditLevel lvl = AuditLevel::kOff;
+    if (s != nullptr && parse_audit_level(s, lvl)) {
+      return static_cast<int>(lvl);
+    }
+    return -1;  // unset or unrecognized: no override
+  }();
+  return env_level >= 0 ? static_cast<AuditLevel>(env_level) : opt_level;
+}
+
 }  // namespace
 
-PartitionResult partition(const Graph& g, const Options& opts) {
-  validate_options(g, opts);
+PartitionResult partition(const Graph& g, const Options& run_opts) {
+  validate_options(g, run_opts);
+
+  // An externally supplied auditor is used as-is (its own level governs);
+  // otherwise one is created here when the effective level asks for audits.
+  Options opts = run_opts;
+  std::optional<InvariantAuditor> local_audit;
+  if (opts.audit == nullptr) {
+    const AuditLevel lvl = effective_audit_level(opts.audit_level);
+    if (lvl != AuditLevel::kOff) {
+      local_audit.emplace(lvl);
+      opts.audit = &*local_audit;
+    }
+  }
 
   WallTimer timer;
   PartitionResult result;
@@ -150,6 +192,10 @@ PartitionResult partition(const Graph& g, const Options& opts) {
 
   ensure_nonempty_parts(g, opts.nparts, result.part);
   fill_quality(g, opts, result);
+  if (opts.audit != nullptr && opts.audit->boundaries()) {
+    opts.audit->check_final_partition(g, result.part, opts.nparts, result.cut,
+                                      "partition.final");
+  }
   if (run_span.enabled()) {
     run_span.arg({"cut", result.cut});
     run_span.arg({"max_imbalance", result.max_imbalance});
@@ -161,11 +207,21 @@ PartitionResult partition(const Graph& g, const Options& opts) {
 }
 
 PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
-                                 const Options& opts) {
-  validate_options(g, opts);
-  const std::string problem = validate_partition(g, part, opts.nparts);
+                                 const Options& run_opts) {
+  validate_options(g, run_opts);
+  const std::string problem = validate_partition(g, part, run_opts.nparts);
   if (!problem.empty()) {
     throw std::invalid_argument("refine_partition: " + problem);
+  }
+
+  Options opts = run_opts;
+  std::optional<InvariantAuditor> local_audit;
+  if (opts.audit == nullptr) {
+    const AuditLevel lvl = effective_audit_level(opts.audit_level);
+    if (lvl != AuditLevel::kOff) {
+      local_audit.emplace(lvl);
+      opts.audit = &*local_audit;
+    }
   }
 
   WallTimer timer;
@@ -184,15 +240,19 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
     TraceSpan tsp(opts.trace, "refine_partition");
     if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
       kway_refine_pq(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                     tp, opts.trace);
+                     tp, opts.trace, opts.audit);
     } else {
       kway_refine(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                  tp, opts.trace);
+                  tp, opts.trace, opts.audit);
     }
   }
 
   result.part = std::move(part);
   fill_quality(g, opts, result);
+  if (opts.audit != nullptr && opts.audit->boundaries()) {
+    opts.audit->check_final_partition(g, result.part, opts.nparts, result.cut,
+                                      "refine_partition.final");
+  }
   if (opts.trace != nullptr) result.counters = opts.trace->merged_counters();
   result.seconds = timer.seconds();
   return result;

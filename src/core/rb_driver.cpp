@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "core/audit.hpp"
 #include "core/balance2way.hpp"
 #include "core/initpart.hpp"
 #include "core/kway_refine.hpp"
@@ -172,6 +173,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     cp.scheme = opts.matching;
     cp.min_reduction = opts.min_coarsen_reduction;
     cp.trace = opts.trace;
+    cp.audit = opts.audit;
     h = coarsen_graph(g, cp, rng, ws);
   }
 
@@ -186,7 +188,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     ScopedPhase sp(pt, "initpart");
     init_bisection(coarsest, cwhere, targets, opts.init_scheme,
                    opts.init_trials, opts.queue_policy, rng, opts.trace,
-                   pool);
+                   pool, opts.audit);
   }
 
   sum_t cut = 0;
@@ -198,15 +200,21 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     for (int l = h.num_levels(); l >= 0; --l) {
       const Graph& cur = h.graph_at(l);
       if (l < h.num_levels()) {
-        project_partition(h.levels[static_cast<std::size_t>(l)].cmap, cwhere,
-                          proj);
+        const std::vector<idx_t>& cmap =
+            h.levels[static_cast<std::size_t>(l)].cmap;
+        project_partition(cmap, cwhere, proj);
+        if (opts.audit != nullptr && opts.audit->boundaries()) {
+          // cwhere still holds the coarse assignment; proj the projection.
+          opts.audit->check_projection(cur, h.graph_at(l + 1), cmap, cwhere,
+                                       proj, "rb.uncoarsen");
+        }
         std::swap(cwhere, proj);  // ping-pong: both buffers stay warm
       }
       TraceSpan lvl(opts.trace, "uncoarsen.level");
-      balance_2way(cur, cwhere, targets, rng);
+      balance_2way(cur, cwhere, targets, rng, opts.audit);
       cut = refine_2way(cur, cwhere, targets, opts.queue_policy,
                         opts.refine_passes, opts.fm_move_limit, rng,
-                        nullptr, opts.trace);
+                        nullptr, opts.trace, opts.audit);
       if (lvl.enabled()) {
         BisectionBalance bal;
         bal.init(cur, cwhere, targets);
@@ -272,9 +280,9 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
       opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
   if (!kway_feasible(g, compute_part_weights(g, part, k), k, ub, tp)) {
     trace_count(opts.trace, "rb.fixup");
-    kway_balance(g, k, part, ub, rng, tp, opts.trace);
+    kway_balance(g, k, part, ub, rng, tp, opts.trace, opts.audit);
     kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp,
-                opts.trace);
+                opts.trace, opts.audit);
   }
   return part;
 }

@@ -4,6 +4,7 @@
 #include <array>
 #include <numeric>
 
+#include "core/audit.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/trace.hpp"
 
@@ -55,7 +56,7 @@ class FmPass {
 
   /// Run one pass; returns true if it improved (cut or balance).
   bool run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
-           TraceRecorder* trace, int pass_index);
+           TraceRecorder* trace, InvariantAuditor* audit, int pass_index);
 
  private:
   struct MoveRecord {
@@ -239,7 +240,8 @@ void FmPass::rollback_to(std::size_t best_prefix, sum_t& cut) {
 }
 
 bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
-                 TraceRecorder* trace, int pass_index) {
+                 TraceRecorder* trace, InvariantAuditor* audit,
+                 int pass_index) {
   TraceSpan span(trace, "fm.pass");
   Histogram* gain_hist =
       trace != nullptr ? &trace->hist("gain.histogram") : nullptr;
@@ -272,6 +274,13 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
   int from;
   while (bad_streak < move_limit && select(v, from)) {
     moved_[static_cast<std::size_t>(v)] = 1;
+
+    // The popped gain is the incrementally maintained ed - id; a drift in
+    // either degree array corrupts every later selection, so paranoid
+    // audits recompute it from the adjacency list for sampled pops.
+    if (audit != nullptr && audit->paranoid() && audit->sample_gain()) {
+      audit->check_gain(g_, where_, v, gain(v), "refine2way.select");
+    }
 
     const real_t pot = balance_.potential();
     const real_t new_pot = balance_.potential_after(v, from);
@@ -307,6 +316,13 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
   rollback_to(best_prefix, cut);
   if (stats != nullptr) stats->moves += static_cast<idx_t>(best_prefix);
 
+  // The pass mutated where_/balance_/cut through committed moves and the
+  // rollback; all three must still agree with a from-scratch recompute.
+  if (audit != nullptr && audit->boundaries()) {
+    audit->check_bisection_weights(g_, where_, balance_, "refine2way.pass");
+    audit->check_bisection_cut(g_, where_, cut, "refine2way.pass");
+  }
+
   if (span.enabled()) {
     trace_count(trace, "fm.passes");
     trace_count(trace, "fm.moves", static_cast<std::int64_t>(best_prefix));
@@ -333,7 +349,8 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
 sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
                   const BisectionTargets& targets, QueuePolicy policy,
                   int max_passes, idx_t move_limit, Rng& rng,
-                  Refine2WayStats* stats, TraceRecorder* trace) {
+                  Refine2WayStats* stats, TraceRecorder* trace,
+                  InvariantAuditor* audit) {
   if (move_limit <= 0) move_limit = std::max<idx_t>(64, g.nvtxs / 100);
 
   sum_t cut = compute_cut_2way(g, where);
@@ -341,7 +358,7 @@ sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
 
   for (int pass = 0; pass < max_passes; ++pass) {
     FmPass fm(g, where, targets, policy, rng);
-    const bool improved = fm.run(cut, move_limit, stats, trace, pass);
+    const bool improved = fm.run(cut, move_limit, stats, trace, audit, pass);
     if (stats != nullptr) ++stats->passes;
     if (!improved) break;
   }

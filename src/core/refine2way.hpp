@@ -33,12 +33,16 @@ struct Refine2WayStats {
 /// feasibility required cut-increasing moves; the balance potential never
 /// ends worse than it started. A non-null `trace` records one "fm.pass"
 /// span per pass plus the fm.moves / fm.rollbacks counters and the
-/// gain.histogram of committed move gains.
+/// gain.histogram of committed move gains. A non-null `audit` verifies
+/// the incremental side-weight/cut bookkeeping against fresh recomputes
+/// after every pass (kBoundaries) and cross-checks sampled queue gains
+/// against recomputed gains (kParanoid).
 sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
                   const BisectionTargets& targets, QueuePolicy policy,
                   int max_passes, idx_t move_limit, Rng& rng,
                   Refine2WayStats* stats = nullptr,
-                  TraceRecorder* trace = nullptr);
+                  TraceRecorder* trace = nullptr,
+                  InvariantAuditor* audit = nullptr);
 
 /// Dominant constraint of vertex v: index of its largest normalized weight
 /// component (ties to the lower index). Exposed for testing.

@@ -43,7 +43,14 @@ Graph read_metis_graph(std::istream& in) {
     std::istringstream hs(line);
     if (!(hs >> nvtxs >> nedges)) parse_error(line_no, "bad header");
     std::string tok;
-    if (hs >> tok) fmt = tok;
+    if (hs >> tok) {
+      if (tok.size() > 3 || tok.find_first_not_of("01") != std::string::npos) {
+        parse_error(line_no,
+                    "fmt must be at most three 0/1 flags (got \"" + tok +
+                        "\")");
+      }
+      fmt = tok;
+    }
     if (hs >> ncon) {
       if (ncon < 1 || ncon > kMaxNcon) parse_error(line_no, "ncon out of range");
     }
@@ -70,6 +77,7 @@ Graph read_metis_graph(std::istream& in) {
     if (has_vsize) {
       long long vs;
       if (!(ls >> vs)) parse_error(line_no, "missing vertex size");
+      if (vs < 0) parse_error(line_no, "negative vertex size");
     }
     if (has_vwgt) {
       for (int i = 0; i < ncon; ++i) {
@@ -86,6 +94,7 @@ Graph read_metis_graph(std::istream& in) {
       if (has_ewgt) {
         long long ew;
         if (!(ls >> ew)) parse_error(line_no, "missing edge weight");
+        if (ew < 1) parse_error(line_no, "edge weight must be >= 1");
         w = static_cast<wgt_t>(ew);
       }
       g.adjncy.push_back(static_cast<idx_t>(u - 1));
@@ -95,9 +104,16 @@ Graph read_metis_graph(std::istream& in) {
   }
 
   if (g.adjncy.size() != static_cast<std::size_t>(2 * nedges)) {
+    // Counts are reported as integer directed entries: every undirected
+    // edge must appear once in each endpoint's line, so the header
+    // promises exactly 2 * nedges entries.
+    const long long expect = 2 * nedges;
+    const long long got = static_cast<long long>(g.adjncy.size());
+    const long long delta = got - expect;
     std::ostringstream oss;
-    oss << "edge count mismatch: header says " << nedges << " edges, found "
-        << g.adjncy.size() / 2.0 << " (directed/2)";
+    oss << "edge count mismatch: header declares " << nedges
+        << " edges (" << expect << " directed entries), vertex lines hold "
+        << got << " (" << (delta > 0 ? "+" : "") << delta << ")";
     throw std::runtime_error(oss.str());
   }
 
@@ -173,6 +189,33 @@ std::vector<idx_t> read_partition_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open partition file: " + path);
   return read_partition(in);
+}
+
+std::vector<idx_t> read_partition(std::istream& in, idx_t nvtxs,
+                                  idx_t nparts) {
+  std::vector<idx_t> part = read_partition(in);
+  if (part.size() != static_cast<std::size_t>(nvtxs)) {
+    std::ostringstream oss;
+    oss << "partition has " << part.size() << " entries, graph has " << nvtxs
+        << " vertices";
+    throw std::runtime_error(oss.str());
+  }
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    if (part[v] < 0 || part[v] >= nparts) {
+      std::ostringstream oss;
+      oss << "partition entry " << v << " is " << part[v]
+          << ", outside [0, " << nparts << ")";
+      throw std::runtime_error(oss.str());
+    }
+  }
+  return part;
+}
+
+std::vector<idx_t> read_partition_file(const std::string& path, idx_t nvtxs,
+                                       idx_t nparts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open partition file: " + path);
+  return read_partition(in, nvtxs, nparts);
 }
 
 void write_partition(std::ostream& out, const std::vector<idx_t>& part) {

@@ -35,6 +35,14 @@ void write_metis_graph_file(const std::string& path, const Graph& g);
 /// Read / write a partition vector (one part id per line).
 std::vector<idx_t> read_partition(std::istream& in);
 std::vector<idx_t> read_partition_file(const std::string& path);
+
+/// Validating variants: throw std::runtime_error unless the file holds
+/// exactly `nvtxs` entries, every one inside [0, nparts). Use these when
+/// the partition feeds refine_partition or metrics for a known graph.
+std::vector<idx_t> read_partition(std::istream& in, idx_t nvtxs,
+                                  idx_t nparts);
+std::vector<idx_t> read_partition_file(const std::string& path, idx_t nvtxs,
+                                       idx_t nparts);
 void write_partition(std::ostream& out, const std::vector<idx_t>& part);
 void write_partition_file(const std::string& path,
                           const std::vector<idx_t>& part);

@@ -1,0 +1,224 @@
+// Differential fuzzing of the multilevel pipeline against two oracles:
+//
+//  * The InvariantAuditor at kParanoid: every randomized case runs the
+//    full pipeline (both RB and KW) with the auditor recomputing the
+//    incrementally maintained quantities at every seam and inside every
+//    refinement pass. A bookkeeping bug throws AuditFailure and fails the
+//    case with the generating seed for deterministic replay.
+//
+//  * A brute-force exact bisector on tiny graphs: enumerating every
+//    bisection gives the true minimum cut (both unconstrained and over
+//    feasible bisections), which bounds what the multilevel 2-way
+//    pipeline may report.
+//
+// The case budget of the pipeline sweep is tunable via MCGP_FUZZ_CASES
+// (default 200) so CI can pin an exact budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/bisection.hpp"
+#include "core/partitioner.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "graph/metrics.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+namespace {
+
+/// Exact minimum cuts over all bisections with two non-empty sides,
+/// found by exhaustive enumeration (vertex 0 pinned to side 0 — the cut
+/// is symmetric under side exchange). Only for tiny graphs.
+struct ExactBisection {
+  sum_t min_cut_any = 0;                ///< over all non-empty bisections
+  std::optional<sum_t> min_cut_feasible;  ///< over feasible ones, if any
+};
+
+ExactBisection exact_best_bisection(const Graph& g,
+                                    const BisectionTargets& targets) {
+  EXPECT_LE(g.nvtxs, 16) << "exhaustive bisector is 2^n";
+  ExactBisection out;
+  bool seen_any = false;
+  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs), 0);
+  const std::uint32_t masks = 1u << (g.nvtxs - 1);
+  for (std::uint32_t mask = 1; mask < masks; ++mask) {
+    for (idx_t v = 1; v < g.nvtxs; ++v) {
+      where[static_cast<std::size_t>(v)] =
+          (mask >> (v - 1)) & 1u ? 1 : 0;
+    }
+    const sum_t cut = compute_cut_2way(g, where);
+    if (!seen_any || cut < out.min_cut_any) out.min_cut_any = cut;
+    seen_any = true;
+    BisectionBalance bal;
+    bal.init(g, where, targets);
+    if (bal.feasible() &&
+        (!out.min_cut_feasible.has_value() || cut < *out.min_cut_feasible)) {
+      out.min_cut_feasible = cut;
+    }
+  }
+  EXPECT_TRUE(seen_any);
+  return out;
+}
+
+Graph random_tiny_graph(Rng& rng) {
+  const idx_t n = 4 + static_cast<idx_t>(rng.next_below(8));  // 4..11
+  // Random spanning-tree backbone keeps the graph connected; extra random
+  // edges with random weights make the cut structure non-trivial.
+  GraphBuilder b(n, 1 + static_cast<int>(rng.next_below(3)));
+  for (idx_t v = 1; v < n; ++v) {
+    const idx_t u = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(v)));
+    b.add_edge(v, u, 1 + static_cast<wgt_t>(rng.next_below(9)));
+  }
+  const int extra = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+  for (int e = 0; e < extra; ++e) {
+    const idx_t v = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const idx_t u = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (v != u) b.add_edge(v, u, 1 + static_cast<wgt_t>(rng.next_below(9)));
+  }
+  for (idx_t v = 0; v < n; ++v) {
+    for (int i = 0; i < b.ncon(); ++i) {
+      b.set_weight(v, i, 1 + static_cast<wgt_t>(rng.next_below(5)));
+    }
+  }
+  return b.build();
+}
+
+Graph random_pipeline_graph(Rng& rng) {
+  const idx_t n = 40 + static_cast<idx_t>(rng.next_below(260));
+  switch (rng.next_below(3)) {
+    case 0: {
+      const idx_t side = std::max<idx_t>(4, static_cast<idx_t>(std::sqrt(n)));
+      return grid2d(side, side);
+    }
+    case 1:
+      return random_geometric(n, 0, rng.next_u64());
+    default:
+      return random_graph(n, 2.0 + 5.0 * rng.next_real(), rng.next_u64());
+  }
+}
+
+void apply_random_weights(Graph& g, Rng& rng) {
+  const int m = 1 + static_cast<int>(rng.next_below(4));
+  switch (rng.next_below(3)) {
+    case 0:
+      apply_type_r_weights(g, m, 0, 1 + static_cast<wgt_t>(rng.next_below(20)),
+                           rng.next_u64());
+      break;
+    case 1:
+      apply_type_s_weights(g, m, 2 + static_cast<idx_t>(rng.next_below(20)), 0,
+                           19, rng.next_u64());
+      break;
+    default:
+      apply_type_p_weights(g, m, 4 + static_cast<idx_t>(rng.next_below(30)),
+                           rng.next_u64());
+      break;
+  }
+}
+
+int fuzz_case_budget() {
+  const char* s = std::getenv("MCGP_FUZZ_CASES");
+  if (s != nullptr) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+/// One audited end-to-end run; returns the result so callers can layer
+/// extra differential assertions on top. Any AuditFailure fails the test.
+PartitionResult audited_run(const Graph& g, Options opts, Algorithm alg,
+                            std::uint64_t replay_seed) {
+  InvariantAuditor audit(AuditLevel::kParanoid);
+  opts.algorithm = alg;
+  opts.audit = &audit;
+  PartitionResult r;
+  try {
+    r = partition(g, opts);
+  } catch (const AuditFailure& f) {
+    ADD_FAILURE() << "invariant violation (seed " << replay_seed
+                  << ", alg " << (alg == Algorithm::kKWay ? "kway" : "rb")
+                  << "): " << f.what();
+    return r;
+  }
+  EXPECT_GT(audit.total_checks(), 0u)
+      << "paranoid run performed no checks (seed " << replay_seed << ")";
+  EXPECT_EQ(r.cut, edge_cut(g, r.part)) << "seed " << replay_seed;
+  EXPECT_TRUE(validate_partition(g, r.part, opts.nparts).empty())
+      << "seed " << replay_seed;
+  return r;
+}
+
+TEST(DifferentialFuzz, TinyGraphsAgainstExactBisector) {
+  Rng rng(20260805);
+  const int cases = 120;
+  for (int c = 0; c < cases; ++c) {
+    const std::uint64_t replay_seed = rng.next_u64();
+    Rng gen(replay_seed);
+    const Graph g = random_tiny_graph(gen);
+    ASSERT_TRUE(g.validate().empty()) << "seed " << replay_seed;
+
+    const real_t ub = 1.2 + 0.4 * gen.next_real();
+    BisectionTargets targets;
+    targets.ub.assign(static_cast<std::size_t>(g.ncon), ub);
+    const ExactBisection exact = exact_best_bisection(g, targets);
+
+    Options opts;
+    opts.nparts = 2;
+    opts.seed = gen.next_u64();
+    opts.ubvec.assign(static_cast<std::size_t>(g.ncon), ub);
+    for (const Algorithm alg :
+         {Algorithm::kRecursiveBisection, Algorithm::kKWay}) {
+      const PartitionResult r = audited_run(g, opts, alg, replay_seed);
+      // The exact unconstrained minimum bounds ANY 2-part cut with two
+      // non-empty parts from below (the partitioner guarantees non-empty
+      // parts whenever nvtxs >= nparts).
+      EXPECT_GE(r.cut, exact.min_cut_any) << "seed " << replay_seed;
+      // A feasible result can never beat the best feasible bisection.
+      if (exact.min_cut_feasible.has_value() &&
+          r.max_imbalance <= 1.0 + 1e-9) {
+        EXPECT_GE(r.cut, *exact.min_cut_feasible) << "seed " << replay_seed;
+      }
+    }
+  }
+}
+
+TEST(DifferentialFuzz, PipelineCasesStayInvariantClean) {
+  Rng rng(97);
+  const int cases = fuzz_case_budget();
+  for (int c = 0; c < cases; ++c) {
+    const std::uint64_t replay_seed = rng.next_u64();
+    Rng gen(replay_seed);
+    Graph g = random_pipeline_graph(gen);
+    apply_random_weights(g, gen);
+    ASSERT_TRUE(g.validate().empty()) << "seed " << replay_seed;
+
+    Options opts;
+    opts.nparts = 2 + static_cast<idx_t>(gen.next_below(14));
+    opts.seed = gen.next_u64();
+    opts.num_threads = c % 4 == 0 ? 2 : 1;
+    opts.ubvec.assign(static_cast<std::size_t>(g.ncon),
+                      1.03 + 0.12 * gen.next_real());
+    if (gen.next_bool()) {
+      opts.kway_scheme = KWayRefineScheme::kPriorityQueue;
+    }
+
+    const PartitionResult rb =
+        audited_run(g, opts, Algorithm::kRecursiveBisection, replay_seed);
+    const PartitionResult kw =
+        audited_run(g, opts, Algorithm::kKWay, replay_seed);
+    // Differential sanity between the two algorithms: identical inputs,
+    // independent code paths, so both must produce structurally valid
+    // partitions of the same graph — and metrics computed from them must
+    // agree with the partition they describe (checked in audited_run).
+    EXPECT_EQ(rb.part.size(), kw.part.size()) << "seed " << replay_seed;
+  }
+}
+
+}  // namespace
+}  // namespace mcgp

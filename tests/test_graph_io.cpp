@@ -103,6 +103,76 @@ TEST(GraphIo, ErrorsOnMissingEdgeWeight) {
   EXPECT_THROW(read_metis_graph(in), std::runtime_error);
 }
 
+TEST(GraphIo, ErrorsOnZeroOrNegativeEdgeWeight) {
+  std::istringstream zero("2 1 001\n2 0\n1 0\n");
+  EXPECT_THROW(read_metis_graph(zero), std::runtime_error);
+  std::istringstream negative("2 1 001\n2 -3\n1 -3\n");
+  EXPECT_THROW(read_metis_graph(negative), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnMalformedFmtToken) {
+  // fmt must be at most three characters, each 0 or 1.
+  std::istringstream bad_char("2 1 012\n2\n1\n");
+  EXPECT_THROW(read_metis_graph(bad_char), std::runtime_error);
+  std::istringstream alpha("2 1 abc\n2\n1\n");
+  EXPECT_THROW(read_metis_graph(alpha), std::runtime_error);
+  std::istringstream too_long("2 1 0011\n2\n1\n");
+  EXPECT_THROW(read_metis_graph(too_long), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnNegativeHeaderCounts) {
+  std::istringstream in("-2 1\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorsOnNconOutOfRange) {
+  std::istringstream in("2 1 010 99\n1 2\n1 1\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, EdgeCountMismatchMessageUsesIntegers) {
+  // 3 directed entries against a header promising 2 edges (4 entries):
+  // the old message printed "1.5 (directed/2)"; it must now report whole
+  // directed-entry counts and the signed delta.
+  std::istringstream in("3 2\n2\n1\n2\n");
+  try {
+    read_metis_graph(in);
+    FAIL() << "expected edge count mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("1.5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4 directed entries"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-1"), std::string::npos) << msg;
+  }
+}
+
+TEST(GraphIo, ErrorsOnNegativeVertexSize) {
+  std::istringstream in("2 1 100\n-1 2\n4 1\n");
+  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, VsizeGraphRoundTripsThroughWriter) {
+  // A graph whose file carries vertex sizes parses to the same structure
+  // as its writer output (which never emits the vsize column).
+  std::istringstream in(
+      "3 2 110 1\n"
+      "9 2 2\n"
+      "4 1 1 3\n"
+      "7 3 2\n");
+  Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.nvtxs, 3);
+  EXPECT_EQ(g.nedges(), 2);
+  EXPECT_EQ(g.weight(0, 0), 2);
+  std::ostringstream out;
+  write_metis_graph(out, g);
+  std::istringstream in2(out.str());
+  Graph h = read_metis_graph(in2);
+  EXPECT_EQ(h.vwgt, g.vwgt);
+  EXPECT_EQ(h.adjncy, g.adjncy);
+  EXPECT_EQ(h.adjwgt, g.adjwgt);
+}
+
 TEST(GraphIo, RoundTripPlain) {
   Graph g = grid2d(5, 7);
   std::ostringstream out;
@@ -154,6 +224,35 @@ TEST(PartitionIo, FileRoundTrip) {
   const std::string path = testing::TempDir() + "/mcgp_part_test.part";
   write_partition_file(path, part);
   EXPECT_EQ(read_partition_file(path), part);
+}
+
+TEST(PartitionIo, ValidatingReadAcceptsGoodPartition) {
+  std::istringstream in("0\n2\n1\n2\n");
+  const std::vector<idx_t> part = read_partition(in, /*nvtxs=*/4,
+                                                 /*nparts=*/3);
+  EXPECT_EQ(part, (std::vector<idx_t>{0, 2, 1, 2}));
+}
+
+TEST(PartitionIo, ValidatingReadRejectsSizeMismatch) {
+  std::istringstream too_few("0\n1\n");
+  EXPECT_THROW(read_partition(too_few, 4, 2), std::runtime_error);
+  std::istringstream too_many("0\n1\n0\n1\n0\n");
+  EXPECT_THROW(read_partition(too_many, 4, 2), std::runtime_error);
+}
+
+TEST(PartitionIo, ValidatingReadRejectsOutOfRangeIds) {
+  std::istringstream negative("0\n-1\n1\n");
+  EXPECT_THROW(read_partition(negative, 3, 2), std::runtime_error);
+  std::istringstream too_big("0\n1\n2\n");
+  EXPECT_THROW(read_partition(too_big, 3, 2), std::runtime_error);
+}
+
+TEST(PartitionIo, ValidatingFileReadRejectsBadFile) {
+  const std::vector<idx_t> part = {1, 0, 5};
+  const std::string path = testing::TempDir() + "/mcgp_part_bad.part";
+  write_partition_file(path, part);
+  EXPECT_THROW(read_partition_file(path, 3, 4), std::runtime_error);
+  EXPECT_EQ(read_partition_file(path, 3, 6), part);
 }
 
 }  // namespace

@@ -121,5 +121,28 @@ TEST(ValidatePartition, EmptyPartAllowedWhenFewVertices) {
   EXPECT_TRUE(validate_partition(g, {0, 1}, 5, true).empty());
 }
 
+TEST(ValidatePartition, RejectsNonPositiveNparts) {
+  Graph g = path4();
+  EXPECT_FALSE(validate_partition(g, {0, 0, 0, 0}, 0).empty());
+  EXPECT_FALSE(validate_partition(g, {0, 0, 0, 0}, -3).empty());
+}
+
+TEST(ValidatePartition, EmptyGraphWithEmptyPartition) {
+  GraphBuilder b(0, 1);
+  Graph g = b.build();
+  EXPECT_TRUE(validate_partition(g, {}, 1).empty());
+  EXPECT_FALSE(validate_partition(g, {0}, 1).empty());  // size mismatch
+}
+
+TEST(ValidatePartition, SinglePartAndBoundaryIds) {
+  Graph g = path4();
+  // Everything in the single allowed part is valid; nparts itself is the
+  // first out-of-range id.
+  EXPECT_TRUE(validate_partition(g, {0, 0, 0, 0}, 1).empty());
+  EXPECT_FALSE(validate_partition(g, {0, 0, 0, 1}, 1).empty());
+  EXPECT_TRUE(validate_partition(g, {0, 1, 2, 3}, 4).empty());
+  EXPECT_FALSE(validate_partition(g, {0, 1, 2, 4}, 4).empty());
+}
+
 }  // namespace
 }  // namespace mcgp
