@@ -83,10 +83,10 @@ void BM_InducedSubgraph(benchmark::State& state) {
   const Graph g = make_bench_graph(static_cast<idx_t>(state.range(0)), 1);
   const bool use_ws = state.range(1) != 0;
   // Halve along a jagged diagonal so the extraction walks real adjacency.
-  std::vector<char> select(static_cast<std::size_t>(g.nvtxs));
+  std::vector<char> select(to_size(g.nvtxs));
   const idx_t side = static_cast<idx_t>(state.range(0));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    select[static_cast<std::size_t>(v)] = (v / side + v % side) % 2 == 0;
+    select[to_size(v)] = (v / side + v % side) % 2 == 0;
   }
   Workspace ws;
   std::vector<idx_t> l2g;
@@ -104,11 +104,11 @@ void BM_Refine2Way(benchmark::State& state) {
   const Graph g = make_bench_graph(side, m);
   BisectionTargets t;
   t.f0 = 0.5;
-  t.ub.assign(static_cast<std::size_t>(m), 1.05);
+  t.ub.assign(to_size(m), 1.05);
   // Jagged start so the refiner has real work every iteration.
-  std::vector<idx_t> start(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> start(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    start[static_cast<std::size_t>(v)] = ((v / side) + 2 * (v % side)) % 4 < 2 ? 0 : 1;
+    start[to_size(v)] = ((v / side) + 2 * (v % side)) % 4 < 2 ? 0 : 1;
   }
   Rng rng(1);
   for (auto _ : state) {
@@ -126,9 +126,9 @@ void BM_KWayRefine(benchmark::State& state) {
   const int m = static_cast<int>(state.range(1));
   const Graph g = make_bench_graph(side, m);
   const idx_t k = 16;
-  std::vector<real_t> ub(static_cast<std::size_t>(m), 1.05);
+  std::vector<real_t> ub(to_size(m), 1.05);
   Rng seedr(3);
-  std::vector<idx_t> start(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> start(to_size(g.nvtxs));
   for (auto& p : start) p = static_cast<idx_t>(seedr.next_below(k));
   Rng rng(1);
   for (auto _ : state) {

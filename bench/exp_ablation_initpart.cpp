@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   Table t({"m", "scheme", "trials", "cut", "lb", "time(s)"});
   for (const int m : ms) {
     Graph g = grid2d(side, side);
-    apply_type_s_weights(g, m, 16, 0, 19, 6000 + m);
+    apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(6000 + m));
     for (const auto& [sname, scheme] :
          {std::pair<const char*, InitScheme>{"greedy-grow",
                                              InitScheme::kGreedyGrow},

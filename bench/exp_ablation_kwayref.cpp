@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   for (auto& [name, base] : make_suite(args.scale)) {
     for (const int m : ms) {
       Graph g = base;
-      if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 8000 + m);
+      if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(8000 + m));
       for (const auto& [sname, scheme] :
            {std::pair<const char*, KWayRefineScheme>{
                 "sweep", KWayRefineScheme::kSweep},

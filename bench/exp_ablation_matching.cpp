@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   for (auto& [name, base] : make_suite(args.scale)) {
     for (const int m : ms) {
       Graph g = base;
-      apply_type_s_weights(g, m, 16, 0, 19, 5000 + m);
+      apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(5000 + m));
       for (const auto& [sname, scheme] :
            {std::pair<const char*, MatchScheme>{"random", MatchScheme::kRandom},
             {"heavy-edge", MatchScheme::kHeavyEdge},

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   for (auto& [name, base] : make_suite(args.scale)) {
     for (const int m : ms) {
       Graph g = base;
-      if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 9000 + m);
+      if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(9000 + m));
       for (const bool multilevel : {true, false}) {
         Options o;
         o.nparts = k;

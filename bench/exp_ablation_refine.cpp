@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   for (auto& [name, base] : make_suite(args.scale)) {
     for (const int m : ms) {
       Graph g = base;
-      apply_type_s_weights(g, m, 16, 0, 19, 7000 + m);
+      apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(7000 + m));
       for (const auto& [pname, policy] :
            {std::pair<const char*, QueuePolicy>{"most-imbalanced",
                                                 QueuePolicy::kMostImbalanced},

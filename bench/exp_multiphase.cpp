@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       args.quick ? std::vector<int>{3} : std::vector<int>{2, 3, 4, 5};
   for (const int m : ms) {
     Graph g = grid2d(side, side);
-    apply_type_p_weights(g, m, 32, 4000 + m);
+    apply_type_p_weights(g, m, 32, static_cast<std::uint64_t>(4000 + m));
 
     // Traditional: single constraint on summed weights.
     Graph collapsed = sum_collapse_constraints(g);
@@ -55,8 +55,14 @@ int main(int argc, char** argv) {
 
     t.add_row({std::to_string(m), Table::fmt(sim_s.slowdown(), 3),
                Table::fmt(sim_m.slowdown(), 3),
-               Table::fmt(base.cut > 0 ? rs.cut / base.cut : 0, 2),
-               Table::fmt(base.cut > 0 ? rm.cut / base.cut : 0, 2)});
+               Table::fmt(base.cut > 0 ? static_cast<double>(rs.cut) /
+                              static_cast<double>(base.cut)
+                        : 0,
+           2),
+               Table::fmt(base.cut > 0 ? static_cast<double>(rm.cut) /
+                              static_cast<double>(base.cut)
+                        : 0,
+           2)});
   }
   t.print();
   std::printf(

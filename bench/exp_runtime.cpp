@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     for (auto& [name, base] : make_ladder(args.scale)) {
       for (const int m : ms) {
         Graph g = base;
-        if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 2000 + m);
+        if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(2000 + m));
         Options o;
         o.nparts = k;
         o.algorithm = alg;

@@ -48,13 +48,13 @@ int main(int argc, char** argv) {
       Graph g = grid2d(side, side);
       switch (sid) {
         case 0:
-          apply_type_r_weights(g, m, 0, 19, 3000 + m);
+          apply_type_r_weights(g, m, 0, 19, static_cast<std::uint64_t>(3000 + m));
           break;
         case 1:
-          apply_type_s_weights(g, m, 16, 0, 19, 3000 + m);
+          apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(3000 + m));
           break;
         default:
-          apply_type_p_weights(g, m, 32, 3000 + m);
+          apply_type_p_weights(g, m, 32, static_cast<std::uint64_t>(3000 + m));
           break;
       }
 

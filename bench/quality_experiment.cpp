@@ -41,7 +41,7 @@ void run_quality_experiment(Algorithm alg, const char* title,
       double base_cut = 0;
       for (const int m : ms) {
         Graph g = base;  // copy: each m gets fresh weights
-        if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, 1000 + m);
+        if (m > 1) apply_type_s_weights(g, m, 16, 0, 19, static_cast<std::uint64_t>(1000 + m));
         Options o;
         o.nparts = k;
         o.algorithm = alg;

@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
     } else {
       g = read_metis_graph_file(graph_path);
     }
-    opts.ubvec.assign(static_cast<std::size_t>(g.ncon), ub);
+    opts.ubvec.assign(to_size(g.ncon), ub);
 
     std::cout << "graph:   " << graph_path << " (" << g.nvtxs << " vertices, "
               << g.nedges() << " edges, " << g.ncon << " constraint"

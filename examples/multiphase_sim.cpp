@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
     std::cout << "  per-phase imbalance:";
     for (int p = 0; p < m; ++p) {
       std::cout << ' '
-                << static_cast<double>(sim.phase_makespan[static_cast<std::size_t>(p)]) /
-                       static_cast<double>(sim.phase_ideal[static_cast<std::size_t>(p)]);
+                << static_cast<double>(sim.phase_makespan[to_size(p)]) /
+                       static_cast<double>(sim.phase_ideal[to_size(p)]);
     }
     std::cout << "\n  step time: " << sim.total_makespan
               << " (ideal " << sim.total_ideal << ")"

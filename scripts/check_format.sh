@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Format gate: clang-format (style in .clang-format) over the C++ files
+# changed relative to a base ref, or over the whole tree with --all.
+#
+# Usage:
+#   scripts/check_format.sh [--all] [--fix] [BASE_REF]
+#
+#   BASE_REF   diff base for the changed-file set (default: origin/main,
+#              falling back to HEAD~1 when the remote ref is absent).
+#   --all      check every tracked C++ file instead of the changed set.
+#   --fix      rewrite files in place instead of failing on drift.
+#
+# Exits 0 when everything is formatted (or when clang-format is not
+# installed — the gate degrades to a skip with a notice so local GCC-only
+# environments are not blocked; CI installs clang-format and enforces).
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+ALL=0
+FIX=0
+BASE=""
+for arg in "$@"; do
+  case "$arg" in
+    --all) ALL=1 ;;
+    --fix) FIX=1 ;;
+    -h|--help) sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) BASE="$arg" ;;
+  esac
+done
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed — skipping (CI enforces)."
+  exit 0
+fi
+
+# The formatted surface: first-party C++ only.
+PATHSPEC=(src tests bench examples tools)
+FILTER='\.(cpp|cc|cxx|hpp|hh|h)$'
+
+if [[ "$ALL" == 1 ]]; then
+  mapfile -t files < <(git ls-files -- "${PATHSPEC[@]}" | grep -E "$FILTER" || true)
+else
+  if [[ -z "$BASE" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      BASE=origin/main
+    else
+      BASE=HEAD~1
+    fi
+  fi
+  # Changed = committed diff vs base + any uncommitted edits.
+  mapfile -t files < <(
+    { git diff --name-only --diff-filter=d "$BASE" -- "${PATHSPEC[@]}";
+      git diff --name-only --diff-filter=d -- "${PATHSPEC[@]}";
+      git diff --name-only --diff-filter=d --cached -- "${PATHSPEC[@]}"; } |
+    sort -u | grep -E "$FILTER" || true)
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files to check."
+  exit 0
+fi
+
+if [[ "$FIX" == 1 ]]; then
+  clang-format -i --style=file "${files[@]}"
+  echo "check_format: formatted ${#files[@]} file(s)."
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! clang-format --style=file --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+
+if [[ "$bad" != 0 ]]; then
+  echo "check_format: run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: OK (${#files[@]} file(s))."

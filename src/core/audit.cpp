@@ -13,10 +13,10 @@ sum_t audited_cut(const InvariantAuditor* aud, const Graph& g,
                   const std::vector<idx_t>& part, const char* site) {
   sum_t directed = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t pv = part[static_cast<std::size_t>(v)];
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      if (part[static_cast<std::size_t>(g.adjncy[e])] != pv) {
-        directed = checked_add(directed, g.adjwgt[static_cast<std::size_t>(e)]);
+    const idx_t pv = part[to_size(v)];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      if (part[to_size(g.adjncy[to_size(e)])] != pv) {
+        directed = checked_add(directed, g.adjwgt[to_size(e)]);
       }
     }
   }
@@ -66,7 +66,7 @@ std::string InvariantAuditor::summary() const {
   for (int c = 0; c < static_cast<int>(AuditCheck::kCount_); ++c) {
     if (c > 0) oss << ' ';
     oss << audit_check_name(static_cast<AuditCheck>(c)) << '='
-        << counts_[static_cast<std::size_t>(c)].load(
+        << counts_[to_size(c)].load(
                std::memory_order_relaxed);
   }
   return oss.str();
@@ -84,7 +84,7 @@ void InvariantAuditor::check_coarse_level(const Graph& fine,
                                           const Graph& coarse,
                                           const std::vector<idx_t>& cmap,
                                           const char* site) {
-  MCGP_AUDIT_MSG(this, cmap.size() == static_cast<std::size_t>(fine.nvtxs),
+  MCGP_AUDIT_MSG(this, cmap.size() == to_size(fine.nvtxs),
                  site, ": cmap size ", cmap.size(), " != fine nvtxs ",
                  fine.nvtxs);
   MCGP_AUDIT_MSG(this, coarse.ncon == fine.ncon, site, ": ncon changed ",
@@ -93,27 +93,27 @@ void InvariantAuditor::check_coarse_level(const Graph& fine,
   // Per-coarse-vertex weight conservation (stronger than totals alone:
   // also catches weight landing on the wrong coarse vertex).
   const std::size_t ncw =
-      static_cast<std::size_t>(coarse.nvtxs) * coarse.ncon;
+      to_size(coarse.nvtxs) * to_size(coarse.ncon);
   MCGP_AUDIT_MSG(this, coarse.vwgt.size() == ncw, site,
                  ": coarse vwgt size ", coarse.vwgt.size(), " != ", ncw);
   std::vector<sum_t> expect(ncw, 0);
-  std::vector<idx_t> constituents(static_cast<std::size_t>(coarse.nvtxs), 0);
+  std::vector<idx_t> constituents(to_size(coarse.nvtxs), 0);
   for (idx_t v = 0; v < fine.nvtxs; ++v) {
-    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    const idx_t cv = cmap[to_size(v)];
     MCGP_AUDIT_MSG(this, cv >= 0 && cv < coarse.nvtxs, site, ": cmap[", v,
                    "] = ", cv, " out of range [0, ", coarse.nvtxs, ")");
-    ++constituents[static_cast<std::size_t>(cv)];
+    ++constituents[to_size(cv)];
     const wgt_t* w = fine.weights(v);
     for (int i = 0; i < fine.ncon; ++i) {
-      sum_t& slot = expect[static_cast<std::size_t>(cv) * fine.ncon + i];
+      sum_t& slot = expect[to_size(cv) * to_size(fine.ncon) + to_size(i)];
       slot = checked_add(slot, w[i]);
     }
   }
   for (idx_t cv = 0; cv < coarse.nvtxs; ++cv) {
-    MCGP_AUDIT_MSG(this, constituents[static_cast<std::size_t>(cv)] > 0,
+    MCGP_AUDIT_MSG(this, constituents[to_size(cv)] > 0,
                    site, ": coarse vertex ", cv, " has no constituents");
     for (int i = 0; i < coarse.ncon; ++i) {
-      const std::size_t s = static_cast<std::size_t>(cv) * coarse.ncon + i;
+      const std::size_t s = to_size(cv) * to_size(coarse.ncon) + to_size(i);
       MCGP_AUDIT_MSG(this, static_cast<sum_t>(coarse.vwgt[s]) == expect[s],
                      site, ": coarse vertex ", cv, " weight ", i, " is ",
                      coarse.vwgt[s], ", constituents sum to ", expect[s]);
@@ -123,11 +123,11 @@ void InvariantAuditor::check_coarse_level(const Graph& fine,
   // Cached totals must agree with the conserved per-constraint sums.
   for (int i = 0; i < coarse.ncon; ++i) {
     MCGP_AUDIT_MSG(this,
-                   coarse.tvwgt[static_cast<std::size_t>(i)] ==
-                       fine.tvwgt[static_cast<std::size_t>(i)],
+                   coarse.tvwgt[to_size(i)] ==
+                       fine.tvwgt[to_size(i)],
                    site, ": constraint ", i, " total not conserved: fine ",
-                   fine.tvwgt[static_cast<std::size_t>(i)], " vs coarse ",
-                   coarse.tvwgt[static_cast<std::size_t>(i)]);
+                   fine.tvwgt[to_size(i)], " vs coarse ",
+                   coarse.tvwgt[to_size(i)]);
   }
 
   // Edge-weight conservation: the directed weight of the coarse graph plus
@@ -135,13 +135,13 @@ void InvariantAuditor::check_coarse_level(const Graph& fine,
   // directed weight (merging parallel edges sums their weights).
   sum_t fine_total = 0, internal = 0, coarse_total = 0;
   for (idx_t v = 0; v < fine.nvtxs; ++v) {
-    for (idx_t e = fine.xadj[v]; e < fine.xadj[v + 1]; ++e) {
+    for (idx_t e = fine.xadj[to_size(v)]; e < fine.xadj[to_size(v + 1)]; ++e) {
       fine_total =
-          checked_add(fine_total, fine.adjwgt[static_cast<std::size_t>(e)]);
-      if (cmap[static_cast<std::size_t>(fine.adjncy[e])] ==
-          cmap[static_cast<std::size_t>(v)]) {
+          checked_add(fine_total, fine.adjwgt[to_size(e)]);
+      if (cmap[to_size(fine.adjncy[to_size(e)])] ==
+          cmap[to_size(v)]) {
         internal =
-            checked_add(internal, fine.adjwgt[static_cast<std::size_t>(e)]);
+            checked_add(internal, fine.adjwgt[to_size(e)]);
       }
     }
   }
@@ -164,22 +164,22 @@ void InvariantAuditor::check_projection(const Graph& fine, const Graph& coarse,
                                         const std::vector<idx_t>& fine_part,
                                         const char* site) {
   MCGP_AUDIT_MSG(this,
-                 fine_part.size() == static_cast<std::size_t>(fine.nvtxs),
+                 fine_part.size() == to_size(fine.nvtxs),
                  site, ": projected partition size ", fine_part.size(),
                  " != nvtxs ", fine.nvtxs);
   MCGP_AUDIT_MSG(this,
-                 coarse_part.size() == static_cast<std::size_t>(coarse.nvtxs),
+                 coarse_part.size() == to_size(coarse.nvtxs),
                  site, ": coarse partition size ", coarse_part.size(),
                  " != coarse nvtxs ", coarse.nvtxs);
   for (idx_t v = 0; v < fine.nvtxs; ++v) {
-    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    const idx_t cv = cmap[to_size(v)];
     MCGP_AUDIT_MSG(this,
-                   fine_part[static_cast<std::size_t>(v)] ==
-                       coarse_part[static_cast<std::size_t>(cv)],
+                   fine_part[to_size(v)] ==
+                       coarse_part[to_size(cv)],
                    site, ": vertex ", v, " projected to part ",
-                   fine_part[static_cast<std::size_t>(v)],
+                   fine_part[to_size(v)],
                    " but its coarse vertex ", cv, " is in part ",
-                   coarse_part[static_cast<std::size_t>(cv)]);
+                   coarse_part[to_size(cv)]);
   }
   const sum_t coarse_cut = audited_cut(this, coarse, coarse_part, site);
   const sum_t fine_cut = audited_cut(this, fine, fine_part, site);
@@ -193,11 +193,11 @@ void InvariantAuditor::check_bisection_weights(const Graph& g,
                                                const std::vector<idx_t>& where,
                                                const BisectionBalance& bal,
                                                const char* site) {
-  MCGP_AUDIT_MSG(this, where.size() == static_cast<std::size_t>(g.nvtxs),
+  MCGP_AUDIT_MSG(this, where.size() == to_size(g.nvtxs),
                  site, ": where size ", where.size(), " != nvtxs ", g.nvtxs);
   sum_t fresh[2 * kMaxNcon] = {};
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t s = where[static_cast<std::size_t>(v)];
+    const idx_t s = where[to_size(v)];
     MCGP_AUDIT_MSG(this, s == 0 || s == 1, site, ": vertex ", v,
                    " has side ", s, " (not 0/1)");
     const wgt_t* w = g.weights(v);
@@ -234,40 +234,40 @@ void InvariantAuditor::check_kway_state(const Graph& g,
                                         const std::vector<sum_t>& pwgts,
                                         const std::vector<idx_t>* vcount,
                                         const char* site) {
-  MCGP_AUDIT_MSG(this, where.size() == static_cast<std::size_t>(g.nvtxs),
+  MCGP_AUDIT_MSG(this, where.size() == to_size(g.nvtxs),
                  site, ": where size ", where.size(), " != nvtxs ", g.nvtxs);
   MCGP_AUDIT_MSG(this,
                  pwgts.size() ==
-                     static_cast<std::size_t>(nparts) * g.ncon,
+                     to_size(nparts) * to_size(g.ncon),
                  site, ": pwgts size ", pwgts.size(), " != nparts*ncon ",
-                 static_cast<std::size_t>(nparts) * g.ncon);
-  std::vector<sum_t> fresh(static_cast<std::size_t>(nparts) * g.ncon, 0);
-  std::vector<idx_t> counts(static_cast<std::size_t>(nparts), 0);
+                 to_size(nparts) * to_size(g.ncon));
+  std::vector<sum_t> fresh(to_size(nparts) * to_size(g.ncon), 0);
+  std::vector<idx_t> counts(to_size(nparts), 0);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = where[static_cast<std::size_t>(v)];
+    const idx_t p = where[to_size(v)];
     MCGP_AUDIT_MSG(this, p >= 0 && p < nparts, site, ": vertex ", v,
                    " in part ", p, " out of range [0, ", nparts, ")");
-    ++counts[static_cast<std::size_t>(p)];
+    ++counts[to_size(p)];
     const wgt_t* w = g.weights(v);
     for (int i = 0; i < g.ncon; ++i) {
-      sum_t& slot = fresh[static_cast<std::size_t>(p) * g.ncon + i];
+      sum_t& slot = fresh[to_size(p) * to_size(g.ncon) + to_size(i)];
       slot = checked_add(slot, w[i]);
     }
   }
   for (idx_t p = 0; p < nparts; ++p) {
     for (int i = 0; i < g.ncon; ++i) {
-      const std::size_t s = static_cast<std::size_t>(p) * g.ncon + i;
+      const std::size_t s = to_size(p) * to_size(g.ncon) + to_size(i);
       MCGP_AUDIT_MSG(this, pwgts[s] == fresh[s], site, ": part ", p,
                      " constraint ", i, " bookkeeping says ", pwgts[s],
                      ", recompute says ", fresh[s]);
     }
     if (vcount != nullptr) {
       MCGP_AUDIT_MSG(this,
-                     (*vcount)[static_cast<std::size_t>(p)] ==
-                         counts[static_cast<std::size_t>(p)],
+                     (*vcount)[to_size(p)] ==
+                         counts[to_size(p)],
                      site, ": part ", p, " vertex count bookkeeping says ",
-                     (*vcount)[static_cast<std::size_t>(p)],
-                     ", recompute says ", counts[static_cast<std::size_t>(p)]);
+                     (*vcount)[to_size(p)],
+                     ", recompute says ", counts[to_size(p)]);
     }
   }
   bump(AuditCheck::kKWayState);
@@ -277,10 +277,10 @@ void InvariantAuditor::check_gain(const Graph& g,
                                   const std::vector<idx_t>& where, idx_t v,
                                   sum_t claimed_gain, const char* site) {
   sum_t idw = 0, edw = 0;
-  const idx_t pv = where[static_cast<std::size_t>(v)];
-  for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-    const wgt_t w = g.adjwgt[static_cast<std::size_t>(e)];
-    if (where[static_cast<std::size_t>(g.adjncy[e])] == pv) {
+  const idx_t pv = where[to_size(v)];
+  for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+    const wgt_t w = g.adjwgt[to_size(e)];
+    if (where[to_size(g.adjncy[to_size(e)])] == pv) {
       idw = checked_add(idw, w);
     } else {
       edw = checked_add(edw, w);
@@ -305,11 +305,11 @@ void InvariantAuditor::check_final_partition(const Graph& g,
                                              const std::vector<idx_t>& part,
                                              idx_t nparts, sum_t claimed_cut,
                                              const char* site) {
-  MCGP_AUDIT_MSG(this, part.size() == static_cast<std::size_t>(g.nvtxs),
+  MCGP_AUDIT_MSG(this, part.size() == to_size(g.nvtxs),
                  site, ": partition size ", part.size(), " != nvtxs ",
                  g.nvtxs);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = part[static_cast<std::size_t>(v)];
+    const idx_t p = part[to_size(v)];
     MCGP_AUDIT_MSG(this, p >= 0 && p < nparts, site, ": vertex ", v,
                    " in part ", p, " out of range [0, ", nparts, ")");
   }

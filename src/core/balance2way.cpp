@@ -4,6 +4,7 @@
 
 #include "core/audit.hpp"
 #include "support/bucket_queue.hpp"
+#include "support/check.hpp"
 
 namespace mcgp {
 
@@ -17,21 +18,21 @@ bool balance_2way(const Graph& g, std::vector<idx_t>& where,
   // Weighted degrees for gain computation (recomputed incrementally would
   // complicate the loop; the pass is O(rounds * E) which is fine for a
   // repair path that runs rarely).
-  const auto n = static_cast<std::size_t>(g.nvtxs);
+  const auto n = to_size(g.nvtxs);
   std::vector<sum_t> id(n, 0), ed(n, 0);
   auto recompute_degrees = [&]() {
     for (idx_t v = 0; v < g.nvtxs; ++v) {
       sum_t idw = 0, edw = 0;
-      const idx_t pv = where[static_cast<std::size_t>(v)];
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        if (where[static_cast<std::size_t>(g.adjncy[e])] == pv) {
-          idw += g.adjwgt[e];
+      const idx_t pv = where[to_size(v)];
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        if (where[to_size(g.adjncy[to_size(e)])] == pv) {
+          idw = checked_add(idw, g.adjwgt[to_size(e)]);
         } else {
-          edw += g.adjwgt[e];
+          edw = checked_add(edw, g.adjwgt[to_size(e)]);
         }
       }
-      id[static_cast<std::size_t>(v)] = idw;
-      ed[static_cast<std::size_t>(v)] = edw;
+      id[to_size(v)] = idw;
+      ed[to_size(v)] = edw;
     }
   };
 
@@ -49,10 +50,10 @@ bool balance_2way(const Graph& g, std::vector<idx_t>& where,
     queue.reset(g.nvtxs);
     random_permutation(g.nvtxs, perm, rng);
     for (const idx_t v : perm) {
-      if (where[static_cast<std::size_t>(v)] != from) continue;
+      if (where[to_size(v)] != from) continue;
       if (g.weight(v, c) <= 0) continue;  // cannot relieve constraint c
-      queue.insert(v, static_cast<wgt_t>(ed[static_cast<std::size_t>(v)] -
-                                         id[static_cast<std::size_t>(v)]));
+      queue.insert(v, checked_narrow<wgt_t>(
+                      checked_sub(ed[to_size(v)], id[to_size(v)])));
     }
 
     bool progressed = false;
@@ -63,7 +64,7 @@ bool balance_2way(const Graph& g, std::vector<idx_t>& where,
       if (new_pot >= pot - 1e-12) continue;  // move does not help overall
       // Commit: update where/balance; degrees of neighbors drift but the
       // queue's gain ordering stays a good heuristic within the round.
-      where[static_cast<std::size_t>(v)] = 1 - from;
+      where[to_size(v)] = 1 - from;
       balance.apply_move(v, from);
       pot = new_pot;
       progressed = true;

@@ -19,10 +19,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <cmath>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "support/check.hpp"
 #include "support/types.hpp"
 
 namespace mcgp {
@@ -45,11 +47,14 @@ class BisectionBalance {
     g_ = &g;
     t_ = &t;
     assert(static_cast<int>(t.ub.size()) == g.ncon);
-    std::fill(pwgts_, pwgts_ + 2 * kMaxNcon, 0);
+    std::fill(std::begin(pwgts_), std::end(pwgts_), 0);
     for (idx_t v = 0; v < g.nvtxs; ++v) {
-      const int s = where[static_cast<std::size_t>(v)];
+      const int s = where[to_size(v)];
       const wgt_t* w = g.weights(v);
-      for (int i = 0; i < g.ncon; ++i) pwgts_[s * kMaxNcon + i] += w[i];
+      for (int i = 0; i < g.ncon; ++i) {
+        sum_t& slot = pwgts_[s * kMaxNcon + i];
+        slot = checked_add(slot, w[i]);
+      }
     }
   }
 
@@ -61,22 +66,24 @@ class BisectionBalance {
   void apply_move(idx_t v, int from) {
     const wgt_t* w = g_->weights(v);
     for (int i = 0; i < g_->ncon; ++i) {
-      pwgts_[from * kMaxNcon + i] -= w[i];
-      pwgts_[(1 - from) * kMaxNcon + i] += w[i];
+      sum_t& from_slot = pwgts_[from * kMaxNcon + i];
+      sum_t& to_slot = pwgts_[(1 - from) * kMaxNcon + i];
+      from_slot = checked_sub(from_slot, w[i]);
+      to_slot = checked_add(to_slot, w[i]);
     }
   }
 
   real_t nload(int side, int i) const {
     return static_cast<real_t>(pwgts_[side * kMaxNcon + i]) *
-           g_->invtvwgt[static_cast<std::size_t>(i)] / t_->fraction(side);
+           g_->invtvwgt[to_size(i)] / t_->fraction(side);
   }
 
   /// Balance potential: max_i max_s nload(s,i)/ub_i. Feasible iff <= 1.
   real_t potential() const {
     real_t b = 0.0;
     for (int i = 0; i < g_->ncon; ++i) {
-      if (g_->tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
-      const real_t ub = t_->ub[static_cast<std::size_t>(i)];
+      if (g_->tvwgt[to_size(i)] <= 0) continue;
+      const real_t ub = t_->ub[to_size(i)];
       b = std::max(b, std::max(nload(0, i), nload(1, i)) / ub);
     }
     return b;
@@ -89,21 +96,21 @@ class BisectionBalance {
     const wgt_t* w = g_->weights(v);
     real_t b = 0.0;
     for (int i = 0; i < g_->ncon; ++i) {
-      if (g_->tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
-      const sum_t w_from = pwgts_[from * kMaxNcon + i] - w[i];
-      const sum_t w_to = pwgts_[(1 - from) * kMaxNcon + i] + w[i];
-      const real_t inv = g_->invtvwgt[static_cast<std::size_t>(i)];
+      if (g_->tvwgt[to_size(i)] <= 0) continue;
+      const sum_t w_from = checked_sub(pwgts_[from * kMaxNcon + i], w[i]);
+      const sum_t w_to = checked_add(pwgts_[(1 - from) * kMaxNcon + i], w[i]);
+      const real_t inv = g_->invtvwgt[to_size(i)];
       const real_t l_from = static_cast<real_t>(w_from) * inv / t_->fraction(from);
       const real_t l_to = static_cast<real_t>(w_to) * inv / t_->fraction(1 - from);
-      b = std::max(b, std::max(l_from, l_to) / t_->ub[static_cast<std::size_t>(i)]);
+      b = std::max(b, std::max(l_from, l_to) / t_->ub[to_size(i)]);
     }
     return b;
   }
 
   /// Tolerance-relative overload of constraint i: max_s nload(s,i)/ub_i.
   real_t constraint_potential(int i) const {
-    if (g_->tvwgt[static_cast<std::size_t>(i)] <= 0) return 0.0;
-    return std::max(nload(0, i), nload(1, i)) / t_->ub[static_cast<std::size_t>(i)];
+    if (g_->tvwgt[to_size(i)] <= 0) return 0.0;
+    return std::max(nload(0, i), nload(1, i)) / t_->ub[to_size(i)];
   }
 
   /// Side holding the larger (target-relative) share of constraint i.
@@ -136,9 +143,11 @@ class BisectionBalance {
 inline sum_t compute_cut_2way(const Graph& g, const std::vector<idx_t>& where) {
   sum_t cut = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t pv = where[static_cast<std::size_t>(v)];
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      if (where[static_cast<std::size_t>(g.adjncy[e])] != pv) cut += g.adjwgt[e];
+    const idx_t pv = where[to_size(v)];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      if (where[to_size(g.adjncy[to_size(e)])] != pv) {
+        cut = checked_add(cut, g.adjwgt[to_size(e)]);
+      }
     }
   }
   return cut / 2;

@@ -12,15 +12,15 @@ Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
   Graph c;
   c.nvtxs = ncoarse;
   c.ncon = g.ncon;
-  c.vwgt.assign(static_cast<std::size_t>(ncoarse) * g.ncon, 0);
-  c.xadj.assign(static_cast<std::size_t>(ncoarse) + 1, 0);
+  c.vwgt.assign(to_size(ncoarse) * to_size(g.ncon), 0);
+  c.xadj.assign(to_size(ncoarse) + 1, 0);
 
   // Sum constituent weight vectors.
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t cv = cmap[static_cast<std::size_t>(v)];
+    const idx_t cv = cmap[to_size(v)];
     const wgt_t* w = g.weights(v);
     for (int i = 0; i < g.ncon; ++i) {
-      c.vwgt[static_cast<std::size_t>(cv) * g.ncon + i] += w[i];
+      c.vwgt[to_size(cv) * to_size(g.ncon) + to_size(i)] += w[i];
     }
   }
 
@@ -28,14 +28,14 @@ Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
   std::vector<idx_t> local_first, local_second;
   std::vector<idx_t>& first = ws != nullptr ? ws->first : local_first;
   std::vector<idx_t>& second = ws != nullptr ? ws->second : local_second;
-  first.assign(static_cast<std::size_t>(ncoarse), -1);
-  second.assign(static_cast<std::size_t>(ncoarse), -1);
+  first.assign(to_size(ncoarse), -1);
+  second.assign(to_size(ncoarse), -1);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t cv = cmap[static_cast<std::size_t>(v)];
-    if (first[static_cast<std::size_t>(cv)] < 0) {
-      first[static_cast<std::size_t>(cv)] = v;
+    const idx_t cv = cmap[to_size(v)];
+    if (first[to_size(cv)] < 0) {
+      first[to_size(cv)] = v;
     } else {
-      second[static_cast<std::size_t>(cv)] = v;
+      second[to_size(cv)] = v;
     }
   }
 
@@ -47,32 +47,32 @@ Graph contract_graph(const Graph& g, const std::vector<idx_t>& cmap,
   // to -1 after its row, preserving the workspace map's all minus-one
   // invariant across calls.
   std::vector<idx_t> local_pos;
-  if (ws == nullptr) local_pos.assign(static_cast<std::size_t>(ncoarse), -1);
+  if (ws == nullptr) local_pos.assign(to_size(ncoarse), -1);
   std::vector<idx_t>& pos =
-      ws != nullptr ? ws->pos_map(static_cast<std::size_t>(ncoarse))
+      ws != nullptr ? ws->pos_map(to_size(ncoarse))
                     : local_pos;
   for (idx_t cv = 0; cv < ncoarse; ++cv) {
     const idx_t row_start = static_cast<idx_t>(c.adjncy.size());
-    for (const idx_t v : {first[static_cast<std::size_t>(cv)],
-                          second[static_cast<std::size_t>(cv)]}) {
+    for (const idx_t v : {first[to_size(cv)],
+                          second[to_size(cv)]}) {
       if (v < 0) continue;
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        const idx_t cu = cmap[static_cast<std::size_t>(g.adjncy[e])];
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        const idx_t cu = cmap[to_size(g.adjncy[to_size(e)])];
         if (cu == cv) continue;  // edge collapsed inside the coarse vertex
-        const idx_t p = pos[static_cast<std::size_t>(cu)];
+        const idx_t p = pos[to_size(cu)];
         if (p >= 0) {
-          c.adjwgt[static_cast<std::size_t>(p)] += g.adjwgt[e];
+          c.adjwgt[to_size(p)] += g.adjwgt[to_size(e)];
         } else {
-          pos[static_cast<std::size_t>(cu)] = static_cast<idx_t>(c.adjncy.size());
+          pos[to_size(cu)] = static_cast<idx_t>(c.adjncy.size());
           c.adjncy.push_back(cu);
-          c.adjwgt.push_back(g.adjwgt[e]);
+          c.adjwgt.push_back(g.adjwgt[to_size(e)]);
         }
       }
     }
     for (idx_t e = row_start; e < static_cast<idx_t>(c.adjncy.size()); ++e) {
-      pos[static_cast<std::size_t>(c.adjncy[static_cast<std::size_t>(e)])] = -1;
+      pos[to_size(c.adjncy[to_size(e)])] = -1;
     }
-    c.xadj[static_cast<std::size_t>(cv) + 1] = static_cast<idx_t>(c.adjncy.size());
+    c.xadj[to_size(cv) + 1] = static_cast<idx_t>(c.adjncy.size());
   }
 
   c.finalize();
@@ -101,7 +101,7 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
     if (sp.enabled()) {
       idx_t singletons = 0;
       for (idx_t v = 0; v < cur->nvtxs; ++v) {
-        if (match[static_cast<std::size_t>(v)] == v) ++singletons;
+        if (match[to_size(v)] == v) ++singletons;
       }
       sp.arg({"level", level});
       sp.arg({"nvtxs", cur->nvtxs});

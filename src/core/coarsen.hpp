@@ -33,7 +33,7 @@ struct Hierarchy {
 
   /// Graph at level l, where level 0 is the finest input graph.
   const Graph& graph_at(int l) const {
-    return l == 0 ? *finest : levels[static_cast<std::size_t>(l) - 1].graph;
+    return l == 0 ? *finest : levels[to_size(l) - 1].graph;
   }
 
   const Graph& coarsest() const {

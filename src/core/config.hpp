@@ -132,7 +132,7 @@ struct Options {
   /// Tolerance for constraint i (handles the empty-default case).
   real_t ub_for(int i) const {
     if (ubvec.empty()) return 1.05;
-    return ubvec[std::min(static_cast<std::size_t>(i), ubvec.size() - 1)];
+    return ubvec[std::min(to_size(i), ubvec.size() - 1)];
   }
 };
 

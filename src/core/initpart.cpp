@@ -13,7 +13,7 @@ namespace mcgp {
 
 void grow_bisection(const Graph& g, std::vector<idx_t>& where,
                     const BisectionTargets& targets, Rng& rng) {
-  const auto n = static_cast<std::size_t>(g.nvtxs);
+  const auto n = to_size(g.nvtxs);
   where.assign(n, 1);
   if (g.nvtxs == 0) return;
 
@@ -22,27 +22,27 @@ void grow_bisection(const Graph& g, std::vector<idx_t>& where,
   auto would_overflow = [&](idx_t v) {
     const wgt_t* w = g.weights(v);
     for (int i = 0; i < g.ncon; ++i) {
-      if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+      if (g.tvwgt[to_size(i)] <= 0) continue;
       const real_t nl =
-          load[static_cast<std::size_t>(i)] +
-          static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
-      if (nl > targets.f0 * targets.ub[static_cast<std::size_t>(i)]) return true;
+          load[to_size(i)] +
+          static_cast<real_t>(w[i]) * g.invtvwgt[to_size(i)];
+      if (nl > targets.f0 * targets.ub[to_size(i)]) return true;
     }
     return false;
   };
   auto deficient = [&]() {
     for (int i = 0; i < g.ncon; ++i) {
-      if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
-      if (load[static_cast<std::size_t>(i)] < targets.f0) return true;
+      if (g.tvwgt[to_size(i)] <= 0) continue;
+      if (load[to_size(i)] < targets.f0) return true;
     }
     return false;
   };
   auto absorb = [&](idx_t v) {
-    where[static_cast<std::size_t>(v)] = 0;
+    where[to_size(v)] = 0;
     const wgt_t* w = g.weights(v);
     for (int i = 0; i < g.ncon; ++i) {
-      load[static_cast<std::size_t>(i)] +=
-          static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+      load[to_size(i)] +=
+          static_cast<real_t>(w[i]) * g.invtvwgt[to_size(i)];
     }
   };
 
@@ -51,15 +51,15 @@ void grow_bisection(const Graph& g, std::vector<idx_t>& where,
   std::vector<char> seen(n, 0);  // in frontier, absorbed, or rejected
 
   auto push_neighbors = [&](idx_t v) {
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t u = g.adjncy[e];
-      if (where[static_cast<std::size_t>(u)] == 0) continue;
-      const real_t w = static_cast<real_t>(g.adjwgt[e]);
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t u = g.adjncy[to_size(e)];
+      if (where[to_size(u)] == 0) continue;
+      const real_t w = static_cast<real_t>(g.adjwgt[to_size(e)]);
       if (frontier.contains(u)) {
         frontier.update(u, frontier.key(u) + w);
-      } else if (!seen[static_cast<std::size_t>(u)]) {
+      } else if (!seen[to_size(u)]) {
         frontier.insert(u, w);
-        seen[static_cast<std::size_t>(u)] = 1;
+        seen[to_size(u)] = 1;
       }
     }
   };
@@ -70,21 +70,21 @@ void grow_bisection(const Graph& g, std::vector<idx_t>& where,
       idx_t seed = -1;
       for (int attempts = 0; attempts < 32 && seed < 0; ++attempts) {
         const idx_t cand = rng.next_in(0, g.nvtxs - 1);
-        if (where[static_cast<std::size_t>(cand)] == 1 &&
-            !seen[static_cast<std::size_t>(cand)]) {
+        if (where[to_size(cand)] == 1 &&
+            !seen[to_size(cand)]) {
           seed = cand;
         }
       }
       if (seed < 0) {
         for (idx_t v2 = 0; v2 < g.nvtxs && seed < 0; ++v2) {
-          if (where[static_cast<std::size_t>(v2)] == 1 &&
-              !seen[static_cast<std::size_t>(v2)]) {
+          if (where[to_size(v2)] == 1 &&
+              !seen[to_size(v2)]) {
             seed = v2;
           }
         }
       }
       if (seed < 0) break;  // every vertex absorbed or rejected
-      seen[static_cast<std::size_t>(seed)] = 1;
+      seen[to_size(seed)] = 1;
       if (would_overflow(seed)) continue;  // rejected; try another seed
       absorb(seed);
       push_neighbors(seed);
@@ -99,7 +99,7 @@ void grow_bisection(const Graph& g, std::vector<idx_t>& where,
 
 void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
                        const BisectionTargets& targets, Rng& rng) {
-  const auto n = static_cast<std::size_t>(g.nvtxs);
+  const auto n = to_size(g.nvtxs);
   where.assign(n, 0);
   if (g.nvtxs == 0) return;
 
@@ -111,12 +111,12 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
     real_t mx = 0.0;
     for (int i = 0; i < g.ncon; ++i) {
       mx = std::max(mx, static_cast<real_t>(g.weight(v, i)) *
-                            g.invtvwgt[static_cast<std::size_t>(i)]);
+                            g.invtvwgt[to_size(i)]);
     }
-    key[static_cast<std::size_t>(v)] = mx;
+    key[to_size(v)] = mx;
   }
   std::stable_sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
-    return key[static_cast<std::size_t>(a)] > key[static_cast<std::size_t>(b)];
+    return key[to_size(a)] > key[to_size(b)];
   });
 
   // Greedy placement minimizing the resulting worst target-relative load.
@@ -126,22 +126,22 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
     real_t pot[2] = {0.0, 0.0};
     for (int s = 0; s < 2; ++s) {
       for (int i = 0; i < g.ncon; ++i) {
-        if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+        if (g.tvwgt[to_size(i)] <= 0) continue;
         const real_t nw =
-            static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+            static_cast<real_t>(w[i]) * g.invtvwgt[to_size(i)];
         for (int side = 0; side < 2; ++side) {
-          const real_t l = load[static_cast<std::size_t>(side * kMaxNcon + i)] +
+          const real_t l = load[to_size(side * kMaxNcon + i)] +
                            (side == s ? nw : 0.0);
           pot[s] = std::max(pot[s], l / targets.fraction(side) /
-                                        targets.ub[static_cast<std::size_t>(i)]);
+                                        targets.ub[to_size(i)]);
         }
       }
     }
     const int s = pot[0] <= pot[1] ? 0 : 1;
-    where[static_cast<std::size_t>(v)] = s;
+    where[to_size(v)] = s;
     for (int i = 0; i < g.ncon; ++i) {
-      load[static_cast<std::size_t>(s * kMaxNcon + i)] +=
-          static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+      load[to_size(s * kMaxNcon + i)] +=
+          static_cast<real_t>(w[i]) * g.invtvwgt[to_size(i)];
     }
   }
 }
@@ -170,10 +170,10 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
   // per-trial slot and the winner is picked serially in trial order, so
   // the outcome does not depend on completion order or thread count.
   const std::uint64_t base_seed = rng.next_u64();
-  std::vector<InitTrial> results(static_cast<std::size_t>(trials));
+  std::vector<InitTrial> results(to_size(trials));
 
   auto run_trial = [&](int t) {
-    InitTrial& out = results[static_cast<std::size_t>(t)];
+    InitTrial& out = results[to_size(t)];
     Rng trng(mix_seed(base_seed, static_cast<std::uint64_t>(t)));
     const bool use_grow = scheme == InitScheme::kGreedyGrow ||
                           (scheme == InitScheme::kMixed && t % 2 == 0);
@@ -220,8 +220,8 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
   // low cut cannot compensate for bad balance here.
   int best_t = 0;
   for (int t = 1; t < trials; ++t) {
-    const InitTrial& c = results[static_cast<std::size_t>(t)];
-    const InitTrial& b = results[static_cast<std::size_t>(best_t)];
+    const InitTrial& c = results[to_size(t)];
+    const InitTrial& b = results[to_size(best_t)];
     bool better = false;
     if (c.feasible != b.feasible) {
       better = c.feasible;
@@ -233,7 +233,7 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
     }
     if (better) best_t = t;
   }
-  InitTrial& best = results[static_cast<std::size_t>(best_t)];
+  InitTrial& best = results[to_size(best_t)];
 
   if (span.enabled()) {
     span.arg({"nvtxs", g.nvtxs});

@@ -32,7 +32,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
                                   KWayDriverStats* stats, ThreadPool* pool) {
   const idx_t k = std::max<idx_t>(opts.nparts, 1);
   if (k == 1 || g.nvtxs == 0) {
-    return std::vector<idx_t>(static_cast<std::size_t>(g.nvtxs), 0);
+    return std::vector<idx_t>(to_size(g.nvtxs), 0);
   }
 
   PhaseTimes local_phases;
@@ -68,9 +68,9 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     Options init_opts = opts;
     init_opts.nparts = k;
     init_opts.coarsen_to = 0;  // let the bisections pick their own size
-    init_opts.ubvec.resize(static_cast<std::size_t>(g.ncon));
+    init_opts.ubvec.resize(to_size(g.ncon));
     for (int i = 0; i < g.ncon; ++i) {
-      init_opts.ubvec[static_cast<std::size_t>(i)] =
+      init_opts.ubvec[to_size(i)] =
           std::max<real_t>(1.0 + (opts.ub_for(i) - 1.0) * 0.9, 1.003);
     }
     init_opts.tpwgts = opts.tpwgts;
@@ -78,8 +78,8 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
                                            nullptr, nullptr, pool);
   }
 
-  std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));
-  for (int i = 0; i < g.ncon; ++i) ub[static_cast<std::size_t>(i)] = opts.ub_for(i);
+  std::vector<real_t> ub(to_size(g.ncon));
+  for (int i = 0; i < g.ncon; ++i) ub[to_size(i)] = opts.ub_for(i);
 
   {
     ScopedPhase sp(pt, "refine");
@@ -87,7 +87,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
       const Graph& cur = h.graph_at(l);
       if (l < h.num_levels()) {
         const std::vector<idx_t>& cmap =
-            h.levels[static_cast<std::size_t>(l)].cmap;
+            h.levels[to_size(l)].cmap;
         std::vector<idx_t> fine_where;
         project_partition(cmap, cwhere, fine_where);
         if (opts.audit != nullptr && opts.audit->boundaries()) {

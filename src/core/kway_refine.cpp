@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/audit.hpp"
+#include "support/check.hpp"
 #include "graph/metrics.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/trace.hpp"
@@ -19,15 +20,15 @@ bool kway_feasible(const Graph& g, const std::vector<sum_t>& pwgts,
                    idx_t nparts, const std::vector<real_t>& ub,
                    const std::vector<real_t>* tpwgts) {
   for (int i = 0; i < g.ncon; ++i) {
-    if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+    if (g.tvwgt[to_size(i)] <= 0) continue;
     for (idx_t p = 0; p < nparts; ++p) {
       const real_t frac = tpwgts != nullptr
-                              ? (*tpwgts)[static_cast<std::size_t>(p)]
+                              ? (*tpwgts)[to_size(p)]
                               : 1.0 / static_cast<real_t>(nparts);
       const real_t limit =
-          ub[static_cast<std::size_t>(i)] * frac *
-          static_cast<real_t>(g.tvwgt[static_cast<std::size_t>(i)]);
-      if (static_cast<real_t>(pwgts[static_cast<std::size_t>(p) * g.ncon + i]) >
+          ub[to_size(i)] * frac *
+          static_cast<real_t>(g.tvwgt[to_size(i)]);
+      if (static_cast<real_t>(pwgts[to_size(p) * to_size(g.ncon) + to_size(i)]) >
           limit + 1e-9) {
         return false;
       }
@@ -45,18 +46,18 @@ class KWayContext {
               const std::vector<real_t>& ub,
               const std::vector<real_t>* tpwgts)
       : g_(g), nparts_(nparts), where_(where), ub_(ub), tpwgts_(tpwgts) {
-    conn_.assign(static_cast<std::size_t>(nparts), 0);
+    conn_.assign(to_size(nparts), 0);
     touched_.reserve(64);
-    limit_.resize(static_cast<std::size_t>(nparts) * g.ncon);
+    limit_.resize(to_size(nparts) * to_size(g.ncon));
     for (idx_t p = 0; p < nparts; ++p) {
       const real_t frac = tpwgts != nullptr
-                              ? (*tpwgts)[static_cast<std::size_t>(p)]
+                              ? (*tpwgts)[to_size(p)]
                               : 1.0 / static_cast<real_t>(nparts);
       for (int i = 0; i < g.ncon; ++i) {
-        limit_[static_cast<std::size_t>(p) * g.ncon + i] =
-            g.tvwgt[static_cast<std::size_t>(i)] > 0
-                ? ub[static_cast<std::size_t>(i)] * frac *
-                      static_cast<real_t>(g.tvwgt[static_cast<std::size_t>(i)])
+        limit_[to_size(p) * to_size(g.ncon) + to_size(i)] =
+            g.tvwgt[to_size(i)] > 0
+                ? ub[to_size(i)] * frac *
+                      static_cast<real_t>(g.tvwgt[to_size(i)])
                 : 1e300;
       }
     }
@@ -67,9 +68,9 @@ class KWayContext {
   /// (after an external pass, e.g. kway_balance, mutated `where`).
   void reload() {
     pwgts_ = compute_part_weights(g_, where_, nparts_);
-    vcount_.assign(static_cast<std::size_t>(nparts_), 0);
+    vcount_.assign(to_size(nparts_), 0);
     for (idx_t v = 0; v < g_.nvtxs; ++v) {
-      ++vcount_[static_cast<std::size_t>(where_[static_cast<std::size_t>(v)])];
+      ++vcount_[to_size(where_[to_size(v)])];
     }
   }
 
@@ -85,16 +86,16 @@ class KWayContext {
     real_t l = 0.0;
     for (int i = 0; i < g_.ncon; ++i) {
       l = std::max(l, static_cast<real_t>(
-                          pwgts_[static_cast<std::size_t>(p) * g_.ncon + i]) /
-                          limit_[static_cast<std::size_t>(p) * g_.ncon + i]);
+                          pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)]) /
+                          limit_[to_size(p) * to_size(g_.ncon) + to_size(i)]);
     }
     return l;
   }
 
   /// Overload of part p in constraint i (ratio above limit; <=1 is fine).
   real_t overload(idx_t p, int i) const {
-    return static_cast<real_t>(pwgts_[static_cast<std::size_t>(p) * g_.ncon + i]) /
-           limit_[static_cast<std::size_t>(p) * g_.ncon + i];
+    return static_cast<real_t>(pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)]) /
+           limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
   }
 
   /// Global maximum tolerance-relative load (feasible iff <= 1).
@@ -108,17 +109,17 @@ class KWayContext {
 
   /// Load of part p in constraint i after hypothetically adding `extra`.
   real_t load_with(idx_t p, int i, wgt_t extra) const {
-    return static_cast<real_t>(
-               pwgts_[static_cast<std::size_t>(p) * g_.ncon + i] + extra) /
-           limit_[static_cast<std::size_t>(p) * g_.ncon + i];
+    return static_cast<real_t>(checked_add(
+               pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)], extra)) /
+           limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
   }
 
   bool fits(idx_t v, idx_t p) const {
     const wgt_t* w = g_.weights(v);
     for (int i = 0; i < g_.ncon; ++i) {
-      if (static_cast<real_t>(
-              pwgts_[static_cast<std::size_t>(p) * g_.ncon + i] + w[i]) >
-          limit_[static_cast<std::size_t>(p) * g_.ncon + i] + 1e-9) {
+      if (static_cast<real_t>(checked_add(
+              pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)], w[i])) >
+          limit_[to_size(p) * to_size(g_.ncon) + to_size(i)] + 1e-9) {
         return false;
       }
     }
@@ -128,46 +129,48 @@ class KWayContext {
   /// Gather the edge weight from v to each touched part. Returns the
   /// weight to v's own part; touched() lists the OTHER parts seen.
   sum_t gather_connectivity(idx_t v) {
-    for (const idx_t p : touched_) conn_[static_cast<std::size_t>(p)] = 0;
+    for (const idx_t p : touched_) conn_[to_size(p)] = 0;
     touched_.clear();
-    const idx_t own = where_[static_cast<std::size_t>(v)];
+    const idx_t own = where_[to_size(v)];
     sum_t idw = 0;
-    for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
-      const idx_t p = where_[static_cast<std::size_t>(g_.adjncy[e])];
+    for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
+      const idx_t p = where_[to_size(g_.adjncy[to_size(e)])];
       if (p == own) {
-        idw += g_.adjwgt[e];
+        idw = checked_add(idw, g_.adjwgt[to_size(e)]);
       } else {
-        if (conn_[static_cast<std::size_t>(p)] == 0) touched_.push_back(p);
-        conn_[static_cast<std::size_t>(p)] += g_.adjwgt[e];
+        if (conn_[to_size(p)] == 0) touched_.push_back(p);
+        conn_[to_size(p)] = checked_add(conn_[to_size(p)], g_.adjwgt[to_size(e)]);
       }
     }
     return idw;
   }
 
   const std::vector<idx_t>& touched() const { return touched_; }
-  sum_t conn(idx_t p) const { return conn_[static_cast<std::size_t>(p)]; }
+  sum_t conn(idx_t p) const { return conn_[to_size(p)]; }
 
   /// Never empty a part (keeps every subdomain populated).
-  bool can_leave(idx_t p) const { return vcount_[static_cast<std::size_t>(p)] > 1; }
+  bool can_leave(idx_t p) const { return vcount_[to_size(p)] > 1; }
 
   void move(idx_t v, idx_t to) {
-    const idx_t from = where_[static_cast<std::size_t>(v)];
-    where_[static_cast<std::size_t>(v)] = to;
-    --vcount_[static_cast<std::size_t>(from)];
-    ++vcount_[static_cast<std::size_t>(to)];
+    const idx_t from = where_[to_size(v)];
+    where_[to_size(v)] = to;
+    --vcount_[to_size(from)];
+    ++vcount_[to_size(to)];
     const wgt_t* w = g_.weights(v);
     for (int i = 0; i < g_.ncon; ++i) {
-      pwgts_[static_cast<std::size_t>(from) * g_.ncon + i] -= w[i];
-      pwgts_[static_cast<std::size_t>(to) * g_.ncon + i] += w[i];
+      sum_t& fs = pwgts_[to_size(from) * to_size(g_.ncon) + to_size(i)];
+      sum_t& ts = pwgts_[to_size(to) * to_size(g_.ncon) + to_size(i)];
+      fs = checked_sub(fs, w[i]);
+      ts = checked_add(ts, w[i]);
     }
   }
 
   std::vector<idx_t> boundary(Rng& rng) const {
     std::vector<idx_t> b;
     for (idx_t v = 0; v < g_.nvtxs; ++v) {
-      const idx_t pv = where_[static_cast<std::size_t>(v)];
-      for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
-        if (where_[static_cast<std::size_t>(g_.adjncy[e])] != pv) {
+      const idx_t pv = where_[to_size(v)];
+      for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
+        if (where_[to_size(g_.adjncy[to_size(e)])] != pv) {
           b.push_back(v);
           break;
         }
@@ -197,7 +200,7 @@ idx_t refine_sweep(KWayContext& ctx, const std::vector<idx_t>& where,
   idx_t moves = 0;
   gain_sum = 0;
   for (const idx_t v : ctx.boundary(rng)) {
-    const idx_t own = where[static_cast<std::size_t>(v)];
+    const idx_t own = where[to_size(v)];
     if (!ctx.can_leave(own)) continue;
     const sum_t idw = ctx.gather_connectivity(v);
 
@@ -206,7 +209,7 @@ idx_t refine_sweep(KWayContext& ctx, const std::vector<idx_t>& where,
     real_t best_load = 0.0;
     for (const idx_t p : ctx.touched()) {
       if (!ctx.fits(v, p)) continue;
-      const sum_t gain = ctx.conn(p) - idw;
+      const sum_t gain = checked_sub(ctx.conn(p), idw);
       if (gain < 0) continue;
       const real_t load = ctx.part_load(p);
       // Prefer higher gain; among equal gains prefer the lighter part.
@@ -222,7 +225,7 @@ idx_t refine_sweep(KWayContext& ctx, const std::vector<idx_t>& where,
     // more loaded part to a less loaded one.
     if (best_gain == 0 && best_load >= ctx.part_load(own) - 1e-12) continue;
     ctx.move(v, best);
-    gain_sum += best_gain;
+    gain_sum = checked_add(gain_sum, best_gain);
     ++moves;
   }
   return moves;
@@ -267,30 +270,30 @@ idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
   // Candidates: vertices of q carrying weight in constraint c, boundary
   // first, higher (ed - id) first — cheapest cut damage first.
   std::vector<idx_t> cand;
-  std::vector<real_t> key(static_cast<std::size_t>(g.nvtxs), 0.0);
+  std::vector<real_t> key(to_size(g.nvtxs), 0.0);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    if (where[static_cast<std::size_t>(v)] != q) continue;
+    if (where[to_size(v)] != q) continue;
     if (g.weight(v, c) <= 0) continue;
     cand.push_back(v);
     sum_t idw = 0, edw = 0;
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      if (where[static_cast<std::size_t>(g.adjncy[e])] == q) {
-        idw += g.adjwgt[e];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      if (where[to_size(g.adjncy[to_size(e)])] == q) {
+        idw = checked_add(idw, g.adjwgt[to_size(e)]);
       } else {
-        edw += g.adjwgt[e];
+        edw = checked_add(edw, g.adjwgt[to_size(e)]);
       }
     }
-    key[static_cast<std::size_t>(v)] =
-        static_cast<real_t>(edw - idw) + (edw > 0 ? 1e6 : 0.0);
+    key[to_size(v)] =
+        static_cast<real_t>(checked_sub(edw, idw)) + (edw > 0 ? 1e6 : 0.0);
   }
   shuffle(cand, rng);
   std::stable_sort(cand.begin(), cand.end(), [&](idx_t a, idx_t b) {
-    return key[static_cast<std::size_t>(a)] > key[static_cast<std::size_t>(b)];
+    return key[to_size(a)] > key[to_size(b)];
   });
 
   idx_t moves = 0;
   for (const idx_t v : cand) {
-    if (where[static_cast<std::size_t>(v)] != q) continue;  // already moved
+    if (where[to_size(v)] != q) continue;  // already moved
     if (!ctx.can_leave(q)) break;
     // Stop once q is no longer the bottleneck for constraint c.
     if (ctx.overload(q, c) <= 1.0 + 1e-12) break;
@@ -316,7 +319,7 @@ idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
       const real_t after = dest_load_after(g, ctx, v, p);
       if (after >= peak - 1e-12) return;  // would not reduce the potential
       const bool fits = after <= 1.0 + 1e-12;
-      const sum_t gain = ctx.conn(p) - idw;
+      const sum_t gain = checked_sub(ctx.conn(p), idw);
       const bool better = best < 0 || (fits && !best_fits) ||
                           (fits == best_fits &&
                            (gain > best_gain ||
@@ -340,10 +343,10 @@ idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
 
 /// Best admissible move of vertex v under the sweep rules. Returns the
 /// destination part (or -1) and its gain via out-params.
-bool best_move(const Graph& g, KWayContext& ctx,
+bool best_move(const Graph& /*g*/, KWayContext& ctx,
                const std::vector<idx_t>& where, idx_t v, idx_t& dest,
                sum_t& gain) {
-  const idx_t own = where[static_cast<std::size_t>(v)];
+  const idx_t own = where[to_size(v)];
   if (!ctx.can_leave(own)) return false;
   const sum_t idw = ctx.gather_connectivity(v);
   dest = -1;
@@ -351,7 +354,7 @@ bool best_move(const Graph& g, KWayContext& ctx,
   real_t best_load = 0.0;
   for (const idx_t p : ctx.touched()) {
     if (!ctx.fits(v, p)) continue;
-    const sum_t g2 = ctx.conn(p) - idw;
+    const sum_t g2 = checked_sub(ctx.conn(p), idw);
     if (g2 < 0) continue;
     const real_t load = ctx.part_load(p);
     if (dest < 0 || g2 > gain || (g2 == gain && load < best_load)) {
@@ -371,30 +374,30 @@ bool best_move(const Graph& g, KWayContext& ctx,
 idx_t pq_pass(const Graph& g, KWayContext& ctx, std::vector<idx_t>& where,
               BucketQueue& queue, Rng& rng, sum_t& gain_sum) {
   queue.reset(g.nvtxs);
-  std::vector<char> popped(static_cast<std::size_t>(g.nvtxs), 0);
+  std::vector<char> popped(to_size(g.nvtxs), 0);
   for (const idx_t v : ctx.boundary(rng)) {
     const sum_t idw = ctx.gather_connectivity(v);
     sum_t best_conn = 0;
     for (const idx_t p : ctx.touched()) best_conn = std::max(best_conn, ctx.conn(p));
-    queue.insert(v, static_cast<wgt_t>(best_conn - idw));
+    queue.insert(v, checked_narrow<wgt_t>(checked_sub(best_conn, idw)));
   }
 
   idx_t moves = 0;
   gain_sum = 0;
   while (!queue.empty()) {
     const idx_t v = queue.pop_max();
-    popped[static_cast<std::size_t>(v)] = 1;  // each vertex moves at most once per pass
+    popped[to_size(v)] = 1;  // each vertex moves at most once per pass
     idx_t dest;
     sum_t gain;
     if (!best_move(g, ctx, where, v, dest, gain)) continue;
     ctx.move(v, dest);
-    gain_sum += gain;
+    gain_sum = checked_add(gain_sum, gain);
     ++moves;
     // Refresh the optimistic keys of v's unpopped neighbors; insert
     // neighbors that just became boundary vertices, drop ones that left it.
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t u = g.adjncy[e];
-      if (popped[static_cast<std::size_t>(u)]) continue;
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t u = g.adjncy[to_size(e)];
+      if (popped[to_size(u)]) continue;
       const sum_t idw = ctx.gather_connectivity(u);
       sum_t best_conn = 0;
       for (const idx_t p : ctx.touched()) {
@@ -403,12 +406,12 @@ idx_t pq_pass(const Graph& g, KWayContext& ctx, std::vector<idx_t>& where,
       const bool on_boundary = !ctx.touched().empty();
       if (queue.contains(u)) {
         if (on_boundary) {
-          queue.update(u, static_cast<wgt_t>(best_conn - idw));
+          queue.update(u, checked_narrow<wgt_t>(checked_sub(best_conn, idw)));
         } else {
           queue.remove(u);
         }
       } else if (on_boundary) {
-        queue.insert(u, static_cast<wgt_t>(best_conn - idw));
+        queue.insert(u, checked_narrow<wgt_t>(checked_sub(best_conn, idw)));
       }
     }
   }

@@ -15,7 +15,7 @@ real_t balanced_edge_score(const Graph& g, idx_t v, idx_t u) {
   real_t mn = 1e300;
   for (int i = 0; i < g.ncon; ++i) {
     const real_t c = static_cast<real_t>(wv[i] + wu[i]) *
-                     g.invtvwgt[static_cast<std::size_t>(i)];
+                     g.invtvwgt[to_size(i)];
     mx = std::max(mx, c);
     mn = std::min(mn, c);
   }
@@ -32,22 +32,22 @@ std::vector<idx_t> compute_matching(const Graph& g, MatchScheme scheme,
 void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
                            std::vector<idx_t>& match, TraceRecorder* trace,
                            Workspace* ws) {
-  match.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  match.assign(to_size(g.nvtxs), -1);
   std::vector<idx_t> local_perm;
   std::vector<idx_t>& perm = ws != nullptr ? ws->perm : local_perm;
   random_permutation(g.nvtxs, perm, rng);
 
   for (const idx_t v : perm) {
-    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    if (match[to_size(v)] >= 0) continue;
 
     idx_t best = -1;
     switch (scheme) {
       case MatchScheme::kRandom: {
         // Reservoir-sample one unmatched neighbor.
         idx_t seen = 0;
-        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-          const idx_t u = g.adjncy[e];
-          if (match[static_cast<std::size_t>(u)] >= 0) continue;
+        for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+          const idx_t u = g.adjncy[to_size(e)];
+          if (match[to_size(u)] >= 0) continue;
           ++seen;
           if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) best = u;
         }
@@ -55,11 +55,11 @@ void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
       }
       case MatchScheme::kHeavyEdge: {
         wgt_t best_w = -1;
-        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-          const idx_t u = g.adjncy[e];
-          if (match[static_cast<std::size_t>(u)] >= 0) continue;
-          if (g.adjwgt[e] > best_w) {
-            best_w = g.adjwgt[e];
+        for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+          const idx_t u = g.adjncy[to_size(e)];
+          if (match[to_size(u)] >= 0) continue;
+          if (g.adjwgt[to_size(e)] > best_w) {
+            best_w = g.adjwgt[to_size(e)];
             best = u;
           }
         }
@@ -70,10 +70,10 @@ void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
         // weight vector among candidates tied on the primary key.
         wgt_t best_w = -1;
         real_t best_score = 1e300;
-        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-          const idx_t u = g.adjncy[e];
-          if (match[static_cast<std::size_t>(u)] >= 0) continue;
-          const wgt_t w = g.adjwgt[e];
+        for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+          const idx_t u = g.adjncy[to_size(e)];
+          if (match[to_size(u)] >= 0) continue;
+          const wgt_t w = g.adjwgt[to_size(e)];
           if (w < best_w) continue;
           const real_t score = balanced_edge_score(g, v, u);
           if (w > best_w || score < best_score) {
@@ -87,17 +87,17 @@ void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
     }
 
     if (best >= 0) {
-      match[static_cast<std::size_t>(v)] = best;
-      match[static_cast<std::size_t>(best)] = v;
+      match[to_size(v)] = best;
+      match[to_size(best)] = v;
     } else {
-      match[static_cast<std::size_t>(v)] = v;
+      match[to_size(v)] = v;
     }
   }
 
   if (trace != nullptr) {
     idx_t pairs = 0, failed = 0;
     for (idx_t v = 0; v < g.nvtxs; ++v) {
-      if (match[static_cast<std::size_t>(v)] != v) {
+      if (match[to_size(v)] != v) {
         ++pairs;  // counts both endpoints; halved below
       } else if (g.degree(v) > 0) {
         ++failed;  // had neighbors but every one was already taken
@@ -110,14 +110,14 @@ void compute_matching_into(const Graph& g, MatchScheme scheme, Rng& rng,
 
 idx_t build_coarse_map(const Graph& g, const std::vector<idx_t>& match,
                        std::vector<idx_t>& cmap) {
-  cmap.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  cmap.assign(to_size(g.nvtxs), -1);
   idx_t ncoarse = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t u = match[static_cast<std::size_t>(v)];
+    const idx_t u = match[to_size(v)];
     assert(u >= 0 && u < g.nvtxs);
     if (v <= u) {
-      cmap[static_cast<std::size_t>(v)] = ncoarse;
-      cmap[static_cast<std::size_t>(u)] = ncoarse;
+      cmap[to_size(v)] = ncoarse;
+      cmap[to_size(u)] = ncoarse;
       ++ncoarse;
     }
   }

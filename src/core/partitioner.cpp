@@ -27,7 +27,7 @@ void validate_options(const Graph& g, const Options& opts) {
     throw std::invalid_argument("partition: num_threads < 1");
   }
   if (!opts.ubvec.empty() &&
-      opts.ubvec.size() != static_cast<std::size_t>(g.ncon) &&
+      opts.ubvec.size() != to_size(g.ncon) &&
       opts.ubvec.size() != 1) {
     throw std::invalid_argument("partition: ubvec arity mismatch");
   }
@@ -47,7 +47,7 @@ void validate_options(const Graph& g, const Options& opts) {
         " out of range [0, 2]");
   }
   if (!opts.tpwgts.empty()) {
-    if (opts.tpwgts.size() != static_cast<std::size_t>(opts.nparts)) {
+    if (opts.tpwgts.size() != to_size(opts.nparts)) {
       throw std::invalid_argument(
           "partition: tpwgts must hold one target fraction per part (got " +
           std::to_string(opts.tpwgts.size()) + " entries for nparts = " +
@@ -78,14 +78,14 @@ void validate_options(const Graph& g, const Options& opts) {
 void ensure_nonempty_parts(const Graph& g, idx_t nparts,
                            std::vector<idx_t>& part) {
   if (g.nvtxs < nparts) return;
-  std::vector<idx_t> count(static_cast<std::size_t>(nparts), 0);
-  for (const idx_t p : part) ++count[static_cast<std::size_t>(p)];
+  std::vector<idx_t> count(to_size(nparts), 0);
+  for (const idx_t p : part) ++count[to_size(p)];
   for (idx_t empty = 0; empty < nparts; ++empty) {
-    if (count[static_cast<std::size_t>(empty)] > 0) continue;
+    if (count[to_size(empty)] > 0) continue;
     // Donor: the part with the most vertices.
     idx_t donor = 0;
     for (idx_t p = 1; p < nparts; ++p) {
-      if (count[static_cast<std::size_t>(p)] > count[static_cast<std::size_t>(donor)]) {
+      if (count[to_size(p)] > count[to_size(donor)]) {
         donor = p;
       }
     }
@@ -94,7 +94,7 @@ void ensure_nonempty_parts(const Graph& g, idx_t nparts,
     idx_t best = -1;
     sum_t best_deg = 0;
     for (idx_t v = 0; v < g.nvtxs; ++v) {
-      if (part[static_cast<std::size_t>(v)] != donor) continue;
+      if (part[to_size(v)] != donor) continue;
       const sum_t deg = g.weighted_degree(v);
       if (best < 0 || deg < best_deg) {
         best = v;
@@ -102,9 +102,9 @@ void ensure_nonempty_parts(const Graph& g, idx_t nparts,
       }
     }
     if (best < 0) break;  // donor vanished (cannot happen with counts > 1)
-    part[static_cast<std::size_t>(best)] = empty;
-    --count[static_cast<std::size_t>(donor)];
-    ++count[static_cast<std::size_t>(empty)];
+    part[to_size(best)] = empty;
+    --count[to_size(donor)];
+    ++count[to_size(empty)];
   }
 }
 
@@ -228,9 +228,9 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   PartitionResult result;
   Rng rng(opts.seed);
 
-  std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));
+  std::vector<real_t> ub(to_size(g.ncon));
   for (int i = 0; i < g.ncon; ++i) {
-    ub[static_cast<std::size_t>(i)] = opts.ub_for(i);
+    ub[to_size(i)] = opts.ub_for(i);
   }
   const std::vector<real_t>* tp =
       opts.tpwgts.empty() ? nullptr : &opts.tpwgts;

@@ -7,7 +7,7 @@ void project_partition(const std::vector<idx_t>& cmap,
                        std::vector<idx_t>& fine_part) {
   fine_part.resize(cmap.size());
   for (std::size_t v = 0; v < cmap.size(); ++v) {
-    fine_part[v] = coarse_part[static_cast<std::size_t>(cmap[v])];
+    fine_part[v] = coarse_part[to_size(cmap[v])];
   }
 }
 

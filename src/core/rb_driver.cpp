@@ -28,7 +28,7 @@ void ensure_nonempty_sides(const Graph& g, std::vector<idx_t>& where) {
   if (g.nvtxs < 2) return;
   idx_t count0 = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    if (where[static_cast<std::size_t>(v)] == 0) ++count0;
+    if (where[to_size(v)] == 0) ++count0;
   }
   if (count0 > 0 && count0 < g.nvtxs) return;
   const int empty = count0 == 0 ? 0 : 1;
@@ -39,21 +39,21 @@ void ensure_nonempty_sides(const Graph& g, std::vector<idx_t>& where) {
     real_t mx = 0.0;
     for (int i = 0; i < g.ncon; ++i) {
       mx = std::max(mx, static_cast<real_t>(g.weight(v, i)) *
-                            g.invtvwgt[static_cast<std::size_t>(i)]);
+                            g.invtvwgt[to_size(i)]);
     }
     if (mx < best_key) {
       best_key = mx;
       best = v;
     }
   }
-  where[static_cast<std::size_t>(best)] = empty;
+  where[to_size(best)] = empty;
 }
 
 /// Sum of target fractions of parts [part0, part0 + k).
 real_t target_sum(const std::vector<real_t>& tpwgts, idx_t part0, idx_t k) {
   if (tpwgts.empty()) return static_cast<real_t>(k);
   real_t s = 0;
-  for (idx_t p = part0; p < part0 + k; ++p) s += tpwgts[static_cast<std::size_t>(p)];
+  for (idx_t p = part0; p < part0 + k; ++p) s += tpwgts[to_size(p)];
   return s;
 }
 
@@ -74,15 +74,15 @@ void rb_recurse(const RbContext& ctx, const Graph& sub,
   if (sub.nvtxs == 0) return;
   if (k <= 1) {
     for (const idx_t gv : local_to_global) {
-      ctx.out_part[static_cast<std::size_t>(gv)] = part0;
+      ctx.out_part[to_size(gv)] = part0;
     }
     return;
   }
   if (k >= sub.nvtxs) {
     // Fewer vertices than requested parts: spread them one per part.
     for (idx_t v = 0; v < sub.nvtxs; ++v) {
-      ctx.out_part[static_cast<std::size_t>(
-          local_to_global[static_cast<std::size_t>(v)])] = part0 + (v % k);
+      ctx.out_part[to_size(
+          local_to_global[to_size(v)])] = part0 + (v % k);
     }
     return;
   }
@@ -124,18 +124,18 @@ void rb_recurse(const RbContext& ctx, const Graph& sub,
     ensure_nonempty_sides(sub, where);
 
     std::vector<char>& select = ws.select;
-    select.assign(static_cast<std::size_t>(sub.nvtxs), 0);
+    select.assign(to_size(sub.nvtxs), 0);
     for (int side = 0; side < 2; ++side) {
       for (idx_t v = 0; v < sub.nvtxs; ++v) {
-        select[static_cast<std::size_t>(v)] =
-            where[static_cast<std::size_t>(v)] == side ? 1 : 0;
+        select[to_size(v)] =
+            where[to_size(v)] == side ? 1 : 0;
       }
       std::vector<idx_t> sub_to_parent;
       half[side] = induced_subgraph(sub, select, sub_to_parent, &ws);
       half_to_global[side].resize(sub_to_parent.size());
       for (std::size_t i = 0; i < sub_to_parent.size(); ++i) {
         half_to_global[side][i] =
-            local_to_global[static_cast<std::size_t>(sub_to_parent[i])];
+            local_to_global[to_size(sub_to_parent[i])];
       }
     }
   }
@@ -201,7 +201,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
       const Graph& cur = h.graph_at(l);
       if (l < h.num_levels()) {
         const std::vector<idx_t>& cmap =
-            h.levels[static_cast<std::size_t>(l)].cmap;
+            h.levels[to_size(l)].cmap;
         project_partition(cmap, cwhere, proj);
         if (opts.audit != nullptr && opts.audit->boundaries()) {
           // cwhere still holds the coarse assignment; proj the projection.
@@ -246,17 +246,17 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
                                                  MlBisectStats* top_stats,
                                                  ThreadPool* pool) {
   const idx_t k = std::max<idx_t>(opts.nparts, 1);
-  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs), 0);
+  std::vector<idx_t> part(to_size(g.nvtxs), 0);
   if (k == 1 || g.nvtxs == 0) return part;
 
-  std::vector<real_t> ub(static_cast<std::size_t>(g.ncon));
-  for (int i = 0; i < g.ncon; ++i) ub[static_cast<std::size_t>(i)] = opts.ub_for(i);
+  std::vector<real_t> ub(to_size(g.ncon));
+  for (int i = 0; i < g.ncon; ++i) ub[to_size(i)] = opts.ub_for(i);
   const int depth =
       static_cast<int>(std::ceil(std::log2(static_cast<double>(k))));
   const std::vector<real_t> level_ub = per_bisection_ub(ub, depth);
 
-  std::vector<idx_t> identity(static_cast<std::size_t>(g.nvtxs));
-  for (idx_t v = 0; v < g.nvtxs; ++v) identity[static_cast<std::size_t>(v)] = v;
+  std::vector<idx_t> identity(to_size(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) identity[to_size(v)] = v;
 
   std::optional<ThreadPool> local_pool;
   if (pool == nullptr && opts.num_threads > 1) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/audit.hpp"
+#include "support/check.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/trace.hpp"
 
@@ -15,7 +16,7 @@ int dominant_constraint(const Graph& g, idx_t v) {
   int dom = 0;
   real_t best = -1.0;
   for (int i = 0; i < g.ncon; ++i) {
-    const real_t nw = static_cast<real_t>(w[i]) * g.invtvwgt[static_cast<std::size_t>(i)];
+    const real_t nw = static_cast<real_t>(w[i]) * g.invtvwgt[to_size(i)];
     if (nw > best) {
       best = nw;
       dom = i;
@@ -38,18 +39,18 @@ class FmPass {
          const BisectionTargets& targets, QueuePolicy policy, Rng& rng)
       : g_(g), where_(where), policy_(policy), rng_(rng) {
     balance_.init(g, where, targets);
-    const auto n = static_cast<std::size_t>(g.nvtxs);
+    const auto n = to_size(g.nvtxs);
     id_.assign(n, 0);
     ed_.assign(n, 0);
     moved_.assign(n, 0);
     dom_.resize(n);
     for (idx_t v = 0; v < g.nvtxs; ++v) {
-      dom_[static_cast<std::size_t>(v)] =
+      dom_[to_size(v)] =
           policy == QueuePolicy::kSingleQueue ? 0 : dominant_constraint(g, v);
     }
     const int nq = policy == QueuePolicy::kSingleQueue ? 1 : g.ncon;
     for (int s = 0; s < 2; ++s) {
-      for (int c = 0; c < nq; ++c) queues_[s][c].reset(g.nvtxs);
+      for (int c = 0; c < nq; ++c) queues_[to_size(s)][to_size(c)].reset(g.nvtxs);
     }
     nqueues_ = nq;
   }
@@ -71,18 +72,18 @@ class FmPass {
   void rollback_to(std::size_t best_prefix, sum_t& cut);
 
   wgt_t gain(idx_t v) const {
-    return static_cast<wgt_t>(ed_[static_cast<std::size_t>(v)] -
-                              id_[static_cast<std::size_t>(v)]);
+    return checked_narrow<wgt_t>(
+        checked_sub(ed_[to_size(v)], id_[to_size(v)]));
   }
 
   void enqueue(idx_t v) {
-    const int s = where_[static_cast<std::size_t>(v)];
-    queues_[s][dom_[static_cast<std::size_t>(v)]].insert(v, gain(v));
+    const int s = where_[to_size(v)];
+    queues_[to_size(s)][to_size(dom_[to_size(v)])].insert(v, gain(v));
   }
 
   void dequeue_if_present(idx_t v) {
-    const int s = where_[static_cast<std::size_t>(v)];
-    auto& q = queues_[s][dom_[static_cast<std::size_t>(v)]];
+    const int s = where_[to_size(v)];
+    auto& q = queues_[to_size(s)][to_size(dom_[to_size(v)])];
     if (q.contains(v)) q.remove(v);
   }
 
@@ -105,17 +106,17 @@ void FmPass::compute_degrees_and_seed_queues(sum_t& cut) {
   sum_t cut2 = 0;
   for (idx_t v = 0; v < g_.nvtxs; ++v) {
     sum_t idw = 0, edw = 0;
-    const idx_t pv = where_[static_cast<std::size_t>(v)];
-    for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
-      if (where_[static_cast<std::size_t>(g_.adjncy[e])] == pv) {
-        idw += g_.adjwgt[e];
+    const idx_t pv = where_[to_size(v)];
+    for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
+      if (where_[to_size(g_.adjncy[to_size(e)])] == pv) {
+        idw = checked_add(idw, g_.adjwgt[to_size(e)]);
       } else {
-        edw += g_.adjwgt[e];
+        edw = checked_add(edw, g_.adjwgt[to_size(e)]);
       }
     }
-    id_[static_cast<std::size_t>(v)] = idw;
-    ed_[static_cast<std::size_t>(v)] = edw;
-    cut2 += edw;
+    id_[to_size(v)] = idw;
+    ed_[to_size(v)] = edw;
+    cut2 = checked_add(cut2, edw);
   }
   cut = cut2 / 2;
   // Seed queues with boundary vertices in random order (randomized
@@ -123,7 +124,7 @@ void FmPass::compute_degrees_and_seed_queues(sum_t& cut) {
   std::vector<idx_t> perm;
   random_permutation(g_.nvtxs, perm, rng_);
   for (const idx_t v : perm) {
-    if (ed_[static_cast<std::size_t>(v)] > 0) enqueue(v);
+    if (ed_[to_size(v)] > 0) enqueue(v);
   }
 }
 
@@ -137,8 +138,8 @@ bool FmPass::select(idx_t& v, int& from) {
             ? 0
             : 1;
     for (const int s : {heavy, 1 - heavy}) {
-      if (!queues_[s][0].empty()) {
-        v = queues_[s][0].pop_max();
+      if (!queues_[to_size(s)][0].empty()) {
+        v = queues_[to_size(s)][0].pop_max();
         from = s;
         return true;
       }
@@ -162,10 +163,10 @@ bool FmPass::select(idx_t& v, int& from) {
   }
 
   for (int oi = 0; oi < nq; ++oi) {
-    const int c = order[static_cast<std::size_t>(oi)];
+    const int c = order[to_size(oi)];
     const int heavy = balance_.heavy_side(c);
-    if (!queues_[heavy][c].empty()) {
-      v = queues_[heavy][c].pop_max();
+    if (!queues_[to_size(heavy)][to_size(c)].empty()) {
+      v = queues_[to_size(heavy)][to_size(c)].pop_max();
       from = heavy;
       return true;
     }
@@ -176,8 +177,8 @@ bool FmPass::select(idx_t& v, int& from) {
   int bs = -1, bc = -1;
   for (int s = 0; s < 2; ++s) {
     for (int c = 0; c < nqueues_; ++c) {
-      if (queues_[s][c].empty()) continue;
-      const wgt_t gq = queues_[s][c].max_key();
+      if (queues_[to_size(s)][to_size(c)].empty()) continue;
+      const wgt_t gq = queues_[to_size(s)][to_size(c)].max_key();
       if (bs < 0 || gq > best_gain) {
         best_gain = gq;
         bs = s;
@@ -186,37 +187,37 @@ bool FmPass::select(idx_t& v, int& from) {
     }
   }
   if (bs < 0) return false;
-  v = queues_[bs][bc].pop_max();
+  v = queues_[to_size(bs)][to_size(bc)].pop_max();
   from = bs;
   return true;
 }
 
 void FmPass::commit_move(idx_t v, int from, sum_t& cut) {
   const int to = 1 - from;
-  const sum_t delta = -(ed_[static_cast<std::size_t>(v)] - id_[static_cast<std::size_t>(v)]);
-  cut += delta;
+  const sum_t delta = checked_sub(id_[to_size(v)], ed_[to_size(v)]);
+  cut = checked_add(cut, delta);
   log_.push_back(MoveRecord{v, from, delta});
 
-  where_[static_cast<std::size_t>(v)] = to;
+  where_[to_size(v)] = to;
   balance_.apply_move(v, from);
-  std::swap(id_[static_cast<std::size_t>(v)], ed_[static_cast<std::size_t>(v)]);
+  std::swap(id_[to_size(v)], ed_[to_size(v)]);
 
-  for (idx_t e = g_.xadj[v]; e < g_.xadj[v + 1]; ++e) {
-    const idx_t u = g_.adjncy[e];
-    const wgt_t w = g_.adjwgt[e];
-    const bool u_with_v_now = where_[static_cast<std::size_t>(u)] == to;
+  for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
+    const idx_t u = g_.adjncy[to_size(e)];
+    const wgt_t w = g_.adjwgt[to_size(e)];
+    const bool u_with_v_now = where_[to_size(u)] == to;
     // v left u's side (u_with_v_now == false) or joined it (true).
-    const std::size_t su = static_cast<std::size_t>(u);
+    const std::size_t su = to_size(u);
     if (u_with_v_now) {
-      id_[su] += w;
-      ed_[su] -= w;
+      id_[su] = checked_add(id_[su], w);
+      ed_[su] = checked_sub(ed_[su], w);
     } else {
-      id_[su] -= w;
-      ed_[su] += w;
+      id_[su] = checked_sub(id_[su], w);
+      ed_[su] = checked_add(ed_[su], w);
     }
     if (moved_[su]) continue;
     const int s = where_[su];
-    auto& q = queues_[s][dom_[su]];
+    auto& q = queues_[to_size(s)][to_size(dom_[su])];
     if (ed_[su] > 0) {
       if (q.contains(u)) {
         q.update(u, gain(u));
@@ -233,9 +234,9 @@ void FmPass::rollback_to(std::size_t best_prefix, sum_t& cut) {
   while (log_.size() > best_prefix) {
     const MoveRecord r = log_.back();
     log_.pop_back();
-    where_[static_cast<std::size_t>(r.v)] = r.from;
+    where_[to_size(r.v)] = r.from;
     balance_.apply_move(r.v, 1 - r.from);
-    cut -= r.cut_delta;
+    cut = checked_sub(cut, r.cut_delta);
   }
 }
 
@@ -273,7 +274,7 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
   idx_t v;
   int from;
   while (bad_streak < move_limit && select(v, from)) {
-    moved_[static_cast<std::size_t>(v)] = 1;
+    moved_[to_size(v)] = 1;
 
     // The popped gain is the incrementally maintained ed - id; a drift in
     // either degree array corrupts every later selection, so paranoid

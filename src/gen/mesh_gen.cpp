@@ -35,19 +35,19 @@ Graph geometric_from_points(const std::vector<double>& px,
   };
 
   // Bucket points into the grid.
-  std::vector<idx_t> head(static_cast<std::size_t>(ncells) * ncells, -1);
-  std::vector<idx_t> nxt(static_cast<std::size_t>(n), -1);
+  std::vector<idx_t> head(to_size(ncells) * to_size(ncells), -1);
+  std::vector<idx_t> nxt(to_size(n), -1);
   for (idx_t i = 0; i < n; ++i) {
-    const std::size_t c = static_cast<std::size_t>(cell_of(px[static_cast<std::size_t>(i)])) * ncells +
-                          cell_of(py[static_cast<std::size_t>(i)]);
-    nxt[static_cast<std::size_t>(i)] = head[c];
+    const std::size_t c = to_size(cell_of(px[to_size(i)])) * to_size(ncells) +
+                          to_size(cell_of(py[to_size(i)]));
+    nxt[to_size(i)] = head[c];
     head[c] = i;
   }
 
   GraphBuilder b(n, ncon);
   for (idx_t i = 0; i < n; ++i) {
-    const double xi = px[static_cast<std::size_t>(i)];
-    const double yi = py[static_cast<std::size_t>(i)];
+    const double xi = px[to_size(i)];
+    const double yi = py[to_size(i)];
     const idx_t cx = cell_of(xi);
     const idx_t cy = cell_of(yi);
     for (idx_t dx = -1; dx <= 1; ++dx) {
@@ -55,12 +55,12 @@ Graph geometric_from_points(const std::vector<double>& px,
         const idx_t gx = cx + dx;
         const idx_t gy = cy + dy;
         if (gx < 0 || gx >= ncells || gy < 0 || gy >= ncells) continue;
-        for (idx_t j = head[static_cast<std::size_t>(gx) * ncells + gy]; j >= 0;
-             j = nxt[static_cast<std::size_t>(j)]) {
+        for (idx_t j = head[to_size(gx) * to_size(ncells) + to_size(gy)]; j >= 0;
+             j = nxt[to_size(j)]) {
           if (j <= i) continue;  // each unordered pair once
-          const double r = std::min(pr[static_cast<std::size_t>(i)], pr[static_cast<std::size_t>(j)]);
-          const double ddx = xi - px[static_cast<std::size_t>(j)];
-          const double ddy = yi - py[static_cast<std::size_t>(j)];
+          const double r = std::min(pr[to_size(i)], pr[to_size(j)]);
+          const double ddx = xi - px[to_size(j)];
+          const double ddy = yi - py[to_size(j)];
           if (ddx * ddx + ddy * ddy <= r * r) b.add_edge(i, j);
         }
       }
@@ -125,11 +125,11 @@ Graph random_geometric(idx_t n, double radius, std::uint64_t seed, int ncon) {
                        (3.14159265358979323846 * n));
   }
   Rng rng(seed);
-  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n)),
-      pr(static_cast<std::size_t>(n), radius);
+  std::vector<double> px(to_size(n)), py(to_size(n)),
+      pr(to_size(n), radius);
   for (idx_t i = 0; i < n; ++i) {
-    px[static_cast<std::size_t>(i)] = rng.next_real();
-    py[static_cast<std::size_t>(i)] = rng.next_real();
+    px[to_size(i)] = rng.next_real();
+    py[to_size(i)] = rng.next_real();
   }
   return geometric_from_points(px, py, pr, ncon);
 }
@@ -137,8 +137,8 @@ Graph random_geometric(idx_t n, double radius, std::uint64_t seed, int ncon) {
 Graph fe_mesh(idx_t n, std::uint64_t seed, int ncon) {
   if (n < 1) throw std::invalid_argument("fe_mesh: n < 1");
   Rng rng(seed);
-  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n)),
-      pr(static_cast<std::size_t>(n));
+  std::vector<double> px(to_size(n)), py(to_size(n)),
+      pr(to_size(n));
   // Density gradient: warp x-coordinates toward 0 so the left side of the
   // domain is finer (imitating refinement around a feature). The local
   // connection radius grows with local spacing to keep degrees bounded.
@@ -148,10 +148,10 @@ Graph fe_mesh(idx_t n, std::uint64_t seed, int ncon) {
   for (idx_t i = 0; i < n; ++i) {
     const double u = rng.next_real();
     const double x = u * u;  // quadratic warp: density ~ 1/sqrt(x)
-    px[static_cast<std::size_t>(i)] = x;
-    py[static_cast<std::size_t>(i)] = rng.next_real();
+    px[to_size(i)] = x;
+    py[to_size(i)] = rng.next_real();
     // Local spacing scales like sqrt of inverse density = (4x)^(1/4).
-    pr[static_cast<std::size_t>(i)] =
+    pr[to_size(i)] =
         base_r * std::max(0.35, std::sqrt(2.0 * std::sqrt(std::max(x, 1e-6))));
   }
   return geometric_from_points(px, py, pr, ncon);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/metrics.hpp"
+#include "support/check.hpp"
 
 namespace mcgp {
 
@@ -10,19 +11,19 @@ PhaseSimResult simulate_phases(const Graph& g, const std::vector<idx_t>& part,
                                idx_t nparts) {
   PhaseSimResult r;
   const std::vector<sum_t> pwgts = part_weights(g, part, nparts);
-  r.phase_makespan.resize(static_cast<std::size_t>(g.ncon));
-  r.phase_ideal.resize(static_cast<std::size_t>(g.ncon));
+  r.phase_makespan.resize(to_size(g.ncon));
+  r.phase_ideal.resize(to_size(g.ncon));
   for (int p = 0; p < g.ncon; ++p) {
     sum_t mx = 0;
     for (idx_t q = 0; q < nparts; ++q) {
-      mx = std::max(mx, pwgts[static_cast<std::size_t>(q) * g.ncon + p]);
+      mx = std::max(mx, pwgts[to_size(q) * to_size(g.ncon) + to_size(p)]);
     }
-    const sum_t total = g.tvwgt[static_cast<std::size_t>(p)];
-    const sum_t ideal = (total + nparts - 1) / nparts;
-    r.phase_makespan[static_cast<std::size_t>(p)] = mx;
-    r.phase_ideal[static_cast<std::size_t>(p)] = ideal;
-    r.total_makespan += mx;
-    r.total_ideal += ideal;
+    const sum_t total = g.tvwgt[to_size(p)];
+    const sum_t ideal = checked_add(total, nparts - 1) / nparts;
+    r.phase_makespan[to_size(p)] = mx;
+    r.phase_ideal[to_size(p)] = ideal;
+    r.total_makespan = checked_add(r.total_makespan, mx);
+    r.total_ideal = checked_add(r.total_ideal, ideal);
   }
   return r;
 }

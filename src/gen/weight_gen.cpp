@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/graph_ops.hpp"
+#include "support/check.hpp"
 #include "support/random.hpp"
 
 namespace mcgp {
@@ -24,10 +25,10 @@ void apply_type_r_weights(Graph& g, int m, wgt_t lo, wgt_t hi,
   if (lo > hi) throw std::invalid_argument("type_r: lo > hi");
   Rng rng(seed);
   g.ncon = m;
-  g.vwgt.resize(static_cast<std::size_t>(g.nvtxs) * m);
+  g.vwgt.resize(to_size(g.nvtxs) * to_size(m));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
     for (int i = 0; i < m; ++i) {
-      g.vwgt[static_cast<std::size_t>(v) * m + i] =
+      g.vwgt[to_size(v) * to_size(m) + to_size(i)] =
           static_cast<wgt_t>(rng.next_in(lo, hi));
     }
   }
@@ -35,8 +36,8 @@ void apply_type_r_weights(Graph& g, int m, wgt_t lo, wgt_t hi,
   // Guard against a zero-total constraint (possible when lo == 0 on tiny
   // graphs): bump one vertex so normalization stays well-defined.
   for (int i = 0; i < m; ++i) {
-    if (g.tvwgt[static_cast<std::size_t>(i)] == 0 && g.nvtxs > 0) {
-      g.vwgt[static_cast<std::size_t>(i)] = 1;
+    if (g.tvwgt[to_size(i)] == 0 && g.nvtxs > 0) {
+      g.vwgt[to_size(i)] = 1;
     }
   }
   g.finalize();
@@ -53,21 +54,23 @@ std::vector<idx_t> apply_type_s_weights(Graph& g, int m, idx_t nregions,
 
   // One random vector per region. Ensure no constraint is zero across all
   // regions (re-roll a region's component if a column sums to zero).
-  std::vector<wgt_t> rw(static_cast<std::size_t>(nr) * m);
+  std::vector<wgt_t> rw(to_size(nr) * to_size(m));
   for (auto& w : rw) w = static_cast<wgt_t>(rng.next_in(lo, hi));
   for (int i = 0; i < m; ++i) {
     sum_t col = 0;
-    for (idx_t r = 0; r < nr; ++r) col += rw[static_cast<std::size_t>(r) * m + i];
-    if (col == 0 && nr > 0) rw[static_cast<std::size_t>(i)] = std::max<wgt_t>(hi, 1);
+    for (idx_t r = 0; r < nr; ++r) {
+      col = checked_add(col, rw[to_size(r) * to_size(m) + to_size(i)]);
+    }
+    if (col == 0 && nr > 0) rw[to_size(i)] = std::max<wgt_t>(hi, 1);
   }
 
   g.ncon = m;
-  g.vwgt.resize(static_cast<std::size_t>(g.nvtxs) * m);
+  g.vwgt.resize(to_size(g.nvtxs) * to_size(m));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t r = region[static_cast<std::size_t>(v)];
+    const idx_t r = region[to_size(v)];
     for (int i = 0; i < m; ++i) {
-      g.vwgt[static_cast<std::size_t>(v) * m + i] =
-          rw[static_cast<std::size_t>(r) * m + i];
+      g.vwgt[to_size(v) * to_size(m) + to_size(i)] =
+          rw[to_size(r) * to_size(m) + to_size(i)];
     }
   }
   g.finalize();
@@ -76,8 +79,8 @@ std::vector<idx_t> apply_type_s_weights(Graph& g, int m, idx_t nregions,
 
 std::vector<double> default_phase_schedule(int m) {
   static const double base[5] = {1.0, 0.75, 0.5, 0.5, 0.25};
-  std::vector<double> s(static_cast<std::size_t>(m));
-  for (int i = 0; i < m; ++i) s[static_cast<std::size_t>(i)] = base[std::min(i, 4)];
+  std::vector<double> s(to_size(m));
+  for (int i = 0; i < m; ++i) s[to_size(i)] = base[std::min(i, 4)];
   return s;
 }
 
@@ -96,29 +99,29 @@ PhaseActivity apply_type_p_weights(Graph& g, int m, idx_t nregions,
 
   PhaseActivity pa;
   pa.nphases = m;
-  pa.active.assign(static_cast<std::size_t>(m) * g.nvtxs, 0);
-  pa.fraction.resize(static_cast<std::size_t>(m));
+  pa.active.assign(to_size(m) * to_size(g.nvtxs), 0);
+  pa.fraction.resize(to_size(m));
 
-  std::vector<char> region_active(static_cast<std::size_t>(nr));
-  std::vector<idx_t> region_ids(static_cast<std::size_t>(nr));
+  std::vector<char> region_active(to_size(nr));
+  std::vector<idx_t> region_ids(to_size(nr));
   g.ncon = m;
-  g.vwgt.assign(static_cast<std::size_t>(g.nvtxs) * m, 0);
+  g.vwgt.assign(to_size(g.nvtxs) * to_size(m), 0);
 
   for (int p = 0; p < m; ++p) {
     const idx_t want = std::max<idx_t>(
-        1, static_cast<idx_t>(std::lround(sched[static_cast<std::size_t>(p)] * nr)));
-    for (idx_t r = 0; r < nr; ++r) region_ids[static_cast<std::size_t>(r)] = r;
+        1, static_cast<idx_t>(std::lround(sched[to_size(p)] * nr)));
+    for (idx_t r = 0; r < nr; ++r) region_ids[to_size(r)] = r;
     shuffle(region_ids, rng);
     std::fill(region_active.begin(), region_active.end(), 0);
     for (idx_t i = 0; i < std::min(want, nr); ++i) {
-      region_active[static_cast<std::size_t>(region_ids[static_cast<std::size_t>(i)])] = 1;
+      region_active[to_size(region_ids[to_size(i)])] = 1;
     }
-    pa.fraction[static_cast<std::size_t>(p)] =
+    pa.fraction[to_size(p)] =
         static_cast<double>(std::min(want, nr)) / nr;
     for (idx_t v = 0; v < g.nvtxs; ++v) {
-      if (region_active[static_cast<std::size_t>(region[static_cast<std::size_t>(v)])]) {
-        pa.active[static_cast<std::size_t>(p) * g.nvtxs + v] = 1;
-        g.vwgt[static_cast<std::size_t>(v) * m + p] = 1;
+      if (region_active[to_size(region[to_size(v)])]) {
+        pa.active[to_size(p) * to_size(g.nvtxs) + to_size(v)] = 1;
+        g.vwgt[to_size(v) * to_size(m) + to_size(p)] = 1;
       }
     }
   }
@@ -126,16 +129,16 @@ PhaseActivity apply_type_p_weights(Graph& g, int m, idx_t nregions,
   // Edge weight = number of phases in which both endpoints are active,
   // floored at 1 so no edge is free to cut.
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t u = g.adjncy[e];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t u = g.adjncy[to_size(e)];
       wgt_t co = 0;
       for (int p = 0; p < m; ++p) {
-        if (pa.active[static_cast<std::size_t>(p) * g.nvtxs + v] &&
-            pa.active[static_cast<std::size_t>(p) * g.nvtxs + u]) {
+        if (pa.active[to_size(p) * to_size(g.nvtxs) + to_size(v)] &&
+            pa.active[to_size(p) * to_size(g.nvtxs) + to_size(u)]) {
           ++co;
         }
       }
-      g.adjwgt[e] = std::max<wgt_t>(co, 1);
+      g.adjwgt[to_size(e)] = std::max<wgt_t>(co, 1);
     }
   }
 
@@ -146,11 +149,11 @@ PhaseActivity apply_type_p_weights(Graph& g, int m, idx_t nregions,
 Graph sum_collapse_constraints(const Graph& g) {
   Graph c = g;
   c.ncon = 1;
-  c.vwgt.resize(static_cast<std::size_t>(g.nvtxs));
+  c.vwgt.resize(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
     sum_t s = 0;
-    for (int i = 0; i < g.ncon; ++i) s += g.weight(v, i);
-    c.vwgt[static_cast<std::size_t>(v)] = static_cast<wgt_t>(s);
+    for (int i = 0; i < g.ncon; ++i) s = checked_add(s, g.weight(v, i));
+    c.vwgt[to_size(v)] = checked_narrow<wgt_t>(s);
   }
   c.finalize();
   return c;

@@ -52,7 +52,7 @@ struct PhaseActivity {
   std::vector<double> fraction;
 
   bool is_active(int phase, idx_t v, idx_t nvtxs) const {
-    return active[static_cast<std::size_t>(phase) * nvtxs + v] != 0;
+    return active[to_size(phase) * to_size(nvtxs) + to_size(v)] != 0;
   }
 };
 

@@ -1,5 +1,7 @@
 #include "graph/csr_graph.hpp"
 
+#include "support/check.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -9,21 +11,25 @@ namespace mcgp {
 
 sum_t Graph::weighted_degree(idx_t v) const {
   sum_t s = 0;
-  for (idx_t e = xadj[v]; e < xadj[v + 1]; ++e) s += adjwgt[e];
+  for (idx_t e = xadj[to_size(v)]; e < xadj[to_size(v + 1)]; ++e) {
+    s = checked_add(s, adjwgt[to_size(e)]);
+  }
   return s;
 }
 
 void Graph::finalize() {
-  tvwgt.assign(static_cast<std::size_t>(ncon), 0);
+  tvwgt.assign(to_size(ncon), 0);
   for (idx_t v = 0; v < nvtxs; ++v) {
     const wgt_t* w = weights(v);
-    for (int i = 0; i < ncon; ++i) tvwgt[static_cast<std::size_t>(i)] += w[i];
+    for (int i = 0; i < ncon; ++i) {
+      tvwgt[to_size(i)] = checked_add(tvwgt[to_size(i)], w[i]);
+    }
   }
-  invtvwgt.assign(static_cast<std::size_t>(ncon), 0.0);
+  invtvwgt.assign(to_size(ncon), 0.0);
   for (int i = 0; i < ncon; ++i) {
-    if (tvwgt[static_cast<std::size_t>(i)] > 0) {
-      invtvwgt[static_cast<std::size_t>(i)] =
-          1.0 / static_cast<real_t>(tvwgt[static_cast<std::size_t>(i)]);
+    if (tvwgt[to_size(i)] > 0) {
+      invtvwgt[to_size(i)] =
+          1.0 / static_cast<real_t>(tvwgt[to_size(i)]);
     }
   }
 }
@@ -38,23 +44,23 @@ std::string Graph::validate() const {
   std::ostringstream oss;
   if (nvtxs < 0) return err("negative nvtxs");
   if (ncon < 1 || ncon > kMaxNcon) return err("ncon out of range");
-  if (xadj.size() != static_cast<std::size_t>(nvtxs) + 1)
+  if (xadj.size() != to_size(nvtxs) + 1)
     return err("xadj size != nvtxs+1");
   if (xadj[0] != 0) return err("xadj[0] != 0");
   for (idx_t v = 0; v < nvtxs; ++v) {
-    if (xadj[v + 1] < xadj[v]) {
+    if (xadj[to_size(v + 1)] < xadj[to_size(v)]) {
       oss << "xadj not monotone at vertex " << v;
       return oss.str();
     }
   }
-  if (static_cast<std::size_t>(xadj[nvtxs]) != adjncy.size())
+  if (to_size(xadj[to_size(nvtxs)]) != adjncy.size())
     return err("xadj[nvtxs] != adjncy.size()");
   if (adjwgt.size() != adjncy.size()) return err("adjwgt size mismatch");
-  if (vwgt.size() != static_cast<std::size_t>(nvtxs) * ncon)
+  if (vwgt.size() != to_size(nvtxs) * to_size(ncon))
     return err("vwgt size mismatch");
   for (idx_t v = 0; v < nvtxs; ++v) {
-    for (idx_t e = xadj[v]; e < xadj[v + 1]; ++e) {
-      const idx_t u = adjncy[e];
+    for (idx_t e = xadj[to_size(v)]; e < xadj[to_size(v + 1)]; ++e) {
+      const idx_t u = adjncy[to_size(e)];
       if (u < 0 || u >= nvtxs) {
         oss << "edge target out of range at vertex " << v;
         return oss.str();
@@ -69,11 +75,11 @@ std::string Graph::validate() const {
   // pair via a sorted scan of each adjacency list pair. O(E * avg_deg) in
   // the worst case; acceptable for a validation routine.
   for (idx_t v = 0; v < nvtxs; ++v) {
-    for (idx_t e = xadj[v]; e < xadj[v + 1]; ++e) {
-      const idx_t u = adjncy[e];
+    for (idx_t e = xadj[to_size(v)]; e < xadj[to_size(v + 1)]; ++e) {
+      const idx_t u = adjncy[to_size(e)];
       bool found = false;
-      for (idx_t f = xadj[u]; f < xadj[u + 1]; ++f) {
-        if (adjncy[f] == v && adjwgt[f] == adjwgt[e]) {
+      for (idx_t f = xadj[to_size(u)]; f < xadj[to_size(u + 1)]; ++f) {
+        if (adjncy[to_size(f)] == v && adjwgt[to_size(f)] == adjwgt[to_size(e)]) {
           found = true;
           break;
         }
@@ -91,7 +97,7 @@ GraphBuilder::GraphBuilder(idx_t nvtxs, int ncon) : nvtxs_(nvtxs), ncon_(ncon) {
   if (nvtxs < 0) throw std::invalid_argument("GraphBuilder: negative nvtxs");
   if (ncon < 1 || ncon > kMaxNcon)
     throw std::invalid_argument("GraphBuilder: ncon out of range");
-  vwgt_.assign(static_cast<std::size_t>(nvtxs) * ncon, 1);
+  vwgt_.assign(to_size(nvtxs) * to_size(ncon), 1);
 }
 
 void GraphBuilder::add_edge(idx_t u, idx_t v, wgt_t w) {
@@ -106,7 +112,7 @@ void GraphBuilder::add_edge(idx_t u, idx_t v, wgt_t w) {
 void GraphBuilder::set_weights(idx_t v, const std::vector<wgt_t>& w) {
   if (static_cast<int>(w.size()) != ncon_)
     throw std::invalid_argument("GraphBuilder::set_weights: wrong arity");
-  for (int i = 0; i < ncon_; ++i) set_weight(v, i, w[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < ncon_; ++i) set_weight(v, i, w[to_size(i)]);
 }
 
 void GraphBuilder::set_weight(idx_t v, int i, wgt_t w) {
@@ -114,18 +120,18 @@ void GraphBuilder::set_weight(idx_t v, int i, wgt_t w) {
     throw std::out_of_range("GraphBuilder::set_weight: vertex out of range");
   if (i < 0 || i >= ncon_)
     throw std::out_of_range("GraphBuilder::set_weight: constraint out of range");
-  vwgt_[static_cast<std::size_t>(v) * ncon_ + i] = w;
+  vwgt_[to_size(v) * to_size(ncon_) + to_size(i)] = w;
 }
 
 Graph GraphBuilder::build() {
   const std::size_t m = eu_.size();
   // Count both directions, bucket by source, then dedup per vertex.
-  std::vector<idx_t> deg(static_cast<std::size_t>(nvtxs_) + 1, 0);
+  std::vector<idx_t> deg(to_size(nvtxs_) + 1, 0);
   for (std::size_t e = 0; e < m; ++e) {
-    ++deg[static_cast<std::size_t>(eu_[e]) + 1];
-    ++deg[static_cast<std::size_t>(ev_[e]) + 1];
+    ++deg[to_size(eu_[e]) + 1];
+    ++deg[to_size(ev_[e]) + 1];
   }
-  for (idx_t v = 0; v < nvtxs_; ++v) deg[static_cast<std::size_t>(v) + 1] += deg[static_cast<std::size_t>(v)];
+  for (idx_t v = 0; v < nvtxs_; ++v) deg[to_size(v) + 1] += deg[to_size(v)];
 
   std::vector<idx_t> dst(2 * m);
   std::vector<wgt_t> wdst(2 * m);
@@ -135,17 +141,17 @@ Graph GraphBuilder::build() {
       const idx_t u = eu_[e];
       const idx_t v = ev_[e];
       const wgt_t w = ew_[e];
-      dst[static_cast<std::size_t>(fill[static_cast<std::size_t>(u)])] = v;
-      wdst[static_cast<std::size_t>(fill[static_cast<std::size_t>(u)]++)] = w;
-      dst[static_cast<std::size_t>(fill[static_cast<std::size_t>(v)])] = u;
-      wdst[static_cast<std::size_t>(fill[static_cast<std::size_t>(v)]++)] = w;
+      dst[to_size(fill[to_size(u)])] = v;
+      wdst[to_size(fill[to_size(u)]++)] = w;
+      dst[to_size(fill[to_size(v)])] = u;
+      wdst[to_size(fill[to_size(v)]++)] = w;
     }
   }
 
   Graph g;
   g.nvtxs = nvtxs_;
   g.ncon = ncon_;
-  g.xadj.assign(static_cast<std::size_t>(nvtxs_) + 1, 0);
+  g.xadj.assign(to_size(nvtxs_) + 1, 0);
   g.adjncy.reserve(2 * m);
   g.adjwgt.reserve(2 * m);
 
@@ -154,8 +160,8 @@ Graph GraphBuilder::build() {
   std::vector<std::pair<idx_t, wgt_t>> row;
   for (idx_t v = 0; v < nvtxs_; ++v) {
     row.clear();
-    for (idx_t e = deg[static_cast<std::size_t>(v)]; e < deg[static_cast<std::size_t>(v) + 1]; ++e) {
-      row.emplace_back(dst[static_cast<std::size_t>(e)], wdst[static_cast<std::size_t>(e)]);
+    for (idx_t e = deg[to_size(v)]; e < deg[to_size(v) + 1]; ++e) {
+      row.emplace_back(dst[to_size(e)], wdst[to_size(e)]);
     }
     std::sort(row.begin(), row.end());
     for (std::size_t i = 0; i < row.size();) {
@@ -163,14 +169,14 @@ Graph GraphBuilder::build() {
       sum_t w = 0;
       std::size_t j = i;
       while (j < row.size() && row[j].first == target) {
-        w += row[j].second;
+        w = checked_add(w, row[j].second);
         ++j;
       }
       g.adjncy.push_back(target);
-      g.adjwgt.push_back(static_cast<wgt_t>(w));
+      g.adjwgt.push_back(checked_narrow<wgt_t>(w));
       i = j;
     }
-    g.xadj[static_cast<std::size_t>(v) + 1] = static_cast<idx_t>(g.adjncy.size());
+    g.xadj[to_size(v) + 1] = static_cast<idx_t>(g.adjncy.size());
   }
 
   g.vwgt = std::move(vwgt_);
@@ -179,7 +185,7 @@ Graph GraphBuilder::build() {
   eu_.clear();
   ev_.clear();
   ew_.clear();
-  vwgt_.assign(static_cast<std::size_t>(nvtxs_) * ncon_, 1);
+  vwgt_.assign(to_size(nvtxs_) * to_size(ncon_), 1);
   return g;
 }
 
@@ -194,7 +200,7 @@ Graph make_graph(idx_t nvtxs, int ncon, std::vector<idx_t> xadj,
   g.adjwgt = std::move(adjwgt);
   g.vwgt = std::move(vwgt);
   if (g.adjwgt.empty()) g.adjwgt.assign(g.adjncy.size(), 1);
-  if (g.vwgt.empty()) g.vwgt.assign(static_cast<std::size_t>(nvtxs) * ncon, 1);
+  if (g.vwgt.empty()) g.vwgt.assign(to_size(nvtxs) * to_size(ncon), 1);
   g.finalize();
   return g;
 }

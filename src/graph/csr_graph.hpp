@@ -35,19 +35,21 @@ struct Graph {
   idx_t nedges() const { return static_cast<idx_t>(adjncy.size() / 2); }
 
   /// Degree of vertex v.
-  idx_t degree(idx_t v) const { return xadj[v + 1] - xadj[v]; }
+  idx_t degree(idx_t v) const {
+    return xadj[to_size(v) + 1] - xadj[to_size(v)];
+  }
 
   /// Weight i of vertex v.
   wgt_t weight(idx_t v, int i) const {
-    return vwgt[static_cast<std::size_t>(v) * ncon + i];
+    return vwgt[to_size(v) * to_size(ncon) + to_size(i)];
   }
 
   /// Pointer to the ncon-vector of weights of vertex v.
   const wgt_t* weights(idx_t v) const {
-    return vwgt.data() + static_cast<std::size_t>(v) * ncon;
+    return vwgt.data() + to_size(v) * to_size(ncon);
   }
   wgt_t* weights(idx_t v) {
-    return vwgt.data() + static_cast<std::size_t>(v) * ncon;
+    return vwgt.data() + to_size(v) * to_size(ncon);
   }
 
   /// Sum of adjwgt over all stored (directed) edges of v.

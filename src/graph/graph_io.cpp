@@ -65,10 +65,10 @@ Graph read_metis_graph(std::istream& in) {
   Graph g;
   g.nvtxs = static_cast<idx_t>(nvtxs);
   g.ncon = ncon;
-  g.xadj.assign(static_cast<std::size_t>(nvtxs) + 1, 0);
-  g.adjncy.reserve(static_cast<std::size_t>(2 * nedges));
-  g.adjwgt.reserve(static_cast<std::size_t>(2 * nedges));
-  g.vwgt.assign(static_cast<std::size_t>(nvtxs) * ncon, 1);
+  g.xadj.assign(to_size(nvtxs) + 1, 0);
+  g.adjncy.reserve(to_size(2 * nedges));
+  g.adjwgt.reserve(to_size(2 * nedges));
+  g.vwgt.assign(to_size(nvtxs) * to_size(ncon), 1);
 
   for (long long v = 0; v < nvtxs; ++v) {
     if (!next_data_line(in, line, line_no))
@@ -84,7 +84,7 @@ Graph read_metis_graph(std::istream& in) {
         long long w;
         if (!(ls >> w)) parse_error(line_no, "missing vertex weight");
         if (w < 0) parse_error(line_no, "negative vertex weight");
-        g.vwgt[static_cast<std::size_t>(v) * ncon + i] = static_cast<wgt_t>(w);
+        g.vwgt[to_size(v) * to_size(ncon) + to_size(i)] = static_cast<wgt_t>(w);
       }
     }
     long long u;
@@ -100,10 +100,10 @@ Graph read_metis_graph(std::istream& in) {
       g.adjncy.push_back(static_cast<idx_t>(u - 1));
       g.adjwgt.push_back(w);
     }
-    g.xadj[static_cast<std::size_t>(v) + 1] = static_cast<idx_t>(g.adjncy.size());
+    g.xadj[to_size(v) + 1] = static_cast<idx_t>(g.adjncy.size());
   }
 
-  if (g.adjncy.size() != static_cast<std::size_t>(2 * nedges)) {
+  if (g.adjncy.size() != to_size(2 * nedges)) {
     // Counts are reported as integer directed entries: every undirected
     // edge must appear once in each endpoint's line, so the header
     // promises exactly 2 * nedges entries.
@@ -162,11 +162,11 @@ void write_metis_graph(std::ostream& out, const Graph& g) {
         first = false;
       }
     }
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
       if (!first) out << ' ';
-      out << (g.adjncy[e] + 1);
+      out << (g.adjncy[to_size(e)] + 1);
       first = false;
-      if (need_ewgt) out << ' ' << g.adjwgt[e];
+      if (need_ewgt) out << ' ' << g.adjwgt[to_size(e)];
     }
     out << '\n';
   }
@@ -194,7 +194,7 @@ std::vector<idx_t> read_partition_file(const std::string& path) {
 std::vector<idx_t> read_partition(std::istream& in, idx_t nvtxs,
                                   idx_t nparts) {
   std::vector<idx_t> part = read_partition(in);
-  if (part.size() != static_cast<std::size_t>(nvtxs)) {
+  if (part.size() != to_size(nvtxs)) {
     std::ostringstream oss;
     oss << "partition has " << part.size() << " entries, graph has " << nvtxs
         << " vertices";

@@ -9,19 +9,19 @@
 namespace mcgp {
 
 std::vector<idx_t> bfs_distances(const Graph& g, idx_t source) {
-  std::vector<idx_t> dist(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t> dist(to_size(g.nvtxs), -1);
   if (source < 0 || source >= g.nvtxs) return dist;
   std::vector<idx_t> frontier{source};
-  dist[static_cast<std::size_t>(source)] = 0;
+  dist[to_size(source)] = 0;
   idx_t d = 0;
   std::vector<idx_t> next;
   while (!frontier.empty()) {
     next.clear();
     for (const idx_t v : frontier) {
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        const idx_t u = g.adjncy[e];
-        if (dist[static_cast<std::size_t>(u)] < 0) {
-          dist[static_cast<std::size_t>(u)] = d + 1;
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        const idx_t u = g.adjncy[to_size(e)];
+        if (dist[to_size(u)] < 0) {
+          dist[to_size(u)] = d + 1;
           next.push_back(u);
         }
       }
@@ -33,20 +33,20 @@ std::vector<idx_t> bfs_distances(const Graph& g, idx_t source) {
 }
 
 idx_t connected_components(const Graph& g, std::vector<idx_t>& comp) {
-  comp.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  comp.assign(to_size(g.nvtxs), -1);
   idx_t count = 0;
   std::vector<idx_t> stack;
   for (idx_t s = 0; s < g.nvtxs; ++s) {
-    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
-    comp[static_cast<std::size_t>(s)] = count;
+    if (comp[to_size(s)] >= 0) continue;
+    comp[to_size(s)] = count;
     stack.assign(1, s);
     while (!stack.empty()) {
       const idx_t v = stack.back();
       stack.pop_back();
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        const idx_t u = g.adjncy[e];
-        if (comp[static_cast<std::size_t>(u)] < 0) {
-          comp[static_cast<std::size_t>(u)] = count;
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        const idx_t u = g.adjncy[to_size(e)];
+        if (comp[to_size(u)] < 0) {
+          comp[to_size(u)] = count;
           stack.push_back(u);
         }
       }
@@ -63,51 +63,51 @@ idx_t count_components(const Graph& g) {
 
 Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
                        std::vector<idx_t>& local_to_global, Workspace* ws) {
-  if (select.size() != static_cast<std::size_t>(g.nvtxs))
+  if (select.size() != to_size(g.nvtxs))
     throw std::invalid_argument("induced_subgraph: select size mismatch");
 
   std::vector<idx_t> local_g2l;
-  if (ws == nullptr) local_g2l.assign(static_cast<std::size_t>(g.nvtxs), -1);
+  if (ws == nullptr) local_g2l.assign(to_size(g.nvtxs), -1);
   std::vector<idx_t>& global_to_local =
-      ws != nullptr ? ws->g2l_map(static_cast<std::size_t>(g.nvtxs))
+      ws != nullptr ? ws->g2l_map(to_size(g.nvtxs))
                     : local_g2l;
   local_to_global.clear();
   std::size_t sel_degree = 0;  // upper bound on the subgraph's edge count
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    if (select[static_cast<std::size_t>(v)]) {
-      global_to_local[static_cast<std::size_t>(v)] =
+    if (select[to_size(v)]) {
+      global_to_local[to_size(v)] =
           static_cast<idx_t>(local_to_global.size());
       local_to_global.push_back(v);
-      sel_degree += static_cast<std::size_t>(g.xadj[v + 1] - g.xadj[v]);
+      sel_degree += to_size(g.xadj[to_size(v + 1)] - g.xadj[to_size(v)]);
     }
   }
 
   Graph s;
   s.nvtxs = static_cast<idx_t>(local_to_global.size());
   s.ncon = g.ncon;
-  s.xadj.assign(static_cast<std::size_t>(s.nvtxs) + 1, 0);
-  s.vwgt.resize(static_cast<std::size_t>(s.nvtxs) * s.ncon);
+  s.xadj.assign(to_size(s.nvtxs) + 1, 0);
+  s.vwgt.resize(to_size(s.nvtxs) * to_size(s.ncon));
   s.adjncy.reserve(sel_degree);
   s.adjwgt.reserve(sel_degree);
 
   for (idx_t lv = 0; lv < s.nvtxs; ++lv) {
-    const idx_t v = local_to_global[static_cast<std::size_t>(lv)];
+    const idx_t v = local_to_global[to_size(lv)];
     for (int i = 0; i < s.ncon; ++i) {
-      s.vwgt[static_cast<std::size_t>(lv) * s.ncon + i] = g.weight(v, i);
+      s.vwgt[to_size(lv) * to_size(s.ncon) + to_size(i)] = g.weight(v, i);
     }
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t lu = global_to_local[static_cast<std::size_t>(g.adjncy[e])];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t lu = global_to_local[to_size(g.adjncy[to_size(e)])];
       if (lu >= 0) {
         s.adjncy.push_back(lu);
-        s.adjwgt.push_back(g.adjwgt[e]);
+        s.adjwgt.push_back(g.adjwgt[to_size(e)]);
       }
     }
-    s.xadj[static_cast<std::size_t>(lv) + 1] = static_cast<idx_t>(s.adjncy.size());
+    s.xadj[to_size(lv) + 1] = static_cast<idx_t>(s.adjncy.size());
   }
   // Sparse reset restores the workspace map's all minus-one invariant.
   if (ws != nullptr) {
     for (const idx_t v : local_to_global) {
-      global_to_local[static_cast<std::size_t>(v)] = -1;
+      global_to_local[to_size(v)] = -1;
     }
   }
   s.finalize();
@@ -115,34 +115,34 @@ Graph induced_subgraph(const Graph& g, const std::vector<char>& select,
 }
 
 Graph permute_graph(const Graph& g, const std::vector<idx_t>& perm) {
-  if (perm.size() != static_cast<std::size_t>(g.nvtxs))
+  if (perm.size() != to_size(g.nvtxs))
     throw std::invalid_argument("permute_graph: perm size mismatch");
-  std::vector<idx_t> inv(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t> inv(to_size(g.nvtxs), -1);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = perm[static_cast<std::size_t>(v)];
-    if (p < 0 || p >= g.nvtxs || inv[static_cast<std::size_t>(p)] != -1)
+    const idx_t p = perm[to_size(v)];
+    if (p < 0 || p >= g.nvtxs || inv[to_size(p)] != -1)
       throw std::invalid_argument("permute_graph: not a permutation");
-    inv[static_cast<std::size_t>(p)] = v;
+    inv[to_size(p)] = v;
   }
 
   Graph r;
   r.nvtxs = g.nvtxs;
   r.ncon = g.ncon;
-  r.xadj.assign(static_cast<std::size_t>(g.nvtxs) + 1, 0);
+  r.xadj.assign(to_size(g.nvtxs) + 1, 0);
   r.adjncy.reserve(g.adjncy.size());
   r.adjwgt.reserve(g.adjwgt.size());
   r.vwgt.resize(g.vwgt.size());
 
   for (idx_t nv = 0; nv < r.nvtxs; ++nv) {
-    const idx_t v = inv[static_cast<std::size_t>(nv)];
+    const idx_t v = inv[to_size(nv)];
     for (int i = 0; i < r.ncon; ++i) {
-      r.vwgt[static_cast<std::size_t>(nv) * r.ncon + i] = g.weight(v, i);
+      r.vwgt[to_size(nv) * to_size(r.ncon) + to_size(i)] = g.weight(v, i);
     }
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      r.adjncy.push_back(perm[static_cast<std::size_t>(g.adjncy[e])]);
-      r.adjwgt.push_back(g.adjwgt[e]);
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      r.adjncy.push_back(perm[to_size(g.adjncy[to_size(e)])]);
+      r.adjwgt.push_back(g.adjwgt[to_size(e)]);
     }
-    r.xadj[static_cast<std::size_t>(nv) + 1] = static_cast<idx_t>(r.adjncy.size());
+    r.xadj[to_size(nv) + 1] = static_cast<idx_t>(r.adjncy.size());
   }
   r.finalize();
   return r;
@@ -151,7 +151,7 @@ Graph permute_graph(const Graph& g, const std::vector<idx_t>& perm) {
 std::vector<idx_t> grow_regions(const Graph& g, idx_t nregions,
                                 std::uint64_t seed) {
   if (nregions < 1) throw std::invalid_argument("grow_regions: nregions < 1");
-  std::vector<idx_t> label(static_cast<std::size_t>(g.nvtxs), -1);
+  std::vector<idx_t> label(to_size(g.nvtxs), -1);
   if (g.nvtxs == 0) return label;
   nregions = std::min(nregions, g.nvtxs);
 
@@ -161,11 +161,11 @@ std::vector<idx_t> grow_regions(const Graph& g, idx_t nregions,
 
   // Pick distinct seeds; lockstep BFS: each round, every region expands by
   // one frontier layer, so regions end up with comparable vertex counts.
-  std::vector<std::vector<idx_t>> frontier(static_cast<std::size_t>(nregions));
+  std::vector<std::vector<idx_t>> frontier(to_size(nregions));
   for (idx_t r = 0; r < nregions; ++r) {
-    const idx_t s = perm[static_cast<std::size_t>(r)];
-    label[static_cast<std::size_t>(s)] = r;
-    frontier[static_cast<std::size_t>(r)].push_back(s);
+    const idx_t s = perm[to_size(r)];
+    label[to_size(s)] = r;
+    frontier[to_size(r)].push_back(s);
   }
 
   std::vector<idx_t> next;
@@ -173,14 +173,14 @@ std::vector<idx_t> grow_regions(const Graph& g, idx_t nregions,
   while (grew) {
     grew = false;
     for (idx_t r = 0; r < nregions; ++r) {
-      auto& f = frontier[static_cast<std::size_t>(r)];
+      auto& f = frontier[to_size(r)];
       if (f.empty()) continue;
       next.clear();
       for (const idx_t v : f) {
-        for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-          const idx_t u = g.adjncy[e];
-          if (label[static_cast<std::size_t>(u)] < 0) {
-            label[static_cast<std::size_t>(u)] = r;
+        for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+          const idx_t u = g.adjncy[to_size(e)];
+          if (label[to_size(u)] < 0) {
+            label[to_size(u)] = r;
             next.push_back(u);
           }
         }
@@ -195,18 +195,18 @@ std::vector<idx_t> grow_regions(const Graph& g, idx_t nregions,
   idx_t next_region = 0;
   std::vector<idx_t> stack;
   for (idx_t s = 0; s < g.nvtxs; ++s) {
-    if (label[static_cast<std::size_t>(s)] >= 0) continue;
+    if (label[to_size(s)] >= 0) continue;
     const idx_t r = next_region;
     next_region = (next_region + 1) % nregions;
-    label[static_cast<std::size_t>(s)] = r;
+    label[to_size(s)] = r;
     stack.assign(1, s);
     while (!stack.empty()) {
       const idx_t v = stack.back();
       stack.pop_back();
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        const idx_t u = g.adjncy[e];
-        if (label[static_cast<std::size_t>(u)] < 0) {
-          label[static_cast<std::size_t>(u)] = r;
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        const idx_t u = g.adjncy[to_size(e)];
+        if (label[to_size(u)] < 0) {
+          label[to_size(u)] = r;
           stack.push_back(u);
         }
       }

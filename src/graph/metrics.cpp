@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/check.hpp"
+
 namespace mcgp {
 
 sum_t edge_cut(const Graph& g, const std::vector<idx_t>& part) {
   sum_t cut = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t pv = part[static_cast<std::size_t>(v)];
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      if (part[static_cast<std::size_t>(g.adjncy[e])] != pv) cut += g.adjwgt[e];
+    const idx_t pv = part[to_size(v)];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      if (part[to_size(g.adjncy[to_size(e)])] != pv) {
+        cut = checked_add(cut, g.adjwgt[to_size(e)]);
+      }
     }
   }
   return cut / 2;
@@ -18,12 +22,13 @@ sum_t edge_cut(const Graph& g, const std::vector<idx_t>& part) {
 
 std::vector<sum_t> part_weights(const Graph& g, const std::vector<idx_t>& part,
                                 idx_t nparts) {
-  std::vector<sum_t> pwgts(static_cast<std::size_t>(nparts) * g.ncon, 0);
+  std::vector<sum_t> pwgts(to_size(nparts) * to_size(g.ncon), 0);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = part[static_cast<std::size_t>(v)];
+    const idx_t p = part[to_size(v)];
     const wgt_t* w = g.weights(v);
     for (int i = 0; i < g.ncon; ++i) {
-      pwgts[static_cast<std::size_t>(p) * g.ncon + i] += w[i];
+      sum_t& slot = pwgts[to_size(p) * to_size(g.ncon) + to_size(i)];
+      slot = checked_add(slot, w[i]);
     }
   }
   return pwgts;
@@ -32,15 +37,15 @@ std::vector<sum_t> part_weights(const Graph& g, const std::vector<idx_t>& part,
 std::vector<real_t> imbalance(const Graph& g, const std::vector<idx_t>& part,
                               idx_t nparts) {
   const std::vector<sum_t> pwgts = part_weights(g, part, nparts);
-  std::vector<real_t> lb(static_cast<std::size_t>(g.ncon), 1.0);
+  std::vector<real_t> lb(to_size(g.ncon), 1.0);
   for (int i = 0; i < g.ncon; ++i) {
-    if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+    if (g.tvwgt[to_size(i)] <= 0) continue;
     sum_t maxw = 0;
     for (idx_t p = 0; p < nparts; ++p) {
-      maxw = std::max(maxw, pwgts[static_cast<std::size_t>(p) * g.ncon + i]);
+      maxw = std::max(maxw, pwgts[to_size(p) * to_size(g.ncon) + to_size(i)]);
     }
-    lb[static_cast<std::size_t>(i)] = static_cast<real_t>(maxw) * nparts *
-                                      g.invtvwgt[static_cast<std::size_t>(i)];
+    lb[to_size(i)] = static_cast<real_t>(maxw) * nparts *
+                                      g.invtvwgt[to_size(i)];
   }
   return lb;
 }
@@ -56,17 +61,17 @@ std::vector<real_t> target_imbalance(const Graph& g,
                                      idx_t nparts,
                                      const std::vector<real_t>& tpwgts) {
   const std::vector<sum_t> pwgts = part_weights(g, part, nparts);
-  std::vector<real_t> lb(static_cast<std::size_t>(g.ncon), 1.0);
+  std::vector<real_t> lb(to_size(g.ncon), 1.0);
   for (int i = 0; i < g.ncon; ++i) {
-    if (g.tvwgt[static_cast<std::size_t>(i)] <= 0) continue;
+    if (g.tvwgt[to_size(i)] <= 0) continue;
     real_t worst = 0.0;
     for (idx_t p = 0; p < nparts; ++p) {
       const real_t share =
-          static_cast<real_t>(pwgts[static_cast<std::size_t>(p) * g.ncon + i]) *
-          g.invtvwgt[static_cast<std::size_t>(i)];
-      worst = std::max(worst, share / tpwgts[static_cast<std::size_t>(p)]);
+          static_cast<real_t>(pwgts[to_size(p) * to_size(g.ncon) + to_size(i)]) *
+          g.invtvwgt[to_size(i)];
+      worst = std::max(worst, share / tpwgts[to_size(p)]);
     }
-    lb[static_cast<std::size_t>(i)] = worst;
+    lb[to_size(i)] = worst;
   }
   return lb;
 }
@@ -74,14 +79,14 @@ std::vector<real_t> target_imbalance(const Graph& g,
 sum_t communication_volume(const Graph& g, const std::vector<idx_t>& part,
                            idx_t nparts) {
   sum_t total = 0;
-  std::vector<idx_t> marker(static_cast<std::size_t>(nparts), -1);
+  std::vector<idx_t> marker(to_size(nparts), -1);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t pv = part[static_cast<std::size_t>(v)];
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t pu = part[static_cast<std::size_t>(g.adjncy[e])];
-      if (pu != pv && marker[static_cast<std::size_t>(pu)] != v) {
-        marker[static_cast<std::size_t>(pu)] = v;
-        ++total;
+    const idx_t pv = part[to_size(v)];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t pu = part[to_size(g.adjncy[to_size(e)])];
+      if (pu != pv && marker[to_size(pu)] != v) {
+        marker[to_size(pu)] = v;
+        total = checked_add(total, 1);
       }
     }
   }
@@ -91,9 +96,9 @@ sum_t communication_volume(const Graph& g, const std::vector<idx_t>& part,
 idx_t boundary_vertices(const Graph& g, const std::vector<idx_t>& part) {
   idx_t count = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t pv = part[static_cast<std::size_t>(v)];
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      if (part[static_cast<std::size_t>(g.adjncy[e])] != pv) {
+    const idx_t pv = part[to_size(v)];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      if (part[to_size(g.adjncy[to_size(e)])] != pv) {
         ++count;
         break;
       }
@@ -105,23 +110,23 @@ idx_t boundary_vertices(const Graph& g, const std::vector<idx_t>& part) {
 idx_t count_part_components(const Graph& g, const std::vector<idx_t>& part,
                             idx_t nparts) {
   (void)nparts;
-  std::vector<char> seen(static_cast<std::size_t>(g.nvtxs), 0);
+  std::vector<char> seen(to_size(g.nvtxs), 0);
   std::vector<idx_t> stack;
   idx_t components = 0;
   for (idx_t s = 0; s < g.nvtxs; ++s) {
-    if (seen[static_cast<std::size_t>(s)]) continue;
+    if (seen[to_size(s)]) continue;
     ++components;
-    const idx_t p = part[static_cast<std::size_t>(s)];
-    seen[static_cast<std::size_t>(s)] = 1;
+    const idx_t p = part[to_size(s)];
+    seen[to_size(s)] = 1;
     stack.assign(1, s);
     while (!stack.empty()) {
       const idx_t v = stack.back();
       stack.pop_back();
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        const idx_t u = g.adjncy[e];
-        if (!seen[static_cast<std::size_t>(u)] &&
-            part[static_cast<std::size_t>(u)] == p) {
-          seen[static_cast<std::size_t>(u)] = 1;
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        const idx_t u = g.adjncy[to_size(e)];
+        if (!seen[to_size(u)] &&
+            part[to_size(u)] == p) {
+          seen[to_size(u)] = 1;
           stack.push_back(u);
         }
       }
@@ -142,21 +147,21 @@ idx_t moved_vertices(const std::vector<idx_t>& a, const std::vector<idx_t>& b) {
 std::string validate_partition(const Graph& g, const std::vector<idx_t>& part,
                                idx_t nparts, bool require_nonempty) {
   std::ostringstream oss;
-  if (part.size() != static_cast<std::size_t>(g.nvtxs))
+  if (part.size() != to_size(g.nvtxs))
     return "partition size != nvtxs";
   if (nparts < 1) return "nparts < 1";
-  std::vector<idx_t> count(static_cast<std::size_t>(nparts), 0);
+  std::vector<idx_t> count(to_size(nparts), 0);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = part[static_cast<std::size_t>(v)];
+    const idx_t p = part[to_size(v)];
     if (p < 0 || p >= nparts) {
       oss << "part id " << p << " of vertex " << v << " out of range";
       return oss.str();
     }
-    ++count[static_cast<std::size_t>(p)];
+    ++count[to_size(p)];
   }
   if (require_nonempty && g.nvtxs >= nparts) {
     for (idx_t p = 0; p < nparts; ++p) {
-      if (count[static_cast<std::size_t>(p)] == 0) {
+      if (count[to_size(p)] == 0) {
         oss << "part " << p << " is empty";
         return oss.str();
       }

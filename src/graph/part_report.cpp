@@ -18,48 +18,48 @@ PartitionReport analyze_partition(const Graph& g,
   rep.edge_cut = edge_cut(g, part);
   rep.communication_volume = communication_volume(g, part, nparts);
   rep.imbalance = imbalance(g, part, nparts);
-  rep.parts.assign(static_cast<std::size_t>(nparts), PartStats{});
+  rep.parts.assign(to_size(nparts), PartStats{});
   for (auto& ps : rep.parts) {
-    ps.weights.assign(static_cast<std::size_t>(g.ncon), 0);
-    ps.shares.assign(static_cast<std::size_t>(g.ncon), 0.0);
+    ps.weights.assign(to_size(g.ncon), 0);
+    ps.shares.assign(to_size(g.ncon), 0.0);
   }
 
   // Adjacency between parts, deduplicated with a timestamped marker.
   std::vector<std::vector<char>> adj(
-      static_cast<std::size_t>(nparts),
-      std::vector<char>(static_cast<std::size_t>(nparts), 0));
+      to_size(nparts),
+      std::vector<char>(to_size(nparts), 0));
 
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = part[static_cast<std::size_t>(v)];
-    PartStats& ps = rep.parts[static_cast<std::size_t>(p)];
+    const idx_t p = part[to_size(v)];
+    PartStats& ps = rep.parts[to_size(p)];
     ++ps.vertices;
     const wgt_t* w = g.weights(v);
-    for (int i = 0; i < g.ncon; ++i) ps.weights[static_cast<std::size_t>(i)] += w[i];
+    for (int i = 0; i < g.ncon; ++i) ps.weights[to_size(i)] += w[i];
 
     bool on_boundary = false;
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t q = part[static_cast<std::size_t>(g.adjncy[e])];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t q = part[to_size(g.adjncy[to_size(e)])];
       if (q != p) {
         on_boundary = true;
-        ps.external_edge_weight += g.adjwgt[e];
-        adj[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] = 1;
+        ps.external_edge_weight += g.adjwgt[to_size(e)];
+        adj[to_size(p)][to_size(q)] = 1;
       }
     }
     if (on_boundary) ++ps.boundary_vertices;
   }
 
   for (idx_t p = 0; p < nparts; ++p) {
-    PartStats& ps = rep.parts[static_cast<std::size_t>(p)];
+    PartStats& ps = rep.parts[to_size(p)];
     for (int i = 0; i < g.ncon; ++i) {
-      if (g.tvwgt[static_cast<std::size_t>(i)] > 0) {
-        ps.shares[static_cast<std::size_t>(i)] =
-            static_cast<real_t>(ps.weights[static_cast<std::size_t>(i)]) *
-            g.invtvwgt[static_cast<std::size_t>(i)];
+      if (g.tvwgt[to_size(i)] > 0) {
+        ps.shares[to_size(i)] =
+            static_cast<real_t>(ps.weights[to_size(i)]) *
+            g.invtvwgt[to_size(i)];
       }
     }
     idx_t deg = 0;
     for (idx_t q = 0; q < nparts; ++q) {
-      deg += adj[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)];
+      deg += adj[to_size(p)][to_size(q)];
     }
     ps.adjacent_parts = deg;
     rep.max_adjacent_parts = std::max(rep.max_adjacent_parts, deg);
@@ -78,7 +78,7 @@ void print_report(std::ostream& out, const PartitionReport& rep) {
       << std::setw(10) << "boundary" << std::setw(8) << "nadj"
       << std::setw(10) << "ext-wgt" << "shares\n";
   for (idx_t p = 0; p < rep.nparts; ++p) {
-    const PartStats& ps = rep.parts[static_cast<std::size_t>(p)];
+    const PartStats& ps = rep.parts[to_size(p)];
     out << std::left << std::setw(6) << p << std::setw(10) << ps.vertices
         << std::setw(10) << ps.boundary_vertices << std::setw(8)
         << ps.adjacent_parts << std::setw(10) << ps.external_edge_weight;

@@ -12,21 +12,21 @@ namespace mcgp {
 
 std::string Mesh::validate() const {
   if (nelems < 0 || nnodes < 0) return "negative counts";
-  if (eptr.size() != static_cast<std::size_t>(nelems) + 1)
+  if (eptr.size() != to_size(nelems) + 1)
     return "eptr size != nelems+1";
   if (eptr[0] != 0) return "eptr[0] != 0";
   for (idx_t e = 0; e < nelems; ++e) {
-    if (eptr[static_cast<std::size_t>(e) + 1] < eptr[static_cast<std::size_t>(e)])
+    if (eptr[to_size(e) + 1] < eptr[to_size(e)])
       return "eptr not monotone";
   }
-  if (static_cast<std::size_t>(eptr[static_cast<std::size_t>(nelems)]) != eind.size())
+  if (to_size(eptr[to_size(nelems)]) != eind.size())
     return "eptr[nelems] != eind.size()";
   for (idx_t e = 0; e < nelems; ++e) {
-    for (idx_t i = eptr[static_cast<std::size_t>(e)]; i < eptr[static_cast<std::size_t>(e) + 1]; ++i) {
-      const idx_t n = eind[static_cast<std::size_t>(i)];
+    for (idx_t i = eptr[to_size(e)]; i < eptr[to_size(e) + 1]; ++i) {
+      const idx_t n = eind[to_size(i)];
       if (n < 0 || n >= nnodes) return "node id out of range";
-      for (idx_t j = eptr[static_cast<std::size_t>(e)]; j < i; ++j) {
-        if (eind[static_cast<std::size_t>(j)] == n) return "duplicate node in element";
+      for (idx_t j = eptr[to_size(e)]; j < i; ++j) {
+        if (eind[to_size(j)] == n) return "duplicate node in element";
       }
     }
   }
@@ -62,7 +62,7 @@ Mesh read_metis_mesh(std::istream& in) {
 
   Mesh m;
   m.nelems = static_cast<idx_t>(ne);
-  m.eptr.reserve(static_cast<std::size_t>(ne) + 1);
+  m.eptr.reserve(to_size(ne) + 1);
   idx_t max_node = -1;
   for (long long e = 0; e < ne; ++e) {
     if (!next_data_line(in, line))
@@ -99,10 +99,10 @@ Mesh read_metis_mesh_file(const std::string& path) {
 void write_metis_mesh(std::ostream& out, const Mesh& m) {
   out << m.nelems << ' ' << m.nnodes << '\n';
   for (idx_t e = 0; e < m.nelems; ++e) {
-    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
-         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
-      if (i > m.eptr[static_cast<std::size_t>(e)]) out << ' ';
-      out << (m.eind[static_cast<std::size_t>(i)] + 1);
+    for (idx_t i = m.eptr[to_size(e)];
+         i < m.eptr[to_size(e) + 1]; ++i) {
+      if (i > m.eptr[to_size(e)]) out << ' ';
+      out << (m.eind[to_size(i)] + 1);
     }
     out << '\n';
   }
@@ -184,18 +184,18 @@ namespace {
 /// node -> elements incidence in CSR form.
 void build_node_to_elem(const Mesh& m, std::vector<idx_t>& nptr,
                         std::vector<idx_t>& nind) {
-  nptr.assign(static_cast<std::size_t>(m.nnodes) + 1, 0);
-  for (const idx_t n : m.eind) ++nptr[static_cast<std::size_t>(n) + 1];
+  nptr.assign(to_size(m.nnodes) + 1, 0);
+  for (const idx_t n : m.eind) ++nptr[to_size(n) + 1];
   for (idx_t n = 0; n < m.nnodes; ++n) {
-    nptr[static_cast<std::size_t>(n) + 1] += nptr[static_cast<std::size_t>(n)];
+    nptr[to_size(n) + 1] += nptr[to_size(n)];
   }
   nind.resize(m.eind.size());
   std::vector<idx_t> fill(nptr.begin(), nptr.end() - 1);
   for (idx_t e = 0; e < m.nelems; ++e) {
-    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
-         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
-      const idx_t n = m.eind[static_cast<std::size_t>(i)];
-      nind[static_cast<std::size_t>(fill[static_cast<std::size_t>(n)]++)] = e;
+    for (idx_t i = m.eptr[to_size(e)];
+         i < m.eptr[to_size(e) + 1]; ++i) {
+      const idx_t n = m.eind[to_size(i)];
+      nind[to_size(fill[to_size(n)]++)] = e;
     }
   }
 }
@@ -214,24 +214,24 @@ Graph mesh_to_dual(const Mesh& m, idx_t ncommon, int ncon) {
   GraphBuilder b(m.nelems, ncon);
   // For each element, count shared nodes with every element that shares
   // at least one node, using a dense timestamped counter.
-  std::vector<idx_t> shared(static_cast<std::size_t>(m.nelems), 0);
+  std::vector<idx_t> shared(to_size(m.nelems), 0);
   std::vector<idx_t> touched;
   for (idx_t e = 0; e < m.nelems; ++e) {
     touched.clear();
-    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
-         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
-      const idx_t n = m.eind[static_cast<std::size_t>(i)];
-      for (idx_t j = nptr[static_cast<std::size_t>(n)];
-           j < nptr[static_cast<std::size_t>(n) + 1]; ++j) {
-        const idx_t f = nind[static_cast<std::size_t>(j)];
+    for (idx_t i = m.eptr[to_size(e)];
+         i < m.eptr[to_size(e) + 1]; ++i) {
+      const idx_t n = m.eind[to_size(i)];
+      for (idx_t j = nptr[to_size(n)];
+           j < nptr[to_size(n) + 1]; ++j) {
+        const idx_t f = nind[to_size(j)];
         if (f <= e) continue;  // each unordered pair once
-        if (shared[static_cast<std::size_t>(f)] == 0) touched.push_back(f);
-        ++shared[static_cast<std::size_t>(f)];
+        if (shared[to_size(f)] == 0) touched.push_back(f);
+        ++shared[to_size(f)];
       }
     }
     for (const idx_t f : touched) {
-      if (shared[static_cast<std::size_t>(f)] >= ncommon) b.add_edge(e, f);
-      shared[static_cast<std::size_t>(f)] = 0;
+      if (shared[to_size(f)] >= ncommon) b.add_edge(e, f);
+      shared[to_size(f)] = 0;
     }
   }
   return b.build();
@@ -243,11 +243,11 @@ Graph mesh_to_nodal(const Mesh& m, int ncon) {
     throw std::invalid_argument("mesh_to_nodal: invalid mesh: " + problem);
   GraphBuilder b(m.nnodes, ncon);
   for (idx_t e = 0; e < m.nelems; ++e) {
-    for (idx_t i = m.eptr[static_cast<std::size_t>(e)];
-         i < m.eptr[static_cast<std::size_t>(e) + 1]; ++i) {
-      for (idx_t j = m.eptr[static_cast<std::size_t>(e)]; j < i; ++j) {
-        b.add_edge(m.eind[static_cast<std::size_t>(i)],
-                   m.eind[static_cast<std::size_t>(j)]);
+    for (idx_t i = m.eptr[to_size(e)];
+         i < m.eptr[to_size(e) + 1]; ++i) {
+      for (idx_t j = m.eptr[to_size(e)]; j < i; ++j) {
+        b.add_edge(m.eind[to_size(i)],
+                   m.eind[to_size(j)]);
       }
     }
   }

@@ -22,7 +22,7 @@ struct Mesh {
   std::vector<idx_t> eptr{0};
   std::vector<idx_t> eind;
 
-  idx_t element_size(idx_t e) const { return eptr[e + 1] - eptr[e]; }
+  idx_t element_size(idx_t e) const { return eptr[to_size(e + 1)] - eptr[to_size(e)]; }
 
   /// Structural validation: monotone eptr, node ids in range, no
   /// duplicate node within one element. Returns "" when valid.

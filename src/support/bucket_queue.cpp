@@ -6,13 +6,13 @@
 namespace mcgp {
 
 void BucketQueue::reset(idx_t n, wgt_t expected_max_gain) {
-  const auto un = static_cast<std::size_t>(n);
+  const auto un = to_size(n);
   next_.assign(un, kNil);
   prev_.assign(un, kNil);
   keys_.assign(un, 0);
   in_queue_.assign(un, 0);
   const long long span = 2LL * std::max<wgt_t>(expected_max_gain, 1) + 1;
-  buckets_.assign(static_cast<std::size_t>(span), kNil);
+  buckets_.assign(to_size(span), kNil);
   offset_ = span / 2;
   max_bucket_ = -1;
   count_ = 0;
@@ -28,12 +28,12 @@ void BucketQueue::grow_range(wgt_t gain) {
     lo = -span / 2;
     hi = span - span / 2 - 1;
   }
-  std::vector<idx_t> nb(static_cast<std::size_t>(span), kNil);
+  std::vector<idx_t> nb(to_size(span), kNil);
   const long long new_offset = span / 2;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     if (buckets_[b] == kNil) continue;
     const long long g = static_cast<long long>(b) - offset_;
-    nb[static_cast<std::size_t>(g + new_offset)] = buckets_[b];
+    nb[to_size(g + new_offset)] = buckets_[b];
   }
   buckets_ = std::move(nb);
   if (max_bucket_ >= 0) max_bucket_ += new_offset - offset_;
@@ -46,57 +46,57 @@ void BucketQueue::link(idx_t id, wgt_t gain) {
   if (gain < lo || gain > hi) grow_range(gain);
   const std::size_t b = bucket_of(gain);
   const idx_t head = buckets_[b];
-  next_[static_cast<std::size_t>(id)] = head;
-  prev_[static_cast<std::size_t>(id)] = kNil;
-  if (head != kNil) prev_[static_cast<std::size_t>(head)] = id;
+  next_[to_size(id)] = head;
+  prev_[to_size(id)] = kNil;
+  if (head != kNil) prev_[to_size(head)] = id;
   buckets_[b] = id;
-  keys_[static_cast<std::size_t>(id)] = gain;
+  keys_[to_size(id)] = gain;
   max_bucket_ = std::max(max_bucket_, static_cast<long long>(b));
 }
 
 void BucketQueue::unlink(idx_t id) {
-  const std::size_t uid = static_cast<std::size_t>(id);
+  const std::size_t uid = to_size(id);
   const idx_t nx = next_[uid];
   const idx_t pv = prev_[uid];
   if (pv != kNil) {
-    next_[static_cast<std::size_t>(pv)] = nx;
+    next_[to_size(pv)] = nx;
   } else {
     buckets_[bucket_of(keys_[uid])] = nx;
   }
-  if (nx != kNil) prev_[static_cast<std::size_t>(nx)] = pv;
+  if (nx != kNil) prev_[to_size(nx)] = pv;
 }
 
 void BucketQueue::insert(idx_t id, wgt_t gain) {
   assert(!contains(id));
   link(id, gain);
-  in_queue_[static_cast<std::size_t>(id)] = 1;
+  in_queue_[to_size(id)] = 1;
   ++count_;
 }
 
 void BucketQueue::remove(idx_t id) {
   assert(contains(id));
   unlink(id);
-  in_queue_[static_cast<std::size_t>(id)] = 0;
+  in_queue_[to_size(id)] = 0;
   --count_;
 }
 
 void BucketQueue::update(idx_t id, wgt_t new_gain) {
   assert(contains(id));
-  if (keys_[static_cast<std::size_t>(id)] == new_gain) return;
+  if (keys_[to_size(id)] == new_gain) return;
   unlink(id);
   link(id, new_gain);
 }
 
 wgt_t BucketQueue::max_key() {
   assert(!empty());
-  while (buckets_[static_cast<std::size_t>(max_bucket_)] == kNil) --max_bucket_;
+  while (buckets_[to_size(max_bucket_)] == kNil) --max_bucket_;
   return static_cast<wgt_t>(max_bucket_ - offset_);
 }
 
 idx_t BucketQueue::pop_max() {
   assert(!empty());
-  while (buckets_[static_cast<std::size_t>(max_bucket_)] == kNil) --max_bucket_;
-  const idx_t id = buckets_[static_cast<std::size_t>(max_bucket_)];
+  while (buckets_[to_size(max_bucket_)] == kNil) --max_bucket_;
+  const idx_t id = buckets_[to_size(max_bucket_)];
   remove(id);
   return id;
 }

@@ -29,11 +29,11 @@ class BucketQueue {
   bool empty() const { return count_ == 0; }
 
   /// True if element id is currently in the queue.
-  bool contains(idx_t id) const { return in_queue_[static_cast<std::size_t>(id)]; }
+  bool contains(idx_t id) const { return in_queue_[to_size(id)]; }
 
   /// Current key of a queued element. Precondition: contains(id).
   wgt_t key(idx_t id) const {
-    return keys_[static_cast<std::size_t>(id)];
+    return keys_[to_size(id)];
   }
 
   /// Insert element with the given gain. Precondition: !contains(id).
@@ -53,7 +53,7 @@ class BucketQueue {
 
  private:
   std::size_t bucket_of(wgt_t gain) const {
-    return static_cast<std::size_t>(static_cast<long long>(gain) + offset_);
+    return to_size(static_cast<long long>(gain) + offset_);
   }
   void grow_range(wgt_t gain);
   void unlink(idx_t id);

@@ -19,6 +19,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "support/types.hpp"
 
@@ -62,6 +63,23 @@ inline sum_t checked_mul(sum_t a, sum_t b) {
   return r;
 }
 
+/// Narrow a wide accumulator to a smaller integer type (idx_t, wgt_t) with
+/// a range check. This is the only sanctioned way to go from sum_t back to
+/// the narrow graph types — mcgp-lint's `narrowing` rule rejects raw
+/// static_casts of sum_t expressions so that every narrowing either proves
+/// its range or fails loudly instead of wrapping.
+template <typename To>
+inline To checked_narrow(sum_t v) {
+  static_assert(std::is_integral_v<To> && sizeof(To) < sizeof(sum_t),
+                "checked_narrow targets a strictly narrower integer type");
+  To r = static_cast<To>(v);
+  if (static_cast<sum_t>(r) != v) {
+    throw AuditFailure("value " + std::to_string(v) +
+                       " does not fit the narrow type in checked_narrow");
+  }
+  return r;
+}
+
 namespace detail {
 
 /// Stream-concatenate arbitrary values into the audit message.
@@ -71,6 +89,11 @@ std::string audit_msg(const Args&... args) {
   (oss << ... << args);
   return oss.str();
 }
+
+/// Null test for the audit macros. Routing the comparison through a
+/// function keeps `MCGP_AUDIT(this, ...)` inside InvariantAuditor methods
+/// free of -Wnonnull-compare (a literal `this != nullptr` is flagged).
+inline bool audit_on(const void* aud) { return aud != nullptr; }
 
 }  // namespace detail
 
@@ -82,7 +105,7 @@ std::string audit_msg(const Args&... args) {
 /// only on failure.
 #define MCGP_AUDIT_MSG(aud, cond, ...)                                      \
   do {                                                                      \
-    if ((aud) != nullptr && !(cond)) {                                      \
+    if (::mcgp::detail::audit_on(aud) && !(cond)) {                         \
       (aud)->fail(__FILE__, __LINE__, #cond,                                \
                   ::mcgp::detail::audit_msg(__VA_ARGS__));                  \
     }                                                                       \

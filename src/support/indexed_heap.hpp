@@ -16,33 +16,33 @@ class IndexedMaxHeap {
  public:
   /// Prepare for elements with ids in [0, n). Clears contents.
   void reset(idx_t n) {
-    pos_.assign(static_cast<std::size_t>(n), kNil);
+    pos_.assign(to_size(n), kNil);
     heap_.clear();
-    keys_.resize(static_cast<std::size_t>(n));
+    keys_.resize(to_size(n));
   }
 
   idx_t size() const { return static_cast<idx_t>(heap_.size()); }
   bool empty() const { return heap_.empty(); }
-  bool contains(idx_t id) const { return pos_[static_cast<std::size_t>(id)] != kNil; }
+  bool contains(idx_t id) const { return pos_[to_size(id)] != kNil; }
 
   real_t key(idx_t id) const {
     assert(contains(id));
-    return keys_[static_cast<std::size_t>(id)];
+    return keys_[to_size(id)];
   }
 
   void insert(idx_t id, real_t key) {
     assert(!contains(id));
-    keys_[static_cast<std::size_t>(id)] = key;
-    pos_[static_cast<std::size_t>(id)] = static_cast<idx_t>(heap_.size());
+    keys_[to_size(id)] = key;
+    pos_[to_size(id)] = static_cast<idx_t>(heap_.size());
     heap_.push_back(id);
     sift_up(heap_.size() - 1);
   }
 
   void update(idx_t id, real_t key) {
     assert(contains(id));
-    const real_t old = keys_[static_cast<std::size_t>(id)];
-    keys_[static_cast<std::size_t>(id)] = key;
-    const auto p = static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]);
+    const real_t old = keys_[to_size(id)];
+    keys_[to_size(id)] = key;
+    const auto p = to_size(pos_[to_size(id)]);
     if (key > old) {
       sift_up(p);
     } else if (key < old) {
@@ -52,10 +52,10 @@ class IndexedMaxHeap {
 
   void remove(idx_t id) {
     assert(contains(id));
-    const auto p = static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]);
+    const auto p = to_size(pos_[to_size(id)]);
     swap_nodes(p, heap_.size() - 1);
     heap_.pop_back();
-    pos_[static_cast<std::size_t>(id)] = kNil;
+    pos_[to_size(id)] = kNil;
     if (p < heap_.size()) {
       // Re-heapify the element that replaced position p. If sift_up moves
       // it, the element left at p is a former ancestor that already
@@ -72,7 +72,7 @@ class IndexedMaxHeap {
 
   real_t top_key() const {
     assert(!empty());
-    return keys_[static_cast<std::size_t>(heap_[0])];
+    return keys_[to_size(heap_[0])];
   }
 
   idx_t pop_max() {
@@ -87,15 +87,15 @@ class IndexedMaxHeap {
   void swap_nodes(std::size_t a, std::size_t b) {
     if (a == b) return;
     std::swap(heap_[a], heap_[b]);
-    pos_[static_cast<std::size_t>(heap_[a])] = static_cast<idx_t>(a);
-    pos_[static_cast<std::size_t>(heap_[b])] = static_cast<idx_t>(b);
+    pos_[to_size(heap_[a])] = static_cast<idx_t>(a);
+    pos_[to_size(heap_[b])] = static_cast<idx_t>(b);
   }
 
   void sift_up(std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (keys_[static_cast<std::size_t>(heap_[i])] <=
-          keys_[static_cast<std::size_t>(heap_[parent])]) {
+      if (keys_[to_size(heap_[i])] <=
+          keys_[to_size(heap_[parent])]) {
         break;
       }
       swap_nodes(i, parent);
@@ -109,12 +109,12 @@ class IndexedMaxHeap {
       std::size_t best = i;
       const std::size_t l = 2 * i + 1;
       const std::size_t r = 2 * i + 2;
-      if (l < n && keys_[static_cast<std::size_t>(heap_[l])] >
-                       keys_[static_cast<std::size_t>(heap_[best])]) {
+      if (l < n && keys_[to_size(heap_[l])] >
+                       keys_[to_size(heap_[best])]) {
         best = l;
       }
-      if (r < n && keys_[static_cast<std::size_t>(heap_[r])] >
-                       keys_[static_cast<std::size_t>(heap_[best])]) {
+      if (r < n && keys_[to_size(heap_[r])] >
+                       keys_[to_size(heap_[best])]) {
         best = r;
       }
       if (best == i) break;

@@ -80,7 +80,7 @@ std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
 }
 
 void random_permutation(idx_t n, std::vector<idx_t>& perm, Rng& rng) {
-  perm.resize(static_cast<std::size_t>(n));
+  perm.resize(to_size(n));
   std::iota(perm.begin(), perm.end(), idx_t{0});
   shuffle(perm, rng);
 }

@@ -1,0 +1,140 @@
+// Clang thread-safety annotations and annotated synchronization wrappers.
+//
+// The library's shared mutable state (the thread pool's task queue, the
+// workspace free list, trace-log registration, phase-time accumulators)
+// is guarded by mutexes whose locking discipline is encoded in the types
+// below. Under clang, `-Wthread-safety -Werror` then proves at compile
+// time that every access to a MCGP_GUARDED_BY member happens with its
+// mutex held — a static complement to the TSan CI job, which can only
+// observe the interleavings a particular run happens to execute. GCC
+// compiles the annotations away to nothing.
+//
+// Usage rules (enforced by the clang CI build):
+//  * shared mutable members are declared MCGP_GUARDED_BY(mu_);
+//  * private helpers that expect the caller to hold the lock are
+//    declared MCGP_REQUIRES(mu_) — never "locked" naming conventions;
+//  * scopes hold locks via MutexLock (never raw lock()/unlock() except
+//    in hand-over-hand code like the worker loop);
+//  * condition waits go through CondVar, whose wait() requires the lock;
+//  * MCGP_NO_THREAD_SAFETY_ANALYSIS is an escape hatch of last resort
+//    and must carry a comment proving why the access is safe.
+//
+// The macro set mirrors the clang documentation's mutex.h reference
+// header (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an
+// MCGP_ prefix.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define MCGP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MCGP_THREAD_ANNOTATION__(x)  // GCC and others: annotations vanish
+#endif
+
+/// Marks a class as a lockable capability (mutexes).
+#define MCGP_CAPABILITY(x) MCGP_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define MCGP_SCOPED_CAPABILITY MCGP_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only with the given mutex held.
+#define MCGP_GUARDED_BY(x) MCGP_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define MCGP_PT_GUARDED_BY(x) MCGP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function that must be called with the mutex(es) already held.
+#define MCGP_REQUIRES(...) \
+  MCGP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex(es) and returns holding them.
+#define MCGP_ACQUIRE(...) \
+  MCGP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the mutex(es).
+#define MCGP_RELEASE(...) \
+  MCGP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex only when it returns `s`.
+#define MCGP_TRY_ACQUIRE(s, ...) \
+  MCGP_THREAD_ANNOTATION__(try_acquire_capability(s, __VA_ARGS__))
+
+/// Function that must NOT be called with the mutex(es) held (deadlock
+/// prevention for non-reentrant locks).
+#define MCGP_EXCLUDES(...) MCGP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define MCGP_ASSERT_CAPABILITY(x) \
+  MCGP_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define MCGP_RETURN_CAPABILITY(x) MCGP_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Last-resort opt-out; every use must justify itself in a comment.
+#define MCGP_NO_THREAD_SAFETY_ANALYSIS \
+  MCGP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace mcgp {
+
+/// std::mutex wrapped as an annotated capability. Satisfies BasicLockable
+/// so CondVar (condition_variable_any) can release and reacquire it
+/// across waits.
+class MCGP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCGP_ACQUIRE() { mu_.lock(); }
+  void unlock() MCGP_RELEASE() { mu_.unlock(); }
+  bool try_lock() MCGP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Declare to the analysis that the calling thread holds this mutex.
+  /// Needed where aliasing hides the fact (two expressions naming the
+  /// same mutex object); each call site must prove the alias in a
+  /// comment. No runtime effect — std::mutex cannot check ownership.
+  void AssertHeld() const MCGP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex — the annotated analogue of std::lock_guard.
+class MCGP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MCGP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MCGP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Waits release and reacquire the mutex,
+/// so the caller must hold it — expressed as MCGP_REQUIRES, which is the
+/// annotation for "held on entry and on return".
+///
+/// Waits are deliberately predicate-free: the spurious-wakeup loop
+/// belongs in the caller, where reads of the guarded state it tests are
+/// visible to the analysis (a predicate lambda would be analyzed as an
+/// unannotated function and flagged).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MCGP_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mcgp

@@ -1,12 +1,15 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "support/types.hpp"
 
 namespace mcgp {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int workers = std::clamp(num_threads - 1, 0, 256);
-  workers_.reserve(static_cast<std::size_t>(workers));
+  workers_.reserve(to_size(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -14,24 +17,33 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
+ThreadPool::Task ThreadPool::pop_task() {
+  Task task = std::move(queue_.back());
+  queue_.pop_back();
+  return task;
+}
+
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  // Hand-over-hand locking: hold mu_ while inspecting the queue, drop it
+  // around the task body. The spurious-wakeup loop is written out so the
+  // reads of stop_/queue_ it tests stay visible to the static analysis.
+  mu_.lock();
   for (;;) {
-    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-    if (stop_) return;  // pool is destroyed only after all groups joined
-    Task task = std::move(queue_.back());
-    queue_.pop_back();
-    lk.unlock();
+    while (!stop_ && queue_.empty()) cv_.wait(mu_);
+    if (stop_) break;  // pool is destroyed only after all groups joined
+    Task task = pop_task();
+    mu_.unlock();
     execute(std::move(task));
-    lk.lock();
+    mu_.lock();
   }
+  mu_.unlock();
 }
 
 void ThreadPool::execute(Task task) {
@@ -42,7 +54,11 @@ void ThreadPool::execute(Task task) {
     err = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
+    // Tasks only ever enter their own pool's queue, so the group behind
+    // this task was built on this pool: holding mu_ IS holding
+    // task.group->pool_->mu_. Spell that out for the analysis.
+    task.group->pool_->mu_.AssertHeld();
     if (err != nullptr && task.group->error_ == nullptr) {
       task.group->error_ = err;
     }
@@ -60,19 +76,31 @@ TaskGroup::~TaskGroup() {
   }
 }
 
+void TaskGroup::run_serial(std::function<void()> fn) {
+  // Serial mode: execute inline, surface errors at wait() like the
+  // pooled mode does.
+  try {
+    fn();
+  } catch (...) {
+    if (error_ == nullptr) error_ = std::current_exception();
+  }
+}
+
+void TaskGroup::wait_serial() {
+  if (error_ != nullptr) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
 void TaskGroup::run(std::function<void()> fn) {
   if (pool_ == nullptr) {
-    // Serial mode: execute inline, surface errors at wait() like the
-    // pooled mode does.
-    try {
-      fn();
-    } catch (...) {
-      if (error_ == nullptr) error_ = std::current_exception();
-    }
+    run_serial(std::move(fn));
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(pool_->mu_);
+    MutexLock lk(pool_->mu_);
     ++pending_;
     pool_->queue_.push_back(ThreadPool::Task{std::move(fn), this});
   }
@@ -81,28 +109,23 @@ void TaskGroup::run(std::function<void()> fn) {
 
 void TaskGroup::wait() {
   if (pool_ == nullptr) {
-    if (error_ != nullptr) {
-      std::exception_ptr err = error_;
-      error_ = nullptr;
-      std::rethrow_exception(err);
-    }
+    wait_serial();
     return;
   }
-  std::unique_lock<std::mutex> lk(pool_->mu_);
+  pool_->mu_.lock();
   while (pending_ > 0) {
     if (!pool_->queue_.empty()) {
-      ThreadPool::Task task = std::move(pool_->queue_.back());
-      pool_->queue_.pop_back();
-      lk.unlock();
+      ThreadPool::Task task = pool_->pop_task();
+      pool_->mu_.unlock();
       pool_->execute(std::move(task));
-      lk.lock();
+      pool_->mu_.lock();
       continue;
     }
-    pool_->cv_.wait(lk);
+    pool_->cv_.wait(pool_->mu_);
   }
   std::exception_ptr err = error_;
   error_ = nullptr;
-  lk.unlock();
+  pool_->mu_.unlock();
   if (err != nullptr) std::rethrow_exception(err);
 }
 

@@ -3,7 +3,10 @@
 namespace mcgp {
 
 PhaseTimes::PhaseTimes(const PhaseTimes& o) {
-  std::lock_guard<std::mutex> lk(o.mu_);
+  MutexLock lk(o.mu_);
+  // Construction: no other thread can reference *this yet, so writing
+  // our members without our own lock is safe; clang models constructors
+  // the same way, so no opt-out is needed.
   entries_ = o.entries_;
   index_ = o.index_;
 }
@@ -11,15 +14,15 @@ PhaseTimes::PhaseTimes(const PhaseTimes& o) {
 PhaseTimes& PhaseTimes::operator=(const PhaseTimes& o) {
   if (this == &o) return *this;
   // Consistent order not needed: distinct locks, self-assign handled above.
-  std::lock_guard<std::mutex> lo(o.mu_);
-  std::lock_guard<std::mutex> lt(mu_);
+  MutexLock lo(o.mu_);
+  MutexLock lt(mu_);
   entries_ = o.entries_;
   index_ = o.index_;
   return *this;
 }
 
 void PhaseTimes::add(const std::string& phase, double seconds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = index_.find(phase);
   if (it != index_.end()) {
     entries_[it->second].second += seconds;
@@ -30,7 +33,7 @@ void PhaseTimes::add(const std::string& phase, double seconds) {
 }
 
 double PhaseTimes::get(const std::string& phase) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = index_.find(phase);
   return it != index_.end() ? entries_[it->second].second : 0.0;
 }

@@ -2,11 +2,11 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
 #include "support/types.hpp"
 
 namespace mcgp {
@@ -46,23 +46,27 @@ class PhaseTimes {
   /// Total accumulated for the named phase (0 if never recorded).
   double get(const std::string& phase) const;
 
-  /// All (phase, seconds) pairs in first-use order.
-  const std::vector<std::pair<std::string, double>>& entries() const {
+  /// All (phase, seconds) pairs in first-use order. Unsynchronized by
+  /// contract (see class comment): callers read it only after parallel
+  /// work has been joined, and a returned reference could not stay
+  /// protected past the accessor anyway — hence the analysis opt-out.
+  const std::vector<std::pair<std::string, double>>& entries() const
+      MCGP_NO_THREAD_SAFETY_ANALYSIS {
     return entries_;
   }
 
   void clear() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     entries_.clear();
     index_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, double>> entries_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, double>> entries_ MCGP_GUARDED_BY(mu_);
   /// Phase name -> position in entries_ (O(1) add/get; entries_ keeps
   /// first-use order for reporting).
-  std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::size_t> index_ MCGP_GUARDED_BY(mu_);
 };
 
 /// RAII helper that adds its lifetime to a PhaseTimes entry.

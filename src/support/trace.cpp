@@ -9,7 +9,7 @@ namespace mcgp {
 
 TraceRecorder::ThreadLog& TraceRecorder::local_log() {
   if (std::this_thread::get_id() == home_id_) return home_;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ThreadLog*& slot = aux_index_[std::this_thread::get_id()];
   if (slot == nullptr) {
     aux_.push_back(std::make_unique<ThreadLog>());
@@ -79,13 +79,13 @@ Histogram& TraceRecorder::hist(std::string_view name) {
 
 CounterRegistry TraceRecorder::merged_counters() const {
   CounterRegistry merged = home_.counters;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& log : aux_) merged.merge_from(log->counters);
   return merged;
 }
 
 std::size_t TraceRecorder::num_thread_logs() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return 1 + aux_.size();
 }
 
@@ -93,7 +93,7 @@ void TraceRecorder::clear() {
   home_.events.clear();
   home_.counters.clear();
   home_.depth = 0;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   aux_.clear();
   aux_index_.clear();
 }
@@ -123,7 +123,7 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
   // One tid per thread log: the home thread is tid 1, auxiliary threads
   // tid 2+ in registration order. Events within a log are in emission
   // order, so every tid's B/E stream is properly nested on its own.
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::int64_t tid = 1;
   const ThreadLog* home = &home_;
   auto write_log = [&](const ThreadLog& log) {
@@ -159,7 +159,7 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
 }
 
 void TraceRecorder::write_jsonl(std::ostream& out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::int64_t tid = 1;
   auto write_log = [&](const ThreadLog& log) {
     for (const TraceEvent& ev : log.events) {

@@ -32,13 +32,13 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "support/counters.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace mcgp {
 
@@ -143,9 +143,13 @@ class TraceRecorder {
   std::thread::id home_id_;
   ThreadLog home_;
 
-  mutable std::mutex mu_;  ///< guards aux_ / aux_index_ registration
-  std::vector<std::unique_ptr<ThreadLog>> aux_;
-  std::unordered_map<std::thread::id, ThreadLog*> aux_index_;
+  /// Guards registration and enumeration of auxiliary logs. The logs'
+  /// *contents* are not guarded: each ThreadLog is written only by its
+  /// owning thread and read only after parallel work has been joined.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> aux_ MCGP_GUARDED_BY(mu_);
+  std::unordered_map<std::thread::id, ThreadLog*> aux_index_
+      MCGP_GUARDED_BY(mu_);
 };
 
 /// RAII span that is a no-op (and allocation-free) on a null recorder.

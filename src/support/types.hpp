@@ -1,6 +1,7 @@
 // Fundamental scalar types and limits shared by every module.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mcgp {
@@ -22,5 +23,15 @@ using real_t = double;
 /// Maximum number of balance constraints (weights per vertex) supported.
 /// The SC'98 evaluation uses up to 5; 8 leaves headroom for extensions.
 inline constexpr int kMaxNcon = 8;
+
+/// Cast a non-negative signed index (idx_t, int, sum_t position, ...) to
+/// std::size_t for container subscripts. The library stores indices signed
+/// (sentinel -1, cheaper arithmetic) but the standard containers take
+/// size_t; this helper makes every such crossing explicit and keeps the
+/// tree clean under -Wsign-conversion. Callers guarantee i >= 0.
+template <typename I>
+constexpr std::size_t to_size(I i) {
+  return static_cast<std::size_t>(i);
+}
 
 }  // namespace mcgp

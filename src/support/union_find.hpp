@@ -13,16 +13,16 @@ class UnionFind {
   explicit UnionFind(idx_t n = 0) { reset(n); }
 
   void reset(idx_t n) {
-    parent_.resize(static_cast<std::size_t>(n));
+    parent_.resize(to_size(n));
     std::iota(parent_.begin(), parent_.end(), idx_t{0});
-    size_.assign(static_cast<std::size_t>(n), 1);
+    size_.assign(to_size(n), 1);
     num_sets_ = n;
   }
 
   idx_t find(idx_t x) {
-    while (parent_[static_cast<std::size_t>(x)] != x) {
-      auto& p = parent_[static_cast<std::size_t>(x)];
-      p = parent_[static_cast<std::size_t>(p)];
+    while (parent_[to_size(x)] != x) {
+      auto& p = parent_[to_size(x)];
+      p = parent_[to_size(p)];
       x = p;
     }
     return x;
@@ -33,18 +33,18 @@ class UnionFind {
     a = find(a);
     b = find(b);
     if (a == b) return false;
-    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+    if (size_[to_size(a)] < size_[to_size(b)]) {
       std::swap(a, b);
     }
-    parent_[static_cast<std::size_t>(b)] = a;
-    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    parent_[to_size(b)] = a;
+    size_[to_size(a)] += size_[to_size(b)];
     --num_sets_;
     return true;
   }
 
   bool same(idx_t a, idx_t b) { return find(a) == find(b); }
 
-  idx_t set_size(idx_t x) { return size_[static_cast<std::size_t>(find(x))]; }
+  idx_t set_size(idx_t x) { return size_[to_size(find(x))]; }
   idx_t num_sets() const { return num_sets_; }
 
  private:

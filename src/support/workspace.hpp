@@ -17,9 +17,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
 #include "support/types.hpp"
 
 namespace mcgp {
@@ -80,7 +80,7 @@ class WorkspacePool {
   };
 
   Lease acquire() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (free_.empty()) {
       owned_.push_back(std::make_unique<Workspace>());
       free_.push_back(owned_.back().get());
@@ -94,13 +94,13 @@ class WorkspacePool {
   friend class Lease;
 
   void release(Workspace* ws) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     free_.push_back(ws);
   }
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Workspace>> owned_;
-  std::vector<Workspace*> free_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<Workspace>> owned_ MCGP_GUARDED_BY(mu_);
+  std::vector<Workspace*> free_ MCGP_GUARDED_BY(mu_);
 };
 
 }  // namespace mcgp

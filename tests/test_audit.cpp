@@ -104,14 +104,14 @@ TEST(InvariantAuditor, DetectsCorruptedProjection) {
   const Graph& coarse = h.levels[0].graph;
   const std::vector<idx_t>& cmap = h.levels[0].cmap;
 
-  std::vector<idx_t> cpart(static_cast<std::size_t>(coarse.nvtxs));
+  std::vector<idx_t> cpart(to_size(coarse.nvtxs));
   for (idx_t v = 0; v < coarse.nvtxs; ++v) {
-    cpart[static_cast<std::size_t>(v)] = v % 2;
+    cpart[to_size(v)] = v % 2;
   }
-  std::vector<idx_t> fpart(static_cast<std::size_t>(fine.nvtxs));
+  std::vector<idx_t> fpart(to_size(fine.nvtxs));
   for (idx_t v = 0; v < fine.nvtxs; ++v) {
-    fpart[static_cast<std::size_t>(v)] =
-        cpart[static_cast<std::size_t>(cmap[static_cast<std::size_t>(v)])];
+    fpart[to_size(v)] =
+        cpart[to_size(cmap[to_size(v)])];
   }
 
   InvariantAuditor aud(AuditLevel::kBoundaries);
@@ -124,12 +124,12 @@ TEST(InvariantAuditor, DetectsCorruptedProjection) {
 
 TEST(InvariantAuditor, DetectsDriftedBisectionWeights) {
   const Graph g = test_graph();
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> where(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    where[static_cast<std::size_t>(v)] = v % 2;
+    where[to_size(v)] = v % 2;
   }
   BisectionTargets targets;
-  targets.ub.assign(static_cast<std::size_t>(g.ncon), 1.5);
+  targets.ub.assign(to_size(g.ncon), 1.5);
   BisectionBalance bal;
   bal.init(g, where, targets);
 
@@ -144,9 +144,9 @@ TEST(InvariantAuditor, DetectsDriftedBisectionWeights) {
 
 TEST(InvariantAuditor, DetectsWrongClaimedCut) {
   const Graph g = test_graph();
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> where(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    where[static_cast<std::size_t>(v)] = v % 2;
+    where[to_size(v)] = v % 2;
   }
   const sum_t cut = compute_cut_2way(g, where);
 
@@ -159,17 +159,17 @@ TEST(InvariantAuditor, DetectsWrongClaimedCut) {
 TEST(InvariantAuditor, DetectsDriftedKWayState) {
   const Graph g = test_graph();
   const idx_t nparts = 4;
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> where(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    where[static_cast<std::size_t>(v)] = v % nparts;
+    where[to_size(v)] = v % nparts;
   }
-  std::vector<sum_t> pwgts(static_cast<std::size_t>(nparts) * g.ncon, 0);
-  std::vector<idx_t> vcount(static_cast<std::size_t>(nparts), 0);
+  std::vector<sum_t> pwgts(to_size(nparts) * to_size(g.ncon), 0);
+  std::vector<idx_t> vcount(to_size(nparts), 0);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t p = where[static_cast<std::size_t>(v)];
-    ++vcount[static_cast<std::size_t>(p)];
+    const idx_t p = where[to_size(v)];
+    ++vcount[to_size(p)];
     for (int i = 0; i < g.ncon; ++i) {
-      pwgts[static_cast<std::size_t>(p) * g.ncon + i] += g.weight(v, i);
+      pwgts[to_size(p) * to_size(g.ncon) + to_size(i)] += g.weight(v, i);
     }
   }
 
@@ -187,16 +187,16 @@ TEST(InvariantAuditor, DetectsDriftedKWayState) {
 
 TEST(InvariantAuditor, DetectsStaleGainAndCutDelta) {
   const Graph g = test_graph();
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> where(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    where[static_cast<std::size_t>(v)] = v % 2;
+    where[to_size(v)] = v % 2;
   }
   sum_t idw = 0, edw = 0;
   for (idx_t e = g.xadj[0]; e < g.xadj[1]; ++e) {
-    if (where[static_cast<std::size_t>(g.adjncy[e])] == where[0]) {
-      idw += g.adjwgt[e];
+    if (where[to_size(g.adjncy[to_size(e)])] == where[0]) {
+      idw += g.adjwgt[to_size(e)];
     } else {
-      edw += g.adjwgt[e];
+      edw += g.adjwgt[to_size(e)];
     }
   }
   InvariantAuditor aud(AuditLevel::kParanoid);
@@ -210,9 +210,9 @@ TEST(InvariantAuditor, DetectsStaleGainAndCutDelta) {
 
 TEST(InvariantAuditor, DetectsInvalidFinalPartition) {
   const Graph g = test_graph();
-  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> part(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    part[static_cast<std::size_t>(v)] = v % 3;
+    part[to_size(v)] = v % 3;
   }
   InvariantAuditor aud(AuditLevel::kBoundaries);
   aud.check_final_partition(g, part, 3, edge_cut(g, part), "test");
@@ -274,9 +274,9 @@ TEST(AuditedPipeline, AuditLevelOptionCreatesInternalAuditor) {
 
 TEST(AuditedPipeline, RefinePartitionHonorsAuditor) {
   Graph g = grid2d(16, 16);
-  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> part(to_size(g.nvtxs));
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    part[static_cast<std::size_t>(v)] = (v / 64) % 4;
+    part[to_size(v)] = (v / 64) % 4;
   }
   InvariantAuditor audit(AuditLevel::kParanoid);
   Options opts;

@@ -11,14 +11,14 @@ namespace {
 BisectionTargets even_targets(int ncon, real_t ub = 1.05) {
   BisectionTargets t;
   t.f0 = 0.5;
-  t.ub.assign(static_cast<std::size_t>(ncon), ub);
+  t.ub.assign(to_size(ncon), ub);
   return t;
 }
 
 TEST(Balance2Way, NoopWhenFeasible) {
   Graph g = grid2d(10, 10);
   std::vector<idx_t> where(100);
-  for (idx_t v = 0; v < 100; ++v) where[static_cast<std::size_t>(v)] = v < 50 ? 0 : 1;
+  for (idx_t v = 0; v < 100; ++v) where[to_size(v)] = v < 50 ? 0 : 1;
   const std::vector<idx_t> before = where;
   Rng rng(1);
   EXPECT_TRUE(balance_2way(g, where, even_targets(1), rng));
@@ -40,8 +40,8 @@ TEST(Balance2Way, FixesGrossSingleConstraintImbalance) {
 TEST(Balance2Way, FixesMultiConstraintImbalance) {
   Graph g = random_geometric(600, 0, 4, 3);
   apply_type_s_weights(g, 3, 8, 0, 19, 9);
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs), 0);
-  for (idx_t v = 0; v < g.nvtxs / 4; ++v) where[static_cast<std::size_t>(v)] = 1;
+  std::vector<idx_t> where(to_size(g.nvtxs), 0);
+  for (idx_t v = 0; v < g.nvtxs / 4; ++v) where[to_size(v)] = 1;
   Rng rng(3);
   const BisectionTargets t = even_targets(3, 1.10);
   balance_2way(g, where, t, rng);
@@ -54,7 +54,7 @@ TEST(Balance2Way, FixesMultiConstraintImbalance) {
 TEST(Balance2Way, NeverWorsensPotential) {
   Graph g = grid2d(14, 14, 2);
   apply_type_s_weights(g, 2, 4, 0, 9, 5);
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> where(to_size(g.nvtxs));
   Rng seedr(4);
   for (auto& s : where) s = static_cast<idx_t>(seedr.next_below(2));
   const BisectionTargets t = even_targets(2, 1.02);
@@ -73,7 +73,7 @@ TEST(Balance2Way, UnevenTargets) {
   t.f0 = 0.3;
   // Start 50/50: side 0 overloaded relative to 0.3 target.
   std::vector<idx_t> where(400);
-  for (idx_t v = 0; v < 400; ++v) where[static_cast<std::size_t>(v)] = v < 200 ? 0 : 1;
+  for (idx_t v = 0; v < 400; ++v) where[to_size(v)] = v < 200 ? 0 : 1;
   Rng rng(6);
   EXPECT_TRUE(balance_2way(g, where, t, rng));
   idx_t c0 = 0;

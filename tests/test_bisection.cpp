@@ -124,7 +124,7 @@ TEST(BisectionBalance, ZeroTotalConstraintIgnored) {
 TEST(ComputeCut2Way, MatchesMetric) {
   Graph g = grid2d(8, 8);
   std::vector<idx_t> where(64);
-  for (idx_t v = 0; v < 64; ++v) where[static_cast<std::size_t>(v)] = (v / 8) % 2;
+  for (idx_t v = 0; v < 64; ++v) where[to_size(v)] = (v / 8) % 2;
   // Alternating 1-wide row stripes: 7 boundaries of 8 edges each.
   EXPECT_EQ(compute_cut_2way(g, where), 7 * 8);
 }

@@ -19,7 +19,7 @@ TEST(ContractGraph, PairContractionByHand) {
   Graph c = contract_graph(g, {0, 0, 1, 1}, 2);
   EXPECT_EQ(c.nvtxs, 2);
   EXPECT_EQ(c.nedges(), 1);
-  EXPECT_EQ(c.adjwgt[c.xadj[0]], 3);  // only the 1-2 edge survives
+  EXPECT_EQ(c.adjwgt[to_size(c.xadj[0])], 3);  // only the 1-2 edge survives
   EXPECT_EQ(c.weight(0, 0), 2);
   EXPECT_EQ(c.weight(1, 0), 2);
   EXPECT_TRUE(c.validate().empty());
@@ -35,7 +35,7 @@ TEST(ContractGraph, MergesParallelCoarseEdges) {
   Graph g = b.build();
   Graph c = contract_graph(g, {0, 0, 1, 1}, 2);
   EXPECT_EQ(c.nedges(), 1);
-  EXPECT_EQ(c.adjwgt[c.xadj[0]], 12);
+  EXPECT_EQ(c.adjwgt[to_size(c.xadj[0])], 12);
 }
 
 TEST(ContractGraph, PreservesWeightVectorTotals) {
@@ -48,7 +48,7 @@ TEST(ContractGraph, PreservesWeightVectorTotals) {
   Graph c = contract_graph(g, cmap, nc);
   ASSERT_EQ(c.ncon, 3);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(c.tvwgt[static_cast<std::size_t>(i)], g.tvwgt[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(c.tvwgt[to_size(i)], g.tvwgt[to_size(i)]);
   }
   EXPECT_TRUE(c.validate().empty());
 }
@@ -64,11 +64,11 @@ TEST(ContractGraph, EdgeWeightConservation) {
 
   sum_t fine_total = 0, collapsed = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      fine_total += g.adjwgt[e];
-      if (cmap[static_cast<std::size_t>(v)] ==
-          cmap[static_cast<std::size_t>(g.adjncy[e])]) {
-        collapsed += g.adjwgt[e];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      fine_total += g.adjwgt[to_size(e)];
+      if (cmap[to_size(v)] ==
+          cmap[to_size(g.adjncy[to_size(e)])]) {
+        collapsed += g.adjwgt[to_size(e)];
       }
     }
   }
@@ -100,8 +100,8 @@ TEST(CoarsenGraph, CmapsComposeToValidMaps) {
   for (int l = 0; l < h.num_levels(); ++l) {
     const Graph& fine = h.graph_at(l);
     const Graph& coarse = h.graph_at(l + 1);
-    const auto& cmap = h.levels[static_cast<std::size_t>(l)].cmap;
-    ASSERT_EQ(cmap.size(), static_cast<std::size_t>(fine.nvtxs));
+    const auto& cmap = h.levels[to_size(l)].cmap;
+    ASSERT_EQ(cmap.size(), to_size(fine.nvtxs));
     for (const idx_t cv : cmap) {
       ASSERT_GE(cv, 0);
       ASSERT_LT(cv, coarse.nvtxs);
@@ -120,7 +120,7 @@ TEST(CoarsenGraph, AllLevelsValidAndTotalsPreserved) {
     const Graph& cur = h.graph_at(l);
     EXPECT_TRUE(cur.validate().empty()) << "level " << l;
     for (int i = 0; i < 2; ++i) {
-      EXPECT_EQ(cur.tvwgt[static_cast<std::size_t>(i)], g.tvwgt[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(cur.tvwgt[to_size(i)], g.tvwgt[to_size(i)]);
     }
   }
 }
@@ -158,15 +158,15 @@ TEST(CoarsenGraph, ProjectionIdentityOnCut) {
   Rng rng(8);
   Hierarchy h = coarsen_graph(g, params, rng);
   const Graph& c = h.coarsest();
-  std::vector<idx_t> cpart(static_cast<std::size_t>(c.nvtxs));
-  for (idx_t v = 0; v < c.nvtxs; ++v) cpart[static_cast<std::size_t>(v)] = v % 2;
+  std::vector<idx_t> cpart(to_size(c.nvtxs));
+  for (idx_t v = 0; v < c.nvtxs; ++v) cpart[to_size(v)] = v % 2;
   // Project down through all levels.
   std::vector<idx_t> part = cpart;
   for (int l = h.num_levels() - 1; l >= 0; --l) {
-    const auto& cmap = h.levels[static_cast<std::size_t>(l)].cmap;
+    const auto& cmap = h.levels[to_size(l)].cmap;
     std::vector<idx_t> fine(cmap.size());
     for (std::size_t v = 0; v < cmap.size(); ++v) {
-      fine[v] = part[static_cast<std::size_t>(cmap[v])];
+      fine[v] = part[to_size(cmap[v])];
     }
     part = std::move(fine);
   }

@@ -38,7 +38,7 @@ TEST(GraphBuilder, ParallelEdgesMergedBySummingWeights) {
   b.add_edge(1, 0, 4);
   Graph g = b.build();
   EXPECT_EQ(g.nedges(), 1);
-  EXPECT_EQ(g.adjwgt[g.xadj[0]], 7);
+  EXPECT_EQ(g.adjwgt[to_size(g.xadj[0])], 7);
   EXPECT_TRUE(g.validate().empty());
 }
 

@@ -45,11 +45,11 @@ ExactBisection exact_best_bisection(const Graph& g,
   EXPECT_LE(g.nvtxs, 16) << "exhaustive bisector is 2^n";
   ExactBisection out;
   bool seen_any = false;
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs), 0);
+  std::vector<idx_t> where(to_size(g.nvtxs), 0);
   const std::uint32_t masks = 1u << (g.nvtxs - 1);
   for (std::uint32_t mask = 1; mask < masks; ++mask) {
     for (idx_t v = 1; v < g.nvtxs; ++v) {
-      where[static_cast<std::size_t>(v)] =
+      where[to_size(v)] =
           (mask >> (v - 1)) & 1u ? 1 : 0;
     }
     const sum_t cut = compute_cut_2way(g, where);
@@ -165,13 +165,13 @@ TEST(DifferentialFuzz, TinyGraphsAgainstExactBisector) {
 
     const real_t ub = 1.2 + 0.4 * gen.next_real();
     BisectionTargets targets;
-    targets.ub.assign(static_cast<std::size_t>(g.ncon), ub);
+    targets.ub.assign(to_size(g.ncon), ub);
     const ExactBisection exact = exact_best_bisection(g, targets);
 
     Options opts;
     opts.nparts = 2;
     opts.seed = gen.next_u64();
-    opts.ubvec.assign(static_cast<std::size_t>(g.ncon), ub);
+    opts.ubvec.assign(to_size(g.ncon), ub);
     for (const Algorithm alg :
          {Algorithm::kRecursiveBisection, Algorithm::kKWay}) {
       const PartitionResult r = audited_run(g, opts, alg, replay_seed);
@@ -202,7 +202,7 @@ TEST(DifferentialFuzz, PipelineCasesStayInvariantClean) {
     opts.nparts = 2 + static_cast<idx_t>(gen.next_below(14));
     opts.seed = gen.next_u64();
     opts.num_threads = c % 4 == 0 ? 2 : 1;
-    opts.ubvec.assign(static_cast<std::size_t>(g.ncon),
+    opts.ubvec.assign(to_size(g.ncon),
                       1.03 + 0.12 * gen.next_real());
     if (gen.next_bool()) {
       opts.kway_scheme = KWayRefineScheme::kPriorityQueue;

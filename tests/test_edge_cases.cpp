@@ -60,7 +60,7 @@ TEST_P(EdgeCases, MaximumConstraints) {
   apply_type_s_weights(g, kMaxNcon, 16, 0, 19, 3);
   const PartitionResult r = partition(g, both(GetParam(), 4));
   EXPECT_TRUE(validate_partition(g, r.part, 4, true).empty());
-  ASSERT_EQ(r.imbalance.size(), static_cast<std::size_t>(kMaxNcon));
+  ASSERT_EQ(r.imbalance.size(), to_size(kMaxNcon));
   // m = 8 is beyond the paper's quality regime; only sanity-bound it.
   EXPECT_LE(r.max_imbalance, 1.5);
 }
@@ -68,8 +68,8 @@ TEST_P(EdgeCases, MaximumConstraints) {
 TEST_P(EdgeCases, HugeVertexWeights) {
   Graph g = grid2d(16, 16, 2);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    g.vwgt[static_cast<std::size_t>(v) * 2] = 1000000;
-    g.vwgt[static_cast<std::size_t>(v) * 2 + 1] = 1 + v % 7;
+    g.vwgt[to_size(v) * 2] = 1000000;
+    g.vwgt[to_size(v) * 2 + 1] = 1 + v % 7;
   }
   g.finalize();
   const PartitionResult r = partition(g, both(GetParam(), 4));
@@ -80,9 +80,9 @@ TEST_P(EdgeCases, HugeVertexWeights) {
 TEST_P(EdgeCases, ZeroWeightConstraintEverywhere) {
   Graph g = grid2d(12, 12, 3);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    g.vwgt[static_cast<std::size_t>(v) * 3 + 0] = 1;
-    g.vwgt[static_cast<std::size_t>(v) * 3 + 1] = 0;  // dead constraint
-    g.vwgt[static_cast<std::size_t>(v) * 3 + 2] = 2;
+    g.vwgt[to_size(v) * 3 + 0] = 1;
+    g.vwgt[to_size(v) * 3 + 1] = 0;  // dead constraint
+    g.vwgt[to_size(v) * 3 + 2] = 2;
   }
   g.finalize();
   const PartitionResult r = partition(g, both(GetParam(), 4));
@@ -144,8 +144,8 @@ TEST_P(EdgeCases, VeryLooseTolerance) {
 INSTANTIATE_TEST_SUITE_P(BothAlgorithms, EdgeCases,
                          testing::Values(Algorithm::kRecursiveBisection,
                                          Algorithm::kKWay),
-                         [](const testing::TestParamInfo<Algorithm>& info) {
-                           return info.param == Algorithm::kKWay ? "kway"
+                         [](const testing::TestParamInfo<Algorithm>& pinfo) {
+                           return pinfo.param == Algorithm::kKWay ? "kway"
                                                                  : "rb";
                          });
 

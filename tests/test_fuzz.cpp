@@ -32,10 +32,10 @@ Graph random_valid_graph(Rng& rng) {
       Graph a = random_graph(n / 2 + 2, 4.0, rng.next_u64());
       GraphBuilder b(a.nvtxs * 2, 1);
       for (idx_t v = 0; v < a.nvtxs; ++v) {
-        for (idx_t e = a.xadj[v]; e < a.xadj[v + 1]; ++e) {
-          if (a.adjncy[e] > v) {
-            b.add_edge(v, a.adjncy[e]);
-            b.add_edge(v + a.nvtxs, a.adjncy[e] + a.nvtxs);
+        for (idx_t e = a.xadj[to_size(v)]; e < a.xadj[to_size(v + 1)]; ++e) {
+          if (a.adjncy[to_size(e)] > v) {
+            b.add_edge(v, a.adjncy[to_size(e)]);
+            b.add_edge(v + a.nvtxs, a.adjncy[to_size(e)] + a.nvtxs);
           }
         }
       }

@@ -48,7 +48,7 @@ TEST(GraphIo, ParsesEdgeWeights) {
       "1 7 3 2\n"
       "2 2\n");
   Graph g = read_metis_graph(in);
-  EXPECT_EQ(g.adjwgt[g.xadj[0]], 7);
+  EXPECT_EQ(g.adjwgt[to_size(g.xadj[0])], 7);
   EXPECT_TRUE(g.validate().empty());
 }
 

@@ -15,7 +15,7 @@ namespace {
 TEST(BfsDistances, PathGraph) {
   Graph g = grid2d(5, 1);  // path of 5 vertices
   const auto dist = bfs_distances(g, 0);
-  for (idx_t v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  for (idx_t v = 0; v < 5; ++v) EXPECT_EQ(dist[to_size(v)], v);
 }
 
 TEST(BfsDistances, GridManhattan) {
@@ -24,7 +24,7 @@ TEST(BfsDistances, GridManhattan) {
   // 4-point grid: BFS distance == Manhattan distance from the corner.
   for (idx_t x = 0; x < 4; ++x) {
     for (idx_t y = 0; y < 4; ++y) {
-      EXPECT_EQ(dist[static_cast<std::size_t>(x * 4 + y)], x + y);
+      EXPECT_EQ(dist[to_size(x * 4 + y)], x + y);
     }
   }
 }
@@ -60,20 +60,20 @@ TEST(ConnectedComponents, DisjointUnion) {
 TEST(InducedSubgraph, ExtractsHalfGrid) {
   Graph g = grid2d(4, 4);
   std::vector<char> select(16, 0);
-  for (idx_t v = 0; v < 8; ++v) select[static_cast<std::size_t>(v)] = 1;  // x in {0,1}
+  for (idx_t v = 0; v < 8; ++v) select[to_size(v)] = 1;  // x in {0,1}
   std::vector<idx_t> l2g;
   Graph s = induced_subgraph(g, select, l2g);
   EXPECT_EQ(s.nvtxs, 8);
   EXPECT_EQ(s.nedges(), 10);  // 2x4 grid has 4+6 edges
   EXPECT_TRUE(s.validate().empty());
-  for (idx_t lv = 0; lv < 8; ++lv) EXPECT_EQ(l2g[static_cast<std::size_t>(lv)], lv);
+  for (idx_t lv = 0; lv < 8; ++lv) EXPECT_EQ(l2g[to_size(lv)], lv);
 }
 
 TEST(InducedSubgraph, PreservesWeights) {
   Graph g = grid2d(3, 3, 2);
   for (idx_t v = 0; v < 9; ++v) {
-    g.vwgt[static_cast<std::size_t>(v) * 2] = v;
-    g.vwgt[static_cast<std::size_t>(v) * 2 + 1] = 2 * v;
+    g.vwgt[to_size(v) * 2] = v;
+    g.vwgt[to_size(v) * 2 + 1] = 2 * v;
   }
   g.finalize();
   std::vector<char> select(9, 0);
@@ -114,7 +114,7 @@ TEST(PermuteGraph, PreservesStructure) {
   std::vector<idx_t> dg, dp;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
     dg.push_back(g.degree(v));
-    dp.push_back(p.degree(perm[static_cast<std::size_t>(v)]));
+    dp.push_back(p.degree(perm[to_size(v)]));
   }
   EXPECT_EQ(dg, dp);
 }
@@ -142,11 +142,11 @@ TEST(GrowRegions, RegionsAreContiguous) {
   const auto label = grow_regions(g, nregions, 11);
   // Each region, viewed as an induced subgraph, must be connected.
   for (idx_t r = 0; r < nregions; ++r) {
-    std::vector<char> select(static_cast<std::size_t>(g.nvtxs), 0);
+    std::vector<char> select(to_size(g.nvtxs), 0);
     idx_t count = 0;
     for (idx_t v = 0; v < g.nvtxs; ++v) {
-      if (label[static_cast<std::size_t>(v)] == r) {
-        select[static_cast<std::size_t>(v)] = 1;
+      if (label[to_size(v)] == r) {
+        select[to_size(v)] = 1;
         ++count;
       }
     }
@@ -161,7 +161,7 @@ TEST(GrowRegions, RoughlyBalancedOnGrid) {
   Graph g = grid2d(20, 20);
   const auto label = grow_regions(g, 8, 5);
   std::vector<idx_t> count(8, 0);
-  for (const idx_t l : label) ++count[static_cast<std::size_t>(l)];
+  for (const idx_t l : label) ++count[to_size(l)];
   for (const idx_t c : count) {
     EXPECT_GT(c, 400 / 8 / 4);  // no region absurdly small
   }

@@ -11,7 +11,7 @@ namespace {
 BisectionTargets even_targets(int ncon, real_t ub = 1.05) {
   BisectionTargets t;
   t.f0 = 0.5;
-  t.ub.assign(static_cast<std::size_t>(ncon), ub);
+  t.ub.assign(to_size(ncon), ub);
   return t;
 }
 
@@ -120,7 +120,7 @@ TEST_P(InitBisection, FeasibleAndNonTrivialOnStructuredWeights) {
   const BisectionTargets t = even_targets(ncon, 1.10);
   const sum_t cut = init_bisection(g, where, t, scheme, 8,
                                    QueuePolicy::kMostImbalanced, rng);
-  ASSERT_EQ(where.size(), static_cast<std::size_t>(g.nvtxs));
+  ASSERT_EQ(where.size(), to_size(g.nvtxs));
   EXPECT_EQ(cut, compute_cut_2way(g, where));
   EXPECT_GT(cut, 0);
   BisectionBalance b;

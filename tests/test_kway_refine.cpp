@@ -10,15 +10,15 @@ namespace mcgp {
 namespace {
 
 std::vector<real_t> ubvec(int ncon, real_t ub = 1.05) {
-  return std::vector<real_t>(static_cast<std::size_t>(ncon), ub);
+  return std::vector<real_t>(to_size(ncon), ub);
 }
 
 /// Stripe partition of a grid along x (contiguous, balanced).
 std::vector<idx_t> stripes(idx_t nx, idx_t ny, idx_t k) {
-  std::vector<idx_t> part(static_cast<std::size_t>(nx) * ny);
+  std::vector<idx_t> part(to_size(nx) * to_size(ny));
   for (idx_t x = 0; x < nx; ++x) {
     for (idx_t y = 0; y < ny; ++y) {
-      part[static_cast<std::size_t>(x * ny + y)] = std::min<idx_t>(x * k / nx, k - 1);
+      part[to_size(x * ny + y)] = std::min<idx_t>(x * k / nx, k - 1);
     }
   }
   return part;
@@ -26,8 +26,8 @@ std::vector<idx_t> stripes(idx_t nx, idx_t ny, idx_t k) {
 
 /// Scrambled-but-balanced partition (round robin = terrible cut).
 std::vector<idx_t> round_robin(idx_t n, idx_t k) {
-  std::vector<idx_t> part(static_cast<std::size_t>(n));
-  for (idx_t v = 0; v < n; ++v) part[static_cast<std::size_t>(v)] = v % k;
+  std::vector<idx_t> part(to_size(n));
+  for (idx_t v = 0; v < n; ++v) part[to_size(v)] = v % k;
   return part;
 }
 
@@ -36,9 +36,9 @@ std::vector<idx_t> round_robin(idx_t n, idx_t k) {
 /// scramble leaves plenty of greedy improvements.
 std::vector<idx_t> scrambled(idx_t n, idx_t k, std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<idx_t> part(static_cast<std::size_t>(n));
+  std::vector<idx_t> part(to_size(n));
   for (idx_t v = 0; v < n; ++v) {
-    part[static_cast<std::size_t>(v)] = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(k)));
+    part[to_size(v)] = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(k)));
   }
   return part;
 }
@@ -104,8 +104,8 @@ TEST(KWayRefine, MultiConstraintStaysFeasible) {
   Graph g = random_geometric(1200, 0, 8, 3);
   apply_type_s_weights(g, 3, 16, 0, 19, 4);
   // Start from contiguous regions mapped onto 8 parts via stripes of ids.
-  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
-  for (idx_t v = 0; v < g.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 8;
+  std::vector<idx_t> part(to_size(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) part[to_size(v)] = v % 8;
   Rng rng(5);
   KWayRefineStats stats;
   kway_refine(g, 8, part, ubvec(3, 1.10), 8, rng, &stats);
@@ -117,7 +117,7 @@ TEST(KWayBalance, RepairsSkewedPartition) {
   Graph g = grid2d(16, 16);
   // Everything in part 0 except a few vertices.
   std::vector<idx_t> part(256, 0);
-  for (idx_t p = 1; p < 4; ++p) part[static_cast<std::size_t>(p)] = p;
+  for (idx_t p = 1; p < 4; ++p) part[to_size(p)] = p;
   Rng rng(6);
   EXPECT_TRUE(kway_balance(g, 4, part, ubvec(1, 1.05), rng));
   EXPECT_LE(max_imbalance(g, part, 4), 1.05 + 1e-9);
@@ -145,7 +145,7 @@ TEST(KWayBalance, ComplementaryOverloadEscape) {
   // part 0 = all (3,1) vertices, part 1 = all (1,3), parts 2,3 get scraps.
   std::vector<idx_t> part(120);
   for (idx_t v = 0; v < 120; ++v) {
-    part[static_cast<std::size_t>(v)] =
+    part[to_size(v)] =
         v < 55 ? 0 : (v < 60 ? 2 : (v < 115 ? 1 : 3));
   }
   Rng rng(8);
@@ -188,8 +188,8 @@ TEST(KWayRefinePq, NeverWorsensGoodPartition) {
 TEST(KWayRefinePq, MultiConstraintStaysFeasible) {
   Graph g = random_geometric(1000, 0, 9, 3);
   apply_type_s_weights(g, 3, 16, 0, 19, 6);
-  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
-  for (idx_t v = 0; v < g.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 6;
+  std::vector<idx_t> part(to_size(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) part[to_size(v)] = v % 6;
   Rng rng(7);
   KWayRefineStats stats;
   kway_refine_pq(g, 6, part, ubvec(3, 1.10), 8, rng, &stats);

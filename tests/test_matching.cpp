@@ -10,13 +10,13 @@ namespace {
 
 bool is_valid_matching(const Graph& g, const std::vector<idx_t>& match) {
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t u = match[static_cast<std::size_t>(v)];
+    const idx_t u = match[to_size(v)];
     if (u < 0 || u >= g.nvtxs) return false;
-    if (match[static_cast<std::size_t>(u)] != v) return false;  // involution
+    if (match[to_size(u)] != v) return false;  // involution
     if (u != v) {
       bool adjacent = false;
-      for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-        if (g.adjncy[e] == u) {
+      for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+        if (g.adjncy[to_size(e)] == u) {
           adjacent = true;
           break;
         }
@@ -50,7 +50,7 @@ TEST_P(MatchingSchemes, MatchesMostVerticesOnGrid) {
   const auto match = compute_matching(g, GetParam(), rng);
   idx_t matched = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    if (match[static_cast<std::size_t>(v)] != v) ++matched;
+    if (match[to_size(v)] != v) ++matched;
   }
   // Greedy maximal matchings on grids pair the large majority of vertices.
   EXPECT_GT(matched, g.nvtxs / 2);
@@ -74,7 +74,7 @@ TEST_P(MatchingSchemes, IsolatedVerticesStayUnmatched) {
   Rng rng(1);
   const auto match = compute_matching(g, GetParam(), rng);
   EXPECT_TRUE(is_valid_matching(g, match));
-  for (idx_t v = 2; v < 5; ++v) EXPECT_EQ(match[static_cast<std::size_t>(v)], v);
+  for (idx_t v = 2; v < 5; ++v) EXPECT_EQ(match[to_size(v)], v);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, MatchingSchemes,
@@ -149,11 +149,11 @@ TEST(BuildCoarseMap, CountsAndCovers) {
   const idx_t ncoarse = build_coarse_map(g, match, cmap);
   EXPECT_GT(ncoarse, 0);
   EXPECT_LT(ncoarse, g.nvtxs);
-  std::vector<idx_t> count(static_cast<std::size_t>(ncoarse), 0);
+  std::vector<idx_t> count(to_size(ncoarse), 0);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    ASSERT_GE(cmap[static_cast<std::size_t>(v)], 0);
-    ASSERT_LT(cmap[static_cast<std::size_t>(v)], ncoarse);
-    ++count[static_cast<std::size_t>(cmap[static_cast<std::size_t>(v)])];
+    ASSERT_GE(cmap[to_size(v)], 0);
+    ASSERT_LT(cmap[to_size(v)], ncoarse);
+    ++count[to_size(cmap[to_size(v)])];
   }
   for (const idx_t c : count) {
     EXPECT_GE(c, 1);
@@ -161,8 +161,8 @@ TEST(BuildCoarseMap, CountsAndCovers) {
   }
   // Matched pairs map to the same coarse vertex.
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    EXPECT_EQ(cmap[static_cast<std::size_t>(v)],
-              cmap[static_cast<std::size_t>(match[static_cast<std::size_t>(v)])]);
+    EXPECT_EQ(cmap[to_size(v)],
+              cmap[to_size(match[to_size(v)])]);
   }
 }
 

@@ -26,7 +26,7 @@ TEST(EdgeCut, ByHandOnPath) {
 TEST(EdgeCut, GridBisection) {
   Graph g = grid2d(4, 4);
   std::vector<idx_t> part(16);
-  for (idx_t v = 0; v < 16; ++v) part[static_cast<std::size_t>(v)] = v < 8 ? 0 : 1;
+  for (idx_t v = 0; v < 16; ++v) part[to_size(v)] = v < 8 ? 0 : 1;
   EXPECT_EQ(edge_cut(g, part), 4);  // one straight cut through a 4x4 grid
 }
 
@@ -95,7 +95,7 @@ TEST(CommunicationVolume, ByHand) {
 TEST(BoundaryVertices, GridCut) {
   Graph g = grid2d(4, 4);
   std::vector<idx_t> part(16);
-  for (idx_t v = 0; v < 16; ++v) part[static_cast<std::size_t>(v)] = v < 8 ? 0 : 1;
+  for (idx_t v = 0; v < 16; ++v) part[to_size(v)] = v < 8 ? 0 : 1;
   EXPECT_EQ(boundary_vertices(g, part), 8);
 }
 

@@ -74,12 +74,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Algorithm::kRecursiveBisection,
                                          Algorithm::kKWay),
                        ::testing::Values(1, 3)),
-    [](const ::testing::TestParamInfo<std::tuple<Algorithm, int>>& info) {
-      std::string name = std::get<0>(info.param) ==
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, int>>& pinfo) {
+      std::string name = std::get<0>(pinfo.param) ==
                                  Algorithm::kRecursiveBisection
                              ? "rb"
                              : "kway";
-      name += "_ncon" + std::to_string(std::get<1>(info.param));
+      name += "_ncon" + std::to_string(std::get<1>(pinfo.param));
       return name;
     });
 

@@ -55,8 +55,8 @@ TEST(PhaseSim, IdealRoundsUp) {
 TEST(PhaseSim, MatchesTypePGenerator) {
   Graph g = grid2d(12, 12);
   apply_type_p_weights(g, 3, 16, 5);
-  std::vector<idx_t> part(static_cast<std::size_t>(g.nvtxs));
-  for (idx_t v = 0; v < g.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 4;
+  std::vector<idx_t> part(to_size(g.nvtxs));
+  for (idx_t v = 0; v < g.nvtxs; ++v) part[to_size(v)] = v % 4;
   const PhaseSimResult r = simulate_phases(g, part, 4);
   ASSERT_EQ(r.phase_makespan.size(), 3u);
   EXPECT_GE(r.slowdown(), 1.0);

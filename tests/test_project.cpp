@@ -33,15 +33,15 @@ TEST(ProjectPartition, PreservesCutAndWeights) {
 
   // Arbitrary partition of the coarsest graph.
   const Graph& c = h.coarsest();
-  std::vector<idx_t> part(static_cast<std::size_t>(c.nvtxs));
-  for (idx_t v = 0; v < c.nvtxs; ++v) part[static_cast<std::size_t>(v)] = v % 3;
+  std::vector<idx_t> part(to_size(c.nvtxs));
+  for (idx_t v = 0; v < c.nvtxs; ++v) part[to_size(v)] = v % 3;
 
   const sum_t coarse_cut = edge_cut(c, part);
   const auto coarse_pw = part_weights(c, part, 3);
 
   for (int l = h.num_levels() - 1; l >= 0; --l) {
     std::vector<idx_t> fine;
-    project_partition(h.levels[static_cast<std::size_t>(l)].cmap, part, fine);
+    project_partition(h.levels[to_size(l)].cmap, part, fine);
     part = std::move(fine);
   }
   EXPECT_EQ(edge_cut(g, part), coarse_cut);

@@ -87,11 +87,11 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Values<idx_t>(2, 7, 16),
                      testing::Values(Algorithm::kRecursiveBisection,
                                      Algorithm::kKWay)),
-    [](const testing::TestParamInfo<SweepParam>& info) {
-      std::string name = family_name(std::get<0>(info.param));
-      name += "_m" + std::to_string(std::get<1>(info.param));
-      name += "_k" + std::to_string(std::get<2>(info.param));
-      name += std::get<3>(info.param) == Algorithm::kKWay ? "_kw" : "_rb";
+    [](const testing::TestParamInfo<SweepParam>& pinfo) {
+      std::string name = family_name(std::get<0>(pinfo.param));
+      name += "_m" + std::to_string(std::get<1>(pinfo.param));
+      name += "_k" + std::to_string(std::get<2>(pinfo.param));
+      name += std::get<3>(pinfo.param) == Algorithm::kKWay ? "_kw" : "_rb";
       return name;
     });
 
@@ -117,9 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values(2, 3, 4, 5),
                      testing::Values(Algorithm::kRecursiveBisection,
                                      Algorithm::kKWay)),
-    [](const testing::TestParamInfo<std::tuple<int, Algorithm>>& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == Algorithm::kKWay
+    [](const testing::TestParamInfo<std::tuple<int, Algorithm>>& pinfo) {
+      return "m" + std::to_string(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) == Algorithm::kKWay
                   ? std::string("_kw")
                   : std::string("_rb"));
     });
@@ -143,8 +143,8 @@ TEST_P(DeterminismSweep, SameSeedSamePartition) {
 INSTANTIATE_TEST_SUITE_P(BothAlgorithms, DeterminismSweep,
                          testing::Values(Algorithm::kRecursiveBisection,
                                          Algorithm::kKWay),
-                         [](const testing::TestParamInfo<Algorithm>& info) {
-                           return info.param == Algorithm::kKWay ? "kway"
+                         [](const testing::TestParamInfo<Algorithm>& pinfo) {
+                           return pinfo.param == Algorithm::kKWay ? "kway"
                                                                  : "rb";
                          });
 

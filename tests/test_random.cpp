@@ -115,7 +115,7 @@ TEST(RandomPermutation, IsAPermutation) {
   ASSERT_EQ(perm.size(), 100u);
   std::vector<idx_t> sorted = perm;
   std::sort(sorted.begin(), sorted.end());
-  for (idx_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  for (idx_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[to_size(i)], i);
 }
 
 TEST(RandomPermutation, EmptyAndSingleton) {

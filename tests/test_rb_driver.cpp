@@ -106,7 +106,7 @@ TEST(PartitionRB, KGreaterThanN) {
   EXPECT_TRUE(validate_partition(g, part, 20).empty());
   // Each vertex alone (9 non-empty parts).
   std::vector<idx_t> count(20, 0);
-  for (const idx_t p : part) ++count[static_cast<std::size_t>(p)];
+  for (const idx_t p : part) ++count[to_size(p)];
   for (const idx_t c : count) EXPECT_LE(c, 1);
 }
 

@@ -13,17 +13,17 @@ namespace {
 BisectionTargets even_targets(int ncon, real_t ub = 1.05) {
   BisectionTargets t;
   t.f0 = 0.5;
-  t.ub.assign(static_cast<std::size_t>(ncon), ub);
+  t.ub.assign(to_size(ncon), ub);
   return t;
 }
 
 /// A balanced but deliberately jagged bisection of a grid (stripes).
 std::vector<idx_t> jagged_bisection(idx_t nx, idx_t ny) {
-  std::vector<idx_t> where(static_cast<std::size_t>(nx) * ny);
+  std::vector<idx_t> where(to_size(nx) * to_size(ny));
   for (idx_t x = 0; x < nx; ++x) {
     for (idx_t y = 0; y < ny; ++y) {
       // Checker-ish split that keeps counts even but cuts many edges.
-      where[static_cast<std::size_t>(x * ny + y)] = (x + 2 * y) % 4 < 2 ? 0 : 1;
+      where[to_size(x * ny + y)] = (x + 2 * y) % 4 < 2 ? 0 : 1;
     }
   }
   return where;
@@ -81,7 +81,7 @@ TEST_P(RefinePolicies, PreservesFeasibility) {
   apply_type_s_weights(g, 3, 8, 0, 19, 5);
   const BisectionTargets t = even_targets(3, 1.10);
   // Start from a feasible balanced-ish split via balance helper.
-  std::vector<idx_t> where(static_cast<std::size_t>(g.nvtxs));
+  std::vector<idx_t> where(to_size(g.nvtxs));
   Rng seedr(3);
   for (auto& s : where) s = static_cast<idx_t>(seedr.next_below(2));
   balance_2way(g, where, t, seedr);
@@ -127,7 +127,7 @@ TEST(Refine2Way, RepairsModestImbalance) {
   const BisectionTargets t = even_targets(1, 1.05);
   // 70/30 split: infeasible.
   std::vector<idx_t> where(400);
-  for (idx_t v = 0; v < 400; ++v) where[static_cast<std::size_t>(v)] = v < 280 ? 0 : 1;
+  for (idx_t v = 0; v < 400; ++v) where[to_size(v)] = v < 280 ? 0 : 1;
   Rng rng(7);
   refine_2way(g, where, t, QueuePolicy::kMostImbalanced, 10, 0, rng);
   BisectionBalance b;
@@ -140,7 +140,7 @@ TEST(Refine2Way, RespectsUnevenTargets) {
   BisectionTargets t = even_targets(1, 1.05);
   t.f0 = 0.25;
   std::vector<idx_t> where(324);
-  for (idx_t v = 0; v < 324; ++v) where[static_cast<std::size_t>(v)] = v < 81 ? 0 : 1;
+  for (idx_t v = 0; v < 324; ++v) where[to_size(v)] = v < 81 ? 0 : 1;
   Rng rng(8);
   const sum_t before = compute_cut_2way(g, where);
   refine_2way(g, where, t, QueuePolicy::kMostImbalanced, 8, 0, rng);
@@ -167,7 +167,7 @@ TEST(Refine2Way, StatsAreConsistent) {
 TEST(Refine2Way, NoopOnPerfectBisection) {
   Graph g = grid2d(16, 16);
   std::vector<idx_t> where(256);
-  for (idx_t v = 0; v < 256; ++v) where[static_cast<std::size_t>(v)] = v < 128 ? 0 : 1;
+  for (idx_t v = 0; v < 256; ++v) where[to_size(v)] = v < 128 ? 0 : 1;
   const sum_t before = compute_cut_2way(g, where);
   EXPECT_EQ(before, 16);
   Rng rng(10);
@@ -191,7 +191,7 @@ TEST(Refine2Way, MultiConstraintSwapEscape) {
   // peaks on side 0, constraint 1 on side 1 — balanced counts, imbalanced
   // constraints.
   std::vector<idx_t> where(80);
-  for (idx_t v = 0; v < 80; ++v) where[static_cast<std::size_t>(v)] = v % 2;
+  for (idx_t v = 0; v < 80; ++v) where[to_size(v)] = v % 2;
   const BisectionTargets t = even_targets(2, 1.05);
   BisectionBalance b;
   b.init(g, where, t);

@@ -21,7 +21,7 @@ TEST(MovedVertices, CountsDifferences) {
 TEST(PartComponents, ContiguousStripes) {
   Graph g = grid2d(8, 8);
   std::vector<idx_t> part(64);
-  for (idx_t v = 0; v < 64; ++v) part[static_cast<std::size_t>(v)] = v < 32 ? 0 : 1;
+  for (idx_t v = 0; v < 64; ++v) part[to_size(v)] = v < 32 ? 0 : 1;
   EXPECT_EQ(count_part_components(g, part, 2), 2);
 }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/types.hpp"
+
 namespace mcgp {
 namespace {
 
@@ -18,7 +20,7 @@ TEST(TaskGroup, NullPoolRunsInlineInSubmissionOrder) {
   }
   group.wait();
   ASSERT_EQ(order.size(), 8u);
-  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[to_size(i)], i);
 }
 
 TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
@@ -31,11 +33,11 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
 
   TaskGroup group(&pool);
   for (int i = 0; i < kTasks; ++i) {
-    group.run([&runs, i] { runs[static_cast<std::size_t>(i)].fetch_add(1); });
+    group.run([&runs, i] { runs[to_size(i)].fetch_add(1); });
   }
   group.wait();
   for (int i = 0; i < kTasks; ++i) {
-    EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    EXPECT_EQ(runs[to_size(i)].load(), 1) << "task " << i;
   }
 }
 

@@ -15,8 +15,10 @@ TEST(WallTimer, NonNegativeAndMonotone) {
 
 TEST(WallTimer, RestartResets) {
   WallTimer t;
-  volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  volatile double keep = sink;
+  (void)keep;
   t.restart();
   EXPECT_LT(t.seconds(), 1.0);
 }
@@ -45,8 +47,10 @@ TEST(ScopedPhase, RecordsElapsed) {
   PhaseTimes pt;
   {
     ScopedPhase sp(pt, "work");
-    volatile double sink = 0;
-    for (int i = 0; i < 10000; ++i) sink += i;
+    double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += static_cast<double>(i);
+    volatile double keep = sink;
+    (void)keep;
   }
   EXPECT_GT(pt.get("work"), 0.0);
   EXPECT_LT(pt.get("work"), 5.0);

@@ -13,7 +13,7 @@ namespace {
 TEST(TargetImbalanceMetric, UniformMatchesPlainImbalance) {
   Graph g = grid2d(10, 10);
   std::vector<idx_t> part(100);
-  for (idx_t v = 0; v < 100; ++v) part[static_cast<std::size_t>(v)] = v % 4;
+  for (idx_t v = 0; v < 100; ++v) part[to_size(v)] = v % 4;
   const auto plain = imbalance(g, part, 4);
   const auto targeted = target_imbalance(g, part, 4, {0.25, 0.25, 0.25, 0.25});
   ASSERT_EQ(plain.size(), targeted.size());
@@ -48,9 +48,9 @@ TEST_P(TpwgtsBothAlgorithms, HitsSkewedTargetsSingleConstraint) {
   // The realized shares should track the requested fractions.
   const auto pw = part_weights(g, r.part, 4);
   for (idx_t p = 0; p < 4; ++p) {
-    const double share = static_cast<double>(pw[static_cast<std::size_t>(p)]) /
+    const double share = static_cast<double>(pw[to_size(p)]) /
                          static_cast<double>(g.tvwgt[0]);
-    EXPECT_NEAR(share, o.tpwgts[static_cast<std::size_t>(p)], 0.03)
+    EXPECT_NEAR(share, o.tpwgts[to_size(p)], 0.03)
         << "part " << p;
   }
 }
@@ -71,8 +71,8 @@ TEST_P(TpwgtsBothAlgorithms, HitsSkewedTargetsMultiConstraint) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, TpwgtsBothAlgorithms,
                          testing::Values(Algorithm::kRecursiveBisection,
                                          Algorithm::kKWay),
-                         [](const testing::TestParamInfo<Algorithm>& info) {
-                           return info.param == Algorithm::kKWay ? "kway"
+                         [](const testing::TestParamInfo<Algorithm>& pinfo) {
+                           return pinfo.param == Algorithm::kKWay ? "kway"
                                                                  : "rb";
                          });
 

@@ -18,7 +18,7 @@ TEST(TypeR, RangeAndArity) {
     EXPECT_GE(w, 0);
     EXPECT_LE(w, 19);
   }
-  for (int i = 0; i < 4; ++i) EXPECT_GT(g.tvwgt[static_cast<std::size_t>(i)], 0);
+  for (int i = 0; i < 4; ++i) EXPECT_GT(g.tvwgt[to_size(i)], 0);
 }
 
 TEST(TypeR, Deterministic) {
@@ -44,12 +44,12 @@ TEST(TypeS, ConstantVectorPerRegion) {
   // All vertices in the same region share the same weight vector.
   std::vector<std::vector<wgt_t>> region_vec(8);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    const idx_t r = region[static_cast<std::size_t>(v)];
+    const idx_t r = region[to_size(v)];
     std::vector<wgt_t> w(g.weights(v), g.weights(v) + 3);
-    if (region_vec[static_cast<std::size_t>(r)].empty()) {
-      region_vec[static_cast<std::size_t>(r)] = w;
+    if (region_vec[to_size(r)].empty()) {
+      region_vec[to_size(r)] = w;
     } else {
-      EXPECT_EQ(region_vec[static_cast<std::size_t>(r)], w);
+      EXPECT_EQ(region_vec[to_size(r)], w);
     }
   }
   // Not all regions share one vector (overwhelmingly likely).
@@ -60,7 +60,7 @@ TEST(TypeS, ConstantVectorPerRegion) {
 TEST(TypeS, PositiveTotals) {
   Graph g = grid2d(12, 12);
   apply_type_s_weights(g, 5, 16, 0, 19, 3);
-  for (int i = 0; i < 5; ++i) EXPECT_GT(g.tvwgt[static_cast<std::size_t>(i)], 0);
+  for (int i = 0; i < 5; ++i) EXPECT_GT(g.tvwgt[to_size(i)], 0);
 }
 
 TEST(TypeS, Deterministic) {
@@ -100,10 +100,10 @@ TEST(TypeP, ActiveFractionsTrackSchedule) {
   const PhaseActivity pa = apply_type_p_weights(g, 5, 32, 21);
   const auto sched = default_phase_schedule(5);
   for (int p = 0; p < 5; ++p) {
-    sum_t active = g.tvwgt[static_cast<std::size_t>(p)];
+    sum_t active = g.tvwgt[to_size(p)];
     const double frac = static_cast<double>(active) / g.nvtxs;
     // Regions are only approximately equal-sized; allow slack.
-    EXPECT_NEAR(frac, sched[static_cast<std::size_t>(p)], 0.2)
+    EXPECT_NEAR(frac, sched[to_size(p)], 0.2)
         << "phase " << p;
   }
 }
@@ -112,13 +112,13 @@ TEST(TypeP, EdgeWeightsEqualCoActivityFlooredAtOne) {
   Graph g = grid2d(15, 15);
   const PhaseActivity pa = apply_type_p_weights(g, 3, 16, 33);
   for (idx_t v = 0; v < g.nvtxs; ++v) {
-    for (idx_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
-      const idx_t u = g.adjncy[e];
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t u = g.adjncy[to_size(e)];
       wgt_t co = 0;
       for (int p = 0; p < 3; ++p) {
         if (pa.is_active(p, v, g.nvtxs) && pa.is_active(p, u, g.nvtxs)) ++co;
       }
-      EXPECT_EQ(g.adjwgt[e], std::max<wgt_t>(co, 1));
+      EXPECT_EQ(g.adjwgt[to_size(e)], std::max<wgt_t>(co, 1));
     }
   }
 }

@@ -1,0 +1,61 @@
+// mcgp-lint fixture: narrowing.
+//
+// sum_t -> idx_t/wgt_t narrowing must go through checked_narrow<>.
+#include <vector>
+
+namespace mcgp {
+
+using sum_t = long long;
+using wgt_t = int;
+using idx_t = int;
+
+template <typename To>
+To checked_narrow(sum_t v);
+idx_t helper(sum_t v);
+
+idx_t bad_cast(sum_t total) {
+  return static_cast<idx_t>(total);  // LINT-EXPECT: narrowing
+}
+
+wgt_t bad_cast_element(const std::vector<sum_t>& pwgts) {
+  return static_cast<wgt_t>(pwgts[2]);  // LINT-EXPECT: narrowing
+}
+
+idx_t bad_initializer(sum_t total) {
+  idx_t n = total;  // LINT-EXPECT: narrowing
+  return n;
+}
+
+wgt_t bad_initializer_element(const std::vector<sum_t>& pwgts) {
+  wgt_t w = pwgts[0];  // LINT-EXPECT: narrowing
+  return w;
+}
+
+// --- Negative cases: none of these may be flagged. ---
+
+wgt_t ok_checked(sum_t total) { return checked_narrow<wgt_t>(total); }
+
+idx_t ok_checked_init(sum_t total) {
+  idx_t n = checked_narrow<idx_t>(total);
+  return n;
+}
+
+// A sum_t var inside a call's argument list says nothing about the type
+// of the initializer (out-params, accessors returning narrow types).
+idx_t ok_call_argument(sum_t total) {
+  idx_t n = helper(total);
+  return n;
+}
+
+// Widening and same-width conversions are fine.
+sum_t ok_widen(wgt_t w) {
+  sum_t s = w;
+  return s;
+}
+
+// Casting a non-sum expression to idx_t is fine.
+idx_t ok_size_cast(const std::vector<idx_t>& xs) {
+  return static_cast<idx_t>(xs.size());
+}
+
+}  // namespace mcgp

@@ -1,0 +1,52 @@
+// mcgp-lint fixture: rng-source.
+//
+// All randomness must flow through mcgp::Rng with an explicit seed so a
+// whole partitioning run is reproducible from one 64-bit value. Ambient
+// entropy (C rand, std::random_device, raw engines, wall clocks) is
+// banned outside src/support/random.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace mcgp {
+
+unsigned bad_engine() {
+  std::random_device rd;                   // LINT-EXPECT: rng-source
+  std::mt19937 gen(42);                    // LINT-EXPECT: rng-source
+  return gen() + rd();
+}
+
+int bad_c_rand() {
+  return std::rand();  // LINT-EXPECT: rng-source
+}
+
+void bad_c_seed() {
+  std::srand(42);  // LINT-EXPECT: rng-source
+}
+
+long bad_wall_clock_seed() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // LINT-EXPECT: rng-source
+}
+
+long bad_time_seed() {
+  return time(nullptr);  // LINT-EXPECT: rng-source
+}
+
+// --- Negative cases: none of these may be flagged. ---
+
+// steady_clock is allowed: it is used for *timing*, never for seeding,
+// and is monotonic (timings do not feed back into algorithm decisions).
+double ok_steady_timer() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Member functions named like the banned C functions are fine.
+struct Source {
+  int rand() { return 4; }
+};
+int ok_member_rand(Source& s) { return s.rand(); }
+
+}  // namespace mcgp

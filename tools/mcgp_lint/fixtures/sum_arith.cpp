@@ -1,0 +1,74 @@
+// mcgp-lint fixture: sum-arith.
+//
+// Each tagged line must produce exactly one sum-arith finding; untagged
+// lines must produce none. The file is not
+// compiled — it only needs to tokenize like real project code.
+#include <vector>
+
+namespace mcgp {
+
+using sum_t = long long;
+using wgt_t = int;
+
+sum_t checked_add(sum_t a, sum_t b);
+sum_t checked_sub(sum_t a, sum_t b);
+
+sum_t bad_accumulate(const std::vector<wgt_t>& w) {
+  sum_t total = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    total += w[i];  // LINT-EXPECT: sum-arith
+  }
+  return total;
+}
+
+sum_t bad_binary_add(sum_t a, sum_t b) {
+  return a + b;  // LINT-EXPECT: sum-arith
+}
+
+sum_t bad_binary_sub(sum_t cut, sum_t delta) {
+  return cut - delta;  // LINT-EXPECT: sum-arith
+}
+
+sum_t bad_binary_mul(sum_t a) {
+  return a * 2;  // LINT-EXPECT: sum-arith
+}
+
+void bad_increment(sum_t n) {
+  ++n;  // LINT-EXPECT: sum-arith
+  n--;  // LINT-EXPECT: sum-arith
+}
+
+void bad_vector_element(std::vector<sum_t>& pwgts, wgt_t w) {
+  pwgts[0] += w;  // LINT-EXPECT: sum-arith
+  pwgts[1] -= w;  // LINT-EXPECT: sum-arith
+}
+
+void bad_array_element(wgt_t w) {
+  sum_t fresh[4] = {};
+  fresh[2] += w;  // LINT-EXPECT: sum-arith
+}
+
+// --- Negative cases: none of these may be flagged. ---
+
+sum_t ok_checked(sum_t a, sum_t b) { return checked_add(a, b); }
+
+sum_t ok_checked_element(std::vector<sum_t>& pwgts, wgt_t w) {
+  pwgts[0] = checked_add(pwgts[0], w);
+  return pwgts[0];
+}
+
+// Mixed floating arithmetic promotes to double: no int64 overflow.
+double ok_float_product(sum_t a, double inv) {
+  return static_cast<double>(a) * inv;
+}
+
+double ok_float_operand(sum_t a, double f) { return a * f; }
+
+// Arithmetic on narrower types is outside this rule's scope.
+wgt_t ok_wgt_arith(wgt_t wa, wgt_t wb) { return wa + wb; }
+
+// Comparison and division are allowed on sum_t.
+bool ok_compare(sum_t a, sum_t b) { return a < b; }
+sum_t ok_halve(sum_t cut) { return cut / 2; }
+
+}  // namespace mcgp

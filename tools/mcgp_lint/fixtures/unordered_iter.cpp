@@ -1,0 +1,47 @@
+// mcgp-lint fixture: unordered-iter.
+//
+// Iterating a hash container yields an unspecified order — any
+// algorithmic decision derived from it breaks bit-reproducibility.
+// Lookups (find / count / operator[] / end() comparisons) are fine.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mcgp {
+
+int bad_range_for(const std::unordered_map<int, int>& index, int* out) {
+  for (const auto& kv : index) {  // LINT-EXPECT: unordered-iter
+    *out += kv.second;
+  }
+  return *out;
+}
+
+int bad_explicit_begin(std::unordered_set<int>& seen) {
+  int n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // LINT-EXPECT: unordered-iter
+    ++n;
+  }
+  return n;
+}
+
+// --- Negative cases: none of these may be flagged. ---
+
+int ok_lookup(const std::unordered_map<int, int>& index, int key) {
+  const auto it = index.find(key);
+  return it == index.end() ? -1 : it->second;
+}
+
+bool ok_membership(const std::unordered_set<int>& seen, int v) {
+  return seen.count(v) > 0;
+}
+
+void ok_insert(std::unordered_set<int>& seen, int v) { seen.insert(v); }
+
+// Iterating an *ordered* container is fine.
+int ok_vector_iteration(const std::vector<int>& xs) {
+  int s = 0;
+  for (const int x : xs) s += x;
+  return s;
+}
+
+}  // namespace mcgp
