@@ -10,6 +10,8 @@
 
 #include "gen/mesh_gen.hpp"
 #include "graph/part_report.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/run_ledger.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp::bench {
@@ -40,11 +42,14 @@ Args parse_args(int argc, char** argv) {
       args.json_path = a.substr(7);
     } else if (a.rfind("--trace-dir=", 0) == 0) {
       args.trace_dir = a.substr(12);
+    } else if (a.rfind("--ledger=", 0) == 0) {
+      args.ledger_path = a.substr(9);
+      if (args.ledger_path.empty()) args.ledger_path = "none";
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--scale=<f>] [--reps=<n>] [--quick]"
                 << " [--threads=<a,b,...>] [--json=<path>]"
-                << " [--trace-dir=<dir>]\n";
+                << " [--trace-dir=<dir>] [--ledger=<path|none>]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
@@ -118,7 +123,14 @@ std::string Table::fmt(double v, int prec) {
 
 std::string Table::fmt(sum_t v) { return std::to_string(v); }
 
-RunSummary run_average(const Graph& g, Options opts, int reps) {
+std::string ledger_file(const Args& args, const std::string& bench_default) {
+  if (args.ledger_path == "none") return {};
+  return args.ledger_path.empty() ? bench_default : args.ledger_path;
+}
+
+RunSummary run_average(const Graph& g, Options opts, int reps,
+                       const LedgerSink* sink,
+                       const std::string& graph_name) {
   RunSummary s;
   for (int r = 0; r < reps; ++r) {
     opts.seed = static_cast<std::uint64_t>(r + 1);
@@ -126,6 +138,10 @@ RunSummary run_average(const Graph& g, Options opts, int reps) {
     s.cut += static_cast<double>(res.cut);
     s.max_imbalance += res.max_imbalance;
     s.seconds += res.seconds;
+    if (sink != nullptr && !sink->path.empty()) {
+      append_run_record(
+          sink->path, make_run_record(sink->experiment, graph_name, g, opts, res));
+    }
   }
   s.cut /= reps;
   s.max_imbalance /= reps;
@@ -140,7 +156,9 @@ bool emit_trace_artifacts(const Args& args, const std::string& name,
   std::filesystem::create_directories(args.trace_dir, ec);
 
   TraceRecorder recorder;
+  FlightRecorder flight;
   opts.trace = &recorder;
+  opts.flight = &flight;
   const PartitionResult res = partition(g, opts);
 
   const std::string base = args.trace_dir + "/" + name;
@@ -149,7 +167,8 @@ bool emit_trace_artifacts(const Args& args, const std::string& name,
 
   std::ofstream report(base + ".report.json");
   if (report) {
-    write_report_json(report, analyze_partition(g, res.part, opts.nparts));
+    write_report_json(report, analyze_partition(g, res.part, opts.nparts),
+                      &flight);
   }
   ok = static_cast<bool>(report) && ok;
 

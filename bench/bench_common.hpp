@@ -24,12 +24,19 @@ struct Args {
   /// configuration and write machine-readable artifacts into this
   /// directory (see emit_trace_artifacts).
   std::string trace_dir;
+  /// Run-ledger path override (--ledger=<path>). Empty = each bench's
+  /// default ledger file (e.g. BENCH_runtime.json). "none" disables.
+  std::string ledger_path;
 };
 
 /// Parse --scale=<f>, --reps=<n>, --quick, --threads=<a,b,...>,
-/// --json=<path>, --trace-dir=<dir>. Unknown arguments abort with a usage
-/// message.
+/// --json=<path>, --trace-dir=<dir>, --ledger=<path|none>. Unknown
+/// arguments abort with a usage message.
 Args parse_args(int argc, char** argv);
+
+/// Where a bench appends its per-run ledger records: --ledger wins, then
+/// the bench's default file; --ledger=none (empty result) disables.
+std::string ledger_file(const Args& args, const std::string& bench_default);
 
 struct SuiteGraph {
   std::string name;
@@ -68,8 +75,20 @@ struct RunSummary {
   double seconds = 0;        ///< mean wall time
 };
 
-/// Partition `reps` times with seeds 1..reps and average.
-RunSummary run_average(const Graph& g, Options opts, int reps);
+/// Destination for per-run ledger records (support/run_ledger.hpp): one
+/// JSONL line is appended to `path` for every individual partition call.
+/// An empty path disables the ledger.
+struct LedgerSink {
+  std::string path;
+  std::string experiment;  ///< e.g. "runtime", "quality_rb"
+};
+
+/// Partition `reps` times with seeds 1..reps and average. When `sink` is
+/// given and enabled, each rep appends one run record labelled with
+/// `graph_name`.
+RunSummary run_average(const Graph& g, Options opts, int reps,
+                       const LedgerSink* sink = nullptr,
+                       const std::string& graph_name = {});
 
 /// When args.trace_dir is set, run one traced partition of `g` and write
 ///   <trace_dir>/<name>.trace.json   (chrome://tracing / Perfetto)

@@ -11,6 +11,7 @@
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/graph_ops.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/workspace.hpp"
 
 namespace {
@@ -186,5 +187,31 @@ BENCHMARK(BM_PartitionAudited)
     ->Args({1, 0})
     ->Args({1, 1})
     ->Args({1, 2});
+
+// Cost of the flight recorder per partition call: detached (the default,
+// every hook is one null-pointer test) must be within noise of the
+// attached run, which pays one sample struct per level plus a /proc read.
+void BM_PartitionFlightRecorder(benchmark::State& state) {
+  const Graph g = make_bench_graph(150, 3);
+  Options o;
+  o.nparts = 32;
+  o.algorithm = state.range(0) == 0 ? Algorithm::kRecursiveBisection
+                                    : Algorithm::kKWay;
+  FlightRecorder flight;
+  o.flight = state.range(1) != 0 ? &flight : nullptr;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    flight.clear();
+    const PartitionResult r = partition(g, o);
+    benchmark::DoNotOptimize(r.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_PartitionFlightRecorder)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 
 }  // namespace

@@ -7,22 +7,22 @@
 // small multiple (~2x in the paper) of a single-constraint one; runtime is
 // linear in |V|+|E| across the size ladder. With --threads=1,2,4,8 each
 // configuration is re-run per thread count (identical partitions by
-// construction; only the wall time changes) and the per-thread-count
-// timings land in a machine-readable JSON report.
+// construction; only the wall time changes).
+//
+// Every individual partition call appends one run-ledger record (JSONL,
+// support/run_ledger.hpp) to the ledger file, so tools/mcgp_bench_diff can
+// gate regressions against a committed baseline.
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 
 #include "bench_common.hpp"
 #include "gen/weight_gen.hpp"
-#include "support/json_writer.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcgp;
   using namespace mcgp::bench;
   const Args args = parse_args(argc, argv);
-  const std::string json_path =
-      args.json_path.empty() ? "BENCH_runtime.json" : args.json_path;
+  const std::string ledger_path = ledger_file(
+      args, args.json_path.empty() ? "BENCH_runtime.json" : args.json_path);
 
   std::printf("E3: runtime vs constraints, graph size, and threads\n");
   std::printf("(scale=%.2f, reps=%d, k=64, Type-S weights, MC-KW and MC-RB,"
@@ -37,15 +37,8 @@ int main(int argc, char** argv) {
                                          : std::vector<int>{1, 3, 5};
   const idx_t k = 64;
 
-  std::ofstream json_file(json_path);
-  JsonWriter json(json_file);
-  json.begin_object();
-  json.member("experiment", "runtime");
-  json.member("scale", args.scale);
-  json.member("reps", static_cast<std::int64_t>(args.reps));
-  json.member("nparts", static_cast<std::int64_t>(k));
-  json.key("runs");
-  json.begin_array();
+  const LedgerSink sink{ledger_path, "runtime"};
+  const LedgerSink* sinkp = ledger_path.empty() ? nullptr : &sink;
 
   for (const auto alg : {Algorithm::kKWay, Algorithm::kRecursiveBisection}) {
     const char* alg_name = alg == Algorithm::kKWay ? "MC-KW" : "MC-RB";
@@ -75,7 +68,7 @@ int main(int argc, char** argv) {
         double t1 = 0;
         for (std::size_t ti = 0; ti < args.threads.size(); ++ti) {
           o.num_threads = args.threads[ti];
-          const RunSummary s = run_average(g, o, args.reps);
+          const RunSummary s = run_average(g, o, args.reps, sinkp, name);
           if (ti == 0) {
             t1 = s.seconds;
             row.push_back(Table::fmt(s.seconds, 3));
@@ -83,17 +76,6 @@ int main(int argc, char** argv) {
             row.push_back(Table::fmt(s.seconds, 3));
             row.push_back(Table::fmt(t1 > 0 ? t1 / s.seconds : 0.0, 2));
           }
-          json.begin_object();
-          json.member("algorithm", alg_name);
-          json.member("graph", name);
-          json.member("nvtxs", static_cast<std::int64_t>(base.nvtxs));
-          json.member("ncon", static_cast<std::int64_t>(m));
-          json.member("threads",
-                      static_cast<std::int64_t>(args.threads[ti]));
-          json.member("seconds", s.seconds);
-          json.member("cut", s.cut);
-          json.member("max_imbalance", s.max_imbalance);
-          json.end_object();
         }
         t.add_row(std::move(row));
 
@@ -112,13 +94,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  json.end_array();
-  json.end_object();
-  json_file << '\n';
-  if (json_file) {
-    std::printf("wrote %s\n\n", json_path.c_str());
-  } else {
-    std::cerr << "warning: failed writing " << json_path << "\n";
+  if (!ledger_path.empty()) {
+    std::printf("appended run records to %s\n\n", ledger_path.c_str());
   }
 
   std::printf(

@@ -8,6 +8,12 @@ namespace mcgp::bench {
 
 void run_quality_experiment(Algorithm alg, const char* title,
                             const Args& args) {
+  const std::string ledger_path = ledger_file(args, "BENCH_quality.json");
+  const LedgerSink sink{ledger_path,
+                        alg == Algorithm::kKWay ? "quality_kway"
+                                                : "quality_rb"};
+  const LedgerSink* sinkp = ledger_path.empty() ? nullptr : &sink;
+
   std::printf("%s (scale=%.2f, reps=%d, ub=1.05, Type-S weights)\n", title,
               args.scale, args.reps);
   std::printf(
@@ -45,7 +51,7 @@ void run_quality_experiment(Algorithm alg, const char* title,
         Options o;
         o.nparts = k;
         o.algorithm = alg;
-        const RunSummary s = run_average(g, o, args.reps);
+        const RunSummary s = run_average(g, o, args.reps, sinkp, name);
         if (m == 1) {
           base_cut = s.cut;
           row.push_back(Table::fmt(s.cut, 0));
@@ -58,6 +64,9 @@ void run_quality_experiment(Algorithm alg, const char* title,
     }
   }
   t.print();
+  if (!ledger_path.empty()) {
+    std::printf("\nappended run records to %s\n", ledger_path.c_str());
+  }
 }
 
 }  // namespace mcgp::bench

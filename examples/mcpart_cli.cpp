@@ -20,7 +20,10 @@
 //   --report             print the full per-part report
 //   --audit=<level>      runtime invariant auditing: off|boundaries|paranoid
 //   --refine=<partfile>  refine an existing partition instead of partitioning
+//   --progress           live per-level progress lines on stderr
+//   --ledger=<path>      append one JSONL run record to <path>
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -32,8 +35,32 @@
 #include "graph/metrics.hpp"
 #include "graph/part_report.hpp"
 #include "mesh/mesh.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/run_ledger.hpp"
 
 namespace {
+
+/// --progress sink: one line per hierarchy-level sample (refinement-pass
+/// samples are recorded but not printed — per-level keeps the output to a
+/// few dozen lines). Runs under the recorder lock, so stays cheap.
+void print_progress(const mcgp::FlightSample& s) {
+  using Stage = mcgp::FlightSample::Stage;
+  if (s.stage == Stage::kFmPass || s.stage == Stage::kKWayPass) return;
+  std::fprintf(stderr, "[%7.3fs] %-14s", static_cast<double>(s.ts_ns) * 1e-9,
+               mcgp::flight_stage_name(s.stage));
+  if (s.level >= 0) std::fprintf(stderr, " level=%-3d", s.level);
+  std::fprintf(stderr, " nvtxs=%-9lld nedges=%-9lld",
+               static_cast<long long>(s.nvtxs),
+               static_cast<long long>(s.nedges));
+  if (s.cut >= 0) std::fprintf(stderr, " cut=%-8lld",
+                               static_cast<long long>(s.cut));
+  if (s.ncon > 0) std::fprintf(stderr, " lb=%.3f", s.worst_imbalance);
+  if (s.rss_bytes >= 0) {
+    std::fprintf(stderr, " rss=%.1fMB",
+                 static_cast<double>(s.rss_bytes) / (1024.0 * 1024.0));
+  }
+  std::fprintf(stderr, "\n");
+}
 
 void usage(const char* argv0) {
   std::cerr
@@ -52,7 +79,9 @@ void usage(const char* argv0) {
       << "  --audit=<level>     invariant auditing: off|boundaries|paranoid\n"
       << "                      (default off; MCGP_AUDIT env overrides)\n"
       << "  --refine=<partfile> refine an existing partition in place\n"
-      << "                      instead of partitioning from scratch\n";
+      << "                      instead of partitioning from scratch\n"
+      << "  --progress          live per-level progress lines on stderr\n"
+      << "  --ledger=<path>     append one JSONL run record to <path>\n";
 }
 
 }  // namespace
@@ -79,6 +108,8 @@ int main(int argc, char** argv) {
   bool report = false;
   idx_t ncommon = 2;
   std::string refine_path;
+  bool progress = false;
+  std::string ledger_path;
 
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -120,6 +151,14 @@ int main(int argc, char** argv) {
         std::cerr << "error: --refine needs a partition file path\n";
         return 2;
       }
+    } else if (a == "--progress") {
+      progress = true;
+    } else if (a.rfind("--ledger=", 0) == 0) {
+      ledger_path = a.substr(9);
+      if (ledger_path.empty()) {
+        std::cerr << "error: --ledger needs a file path\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown option: " << a << "\n";
       usage(argv[0]);
@@ -142,6 +181,12 @@ int main(int argc, char** argv) {
     std::cout << "graph:   " << graph_path << " (" << g.nvtxs << " vertices, "
               << g.nedges() << " edges, " << g.ncon << " constraint"
               << (g.ncon > 1 ? "s" : "") << ")\n";
+
+    // The recorder is attached whenever progress or a ledger wants it; it
+    // observes only, so the partition is unchanged either way.
+    FlightRecorder flight;
+    if (progress || !ledger_path.empty()) opts.flight = &flight;
+    if (progress) flight.set_on_sample(&print_progress);
 
     PartitionResult r;
     if (!refine_path.empty()) {
@@ -185,6 +230,12 @@ int main(int argc, char** argv) {
       }
       write_partition_file(out_path, r.part);
       std::cout << "wrote:   " << out_path << "\n";
+    }
+
+    if (!ledger_path.empty() &&
+        append_run_record(ledger_path,
+                          make_run_record("mcpart", graph_path, g, opts, r))) {
+      std::cout << "ledger:  appended to " << ledger_path << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -6,7 +6,8 @@
 //
 //   <prefix>.trace.json    open in chrome://tracing or https://ui.perfetto.dev
 //   <prefix>.events.jsonl  one JSON object per span/instant event
-//   <prefix>.report.json   JSON PartitionReport (per-part stats)
+//   <prefix>.report.json   JSON PartitionReport (per-part stats) with a
+//                          "timeline" section of flight-recorder samples
 //   <prefix>.counters.json pipeline counters + gain histogram
 #include <cstdio>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/part_report.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/trace.hpp"
 
 int main(int argc, char** argv) {
@@ -26,9 +28,11 @@ int main(int argc, char** argv) {
   apply_type_s_weights(g, /*m=*/3, /*nregions=*/16, 0, 19, 42);
 
   TraceRecorder recorder;
+  FlightRecorder flight;
   Options opts;
   opts.nparts = 16;
   opts.trace = &recorder;
+  opts.flight = &flight;
   const PartitionResult r = partition(g, opts);
 
   std::printf("partitioned %d vertices into %d parts: cut=%lld "
@@ -55,11 +59,17 @@ int main(int argc, char** argv) {
   }
   std::printf("\nrecorded %zu events (%d spans)\n", recorder.events().size(),
               spans);
+  std::printf("flight recorder: %llu samples, peak rss %.1f MB\n",
+              static_cast<unsigned long long>(flight.total_recorded()),
+              static_cast<double>(flight.peak_rss_bytes()) / (1024.0 * 1024.0));
 
   bool ok = recorder.save_chrome_trace(prefix + ".trace.json");
   ok = recorder.save_jsonl(prefix + ".events.jsonl") && ok;
   std::ofstream report(prefix + ".report.json");
-  if (report) write_report_json(report, analyze_partition(g, r.part, opts.nparts));
+  if (report) {
+    write_report_json(report, analyze_partition(g, r.part, opts.nparts),
+                      &flight);
+  }
   ok = static_cast<bool>(report) && ok;
   std::ofstream counters(prefix + ".counters.json");
   if (counters) r.counters.write_json(counters);

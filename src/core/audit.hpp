@@ -82,6 +82,16 @@ class InvariantAuditor {
   /// One-line summary "coarse_level=12 projection=9 ..." for reports.
   std::string summary() const;
 
+  /// Fault-injection seam for tests: let `n` more checks pass, then make
+  /// the next one throw AuditFailure even though its invariant holds.
+  /// This exercises the abort path (e.g. the flight recorder's
+  /// dump-on-failure postmortem) without having to corrupt pipeline
+  /// state. Negative disables (the default); the trip disarms itself
+  /// after firing once.
+  void set_trip_after(std::int64_t n) {
+    trip_after_.store(n, std::memory_order_relaxed);
+  }
+
   /// Raise AuditFailure with location and expression context. Public so
   /// the MCGP_AUDIT macros (and tests) can invoke it.
   [[noreturn]] void fail(const char* file, int line, const char* expr,
@@ -150,9 +160,16 @@ class InvariantAuditor {
   void bump(AuditCheck c) {
     counts_[to_size(c)].fetch_add(
         1, std::memory_order_relaxed);
+    if (trip_after_.load(std::memory_order_relaxed) >= 0 &&
+        trip_after_.fetch_sub(1, std::memory_order_relaxed) == 0) {
+      fail("<injected>", 0, "set_trip_after",
+           "injected audit failure (" + std::string(audit_check_name(c)) +
+               " test seam)");
+    }
   }
 
   const AuditLevel level_;
+  std::atomic<std::int64_t> trip_after_{-1};
   std::atomic<std::uint64_t> gain_tick_{0};
   std::atomic<std::uint64_t> counts_[to_size(
       AuditCheck::kCount_)] = {};

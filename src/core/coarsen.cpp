@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/audit.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -129,6 +130,15 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
     h.levels.push_back(CoarseLevel{std::move(coarse), std::move(cmap)});
     cur = &h.levels.back().graph;
     trace_count(params.trace, "coarsen.levels");
+    if (params.flight != nullptr) {
+      params.flight->sample_memory();
+      FlightSample fs;
+      fs.stage = FlightSample::Stage::kCoarsenLevel;
+      fs.level = level + 1;  // level of the graph just built (0 = finest)
+      fs.nvtxs = cur->nvtxs;
+      fs.nedges = cur->nedges();
+      params.flight->record(fs);
+    }
   }
 
   if (coarsen_span.enabled()) {

@@ -50,6 +50,9 @@ struct CoarsenParams {
   /// Optional invariant auditor: verifies weight/edge conservation of
   /// every contraction (see core/audit.hpp). Null = no checks.
   InvariantAuditor* audit = nullptr;
+  /// Optional flight recorder: one telemetry sample (level, coarse
+  /// nvtxs/nedges, memory high-water) per contraction. Null = no samples.
+  FlightRecorder* flight = nullptr;
 };
 
 /// Repeatedly match-and-contract until the graph is small enough or

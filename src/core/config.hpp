@@ -16,6 +16,7 @@ namespace mcgp {
 
 class TraceRecorder;
 class InvariantAuditor;
+class FlightRecorder;
 
 /// How aggressively the pipeline verifies its own bookkeeping invariants
 /// at runtime (see core/audit.hpp). Violations raise AuditFailure.
@@ -121,6 +122,16 @@ struct Options {
   /// incremental refinement bookkeeping per pass and samples FM gains.
   /// Violations throw AuditFailure. Audits never alter results.
   AuditLevel audit_level = AuditLevel::kOff;
+
+  /// Optional flight recorder (see support/flight_recorder.hpp). When
+  /// non-null the pipeline appends one telemetry sample per coarsening
+  /// level, uncoarsening level, and refinement pass (graph size, cut,
+  /// per-constraint imbalances, memory high-water marks) into its bounded
+  /// ring, and partition() dumps the retained window to the recorder's
+  /// dump path when an AuditFailure aborts the run. Null (the default)
+  /// costs one pointer test per site. Attaching a recorder never changes
+  /// results; it must outlive the run and may be shared across threads.
+  FlightRecorder* flight = nullptr;
 
   /// Optional externally owned auditor. When non-null it is used directly
   /// (its own level governs, letting callers read check counters after the

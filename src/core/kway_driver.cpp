@@ -8,6 +8,7 @@
 #include "core/project.hpp"
 #include "core/rb_driver.hpp"
 #include "graph/metrics.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -48,6 +49,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     cp.min_reduction = opts.min_coarsen_reduction;
     cp.trace = opts.trace;
     cp.audit = opts.audit;
+    cp.flight = opts.flight;
     // The coarsest graph must retain enough vertices to seed k parts.
     cp.coarsen_to = std::max<idx_t>(cp.coarsen_to, 4 * k);
     h = coarsen_graph(g, cp, rng, &ws);
@@ -105,10 +107,28 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
       sum_t cut;
       if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
         cut = kway_refine_pq(cur, k, cwhere, ub, passes, rng, nullptr, tp,
-                             opts.trace, opts.audit);
+                             opts.trace, opts.audit, opts.flight);
       } else {
         cut = kway_refine(cur, k, cwhere, ub, passes, rng, nullptr, tp,
-                          opts.trace, opts.audit);
+                          opts.trace, opts.audit, opts.flight);
+      }
+      if (opts.flight != nullptr) {
+        opts.flight->sample_memory();
+        FlightSample fs;
+        fs.stage = FlightSample::Stage::kUncoarsenKWay;
+        fs.level = l;
+        fs.ncon = cur.ncon;
+        fs.nvtxs = cur.nvtxs;
+        fs.nedges = cur.nedges();
+        fs.cut = cut;
+        const std::vector<real_t> lb =
+            tp != nullptr ? target_imbalance(cur, cwhere, k, *tp)
+                          : imbalance(cur, cwhere, k);
+        for (int i = 0; i < cur.ncon && i < kMaxNcon; ++i) {
+          fs.imbalance[i] = lb[to_size(i)];
+          fs.worst_imbalance = std::max(fs.worst_imbalance, lb[to_size(i)]);
+        }
+        opts.flight->record(fs);
       }
       if (lvl.enabled()) {
         const std::vector<real_t> lb =
@@ -125,6 +145,9 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     }
   }
 
+  if (opts.flight != nullptr) {
+    opts.flight->note_workspace(ws.footprint_bytes(), 1);
+  }
   return cwhere;
 }
 

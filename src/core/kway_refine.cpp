@@ -6,6 +6,7 @@
 #include "support/check.hpp"
 #include "graph/metrics.hpp"
 #include "support/bucket_queue.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -478,7 +479,8 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
 sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, int max_passes, Rng& rng,
                   KWayRefineStats* stats, const std::vector<real_t>* tpwgts,
-                  TraceRecorder* trace, InvariantAuditor* audit) {
+                  TraceRecorder* trace, InvariantAuditor* audit,
+                  FlightRecorder* flight) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
@@ -516,6 +518,17 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
       span.arg({"gain", gain_sum});
       span.arg({"max_overload", ctx.max_overload()});
     }
+    if (flight != nullptr) {
+      FlightSample fs;
+      fs.stage = FlightSample::Stage::kKWayPass;
+      fs.pass = pass;
+      fs.nvtxs = g.nvtxs;
+      fs.nedges = g.nedges();
+      fs.moves = moves;
+      fs.gain = gain_sum;
+      fs.worst_imbalance = ctx.max_overload();
+      flight->record(fs);
+    }
     if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
   }
 
@@ -541,7 +554,7 @@ sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                      const std::vector<real_t>& ub, int max_passes, Rng& rng,
                      KWayRefineStats* stats,
                      const std::vector<real_t>* tpwgts, TraceRecorder* trace,
-                     InvariantAuditor* audit) {
+                     InvariantAuditor* audit, FlightRecorder* flight) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
@@ -574,6 +587,17 @@ sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
       span.arg({"moves", moves});
       span.arg({"gain", gain_sum});
       span.arg({"max_overload", ctx.max_overload()});
+    }
+    if (flight != nullptr) {
+      FlightSample fs;
+      fs.stage = FlightSample::Stage::kKWayPass;
+      fs.pass = pass;
+      fs.nvtxs = g.nvtxs;
+      fs.nedges = g.nedges();
+      fs.moves = moves;
+      fs.gain = gain_sum;
+      fs.worst_imbalance = ctx.max_overload();
+      flight->record(fs);
     }
     if (moves == 0 || (gain_sum == 0 && pass + 1 >= max_passes)) break;
   }

@@ -51,13 +51,15 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
 /// A non-null `audit` verifies the incrementally maintained part weights
 /// and vertex counts against fresh recomputes when refinement finishes
 /// (kBoundaries) and, per sweep, that the accumulated move gains account
-/// exactly for the cut change (kParanoid).
+/// exactly for the cut change (kParanoid). A non-null `flight` appends
+/// one telemetry sample per sweep (moves, gain, max overload).
 sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, int max_passes, Rng& rng,
                   KWayRefineStats* stats = nullptr,
                   const std::vector<real_t>* tpwgts = nullptr,
                   TraceRecorder* trace = nullptr,
-                  InvariantAuditor* audit = nullptr);
+                  InvariantAuditor* audit = nullptr,
+                  FlightRecorder* flight = nullptr);
 
 /// Priority-queue k-way refinement: boundary vertices are kept in a gain
 /// bucket queue keyed by their best potential move (kmetis-style), so the
@@ -68,6 +70,7 @@ sum_t kway_refine_pq(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                      KWayRefineStats* stats = nullptr,
                      const std::vector<real_t>* tpwgts = nullptr,
                      TraceRecorder* trace = nullptr,
-                     InvariantAuditor* audit = nullptr);
+                     InvariantAuditor* audit = nullptr,
+                     FlightRecorder* flight = nullptr);
 
 }  // namespace mcgp

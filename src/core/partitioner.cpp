@@ -12,6 +12,7 @@
 #include "core/kway_refine.hpp"
 #include "core/rb_driver.hpp"
 #include "graph/metrics.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/random.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -134,6 +135,25 @@ AuditLevel effective_audit_level(AuditLevel opt_level) {
   return env_level >= 0 ? static_cast<AuditLevel>(env_level) : opt_level;
 }
 
+/// End-of-run summary sample: final cut, per-constraint imbalances, and a
+/// last memory reading folded into the high-water marks.
+void record_final_sample(const Graph& g, const Options& opts,
+                         const PartitionResult& r) {
+  if (opts.flight == nullptr) return;
+  opts.flight->sample_memory();
+  FlightSample fs;
+  fs.stage = FlightSample::Stage::kFinal;
+  fs.ncon = g.ncon;
+  fs.nvtxs = g.nvtxs;
+  fs.nedges = g.nedges();
+  fs.cut = r.cut;
+  fs.worst_imbalance = r.max_imbalance;
+  for (int i = 0; i < g.ncon && i < kMaxNcon; ++i) {
+    fs.imbalance[i] = r.imbalance[to_size(i)];
+  }
+  opts.flight->record(fs);
+}
+
 }  // namespace
 
 PartitionResult partition(const Graph& g, const Options& run_opts) {
@@ -171,31 +191,42 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
   if (opts.num_threads > 1) pool.emplace(opts.num_threads);
   ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
 
-  switch (opts.algorithm) {
-    case Algorithm::kRecursiveBisection: {
-      MlBisectStats stats;
-      result.part = partition_recursive_bisection(
-          g, opts, rng, &result.phases, &stats, pool_ptr);
-      result.coarsen_levels = stats.levels;
-      result.coarsest_nvtxs = stats.coarsest_nvtxs;
-      break;
+  try {
+    switch (opts.algorithm) {
+      case Algorithm::kRecursiveBisection: {
+        MlBisectStats stats;
+        result.part = partition_recursive_bisection(
+            g, opts, rng, &result.phases, &stats, pool_ptr);
+        result.coarsen_levels = stats.levels;
+        result.coarsest_nvtxs = stats.coarsest_nvtxs;
+        break;
+      }
+      case Algorithm::kKWay: {
+        KWayDriverStats stats;
+        result.part =
+            partition_kway(g, opts, rng, &result.phases, &stats, pool_ptr);
+        result.coarsen_levels = stats.levels;
+        result.coarsest_nvtxs = stats.coarsest_nvtxs;
+        break;
+      }
     }
-    case Algorithm::kKWay: {
-      KWayDriverStats stats;
-      result.part =
-          partition_kway(g, opts, rng, &result.phases, &stats, pool_ptr);
-      result.coarsen_levels = stats.levels;
-      result.coarsest_nvtxs = stats.coarsest_nvtxs;
-      break;
-    }
-  }
 
-  ensure_nonempty_parts(g, opts.nparts, result.part);
-  fill_quality(g, opts, result);
-  if (opts.audit != nullptr && opts.audit->boundaries()) {
-    opts.audit->check_final_partition(g, result.part, opts.nparts, result.cut,
-                                      "partition.final");
+    ensure_nonempty_parts(g, opts.nparts, result.part);
+    fill_quality(g, opts, result);
+    if (opts.audit != nullptr && opts.audit->boundaries()) {
+      opts.audit->check_final_partition(g, result.part, opts.nparts,
+                                        result.cut, "partition.final");
+    }
+  } catch (const AuditFailure& e) {
+    // The run is aborting; persist the retained sample window so the
+    // failing level / pass can be reconstructed postmortem.
+    if (opts.flight != nullptr) {
+      opts.flight->sample_memory();
+      opts.flight->dump_on_failure(e.what());
+    }
+    throw;
   }
+  record_final_sample(g, opts, result);
   if (run_span.enabled()) {
     run_span.arg({"cut", result.cut});
     run_span.arg({"max_imbalance", result.max_imbalance});
@@ -240,10 +271,10 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
     TraceSpan tsp(opts.trace, "refine_partition");
     if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
       kway_refine_pq(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                     tp, opts.trace, opts.audit);
+                     tp, opts.trace, opts.audit, opts.flight);
     } else {
       kway_refine(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                  tp, opts.trace, opts.audit);
+                  tp, opts.trace, opts.audit, opts.flight);
     }
   }
 
@@ -253,6 +284,7 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
     opts.audit->check_final_partition(g, result.part, opts.nparts, result.cut,
                                       "refine_partition.final");
   }
+  record_final_sample(g, opts, result);
   if (opts.trace != nullptr) result.counters = opts.trace->merged_counters();
   result.seconds = timer.seconds();
   return result;

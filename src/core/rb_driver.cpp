@@ -11,6 +11,8 @@
 #include "core/project.hpp"
 #include "core/refine2way.hpp"
 #include "graph/graph_ops.hpp"
+#include "graph/metrics.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -174,6 +176,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     cp.min_reduction = opts.min_coarsen_reduction;
     cp.trace = opts.trace;
     cp.audit = opts.audit;
+    cp.flight = opts.flight;
     h = coarsen_graph(g, cp, rng, ws);
   }
 
@@ -214,7 +217,23 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
       balance_2way(cur, cwhere, targets, rng, opts.audit);
       cut = refine_2way(cur, cwhere, targets, opts.queue_policy,
                         opts.refine_passes, opts.fm_move_limit, rng,
-                        nullptr, opts.trace, opts.audit);
+                        nullptr, opts.trace, opts.audit, opts.flight);
+      if (opts.flight != nullptr) {
+        opts.flight->sample_memory();
+        FlightSample fs;
+        fs.stage = FlightSample::Stage::kUncoarsen2Way;
+        fs.level = l;
+        fs.ncon = cur.ncon;
+        fs.nvtxs = cur.nvtxs;
+        fs.nedges = cur.nedges();
+        fs.cut = cut;
+        const std::vector<real_t> lb = imbalance(cur, cwhere, 2);
+        for (int i = 0; i < cur.ncon && i < kMaxNcon; ++i) {
+          fs.imbalance[i] = lb[to_size(i)];
+          fs.worst_imbalance = std::max(fs.worst_imbalance, lb[to_size(i)]);
+        }
+        opts.flight->record(fs);
+      }
       if (lvl.enabled()) {
         BisectionBalance bal;
         bal.init(cur, cwhere, targets);
@@ -282,7 +301,12 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
     trace_count(opts.trace, "rb.fixup");
     kway_balance(g, k, part, ub, rng, tp, opts.trace, opts.audit);
     kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp,
-                opts.trace, opts.audit);
+                opts.trace, opts.audit, opts.flight);
+  }
+  if (opts.flight != nullptr) {
+    // All leases are back (rb_recurse joined its tasks), so the pool's
+    // footprint is a stable high-water observation.
+    opts.flight->note_workspace(wspool.footprint_bytes(), wspool.size());
   }
   return part;
 }

@@ -7,6 +7,7 @@
 #include "core/audit.hpp"
 #include "support/check.hpp"
 #include "support/bucket_queue.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -57,7 +58,8 @@ class FmPass {
 
   /// Run one pass; returns true if it improved (cut or balance).
   bool run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
-           TraceRecorder* trace, InvariantAuditor* audit, int pass_index);
+           TraceRecorder* trace, InvariantAuditor* audit,
+           FlightRecorder* flight, int pass_index);
 
  private:
   struct MoveRecord {
@@ -242,7 +244,7 @@ void FmPass::rollback_to(std::size_t best_prefix, sum_t& cut) {
 
 bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
                  TraceRecorder* trace, InvariantAuditor* audit,
-                 int pass_index) {
+                 FlightRecorder* flight, int pass_index) {
   TraceSpan span(trace, "fm.pass");
   Histogram* gain_hist =
       trace != nullptr ? &trace->hist("gain.histogram") : nullptr;
@@ -339,6 +341,19 @@ bool FmPass::run(sum_t& cut, idx_t move_limit, Refine2WayStats* stats,
     span.arg({"feasible", static_cast<std::int64_t>(best_feasible ? 1 : 0)});
   }
 
+  if (flight != nullptr) {
+    FlightSample fs;
+    fs.stage = FlightSample::Stage::kFmPass;
+    fs.pass = pass_index;
+    fs.nvtxs = g_.nvtxs;
+    fs.nedges = g_.nedges();
+    fs.cut = cut;
+    fs.gain = checked_sub(start_cut, cut);
+    fs.moves = static_cast<std::int64_t>(best_prefix);
+    fs.worst_imbalance = best_potential;
+    flight->record(fs);
+  }
+
   const bool improved =
       (best_feasible && !start_feasible) || best_cut < start_cut ||
       best_potential < start_potential - 1e-12;
@@ -351,7 +366,7 @@ sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
                   const BisectionTargets& targets, QueuePolicy policy,
                   int max_passes, idx_t move_limit, Rng& rng,
                   Refine2WayStats* stats, TraceRecorder* trace,
-                  InvariantAuditor* audit) {
+                  InvariantAuditor* audit, FlightRecorder* flight) {
   if (move_limit <= 0) move_limit = std::max<idx_t>(64, g.nvtxs / 100);
 
   sum_t cut = compute_cut_2way(g, where);
@@ -359,7 +374,8 @@ sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
 
   for (int pass = 0; pass < max_passes; ++pass) {
     FmPass fm(g, where, targets, policy, rng);
-    const bool improved = fm.run(cut, move_limit, stats, trace, audit, pass);
+    const bool improved =
+        fm.run(cut, move_limit, stats, trace, audit, flight, pass);
     if (stats != nullptr) ++stats->passes;
     if (!improved) break;
   }

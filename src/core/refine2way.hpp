@@ -37,12 +37,15 @@ struct Refine2WayStats {
 /// the incremental side-weight/cut bookkeeping against fresh recomputes
 /// after every pass (kBoundaries) and cross-checks sampled queue gains
 /// against recomputed gains (kParanoid).
+/// A non-null `flight` appends one telemetry sample per pass (cut
+/// before/after, committed moves) to its bounded ring.
 sum_t refine_2way(const Graph& g, std::vector<idx_t>& where,
                   const BisectionTargets& targets, QueuePolicy policy,
                   int max_passes, idx_t move_limit, Rng& rng,
                   Refine2WayStats* stats = nullptr,
                   TraceRecorder* trace = nullptr,
-                  InvariantAuditor* audit = nullptr);
+                  InvariantAuditor* audit = nullptr,
+                  FlightRecorder* flight = nullptr);
 
 /// Dominant constraint of vertex v: index of its largest normalized weight
 /// component (ties to the lower index). Exposed for testing.

@@ -6,7 +6,9 @@
 #include <sstream>
 
 #include "graph/metrics.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/json_writer.hpp"
+#include "support/schema.hpp"
 
 namespace mcgp {
 
@@ -87,9 +89,11 @@ void print_report(std::ostream& out, const PartitionReport& rep) {
   }
 }
 
-void write_report_json(std::ostream& out, const PartitionReport& rep) {
+void write_report_json(std::ostream& out, const PartitionReport& rep,
+                       const FlightRecorder* flight) {
   JsonWriter w(out);
   w.begin_object();
+  w.member("schema_version", kMcgpSchemaVersion);
   w.member("nparts", rep.nparts);
   w.member("edge_cut", rep.edge_cut);
   w.member("communication_volume", rep.communication_volume);
@@ -117,13 +121,18 @@ void write_report_json(std::ostream& out, const PartitionReport& rep) {
     w.end_object();
   }
   w.end_array();
+  if (flight != nullptr) {
+    w.key("timeline");
+    flight->write_json_value(w);
+  }
   w.end_object();
   out << '\n';
 }
 
-std::string report_to_json(const PartitionReport& rep) {
+std::string report_to_json(const PartitionReport& rep,
+                           const FlightRecorder* flight) {
   std::ostringstream out;
-  write_report_json(out, rep);
+  write_report_json(out, rep, flight);
   return out.str();
 }
 

@@ -11,6 +11,8 @@
 
 namespace mcgp {
 
+class FlightRecorder;
+
 struct PartStats {
   idx_t vertices = 0;
   std::vector<sum_t> weights;    ///< per-constraint weight
@@ -38,8 +40,12 @@ PartitionReport analyze_partition(const Graph& g,
 void print_report(std::ostream& out, const PartitionReport& report);
 
 /// Machine-readable counterpart of print_report: serialize every report
-/// field as one JSON object.
-void write_report_json(std::ostream& out, const PartitionReport& report);
-std::string report_to_json(const PartitionReport& report);
+/// field as one JSON object (stamped with "schema_version"). A non-null
+/// `flight` additionally embeds its retained sample window plus memory
+/// high-water marks as a "timeline" section.
+void write_report_json(std::ostream& out, const PartitionReport& report,
+                       const FlightRecorder* flight = nullptr);
+std::string report_to_json(const PartitionReport& report,
+                           const FlightRecorder* flight = nullptr);
 
 }  // namespace mcgp

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "support/json_writer.hpp"
+#include "support/schema.hpp"
 
 namespace mcgp {
 
@@ -117,6 +118,7 @@ void CounterRegistry::clear() {
 void CounterRegistry::write_json(std::ostream& out) const {
   JsonWriter w(out);
   w.begin_object();
+  w.member("schema_version", kMcgpSchemaVersion);
   w.key("counters");
   w.begin_object();
   for (const auto& [name, value] : counters_) w.member(name, value);

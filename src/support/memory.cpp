@@ -1,0 +1,74 @@
+#include "support/memory.hpp"
+
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#elif defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mcgp {
+
+#if defined(__linux__)
+
+namespace {
+
+/// Read one "Vm...: <n> kB" field out of /proc/self/status. The file is
+/// tiny and the read is a handful of microseconds — cheap enough for
+/// per-level sampling, far too slow for per-move sampling.
+std::int64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    long long value = 0;
+    if (std::sscanf(line + field_len, ": %lld", &value) == 1) {
+      kb = static_cast<std::int64_t>(value);
+    }
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::int64_t current_rss_bytes() {
+  const std::int64_t kb = proc_status_kb("VmRSS");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+std::int64_t peak_rss_bytes() {
+  const std::int64_t kb = proc_status_kb("VmHWM");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+#elif defined(__unix__) || defined(__APPLE__)
+
+std::int64_t current_rss_bytes() {
+  // No portable "current RSS" outside /proc; report the high-water mark,
+  // which is the quantity the telemetry consumers actually gate on.
+  return peak_rss_bytes();
+}
+
+std::int64_t peak_rss_bytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+}
+
+#else
+
+std::int64_t current_rss_bytes() { return -1; }
+std::int64_t peak_rss_bytes() { return -1; }
+
+#endif
+
+}  // namespace mcgp

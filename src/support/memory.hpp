@@ -1,0 +1,27 @@
+// Process memory telemetry: resident-set size (current and peak).
+//
+// The multilevel pipeline's footprint is dominated by the coarse-graph
+// hierarchy plus the workspace pool, both of which grow with the input in
+// ways no single counter inside the library can see (the allocator, the
+// OS page cache, and test harness overhead all contribute). Reading the
+// kernel's own accounting is the only honest number, so these helpers
+// parse /proc/self/status (VmRSS / VmHWM) on Linux and fall back to
+// getrusage(RUSAGE_SELF) elsewhere. Platforms with neither report -1;
+// every consumer treats a negative value as "unavailable" and omits the
+// field rather than recording a lie.
+#pragma once
+
+#include <cstdint>
+
+namespace mcgp {
+
+/// Current resident-set size in bytes, or -1 when unavailable.
+std::int64_t current_rss_bytes();
+
+/// Peak (high-water) resident-set size in bytes since process start, or
+/// -1 when unavailable. Monotone over the process lifetime: a record
+/// taken mid-run reflects the largest footprint reached so far, not the
+/// footprint of the current phase.
+std::int64_t peak_rss_bytes();
+
+}  // namespace mcgp

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "support/json_writer.hpp"
+#include "support/schema.hpp"
 
 namespace mcgp {
 
@@ -117,6 +118,9 @@ void write_args_object(JsonWriter& w, const std::vector<TraceArg>& args) {
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {
   JsonWriter w(out);
   w.begin_object();
+  // Chrome's trace viewer ignores unknown top-level members, so the
+  // schema stamp rides along without breaking the consumer.
+  w.member("schema_version", kMcgpSchemaVersion);
   w.member("displayTimeUnit", "ms");
   w.key("traceEvents");
   w.begin_array();

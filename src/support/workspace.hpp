@@ -16,6 +16,7 @@
 // buffers carry no information between uses.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -44,6 +45,20 @@ struct Workspace {
   std::vector<idx_t>& g2l_map(std::size_t n) {
     if (g2l_.size() < n) g2l_.resize(n, idx_t{-1});
     return g2l_;
+  }
+
+  /// Bytes of scratch capacity this workspace currently holds (telemetry;
+  /// only meaningful while no task is mutating the workspace).
+  std::int64_t footprint_bytes() const {
+    const std::size_t b = perm.capacity() * sizeof(idx_t) +
+                          match.capacity() * sizeof(idx_t) +
+                          first.capacity() * sizeof(idx_t) +
+                          second.capacity() * sizeof(idx_t) +
+                          select.capacity() * sizeof(char) +
+                          proj.capacity() * sizeof(idx_t) +
+                          pos_.capacity() * sizeof(idx_t) +
+                          g2l_.capacity() * sizeof(idx_t);
+    return static_cast<std::int64_t>(b);
   }
 
  private:
@@ -90,6 +105,24 @@ class WorkspacePool {
     return Lease(this, ws);
   }
 
+  /// Number of workspaces ever created by this pool.
+  std::int64_t size() const {
+    MutexLock lk(mu_);
+    return static_cast<std::int64_t>(owned_.size());
+  }
+
+  /// Total scratch capacity across all pooled workspaces (telemetry).
+  /// Only meaningful once every lease has been returned — the lock
+  /// protects the pool's lists, not the leased workspaces themselves.
+  std::int64_t footprint_bytes() const {
+    MutexLock lk(mu_);
+    std::int64_t total = 0;
+    for (const std::unique_ptr<Workspace>& ws : owned_) {
+      total += ws->footprint_bytes();
+    }
+    return total;
+  }
+
  private:
   friend class Lease;
 
@@ -98,7 +131,7 @@ class WorkspacePool {
     free_.push_back(ws);
   }
 
-  Mutex mu_;
+  mutable Mutex mu_;
   std::vector<std::unique_ptr<Workspace>> owned_ MCGP_GUARDED_BY(mu_);
   std::vector<Workspace*> free_ MCGP_GUARDED_BY(mu_);
 };

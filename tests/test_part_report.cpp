@@ -9,6 +9,7 @@
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
 #include "json_test_util.hpp"
+#include "support/schema.hpp"
 
 namespace mcgp {
 namespace {
@@ -93,6 +94,9 @@ TEST(PartReport, JsonMatchesAnalyzedFields) {
   const auto doc = testing::parse_json(report_to_json(rep));
   ASSERT_TRUE(doc.has_value());
   ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->find("schema_version"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("schema_version")->number,
+                   static_cast<double>(kMcgpSchemaVersion));
   EXPECT_DOUBLE_EQ(doc->find("nparts")->number, 5.0);
   EXPECT_DOUBLE_EQ(doc->find("edge_cut")->number,
                    static_cast<double>(rep.edge_cut));

@@ -11,6 +11,7 @@
 #include "gen/weight_gen.hpp"
 #include "json_test_util.hpp"
 #include "support/counters.hpp"
+#include "support/schema.hpp"
 
 namespace mcgp {
 namespace {
@@ -162,6 +163,9 @@ TEST(TraceExport, ChromeTraceRoundTrip) {
   const auto doc = parse_json(out.str());
   ASSERT_TRUE(doc.has_value()) << out.str();
   ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->find("schema_version"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("schema_version")->number,
+                   static_cast<double>(kMcgpSchemaVersion));
   const JsonValue* events = doc->find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
@@ -229,6 +233,9 @@ TEST(TraceExport, CountersJsonRoundTrip) {
 
   const auto doc = parse_json(out.str());
   ASSERT_TRUE(doc.has_value()) << out.str();
+  ASSERT_NE(doc->find("schema_version"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("schema_version")->number,
+                   static_cast<double>(kMcgpSchemaVersion));
   const JsonValue* counters = doc->find("counters");
   ASSERT_NE(counters, nullptr);
   EXPECT_DOUBLE_EQ(counters->find("fm.moves")->number, 12.0);
