@@ -7,14 +7,22 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "gen/mesh_gen.hpp"
 #include "graph/part_report.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/run_ledger.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp::bench {
+
+namespace {
+bool g_profile_requested = false;
+}  // namespace
+
+bool profile_requested() { return g_profile_requested; }
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -45,11 +53,15 @@ Args parse_args(int argc, char** argv) {
     } else if (a.rfind("--ledger=", 0) == 0) {
       args.ledger_path = a.substr(9);
       if (args.ledger_path.empty()) args.ledger_path = "none";
+    } else if (a == "--profile") {
+      args.profile = true;
+      g_profile_requested = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--scale=<f>] [--reps=<n>] [--quick]"
                 << " [--threads=<a,b,...>] [--json=<path>]"
-                << " [--trace-dir=<dir>] [--ledger=<path|none>]\n";
+                << " [--trace-dir=<dir>] [--ledger=<path|none>]"
+                << " [--profile]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
@@ -134,14 +146,23 @@ RunSummary run_average(const Graph& g, Options opts, int reps,
   RunSummary s;
   for (int r = 0; r < reps; ++r) {
     opts.seed = static_cast<std::uint64_t>(r + 1);
+    // One profiler per rep so each ledger record carries that rep's own
+    // counters rather than a running sum across seeds.
+    std::optional<Profiler> prof;
+    if (profile_requested()) {
+      prof.emplace();
+      opts.profile = &*prof;
+    }
     const PartitionResult res = partition(g, opts);
     s.cut += static_cast<double>(res.cut);
     s.max_imbalance += res.max_imbalance;
     s.seconds += res.seconds;
     if (sink != nullptr && !sink->path.empty()) {
       append_run_record(
-          sink->path, make_run_record(sink->experiment, graph_name, g, opts, res));
+          sink->path, make_run_record(sink->experiment, graph_name, g, opts,
+                                      res, opts.profile));
     }
+    opts.profile = nullptr;
   }
   s.cut /= reps;
   s.max_imbalance /= reps;
@@ -159,6 +180,11 @@ bool emit_trace_artifacts(const Args& args, const std::string& name,
   FlightRecorder flight;
   opts.trace = &recorder;
   opts.flight = &flight;
+  std::optional<Profiler> prof;
+  if (args.profile || profile_requested()) {
+    prof.emplace();
+    opts.profile = &*prof;
+  }
   const PartitionResult res = partition(g, opts);
 
   const std::string base = args.trace_dir + "/" + name;
@@ -168,7 +194,7 @@ bool emit_trace_artifacts(const Args& args, const std::string& name,
   std::ofstream report(base + ".report.json");
   if (report) {
     write_report_json(report, analyze_partition(g, res.part, opts.nparts),
-                      &flight);
+                      &flight, opts.profile);
   }
   ok = static_cast<bool>(report) && ok;
 

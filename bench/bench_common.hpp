@@ -27,12 +27,20 @@ struct Args {
   /// Run-ledger path override (--ledger=<path>). Empty = each bench's
   /// default ledger file (e.g. BENCH_runtime.json). "none" disables.
   std::string ledger_path;
+  /// Attach a hardware-counter profiler (--profile) to every partition
+  /// run_average / emit_trace_artifacts performs; ledger records and
+  /// report artifacts then carry "profile" sections.
+  bool profile = false;
 };
 
 /// Parse --scale=<f>, --reps=<n>, --quick, --threads=<a,b,...>,
-/// --json=<path>, --trace-dir=<dir>, --ledger=<path|none>. Unknown
-/// arguments abort with a usage message.
+/// --json=<path>, --trace-dir=<dir>, --ledger=<path|none>, --profile.
+/// Unknown arguments abort with a usage message.
 Args parse_args(int argc, char** argv);
+
+/// True once parse_args saw --profile (module-level so run_average picks
+/// it up without threading Args through every bench call site).
+bool profile_requested();
 
 /// Where a bench appends its per-run ledger records: --ledger wins, then
 /// the bench's default file; --ledger=none (empty result) disables.

@@ -12,6 +12,7 @@
 #include "gen/weight_gen.hpp"
 #include "graph/graph_ops.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/workspace.hpp"
 
 namespace {
@@ -209,6 +210,33 @@ void BM_PartitionFlightRecorder(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.nvtxs);
 }
 BENCHMARK(BM_PartitionFlightRecorder)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+// Cost of the hardware-counter profiler per partition call: detached
+// (null Options::profile, one pointer test per scope) must be within
+// noise of no profiler at all — the PR's 1%-overhead gate; attached pays
+// two counter-group reads plus one mutex-guarded fold per scope.
+void BM_PartitionProfiled(benchmark::State& state) {
+  const Graph g = make_bench_graph(150, 3);
+  Options o;
+  o.nparts = 32;
+  o.algorithm = state.range(0) == 0 ? Algorithm::kRecursiveBisection
+                                    : Algorithm::kKWay;
+  Profiler prof;
+  o.profile = state.range(1) != 0 ? &prof : nullptr;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    prof.clear();
+    const PartitionResult r = partition(g, o);
+    benchmark::DoNotOptimize(r.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_PartitionProfiled)
     ->Args({0, 0})
     ->Args({0, 1})
     ->Args({1, 0})

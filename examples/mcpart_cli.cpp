@@ -22,11 +22,15 @@
 //   --refine=<partfile>  refine an existing partition instead of partitioning
 //   --progress           live per-level progress lines on stderr
 //   --ledger=<path>      append one JSONL run record to <path>
+//   --profile            hardware-counter profiling (perf_event_open)
+//   --report-json=<path> write the machine-readable run report to <path>
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/audit.hpp"
@@ -36,6 +40,7 @@
 #include "graph/part_report.hpp"
 #include "mesh/mesh.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/run_ledger.hpp"
 
 namespace {
@@ -81,7 +86,13 @@ void usage(const char* argv0) {
       << "  --refine=<partfile> refine an existing partition in place\n"
       << "                      instead of partitioning from scratch\n"
       << "  --progress          live per-level progress lines on stderr\n"
-      << "  --ledger=<path>     append one JSONL run record to <path>\n";
+      << "  --ledger=<path>     append one JSONL run record to <path>\n"
+      << "  --profile           per-phase hardware counters via\n"
+      << "                      perf_event_open (degrades gracefully when\n"
+      << "                      the kernel refuses; see README Profiling)\n"
+      << "  --report-json=<path> write the machine-readable run report\n"
+      << "                      (with timeline/profile sections when\n"
+      << "                      attached) to <path>\n";
 }
 
 }  // namespace
@@ -110,6 +121,8 @@ int main(int argc, char** argv) {
   std::string refine_path;
   bool progress = false;
   std::string ledger_path;
+  bool profile = false;
+  std::string report_json_path;
 
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -159,6 +172,14 @@ int main(int argc, char** argv) {
         std::cerr << "error: --ledger needs a file path\n";
         return 2;
       }
+    } else if (a == "--profile") {
+      profile = true;
+    } else if (a.rfind("--report-json=", 0) == 0) {
+      report_json_path = a.substr(14);
+      if (report_json_path.empty()) {
+        std::cerr << "error: --report-json needs a file path\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown option: " << a << "\n";
       usage(argv[0]);
@@ -187,6 +208,20 @@ int main(int argc, char** argv) {
     FlightRecorder flight;
     if (progress || !ledger_path.empty()) opts.flight = &flight;
     if (progress) flight.set_on_sample(&print_progress);
+
+    // The profiler likewise only observes; partitions are bit-identical
+    // with or without it. When the kernel refuses the counters it stays
+    // attached and reports "available": false instead of failing the run.
+    std::optional<Profiler> prof;
+    if (profile) {
+      prof.emplace();
+      opts.profile = &*prof;
+      if (!prof->counters_available()) {
+        std::cerr << "mcpart: hardware counters unavailable ("
+                  << prof->status() << "); profiling degrades to "
+                  << "wall-clock only\n";
+      }
+    }
 
     PartitionResult r;
     if (!refine_path.empty()) {
@@ -218,10 +253,49 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
 
+    if (prof.has_value() && prof->counters_available()) {
+      const ProfBucket run = prof->phase_total("run");
+      std::cout << "profile:";
+      const std::int64_t cycles =
+          run.counters[static_cast<int>(PerfCounter::kCycles)];
+      const std::int64_t instr =
+          run.counters[static_cast<int>(PerfCounter::kInstructions)];
+      if (prof->counter_open(PerfCounter::kCycles)) {
+        std::cout << " cycles=" << cycles;
+      }
+      if (prof->counter_open(PerfCounter::kInstructions)) {
+        std::cout << " instructions=" << instr;
+      }
+      if (cycles > 0 && prof->counter_open(PerfCounter::kInstructions)) {
+        std::cout << " ipc="
+                  << static_cast<double>(instr) / static_cast<double>(cycles);
+      }
+      if (prof->counter_open(PerfCounter::kTaskClock)) {
+        std::cout << " task_clock="
+                  << static_cast<double>(run.counters[static_cast<int>(
+                         PerfCounter::kTaskClock)]) *
+                         1e-9
+                  << "s";
+      }
+      std::cout << "\n";
+    }
+
     if (report) {
       std::cout << "\n";
       print_report(std::cout, analyze_partition(g, r.part, nparts));
       std::cout << "\n";
+    }
+
+    if (!report_json_path.empty()) {
+      std::ofstream rj(report_json_path);
+      if (!rj) {
+        std::cerr << "error: cannot write report to " << report_json_path
+                  << "\n";
+        return 1;
+      }
+      write_report_json(rj, analyze_partition(g, r.part, nparts),
+                        opts.flight, opts.profile);
+      std::cout << "report:  wrote " << report_json_path << "\n";
     }
 
     if (write_out) {
@@ -234,7 +308,8 @@ int main(int argc, char** argv) {
 
     if (!ledger_path.empty() &&
         append_run_record(ledger_path,
-                          make_run_record("mcpart", graph_path, g, opts, r))) {
+                          make_run_record("mcpart", graph_path, g, opts, r,
+                                          opts.profile))) {
       std::cout << "ledger:  appended to " << ledger_path << "\n";
     }
   } catch (const std::exception& e) {

@@ -4,6 +4,7 @@
 
 #include "core/audit.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -95,9 +96,12 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
     if (cur->nvtxs <= params.coarsen_to) break;
 
     TraceSpan sp(params.trace, "coarsen.level");
+    ProfScope match_scope(params.profile, "coarsen.matching", level);
+    match_scope.work(cur->nedges(), cur->nvtxs);
     compute_matching_into(*cur, params.scheme, rng, match, params.trace, ws);
     std::vector<idx_t> cmap;  // kept by the hierarchy: allocated fresh
     const idx_t ncoarse = build_coarse_map(*cur, match, cmap);
+    match_scope.finish();
 
     if (sp.enabled()) {
       idx_t singletons = 0;
@@ -123,7 +127,10 @@ Hierarchy coarsen_graph(const Graph& g, const CoarsenParams& params, Rng& rng,
       break;
     }
 
+    ProfScope contract_scope(params.profile, "coarsen.contract", level);
+    contract_scope.work(cur->nedges(), cur->nvtxs);
     Graph coarse = contract_graph(*cur, cmap, ncoarse, ws);
+    contract_scope.finish();
     if (params.audit != nullptr && params.audit->boundaries()) {
       params.audit->check_coarse_level(*cur, coarse, cmap, "coarsen.level");
     }

@@ -53,6 +53,9 @@ struct CoarsenParams {
   /// Optional flight recorder: one telemetry sample (level, coarse
   /// nvtxs/nedges, memory high-water) per contraction. Null = no samples.
   FlightRecorder* flight = nullptr;
+  /// Optional hardware-counter profiler: one measured interval per level
+  /// for matching and for contraction. Null = one pointer test per level.
+  Profiler* profile = nullptr;
 };
 
 /// Repeatedly match-and-contract until the graph is small enough or

@@ -17,6 +17,7 @@ namespace mcgp {
 class TraceRecorder;
 class InvariantAuditor;
 class FlightRecorder;
+class Profiler;
 
 /// How aggressively the pipeline verifies its own bookkeeping invariants
 /// at runtime (see core/audit.hpp). Violations raise AuditFailure.
@@ -132,6 +133,17 @@ struct Options {
   /// costs one pointer test per site. Attaching a recorder never changes
   /// results; it must outlive the run and may be shared across threads.
   FlightRecorder* flight = nullptr;
+
+  /// Optional hardware-counter profiler (see support/perf_counters.hpp).
+  /// When non-null the pipeline measures cycles / instructions / LLC /
+  /// branch counters (plus wall time and work items) over every phase at
+  /// every hierarchy level and aggregates them into the profiler's
+  /// (phase, level) buckets; null (the default) costs one pointer test
+  /// per site. Where perf_event_open is unavailable the profiler still
+  /// aggregates wall time and reports itself as counters-unavailable.
+  /// Attaching a profiler never changes results; it must outlive the run
+  /// and may be shared across the run's worker threads.
+  Profiler* profile = nullptr;
 
   /// Optional externally owned auditor. When non-null it is used directly
   /// (its own level governs, letting callers read check counters after the

@@ -9,6 +9,7 @@
 #include "core/rb_driver.hpp"
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -50,6 +51,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
     cp.trace = opts.trace;
     cp.audit = opts.audit;
     cp.flight = opts.flight;
+    cp.profile = opts.profile;
     // The coarsest graph must retain enough vertices to seed k parts.
     cp.coarsen_to = std::max<idx_t>(cp.coarsen_to, 4 * k);
     h = coarsen_graph(g, cp, rng, &ws);
@@ -67,7 +69,14 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
   {
     ScopedPhase sp(pt, "initpart");
     TraceSpan tsp(opts.trace, "initpart.kway");
+    ProfScope ps(opts.profile, "initpart");
+    ps.work(h.coarsest().nedges(), h.coarsest().nvtxs);
     Options init_opts = opts;
+    // The nested recursive bisection of the coarsest graph runs its own
+    // coarsen/refine scopes; detach the profiler there so its cost lands
+    // in this "initpart" bucket instead of polluting the top hierarchy's
+    // per-level coarsen trend with coarsest-graph mini-hierarchies.
+    init_opts.profile = nullptr;
     init_opts.nparts = k;
     init_opts.coarsen_to = 0;  // let the bisections pick their own size
     init_opts.ubvec.resize(to_size(g.ncon));
@@ -104,6 +113,12 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
       const int passes = l == 0 ? opts.kway_passes + 2 : opts.kway_passes;
       const std::vector<real_t>* tp =
           opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+      ProfScope ps(opts.profile,
+                   opts.kway_scheme == KWayRefineScheme::kPriorityQueue
+                       ? "kway_refine_pq"
+                       : "kway_refine",
+                   l);
+      ps.work(cur.nedges(), cur.nvtxs);
       sum_t cut;
       if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
         cut = kway_refine_pq(cur, k, cwhere, ub, passes, rng, nullptr, tp,
@@ -112,6 +127,7 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
         cut = kway_refine(cur, k, cwhere, ub, passes, rng, nullptr, tp,
                           opts.trace, opts.audit, opts.flight);
       }
+      ps.finish();
       if (opts.flight != nullptr) {
         opts.flight->sample_memory();
         FlightSample fs;

@@ -13,6 +13,7 @@
 #include "core/rb_driver.hpp"
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/random.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -175,6 +176,12 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
   PartitionResult result;
   Rng rng(opts.seed);
 
+  // Whole-run measurement interval: every nested scope is inside it, so
+  // the "run" bucket counts each cycle exactly once — the denominator for
+  // per-phase shares and the run-ledger headline.
+  ProfScope run_prof(opts.profile, "run");
+  run_prof.work(g.nedges(), g.nvtxs);
+
   TraceSpan run_span(opts.trace, "partition");
   if (run_span.enabled()) {
     run_span.arg({"nvtxs", g.nvtxs});
@@ -259,6 +266,9 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   PartitionResult result;
   Rng rng(opts.seed);
 
+  ProfScope run_prof(opts.profile, "run");
+  run_prof.work(g.nedges(), g.nvtxs);
+
   std::vector<real_t> ub(to_size(g.ncon));
   for (int i = 0; i < g.ncon; ++i) {
     ub[to_size(i)] = opts.ub_for(i);
@@ -269,6 +279,12 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   {
     ScopedPhase sp(result.phases, "refine");
     TraceSpan tsp(opts.trace, "refine_partition");
+    ProfScope ps(opts.profile,
+                 opts.kway_scheme == KWayRefineScheme::kPriorityQueue
+                     ? "kway_refine_pq"
+                     : "kway_refine",
+                 0);
+    ps.work(g.nedges(), g.nvtxs);
     if (opts.kway_scheme == KWayRefineScheme::kPriorityQueue) {
       kway_refine_pq(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
                      tp, opts.trace, opts.audit, opts.flight);

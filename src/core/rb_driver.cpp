@@ -13,6 +13,7 @@
 #include "graph/graph_ops.hpp"
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -177,6 +178,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     cp.trace = opts.trace;
     cp.audit = opts.audit;
     cp.flight = opts.flight;
+    cp.profile = opts.profile;
     h = coarsen_graph(g, cp, rng, ws);
   }
 
@@ -189,6 +191,8 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
   std::vector<idx_t> cwhere;
   {
     ScopedPhase sp(pt, "initpart");
+    ProfScope ps(opts.profile, "initpart");
+    ps.work(coarsest.nedges(), coarsest.nvtxs);
     init_bisection(coarsest, cwhere, targets, opts.init_scheme,
                    opts.init_trials, opts.queue_policy, rng, opts.trace,
                    pool, opts.audit);
@@ -214,10 +218,13 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
         std::swap(cwhere, proj);  // ping-pong: both buffers stay warm
       }
       TraceSpan lvl(opts.trace, "uncoarsen.level");
+      ProfScope ps(opts.profile, "refine2way", l);
+      ps.work(cur.nedges(), cur.nvtxs);
       balance_2way(cur, cwhere, targets, rng, opts.audit);
       cut = refine_2way(cur, cwhere, targets, opts.queue_policy,
                         opts.refine_passes, opts.fm_move_limit, rng,
                         nullptr, opts.trace, opts.audit, opts.flight);
+      ps.finish();
       if (opts.flight != nullptr) {
         opts.flight->sample_memory();
         FlightSample fs;
@@ -299,6 +306,8 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
       opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
   if (!kway_feasible(g, compute_part_weights(g, part, k), k, ub, tp)) {
     trace_count(opts.trace, "rb.fixup");
+    ProfScope ps(opts.profile, "rb.fixup");
+    ps.work(g.nedges(), g.nvtxs);
     kway_balance(g, k, part, ub, rng, tp, opts.trace, opts.audit);
     kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp,
                 opts.trace, opts.audit, opts.flight);

@@ -8,6 +8,7 @@
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/json_writer.hpp"
+#include "support/perf_counters.hpp"
 #include "support/schema.hpp"
 
 namespace mcgp {
@@ -90,7 +91,7 @@ void print_report(std::ostream& out, const PartitionReport& rep) {
 }
 
 void write_report_json(std::ostream& out, const PartitionReport& rep,
-                       const FlightRecorder* flight) {
+                       const FlightRecorder* flight, const Profiler* prof) {
   JsonWriter w(out);
   w.begin_object();
   w.member("schema_version", kMcgpSchemaVersion);
@@ -125,14 +126,19 @@ void write_report_json(std::ostream& out, const PartitionReport& rep,
     w.key("timeline");
     flight->write_json_value(w);
   }
+  if (prof != nullptr) {
+    w.key("profile");
+    prof->write_json_value(w);
+  }
   w.end_object();
   out << '\n';
 }
 
 std::string report_to_json(const PartitionReport& rep,
-                           const FlightRecorder* flight) {
+                           const FlightRecorder* flight,
+                           const Profiler* prof) {
   std::ostringstream out;
-  write_report_json(out, rep, flight);
+  write_report_json(out, rep, flight, prof);
   return out.str();
 }
 

@@ -12,6 +12,7 @@
 namespace mcgp {
 
 class FlightRecorder;
+class Profiler;
 
 struct PartStats {
   idx_t vertices = 0;
@@ -42,10 +43,14 @@ void print_report(std::ostream& out, const PartitionReport& report);
 /// Machine-readable counterpart of print_report: serialize every report
 /// field as one JSON object (stamped with "schema_version"). A non-null
 /// `flight` additionally embeds its retained sample window plus memory
-/// high-water marks as a "timeline" section.
+/// high-water marks as a "timeline" section; a non-null `prof` embeds its
+/// per-phase hardware-counter aggregates as a "profile" section (emitted
+/// with "available": false when the kernel refused the counters).
 void write_report_json(std::ostream& out, const PartitionReport& report,
-                       const FlightRecorder* flight = nullptr);
+                       const FlightRecorder* flight = nullptr,
+                       const Profiler* prof = nullptr);
 std::string report_to_json(const PartitionReport& report,
-                           const FlightRecorder* flight = nullptr);
+                           const FlightRecorder* flight = nullptr,
+                           const Profiler* prof = nullptr);
 
 }  // namespace mcgp

@@ -1,6 +1,7 @@
 #include "support/flight_recorder.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <utility>
@@ -103,6 +104,21 @@ void FlightRecorder::set_dump_path(std::string path) {
   dump_path_ = std::move(path);
 }
 
+std::string FlightRecorder::resolved_dump_path() const {
+  // Relative paths land in whatever directory the process happens to be
+  // in, which for a test harness or daemon is rarely where anyone looks.
+  // MCGP_POSTMORTEM_DIR redirects them without code changes; absolute
+  // paths set via set_dump_path() are honored as-is. Resolved at dump
+  // time so the environment can change after the recorder is built.
+  if (!dump_path_.empty() && dump_path_.front() == '/') return dump_path_;
+  const char* dir = std::getenv("MCGP_POSTMORTEM_DIR");
+  if (dir == nullptr || *dir == '\0') return dump_path_;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  path += dump_path_;
+  return path;
+}
+
 void FlightRecorder::clear() {
   MutexLock lk(mu_);
   ring_.clear();
@@ -173,7 +189,7 @@ void FlightRecorder::write_json(std::ostream& out) const {
 
 bool FlightRecorder::dump_on_failure(const std::string& what) const noexcept {
   try {
-    std::ofstream out(dump_path_);
+    std::ofstream out(resolved_dump_path());
     if (!out) return false;
     JsonWriter w(out);
     w.begin_object();

@@ -114,9 +114,16 @@ class FlightRecorder {
   /// recorder). Set before the run starts; null disables.
   void set_on_sample(std::function<void(const FlightSample&)> cb);
 
-  /// Where dump_on_failure() writes its postmortem JSON.
+  /// Where dump_on_failure() writes its postmortem JSON. Relative paths
+  /// (the default is one) are resolved against the MCGP_POSTMORTEM_DIR
+  /// environment variable at dump time when it is set and non-empty,
+  /// falling back to the working directory; absolute paths are used
+  /// as-is.
   void set_dump_path(std::string path);
   const std::string& dump_path() const { return dump_path_; }
+  /// dump_path() after MCGP_POSTMORTEM_DIR resolution — the file
+  /// dump_on_failure() would write right now.
+  std::string resolved_dump_path() const;
 
   /// Serialize the retained window plus memory high-water marks as one
   /// JSON object: {"schema_version", "capacity", "total_recorded",

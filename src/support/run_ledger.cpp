@@ -8,7 +8,9 @@
 #include "graph/csr_graph.hpp"
 #include "support/json_writer.hpp"
 #include "support/memory.hpp"
+#include "support/perf_counters.hpp"
 #include "support/schema.hpp"
+#include "support/sysinfo.hpp"
 
 namespace mcgp {
 
@@ -26,7 +28,7 @@ const char* algorithm_ledger_name(const Options& opts) {
 
 RunRecord make_run_record(std::string experiment, std::string graph_name,
                           const Graph& g, const Options& opts,
-                          const PartitionResult& r) {
+                          const PartitionResult& r, const Profiler* prof) {
   RunRecord rec;
   rec.experiment = std::move(experiment);
   rec.algorithm = algorithm_ledger_name(opts);
@@ -41,6 +43,24 @@ RunRecord make_run_record(std::string experiment, std::string graph_name,
   rec.seconds = r.seconds;
   rec.phases = r.phases.entries();
   rec.peak_rss_bytes = peak_rss_bytes();
+  const HostInfo& hi = host_info();
+  rec.host = hi.hostname;
+  rec.cpu = hi.cpu_model;
+  rec.cores = hi.cores;
+  if (prof != nullptr) {
+    rec.profile_attached = true;
+    rec.profile_available = prof->counters_available();
+    rec.profile_status = prof->status();
+    if (rec.profile_available) {
+      const ProfBucket run = prof->phase_total("run");
+      for (int c = 0; c < kNumPerfCounters; ++c) {
+        const auto pc = static_cast<PerfCounter>(c);
+        if (!prof->counter_open(pc)) continue;
+        rec.profile_counters.emplace_back(perf_counter_name(pc),
+                                          run.counters[c]);
+      }
+    }
+  }
   return rec;
 }
 
@@ -69,6 +89,19 @@ void write_run_record(std::ostream& out, const RunRecord& rec) {
   w.end_object();
   if (rec.peak_rss_bytes >= 0) {
     w.member("peak_rss_bytes", rec.peak_rss_bytes);
+  }
+  if (!rec.host.empty()) w.member("host", rec.host);
+  if (!rec.cpu.empty()) w.member("cpu", rec.cpu);
+  if (rec.cores > 0) w.member("cores", static_cast<std::int64_t>(rec.cores));
+  if (rec.profile_attached) {
+    w.key("profile");
+    w.begin_object();
+    w.member("available", rec.profile_available);
+    w.member("status", rec.profile_status);
+    for (const auto& [name, value] : rec.profile_counters) {
+      w.member(name, value);
+    }
+    w.end_object();
   }
   w.end_object();
   out << '\n';

@@ -23,6 +23,7 @@ namespace mcgp {
 struct Graph;
 struct Options;
 struct PartitionResult;
+class Profiler;
 
 /// One ledger line. The (experiment, algorithm, graph, nparts, ncon,
 /// threads, seed) tuple is the identity diff.py joins baseline and
@@ -42,6 +43,21 @@ struct RunRecord {
   double seconds = 0.0;
   std::vector<std::pair<std::string, double>> phases;  ///< (name, seconds)
   std::int64_t peak_rss_bytes = -1;  ///< process high-water; -1 = unknown
+
+  // Machine identity, so longitudinal ledgers spanning hosts stay
+  // interpretable. diff.py ignores keys it does not know, so records
+  // carrying these remain comparable against pre-existing baselines.
+  std::string host;       ///< hostname; empty = unknown
+  std::string cpu;        ///< CPU model string; empty = unknown
+  int cores = 0;          ///< logical cores; 0 = unknown
+
+  // Headline hardware counters for the whole run (the profiler's "run"
+  // phase), present only when a profiler was attached.
+  bool profile_attached = false;
+  bool profile_available = false;
+  std::string profile_status;
+  /// (counter name, multiplexing-scaled value) for every open counter.
+  std::vector<std::pair<std::string, std::int64_t>> profile_counters;
 };
 
 /// The `git describe --always --dirty` of the build (baked in at
@@ -53,10 +69,14 @@ const char* algorithm_ledger_name(const Options& opts);
 
 /// Assemble a record from a finished run: identity fields from
 /// (experiment, graph_name, g, opts), metrics (cut, imbalances, wall and
-/// phase times) from `r`, peak RSS read from the kernel now.
+/// phase times) from `r`, peak RSS read from the kernel now, host identity
+/// from support/sysinfo. A non-null `prof` additionally stamps the record
+/// with the run's headline hardware counters (or its unavailability
+/// status when the kernel refused the counters).
 RunRecord make_run_record(std::string experiment, std::string graph_name,
                           const Graph& g, const Options& opts,
-                          const PartitionResult& r);
+                          const PartitionResult& r,
+                          const Profiler* prof = nullptr);
 
 /// Serialize one record as a single JSON line (newline-terminated).
 void write_run_record(std::ostream& out, const RunRecord& rec);

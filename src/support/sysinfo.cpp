@@ -1,0 +1,56 @@
+#include "support/sysinfo.hpp"
+
+#include <fstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace mcgp {
+
+namespace {
+
+std::string read_hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return std::string(buf);
+  }
+#endif
+  return "unknown";
+}
+
+std::string read_cpu_model() {
+  // Linux: the first "model name" line of /proc/cpuinfo. Other systems
+  // (or ARM kernels without the field) fall through to "unknown".
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::string::size_type colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::string::size_type start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    if (start < line.size()) return line.substr(start);
+    break;
+  }
+  return "unknown";
+}
+
+HostInfo read_host_info() {
+  HostInfo info;
+  info.hostname = read_hostname();
+  info.cpu_model = read_cpu_model();
+  info.cores = static_cast<int>(std::thread::hardware_concurrency());
+  return info;
+}
+
+}  // namespace
+
+const HostInfo& host_info() {
+  static const HostInfo info = read_host_info();
+  return info;
+}
+
+}  // namespace mcgp

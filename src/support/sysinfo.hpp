@@ -1,0 +1,23 @@
+// Host identity for telemetry records: hostname, CPU model, core count.
+//
+// Run-ledger lines and profile baselines are only comparable within one
+// machine; stamping each record with the host that produced it keeps a
+// ledger that accumulated lines from a laptop and a CI runner honest
+// (mcgp_bench_diff joins on run identity and ignores these keys, so old
+// baselines keep working).
+#pragma once
+
+#include <string>
+
+namespace mcgp {
+
+struct HostInfo {
+  std::string hostname;   ///< gethostname(); "unknown" when unavailable
+  std::string cpu_model;  ///< /proc/cpuinfo "model name"; "unknown" elsewhere
+  int cores = 0;          ///< hardware_concurrency(); 0 = unknown
+};
+
+/// Read once per process (the values cannot change mid-run), then cached.
+const HostInfo& host_info();
+
+}  // namespace mcgp

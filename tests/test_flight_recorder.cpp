@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -280,6 +281,42 @@ TEST(FlightPipeline, AuditFailureDumpsPostmortem) {
   ASSERT_NE(samples, nullptr);
   EXPECT_FALSE(samples->array.empty());
   std::remove(dump_path.c_str());
+}
+
+TEST(FlightRecorder, PostmortemDirEnvRedirectsRelativeDumpPaths) {
+  FlightRecorder fr;
+  // Default path is relative, so it follows the environment override.
+  ASSERT_NE(fr.dump_path().front(), '/');
+  std::string dir = ::testing::TempDir();  // ends with '/'
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  ::setenv("MCGP_POSTMORTEM_DIR", dir.c_str(), 1);
+  EXPECT_EQ(fr.resolved_dump_path(), dir + "/" + fr.dump_path());
+
+  // The dump itself must land in the redirected location.
+  fr.record(make_sample(FlightSample::Stage::kFinal, 3));
+  ASSERT_TRUE(fr.dump_on_failure("redirect test"));
+  const std::string expected = dir + "/" + fr.dump_path();
+  std::ifstream in(expected);
+  ASSERT_TRUE(in.good()) << "no postmortem at " << expected;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = testing::parse_json(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_NE(doc->find("error"), nullptr);
+  std::remove(expected.c_str());
+
+  // Absolute paths are explicit choices and ignore the override.
+  const std::string abs = ::testing::TempDir() + "mcgp_abs_dump_test.json";
+  fr.set_dump_path(abs);
+  ::setenv("MCGP_POSTMORTEM_DIR", "/nonexistent-dir", 1);
+  EXPECT_EQ(fr.resolved_dump_path(), abs);
+
+  // Unset (and empty) environment falls back to the path as given.
+  fr.set_dump_path("relative_dump.json");
+  ::setenv("MCGP_POSTMORTEM_DIR", "", 1);
+  EXPECT_EQ(fr.resolved_dump_path(), "relative_dump.json");
+  ::unsetenv("MCGP_POSTMORTEM_DIR");
+  EXPECT_EQ(fr.resolved_dump_path(), "relative_dump.json");
 }
 
 TEST(FlightPipeline, ReportJsonEmbedsTimeline) {

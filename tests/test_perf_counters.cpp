@@ -1,0 +1,257 @@
+#include "support/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "json_test_util.hpp"
+#include "support/json_writer.hpp"
+#include "support/schema.hpp"
+
+namespace mcgp {
+namespace {
+
+/// RAII environment override (MCGP_PERF_DISABLE is read per Profiler
+/// construction, so scoping the variable scopes the forced fallback).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+Graph make_pipeline_graph() {
+  Graph g = tri_grid2d(40, 40);
+  apply_type_s_weights(g, 2, 8, 0, 19, 7);
+  return g;
+}
+
+// --- multiplexing-scaling math on synthetic readings -----------------------
+
+TEST(PerfScale, NeverScheduledReadsZero) {
+  EXPECT_EQ(perf_scale(12345, 1000000, 0), 0);
+}
+
+TEST(PerfScale, FullyScheduledIsUnscaled) {
+  EXPECT_EQ(perf_scale(12345, 1000000, 1000000), 12345);
+  // running > enabled (clock skew between the two kernel reads) must not
+  // scale the value down.
+  EXPECT_EQ(perf_scale(12345, 1000000, 1000001), 12345);
+}
+
+TEST(PerfScale, HalfScheduledDoubles) {
+  EXPECT_EQ(perf_scale(500, 1000000, 500000), 1000);
+  EXPECT_EQ(perf_scale(300, 900000, 300000), 900);
+}
+
+TEST(PerfScale, ZeroRawStaysZero) {
+  EXPECT_EQ(perf_scale(0, 1000000, 250000), 0);
+}
+
+// --- forced fallback via MCGP_PERF_DISABLE ---------------------------------
+
+TEST(Profiler, EnvDisableForcesTheUnavailablePath) {
+  ScopedEnv env("MCGP_PERF_DISABLE", "1");
+  Profiler prof;
+  EXPECT_FALSE(prof.counters_available());
+  EXPECT_NE(prof.status().find("MCGP_PERF_DISABLE"), std::string::npos)
+      << prof.status();
+  EXPECT_EQ(prof.thread_group(), nullptr);
+  for (int c = 0; c < kNumPerfCounters; ++c) {
+    EXPECT_FALSE(prof.counter_open(static_cast<PerfCounter>(c)));
+  }
+
+  // Scopes still aggregate wall time and work items — the profile stays
+  // structurally complete, only the hardware columns are absent.
+  {
+    ProfScope sc(&prof, "phase_a", 2);
+    sc.work(100, 40);
+  }
+  const ProfBucket b = prof.phase_total("phase_a");
+  EXPECT_EQ(b.scopes, 1);
+  EXPECT_EQ(b.edges, 100);
+  EXPECT_EQ(b.vtxs, 40);
+  EXPECT_GE(b.wall_ns, 0);
+  for (int c = 0; c < kNumPerfCounters; ++c) EXPECT_EQ(b.counters[c], 0);
+}
+
+TEST(Profiler, EnvDisableZeroMeansEnabled) {
+  // "0" is the documented off-switch for the override itself; the
+  // profiler then probes the kernel normally (either outcome is legal).
+  ScopedEnv env("MCGP_PERF_DISABLE", "0");
+  Profiler prof;
+  EXPECT_NE(prof.status().find("MCGP_PERF_DISABLE"), 0u) << prof.status();
+}
+
+// --- bucket folding and snapshots ------------------------------------------
+
+TEST(Profiler, FoldMergesBucketsBySummation) {
+  ScopedEnv env("MCGP_PERF_DISABLE", "1");
+  Profiler prof;
+  ProfBucket d;
+  d.scopes = 1;
+  d.edges = 10;
+  d.vtxs = 4;
+  d.wall_ns = 100;
+  d.counters[0] = 7;
+  prof.fold("m", 0, d);
+  prof.fold("m", 0, d);
+  prof.fold("m", 1, d);
+  prof.fold("z", -1, d);
+
+  const std::vector<ProfPhase> snap = prof.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Ordered by (phase, level).
+  EXPECT_EQ(snap[0].phase, "m");
+  EXPECT_EQ(snap[0].level, 0);
+  EXPECT_EQ(snap[0].stats.scopes, 2);
+  EXPECT_EQ(snap[0].stats.edges, 20);
+  EXPECT_EQ(snap[0].stats.counters[0], 14);
+  EXPECT_EQ(snap[1].phase, "m");
+  EXPECT_EQ(snap[1].level, 1);
+  EXPECT_EQ(snap[2].phase, "z");
+  EXPECT_EQ(snap[2].level, -1);
+
+  // phase_total sums one phase across its levels.
+  const ProfBucket total = prof.phase_total("m");
+  EXPECT_EQ(total.scopes, 3);
+  EXPECT_EQ(total.edges, 30);
+  EXPECT_EQ(total.counters[0], 21);
+
+  prof.clear();
+  EXPECT_TRUE(prof.snapshot().empty());
+}
+
+TEST(Profiler, DetachedScopeIsANoOp) {
+  ProfScope sc(nullptr, "anything", 3);
+  sc.work(1000, 100);
+  sc.finish();  // must be safe and idempotent detached
+}
+
+// --- JSON round-trip --------------------------------------------------------
+
+TEST(Profiler, ReportRoundTripsWithSchemaVersion) {
+  ScopedEnv env("MCGP_PERF_DISABLE", "1");
+  Profiler prof;
+  {
+    ProfScope sc(&prof, "coarsen.matching", 0);
+    sc.work(50, 20);
+  }
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    prof.write_json_value(w);
+  }
+  const auto doc = testing::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value()) << out.str();
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->find("schema_version"), nullptr);
+  EXPECT_EQ(doc->find("schema_version")->number,
+            static_cast<double>(kMcgpSchemaVersion));
+  ASSERT_NE(doc->find("available"), nullptr);
+  EXPECT_FALSE(doc->find("available")->boolean);
+  ASSERT_NE(doc->find("status"), nullptr);
+  EXPECT_NE(doc->find("status")->str.find("MCGP_PERF_DISABLE"),
+            std::string::npos);
+  ASSERT_NE(doc->find("counters"), nullptr);
+  EXPECT_TRUE(doc->find("counters")->array.empty());
+  ASSERT_NE(doc->find("phases"), nullptr);
+  ASSERT_EQ(doc->find("phases")->array.size(), 1u);
+  const testing::JsonValue& row = doc->find("phases")->array[0];
+  EXPECT_EQ(row.find("phase")->str, "coarsen.matching");
+  EXPECT_EQ(row.find("level")->number, 0.0);
+  EXPECT_EQ(row.find("edges")->number, 50.0);
+  EXPECT_EQ(row.find("vtxs")->number, 20.0);
+  ASSERT_NE(row.find("wall_ns"), nullptr);
+}
+
+TEST(Profiler, LiveRunReportIsWellFormedEitherWay) {
+  // No env override: whatever this kernel provides (full counters, only
+  // software events, or nothing) the JSON contract must hold.
+  Profiler prof;
+  Graph g = make_pipeline_graph();
+  Options o;
+  o.nparts = 4;
+  o.profile = &prof;
+  const PartitionResult r = partition(g, o);
+  ASSERT_EQ(r.part.size(), to_size(g.nvtxs));
+
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    prof.write_json_value(w);
+  }
+  const auto doc = testing::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value()) << out.str();
+  ASSERT_NE(doc->find("available"), nullptr);
+  ASSERT_NE(doc->find("phases"), nullptr);
+  EXPECT_FALSE(doc->find("phases")->array.empty());
+
+  // The whole-run scope observed the finest graph exactly once.
+  const ProfBucket run = prof.phase_total("run");
+  EXPECT_EQ(run.scopes, 1);
+  EXPECT_EQ(run.edges, g.nedges());
+  EXPECT_EQ(run.vtxs, g.nvtxs);
+  EXPECT_GT(run.wall_ns, 0);
+  if (prof.counters_available()) {
+    EXPECT_EQ(doc->find("available")->boolean, true);
+    EXPECT_EQ(doc->find("status")->str, "ok");
+    EXPECT_FALSE(doc->find("counters")->array.empty());
+    // Every nested phase is inside "run", so no single phase can exceed
+    // the run's enabled time budget by more than scheduling noise.
+    EXPECT_GT(run.enabled_ns, 0);
+  }
+}
+
+// --- determinism: attaching the profiler never changes the partition -------
+
+TEST(ProfilerDeterminism, AttachedProfilerKeepsPartitionsBitIdentical) {
+  Graph g = make_pipeline_graph();
+  for (const Algorithm alg :
+       {Algorithm::kRecursiveBisection, Algorithm::kKWay}) {
+    Options base;
+    base.nparts = 8;
+    base.algorithm = alg;
+    base.seed = 3;
+    const PartitionResult ref = partition(g, base);
+
+    for (const int threads : {1, 8}) {
+      Profiler prof;
+      Options o = base;
+      o.num_threads = threads;
+      o.profile = &prof;
+      const PartitionResult r = partition(g, o);
+      EXPECT_EQ(r.part, ref.part)
+          << "profiler attached, alg="
+          << (alg == Algorithm::kKWay ? "kway" : "rb")
+          << " threads=" << threads;
+      // The profiler really observed the run it left unchanged.
+      EXPECT_EQ(prof.phase_total("run").scopes, 1);
+      EXPECT_GT(prof.phase_total("run").wall_ns, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcgp

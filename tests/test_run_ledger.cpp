@@ -11,7 +11,9 @@
 #include "gen/mesh_gen.hpp"
 #include "json_test_util.hpp"
 #include "support/memory.hpp"
+#include "support/perf_counters.hpp"
 #include "support/schema.hpp"
+#include "support/sysinfo.hpp"
 
 namespace mcgp {
 namespace {
@@ -57,6 +59,25 @@ TEST(RunLedger, RecordCarriesRunIdentityAndMetrics) {
 #if defined(__linux__)
   EXPECT_GT(rec.peak_rss_bytes, 0);
 #endif
+
+  // Machine identity (from support/sysinfo) rides along on every record.
+  const HostInfo& hi = host_info();
+  EXPECT_EQ(rec.host, hi.hostname);
+  EXPECT_EQ(rec.cpu, hi.cpu_model);
+  EXPECT_EQ(rec.cores, hi.cores);
+#if defined(__linux__)
+  EXPECT_FALSE(rec.host.empty());
+  EXPECT_GT(rec.cores, 0);
+#endif
+  // Without a profiler the record carries no profile section.
+  EXPECT_FALSE(rec.profile_attached);
+}
+
+TEST(HostInfo, IsStableAcrossCalls) {
+  const HostInfo& a = host_info();
+  const HostInfo& b = host_info();
+  EXPECT_EQ(&a, &b);  // cached once per process
+  EXPECT_GE(a.cores, 0);
 }
 
 TEST(RunLedger, WrittenLineIsParsableJson) {
@@ -85,6 +106,57 @@ TEST(RunLedger, WrittenLineIsParsableJson) {
   EXPECT_TRUE(doc->find("phases")->is_object());
   ASSERT_NE(doc->find("imbalance"), nullptr);
   EXPECT_EQ(doc->find("imbalance")->array.size(), to_size(g.ncon));
+#if defined(__linux__)
+  ASSERT_NE(doc->find("host"), nullptr);
+  EXPECT_EQ(doc->find("host")->str, host_info().hostname);
+  ASSERT_NE(doc->find("cores"), nullptr);
+  EXPECT_EQ(doc->find("cores")->number,
+            static_cast<double>(host_info().cores));
+#endif
+  // No profiler attached -> no "profile" member in the line.
+  EXPECT_EQ(doc->find("profile"), nullptr);
+}
+
+TEST(RunLedger, ProfiledRecordCarriesHeadlineCounters) {
+  Graph g = grid2d(20, 20);
+  Options o;
+  o.nparts = 2;
+  Profiler prof;
+  o.profile = &prof;
+  const PartitionResult r = partition(g, o);
+  const RunRecord rec = make_run_record("unit", "g", g, o, r, &prof);
+
+  EXPECT_TRUE(rec.profile_attached);
+  EXPECT_EQ(rec.profile_available, prof.counters_available());
+  EXPECT_EQ(rec.profile_status, prof.status());
+
+  std::ostringstream out;
+  write_run_record(out, rec);
+  const auto doc = testing::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value()) << out.str();
+  const auto* profile = doc->find("profile");
+  ASSERT_NE(profile, nullptr);
+  ASSERT_TRUE(profile->is_object());
+  ASSERT_NE(profile->find("available"), nullptr);
+  ASSERT_NE(profile->find("status"), nullptr);
+  if (prof.counters_available()) {
+    EXPECT_TRUE(profile->find("available")->boolean);
+    EXPECT_FALSE(rec.profile_counters.empty());
+    // Every headline counter is a member of the profile object, its
+    // value matching the profiler's whole-run bucket.
+    const ProfBucket run = prof.phase_total("run");
+    for (int c = 0; c < kNumPerfCounters; ++c) {
+      const auto pc = static_cast<PerfCounter>(c);
+      if (!prof.counter_open(pc)) continue;
+      const auto* member = profile->find(perf_counter_name(pc));
+      ASSERT_NE(member, nullptr) << perf_counter_name(pc);
+      EXPECT_EQ(member->number, static_cast<double>(run.counters[c]))
+          << perf_counter_name(pc);
+    }
+  } else {
+    EXPECT_FALSE(profile->find("available")->boolean);
+    EXPECT_FALSE(profile->find("status")->str.empty());
+  }
 }
 
 TEST(RunLedger, AppendAccumulatesOneLinePerRun) {

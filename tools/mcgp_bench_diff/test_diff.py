@@ -12,6 +12,10 @@ Drives the gate in-process over the committed fixtures:
    0.01s quality run stays exempt (scheduler noise, not signal).
 3. Duplicate baseline records for one key merge best-of (min time/RSS).
 4. --require-all turns a missing baseline key into a failure.
+5. Records carrying keys the gate does not know (host identity and
+   profile sections from profiler-attached runs) compare cleanly against
+   an old baseline that lacks them — new telemetry must never invalidate
+   committed baselines.
 
 Run directly (`python3 tools/mcgp_bench_diff/test_diff.py`) or via ctest
 (`mcgp_bench_diff_selftest`). Exits nonzero on any mismatch.
@@ -21,6 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import io
+import json
 import sys
 import tempfile
 from pathlib import Path
@@ -95,6 +100,28 @@ def main():
                         "--require-all"])
     if code == 0:
         errors.append("partial with --require-all: expected nonzero exit")
+
+    # Newer ledgers stamp host identity and (with --profile) a profile
+    # object onto every record; the gate must ignore keys it does not
+    # know so old baselines keep gating new binaries.
+    enriched_lines = []
+    for line in Path(FIXTURES / "current_ok.jsonl").read_text().splitlines():
+        rec = json.loads(line)
+        rec["host"] = "ci-runner"
+        rec["cpu"] = "Fixture CPU @ 2.70GHz"
+        rec["cores"] = 8
+        rec["profile"] = {"available": True, "status": "ok",
+                          "cycles": 123456789, "task_clock_ns": 42000000}
+        enriched_lines.append(json.dumps(rec))
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                     delete=False) as tmp:
+        tmp.write("\n".join(enriched_lines) + "\n")
+        enriched = tmp.name
+    code, out = run_gate(["--baseline", BASELINE, "--current", enriched])
+    if code != 0:
+        errors.append(f"extra keys: records with host/profile fields must "
+                      f"compare cleanly against an old baseline, "
+                      f"got exit {code}\n{out}")
 
     if errors:
         for e in errors:

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Self-test for the profile reader (report.py).
+
+Drives the reader in-process over the committed fixtures:
+
+1. `top` on the before-report ranks kway_refine's 15.3M summed cycles
+   above initpart's 2M, shows the whole-run total, and leaves the "run"
+   row out of the ranking itself.
+2. `levels` renders the per-level cycles-per-edge trend of
+   coarsen.matching (level 0 = 120 cycles/edge in the fixture) and
+   errors precisely on a phase with no leveled rows.
+3. `diff before after --metric=llc_miss_rate` reports the injected
+   LLC-miss-rate improvement as a negative delta for coarsen.matching.
+4. Every subcommand exits 0 on the counters-unavailable fixture and
+   says why — unavailability is a fact, not an error.
+5. Bad input (no profile section, unsupported schema) exits nonzero
+   with a message naming the file.
+
+Run directly (`python3 tools/mcgp_prof/test_report.py`) or via ctest
+(`mcgp_prof_selftest`). Exits nonzero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import report  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+BEFORE = str(FIXTURES / "report_before.json")
+AFTER = str(FIXTURES / "report_after.json")
+UNAVAILABLE = str(FIXTURES / "report_unavailable.json")
+
+
+def run_tool(argv):
+    out = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(out):
+            code = report.main(argv)
+    except SystemExit as e:  # load_profile raises SystemExit on bad input
+        return 2, out.getvalue() + str(e)
+    return code, out.getvalue()
+
+
+def main():
+    errors = []
+
+    # 1. top: ranking, whole-run total, no "run" row inside the ranking.
+    code, out = run_tool(["top", BEFORE, "--n", "3"])
+    if code != 0:
+        errors.append(f"top: expected exit 0, got {code}\n{out}")
+    lines = out.splitlines()
+    ranked = [ln.split()[0] for ln in lines[3:] if ln and
+              not ln.startswith("(")]
+    if ranked[:2] != ["coarsen.matching", "kway_refine"]:
+        errors.append(f"top: expected coarsen.matching (18.2M cycles) then "
+                      f"kway_refine (15.3M), got {ranked[:2]}\n{out}")
+    if "run" in ranked:
+        errors.append(f"top: the all-enclosing run row must not be ranked "
+                      f"against the phases it contains\n{out}")
+    if "(whole run)" not in out or "44,000,000" not in out:
+        errors.append(f"top: whole-run cycle total missing\n{out}")
+
+    # Explicit ranking field.
+    code, out = run_tool(["top", BEFORE, "--by", "llc_misses"])
+    if code != 0 or "llc_misses" not in out.splitlines()[0]:
+        errors.append(f"top --by: expected llc_misses ranking, got\n{out}")
+    code, out = run_tool(["top", BEFORE, "--by", "nonsense"])
+    if code == 0:
+        errors.append("top --by=nonsense: expected nonzero exit")
+
+    # 2. levels: per-level trend plus precise error for unleveled phases.
+    code, out = run_tool(["levels", BEFORE, "--phase", "coarsen.matching",
+                          "--metric", "cycles_per_edge"])
+    if code != 0:
+        errors.append(f"levels: expected exit 0, got {code}\n{out}")
+    rows = [ln.split() for ln in out.splitlines()[3:] if ln.strip()]
+    if len(rows) != 2 or rows[0][0] != "0" or rows[1][0] != "1":
+        errors.append(f"levels: expected rows for levels 0 and 1\n{out}")
+    elif float(rows[0][-1]) != 120.0:  # 12e6 cycles / 1e5 edges
+        errors.append(f"levels: level-0 cycles_per_edge should be 120, "
+                      f"got {rows[0][-1]}")
+    code, out = run_tool(["levels", BEFORE, "--phase", "initpart"])
+    if code == 0 or "no per-level rows" not in out:
+        errors.append(f"levels initpart: expected a no-leveled-rows error, "
+                      f"got exit {code}\n{out}")
+
+    # 3. diff: the injected LLC improvement shows as a negative delta.
+    code, out = run_tool(["diff", BEFORE, AFTER,
+                          "--metric", "llc_miss_rate"])
+    if code != 0:
+        errors.append(f"diff: expected exit 0, got {code}\n{out}")
+    match_line = next((ln for ln in out.splitlines()
+                       if ln.startswith("coarsen.matching")), "")
+    if "-" not in match_line.split()[-1] or "%" not in match_line:
+        errors.append(f"diff: coarsen.matching llc_miss_rate should improve "
+                      f"(negative % delta), got: {match_line!r}")
+    code, out = run_tool(["diff", BEFORE, AFTER, "--phase", "run",
+                          "--metric", "cycles"])
+    if code != 0 or "run" not in out:
+        errors.append(f"diff --phase=run: expected the run row\n{out}")
+    body = [ln for ln in out.splitlines()[3:] if ln.strip()]
+    if len(body) != 1:
+        errors.append(f"diff --phase=run: expected exactly one row\n{out}")
+
+    # 4. counters-unavailable: every subcommand reports and exits 0.
+    for argv in (["top", UNAVAILABLE],
+                 ["levels", UNAVAILABLE],
+                 ["diff", UNAVAILABLE, AFTER]):
+        code, out = run_tool(argv)
+        if code != 0:
+            errors.append(f"{argv[0]} unavailable: expected exit 0, "
+                          f"got {code}\n{out}")
+        if "unavailable" not in out or "perf_event_paranoid" not in out:
+            errors.append(f"{argv[0]} unavailable: must surface the "
+                          f"recorded status\n{out}")
+
+    # 5. bad input fails loudly, naming the file.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump({"schema_version": 1, "edge_cut": 7}, tmp)
+        no_profile = tmp.name
+    code, out = run_tool(["top", no_profile])
+    if code == 0 or "profile" not in out:
+        errors.append(f"no-profile input: expected a loud failure\n{out}")
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump({"profile": {"schema_version": 999, "available": True,
+                               "phases": []}}, tmp)
+        future = tmp.name
+    code, out = run_tool(["top", future])
+    if code == 0 or "schema_version" not in out:
+        errors.append(f"future schema: expected a loud failure\n{out}")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print("mcgp_prof self-test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
