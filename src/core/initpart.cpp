@@ -7,6 +7,7 @@
 #include "core/balance2way.hpp"
 #include "core/refine2way.hpp"
 #include "support/indexed_heap.hpp"
+#include "support/perf_counters.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -162,7 +163,7 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
                      int trials, QueuePolicy policy, Rng& rng,
                      TraceRecorder* trace, ThreadPool* pool,
-                     InvariantAuditor* audit) {
+                     InvariantAuditor* audit, Profiler* profile) {
   trials = std::max(trials, 1);
   TraceSpan span(trace, "initpart");
 
@@ -173,6 +174,7 @@ sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
   std::vector<InitTrial> results(to_size(trials));
 
   auto run_trial = [&](int t) {
+    ProfScope aux(profile, "initpart", /*level=*/-1, /*aux=*/true);
     InitTrial& out = results[to_size(t)];
     Rng trng(mix_seed(base_seed, static_cast<std::uint64_t>(t)));
     const bool use_grow = scheme == InitScheme::kGreedyGrow ||

@@ -29,6 +29,7 @@
 namespace mcgp {
 
 class InvariantAuditor;
+class Profiler;
 
 /// Single-construction entry points (exposed for tests and ablations).
 void grow_bisection(const Graph& g, std::vector<idx_t>& where,
@@ -44,11 +45,15 @@ void binpack_bisection(const Graph& g, std::vector<idx_t>& where,
 /// off `rng`, and the best trial is selected by a serial reduction in
 /// trial order — so the result is a pure function of the rng state and is
 /// identical whether the trials run serially or concurrently on `pool`.
+/// A non-null `profile` attributes each trial's on-CPU time to the
+/// "initpart" bucket (aux scopes: the caller's enclosing scope keeps the
+/// wall time, trials contribute counters and thread identity).
 sum_t init_bisection(const Graph& g, std::vector<idx_t>& where,
                      const BisectionTargets& targets, InitScheme scheme,
                      int trials, QueuePolicy policy, Rng& rng,
                      TraceRecorder* trace = nullptr,
                      ThreadPool* pool = nullptr,
-                     InvariantAuditor* audit = nullptr);
+                     InvariantAuditor* audit = nullptr,
+                     Profiler* profile = nullptr);
 
 }  // namespace mcgp

@@ -1,13 +1,19 @@
 #include "core/kway_refine.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 
 #include "core/audit.hpp"
 #include "support/check.hpp"
 #include "graph/metrics.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
+#include "support/workspace.hpp"
 
 namespace mcgp {
 
@@ -130,8 +136,17 @@ class KWayContext {
   /// Gather the edge weight from v to each touched part. Returns the
   /// weight to v's own part; touched() lists the OTHER parts seen.
   sum_t gather_connectivity(idx_t v) {
-    for (const idx_t p : touched_) conn_[to_size(p)] = 0;
-    touched_.clear();
+    return gather_connectivity_into(v, conn_, touched_);
+  }
+
+  /// As gather_connectivity, but into caller-owned scratch (size >= nparts,
+  /// zero except the parts listed in `touched` — the same sparse-reset
+  /// discipline as the member buffers). Const: concurrent propose tasks
+  /// read the frozen context while each gathers into its own buffers.
+  sum_t gather_connectivity_into(idx_t v, std::vector<sum_t>& conn,
+                                 std::vector<idx_t>& touched) const {
+    for (const idx_t p : touched) conn[to_size(p)] = 0;
+    touched.clear();
     const idx_t own = where_[to_size(v)];
     sum_t idw = 0;
     for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
@@ -139,8 +154,8 @@ class KWayContext {
       if (p == own) {
         idw = checked_add(idw, g_.adjwgt[to_size(e)]);
       } else {
-        if (conn_[to_size(p)] == 0) touched_.push_back(p);
-        conn_[to_size(p)] = checked_add(conn_[to_size(p)], g_.adjwgt[to_size(e)]);
+        if (conn[to_size(p)] == 0) touched.push_back(p);
+        conn[to_size(p)] = checked_add(conn[to_size(p)], g_.adjwgt[to_size(e)]);
       }
     }
     return idw;
@@ -194,40 +209,184 @@ class KWayContext {
   std::vector<real_t> limit_;
 };
 
-/// One cut-driven sweep. Returns the number of moves performed and the
-/// total cut improvement via `gain_sum`.
-idx_t refine_sweep(KWayContext& ctx, const std::vector<idx_t>& where,
-                   Rng& rng, sum_t& gain_sum) {
-  idx_t moves = 0;
-  gain_sum = 0;
-  for (const idx_t v : ctx.boundary(rng)) {
-    const idx_t own = where[to_size(v)];
-    if (!ctx.can_leave(own)) continue;
-    const sum_t idw = ctx.gather_connectivity(v);
+/// Vertex-range grain of the colored sweep's parallel phases (boundary
+/// collection and per-color propose). Fixed boundaries: the decomposition
+/// depends only on sizes, never on the pool.
+constexpr idx_t kSweepChunk = 4096;
 
-    idx_t best = -1;
-    sum_t best_gain = 0;
-    real_t best_load = 0.0;
-    for (const idx_t p : ctx.touched()) {
-      if (!ctx.fits(v, p)) continue;
-      const sum_t gain = checked_sub(ctx.conn(p), idw);
-      if (gain < 0) continue;
-      const real_t load = ctx.part_load(p);
-      // Prefer higher gain; among equal gains prefer the lighter part.
-      if (best < 0 || gain > best_gain ||
-          (gain == best_gain && load < best_load)) {
-        best = p;
-        best_gain = gain;
-        best_load = load;
+/// Greedy vertex coloring in ascending id order: each vertex takes the
+/// smallest color absent among its already-colored neighbors. Adjacent
+/// vertices never share a color, so same-color boundary vertices cannot
+/// affect each other's connectivity — the independence the colored sweep's
+/// concurrent propose phase rests on. Deterministic by construction.
+void color_graph(const Graph& g, std::vector<idx_t>& color) {
+  color.assign(to_size(g.nvtxs), -1);
+  std::vector<idx_t> used;  // used[c] == v iff c is taken next to v
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      const idx_t cu = color[to_size(g.adjncy[to_size(e)])];
+      if (cu < 0) continue;
+      if (to_size(cu) >= used.size()) used.resize(to_size(cu) + 1, -1);
+      used[to_size(cu)] = v;
+    }
+    idx_t c = 0;
+    while (to_size(c) < used.size() && used[to_size(c)] == v) ++c;
+    color[to_size(v)] = c;
+  }
+}
+
+/// Best admissible move of v under the sweep rules, evaluated against the
+/// (frozen) context state using caller-owned connectivity scratch. Pure
+/// per-vertex function of that state: concurrent evaluation over any
+/// chunking yields identical proposals.
+void propose_move(const Graph& /*g*/, const KWayContext& ctx,
+                  const std::vector<idx_t>& where, idx_t v,
+                  std::vector<sum_t>& conn, std::vector<idx_t>& touched,
+                  idx_t& dest, sum_t& gain) {
+  dest = -1;
+  gain = 0;
+  const idx_t own = where[to_size(v)];
+  if (!ctx.can_leave(own)) return;
+  const sum_t idw = ctx.gather_connectivity_into(v, conn, touched);
+  real_t best_load = 0.0;
+  for (const idx_t p : touched) {
+    if (!ctx.fits(v, p)) continue;
+    const sum_t g2 = checked_sub(conn[to_size(p)], idw);
+    if (g2 < 0) continue;
+    const real_t load = ctx.part_load(p);
+    // Prefer higher gain; among equal gains prefer the lighter part.
+    if (dest < 0 || g2 > gain || (g2 == gain && load < best_load)) {
+      dest = p;
+      gain = g2;
+      best_load = load;
+    }
+  }
+  if (dest < 0) return;
+  // Zero-gain moves are only worthwhile when they shift weight from a
+  // more loaded part to a less loaded one.
+  if (gain == 0 && best_load >= ctx.part_load(own) - 1e-12) dest = -1;
+}
+
+/// One cut-driven colored sweep. Boundary vertices are visited color class
+/// by color class; within a class every proposal is computed from the
+/// state frozen at the class's start (concurrently when exec has a pool —
+/// class members are pairwise non-adjacent, so proposals cannot interact)
+/// and then committed serially in the fixed hashed order, re-validating
+/// can_leave/fits/zero-gain-balance against the live weights. A proposal's
+/// GAIN needs no re-validation: only same-class commits intervene and none
+/// of them is adjacent to the proposer, so its connectivity is unchanged —
+/// which keeps the paranoid cut-delta audit exact. Returns the number of
+/// moves performed and the total cut improvement via `gain_sum`.
+idx_t colored_sweep(const Graph& g, KWayContext& ctx, idx_t nparts,
+                    const std::vector<idx_t>& where,
+                    const std::vector<idx_t>& color, Rng& rng,
+                    sum_t& gain_sum, const KWayExec* exec) {
+  ThreadPool* pool = exec != nullptr ? exec->pool : nullptr;
+  WorkspacePool* wspool = exec != nullptr ? exec->wspool : nullptr;
+  Profiler* profile = exec != nullptr ? exec->profile : nullptr;
+  const int level = exec != nullptr ? exec->level : -1;
+
+  // One draw per pass: every ordering decision below derives from it by
+  // vertex id, independent of threads and chunking.
+  const std::uint64_t pass_seed = rng.next_u64();
+
+  // Collect the boundary in parallel ranges; concatenating the chunk-local
+  // lists in chunk order recovers exactly the ascending serial scan.
+  const idx_t n = g.nvtxs;
+  const idx_t nchunks = (n + kSweepChunk - 1) / kSweepChunk;
+  std::vector<std::vector<idx_t>> chunk_bnd(to_size(nchunks));
+  parallel_chunks(pool, n, kSweepChunk, [&](idx_t b, idx_t e) {
+    ProfScope aux(profile, "kway_refine", level, /*aux=*/true);
+    std::vector<idx_t>& out = chunk_bnd[to_size(b / kSweepChunk)];
+    for (idx_t v = b; v < e; ++v) {
+      const idx_t pv = where[to_size(v)];
+      for (idx_t ge = g.xadj[to_size(v)]; ge < g.xadj[to_size(v + 1)]; ++ge) {
+        if (where[to_size(g.adjncy[to_size(ge)])] != pv) {
+          out.push_back(v);
+          break;
+        }
       }
     }
-    if (best < 0) continue;
-    // Zero-gain moves are only worthwhile when they shift weight from a
-    // more loaded part to a less loaded one.
-    if (best_gain == 0 && best_load >= ctx.part_load(own) - 1e-12) continue;
-    ctx.move(v, best);
-    gain_sum = checked_add(gain_sum, best_gain);
-    ++moves;
+  });
+  std::vector<idx_t> boundary;
+  {
+    std::size_t total = 0;
+    for (const std::vector<idx_t>& cb : chunk_bnd) total += cb.size();
+    boundary.reserve(total);
+    for (const std::vector<idx_t>& cb : chunk_bnd) {
+      boundary.insert(boundary.end(), cb.begin(), cb.end());
+    }
+  }
+
+  // Visit order: color classes ascending, hashed shuffle inside a class
+  // (the parallel replacement for the serial sweep's rng shuffle).
+  std::sort(boundary.begin(), boundary.end(), [&](idx_t a, idx_t b) {
+    const idx_t ca = color[to_size(a)];
+    const idx_t cb = color[to_size(b)];
+    if (ca != cb) return ca < cb;
+    const std::uint64_t ka = mix_seed(pass_seed, static_cast<std::uint64_t>(a));
+    const std::uint64_t kb = mix_seed(pass_seed, static_cast<std::uint64_t>(b));
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  std::vector<idx_t> dest(boundary.size(), -1);
+  std::vector<sum_t> gains(boundary.size(), 0);
+
+  idx_t moves = 0;
+  gain_sum = 0;
+  std::size_t seg_b = 0;
+  while (seg_b < boundary.size()) {
+    const idx_t c = color[to_size(boundary[seg_b])];
+    std::size_t seg_e = seg_b;
+    while (seg_e < boundary.size() &&
+           color[to_size(boundary[seg_e])] == c) {
+      ++seg_e;
+    }
+    const idx_t seg_n = static_cast<idx_t>(seg_e - seg_b);
+
+    // Propose phase: reads the context frozen as of this class's start.
+    parallel_chunks(pool, seg_n, kSweepChunk, [&](idx_t b, idx_t e) {
+      ProfScope aux(profile, "kway_refine", level, /*aux=*/true);
+      std::vector<sum_t> local_conn;
+      std::vector<idx_t> local_touched;
+      std::unique_ptr<WorkspacePool::Lease> lease;
+      if (wspool != nullptr) {
+        lease = std::make_unique<WorkspacePool::Lease>(wspool->acquire());
+      }
+      std::vector<sum_t>& conn = lease != nullptr ? (*lease)->kconn
+                                                  : local_conn;
+      std::vector<idx_t>& touched = lease != nullptr ? (*lease)->ktouched
+                                                     : local_touched;
+      // A pooled buffer may carry another task's touched parts; start from
+      // the all-zero state the sparse-reset discipline expects.
+      conn.assign(to_size(nparts), 0);
+      touched.clear();
+      for (idx_t i = b; i < e; ++i) {
+        const std::size_t pos = seg_b + to_size(i);
+        propose_move(g, ctx, where, boundary[pos], conn, touched, dest[pos],
+                     gains[pos]);
+      }
+    });
+
+    // Commit phase: serial, in the class's fixed order, against the live
+    // state (earlier commits of THIS class shift weights and counts).
+    for (std::size_t i = seg_b; i < seg_e; ++i) {
+      const idx_t v = boundary[i];
+      const idx_t d = dest[i];
+      if (d < 0) continue;
+      const idx_t own = where[to_size(v)];
+      if (!ctx.can_leave(own)) continue;
+      if (!ctx.fits(v, d)) continue;
+      if (gains[i] == 0 &&
+          ctx.part_load(d) >= ctx.part_load(own) - 1e-12) {
+        continue;
+      }
+      ctx.move(v, d);
+      gain_sum = checked_add(gain_sum, gains[i]);
+      ++moves;
+    }
+    seg_b = seg_e;
   }
   return moves;
 }
@@ -480,13 +639,17 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
                   const std::vector<real_t>& ub, int max_passes, Rng& rng,
                   KWayRefineStats* stats, const std::vector<real_t>* tpwgts,
                   TraceRecorder* trace, InvariantAuditor* audit,
-                  FlightRecorder* flight) {
+                  FlightRecorder* flight, const KWayExec* exec) {
   KWayContext ctx(g, nparts, where, ub, tpwgts);
 
   if (!ctx.feasible()) {
     kway_balance(g, nparts, where, ub, rng, tpwgts, trace, audit);
     ctx.reload();
   }
+
+  // The graph is static across passes, so one coloring serves them all.
+  std::vector<idx_t> color;
+  color_graph(g, color);
 
   // Sweep until the cut stops improving (zero-gain balance jiggling alone
   // is not progress), bounded by a generous multiple of the configured
@@ -497,7 +660,8 @@ sum_t kway_refine(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
     TraceSpan span(trace, "kway.pass");
     sum_t gain_sum = 0;
     const sum_t cut_before = delta_audit ? edge_cut(g, where) : 0;
-    const idx_t moves = refine_sweep(ctx, where, rng, gain_sum);
+    const idx_t moves =
+        colored_sweep(g, ctx, nparts, where, color, rng, gain_sum, exec);
     if (delta_audit) {
       // Every accepted move's gain was exact at commit time, so the sum
       // must account for the sweep's cut change to the last unit.

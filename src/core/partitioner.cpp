@@ -179,6 +179,7 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
   // Whole-run measurement interval: every nested scope is inside it, so
   // the "run" bucket counts each cycle exactly once — the denominator for
   // per-phase shares and the run-ledger headline.
+  if (opts.profile != nullptr) opts.profile->set_threads(opts.num_threads);
   ProfScope run_prof(opts.profile, "run");
   run_prof.work(g.nedges(), g.nvtxs);
 
@@ -266,8 +267,15 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   PartitionResult result;
   Rng rng(opts.seed);
 
+  if (opts.profile != nullptr) opts.profile->set_threads(opts.num_threads);
   ProfScope run_prof(opts.profile, "run");
   run_prof.work(g.nedges(), g.nvtxs);
+
+  // Standalone refinement drives the same parallel colored sweep as the
+  // full pipeline: its own pool + workspace pool, sized by num_threads.
+  std::optional<ThreadPool> pool;
+  if (opts.num_threads > 1) pool.emplace(opts.num_threads);
+  WorkspacePool wspool;
 
   std::vector<real_t> ub(to_size(g.ncon));
   for (int i = 0; i < g.ncon; ++i) {
@@ -289,8 +297,13 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
       kway_refine_pq(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
                      tp, opts.trace, opts.audit, opts.flight);
     } else {
+      KWayExec kexec;
+      kexec.pool = pool.has_value() ? &*pool : nullptr;
+      kexec.wspool = &wspool;
+      kexec.profile = opts.profile;
+      kexec.level = 0;
       kway_refine(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
-                  tp, opts.trace, opts.audit, opts.flight);
+                  tp, opts.trace, opts.audit, opts.flight, &kexec);
     }
   }
 

@@ -123,7 +123,7 @@ void rb_recurse(const RbContext& ctx, const Graph& sub,
 
     std::vector<idx_t> where;
     multilevel_bisect(sub, where, targets, ctx.opts, rng, stats, ctx.phases,
-                      ctx.pool, &ws);
+                      ctx.pool, &ws, ctx.wspool);
     ensure_nonempty_sides(sub, where);
 
     std::vector<char>& select = ws.select;
@@ -160,7 +160,8 @@ void rb_recurse(const RbContext& ctx, const Graph& sub,
 sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
                         const BisectionTargets& targets, const Options& opts,
                         Rng& rng, MlBisectStats* stats, PhaseTimes* phases,
-                        ThreadPool* pool, Workspace* ws) {
+                        ThreadPool* pool, Workspace* ws,
+                        WorkspacePool* wspool) {
   const idx_t ct = bisect_coarsen_to(opts, g.ncon);
 
   PhaseTimes local_phases;
@@ -179,6 +180,8 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     cp.audit = opts.audit;
     cp.flight = opts.flight;
     cp.profile = opts.profile;
+    cp.pool = pool;
+    cp.wspool = wspool;
     h = coarsen_graph(g, cp, rng, ws);
   }
 
@@ -195,7 +198,7 @@ sum_t multilevel_bisect(const Graph& g, std::vector<idx_t>& where,
     ps.work(coarsest.nedges(), coarsest.nvtxs);
     init_bisection(coarsest, cwhere, targets, opts.init_scheme,
                    opts.init_trials, opts.queue_policy, rng, opts.trace,
-                   pool, opts.audit);
+                   pool, opts.audit, opts.profile);
   }
 
   sum_t cut = 0;
@@ -309,8 +312,13 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
     ProfScope ps(opts.profile, "rb.fixup");
     ps.work(g.nedges(), g.nvtxs);
     kway_balance(g, k, part, ub, rng, tp, opts.trace, opts.audit);
+    KWayExec kexec;
+    kexec.pool = pool;
+    kexec.wspool = &wspool;
+    kexec.profile = opts.profile;
+    kexec.level = 0;
     kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp,
-                opts.trace, opts.audit, opts.flight);
+                opts.trace, opts.audit, opts.flight, &kexec);
   }
   if (opts.flight != nullptr) {
     // All leases are back (rb_recurse joined its tasks), so the pool's

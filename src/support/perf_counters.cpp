@@ -164,15 +164,27 @@ std::atomic<std::uint64_t> g_profiler_ids{1};
 /// One-entry per-thread cache binding this thread's counter group to the
 /// profiler that owns it. Keyed by a process-unique profiler id (never a
 /// reused address or thread::id), so a stale entry can only miss, never
-/// alias into a dangling group.
+/// alias into a dangling group. `depth` counts the live non-aux ProfScopes
+/// of that profiler on this thread — the signal aux scopes use to detect
+/// an enclosing scope already measuring the thread.
 struct TlsSlot {
   std::uint64_t profiler_id = 0;
   PerfCounterGroup* grp = nullptr;
+  int depth = 0;
 };
 
 TlsSlot& tls_slot() {
   static thread_local TlsSlot slot;
   return slot;
+}
+
+/// Small process-unique ordinal for the calling thread; cheaper and more
+/// readable than std::thread::id for the per-bucket distinct-thread sets.
+std::uint64_t thread_ordinal() {
+  static std::atomic<std::uint64_t> next{1};
+  static thread_local const std::uint64_t ord =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ord;
 }
 
 bool perf_disabled_by_env() {
@@ -240,8 +252,10 @@ PerfCounterGroup* Profiler::thread_group() {
 }
 
 void Profiler::fold(const char* phase, int level, const ProfBucket& delta) {
+  const std::uint64_t ord = thread_ordinal();
   MutexLock lk(mu_);
-  ProfBucket& b = buckets_[std::make_pair(std::string(phase), level)];
+  const auto key = std::make_pair(std::string(phase), level);
+  ProfBucket& b = buckets_[key];
   b.scopes += delta.scopes;
   b.edges += delta.edges;
   b.vtxs += delta.vtxs;
@@ -251,6 +265,12 @@ void Profiler::fold(const char* phase, int level, const ProfBucket& delta) {
   }
   b.enabled_ns += delta.enabled_ns;
   b.running_ns += delta.running_ns;
+  bucket_threads_[key].insert(ord);
+}
+
+void Profiler::set_threads(int n) {
+  MutexLock lk(mu_);
+  threads_ = n > 0 ? n : 1;
 }
 
 std::vector<ProfPhase> Profiler::snapshot() const {
@@ -258,7 +278,10 @@ std::vector<ProfPhase> Profiler::snapshot() const {
   std::vector<ProfPhase> out;
   out.reserve(buckets_.size());
   for (const auto& [key, stats] : buckets_) {
-    out.push_back(ProfPhase{key.first, key.second, stats});
+    const auto it = bucket_threads_.find(key);
+    const int nthreads =
+        it == bucket_threads_.end() ? 0 : static_cast<int>(it->second.size());
+    out.push_back(ProfPhase{key.first, key.second, nthreads, stats});
   }
   return out;
 }
@@ -284,6 +307,7 @@ ProfBucket Profiler::phase_total(const std::string& phase) const {
 void Profiler::clear() {
   MutexLock lk(mu_);
   buckets_.clear();
+  bucket_threads_.clear();
 }
 
 namespace {
@@ -298,10 +322,17 @@ void Profiler::write_json_value(JsonWriter& w) const {
   const auto open = [this](PerfCounter c) { return counter_open(c); };
   const auto idx = [](PerfCounter c) { return static_cast<int>(c); };
 
+  int run_threads = 1;
+  {
+    MutexLock lk(mu_);
+    run_threads = threads_;
+  }
+
   w.begin_object();
   w.member("schema_version", kMcgpSchemaVersion);
   w.member("available", available_);
   w.member("status", status_);
+  w.member("threads", static_cast<std::int64_t>(run_threads));
   w.key("counters");
   w.begin_array();
   for (int i = 0; i < kNumPerfCounters; ++i) {
@@ -318,6 +349,7 @@ void Profiler::write_json_value(JsonWriter& w) const {
     w.member("scopes", b.scopes);
     w.member("edges", b.edges);
     w.member("vtxs", b.vtxs);
+    w.member("threads", static_cast<std::int64_t>(p.threads));
     w.member("wall_ns", b.wall_ns);
     for (int i = 0; i < kNumPerfCounters; ++i) {
       if (counter_open_[i]) {
@@ -355,6 +387,12 @@ void Profiler::write_json_value(JsonWriter& w) const {
     if (open(PerfCounter::kBranches) && b.vtxs > 0) {
       w.member("branches_per_vtx", ratio(branches, b.vtxs));
     }
+    // On-CPU time over wall time: the per-phase parallel-efficiency
+    // headline (1.0 = one busy core, num_threads = perfect scaling).
+    if (open(PerfCounter::kTaskClock) && b.wall_ns > 0) {
+      w.member("parallelism",
+               ratio(b.counters[idx(PerfCounter::kTaskClock)], b.wall_ns));
+    }
     w.end_object();
   }
   w.end_array();
@@ -363,20 +401,40 @@ void Profiler::write_json_value(JsonWriter& w) const {
 
 void ProfScope::begin() {
   t0_ = std::chrono::steady_clock::now();
-  grp_ = p_->thread_group();
+  grp_ = p_->thread_group();  // binds the TLS slot to this profiler
+  TlsSlot& slot = tls_slot();
+  if (aux_) {
+    // Work helping: when an enclosing non-aux scope of this profiler is
+    // live on this thread, that scope already measures the chunk — a
+    // second interval here would double-count it.
+    if (slot.profiler_id == p_->id_ && slot.depth > 0) {
+      p_ = nullptr;
+      grp_ = nullptr;
+      return;
+    }
+  } else if (slot.profiler_id == p_->id_) {
+    ++slot.depth;
+  }
   if (grp_ != nullptr) have_begin_ = grp_->read(begin_reading_);
 }
 
 void ProfScope::end() {
   Profiler* p = p_;
   p_ = nullptr;
+  TlsSlot& slot = tls_slot();
+  if (!aux_ && slot.profiler_id == p->id_ && slot.depth > 0) --slot.depth;
   ProfBucket d;
-  d.scopes = 1;
+  // Aux scopes contribute only on-CPU counters and their thread identity;
+  // the enclosing scope on the submitting thread owns the wall time and
+  // the scope count.
+  d.scopes = aux_ ? 0 : 1;
   d.edges = edges_;
   d.vtxs = vtxs_;
-  d.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0_)
-                  .count();
+  d.wall_ns =
+      aux_ ? 0
+           : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - t0_)
+                 .count();
   if (grp_ != nullptr && have_begin_) {
     PerfReading now;
     if (grp_->read(now)) {

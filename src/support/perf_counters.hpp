@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -125,6 +126,7 @@ struct ProfBucket {
 struct ProfPhase {
   std::string phase;
   int level = -1;  ///< hierarchy level (0 = finest); -1 = not level-scoped
+  int threads = 0;  ///< distinct threads that folded into this bucket
   ProfBucket stats;
 };
 
@@ -154,8 +156,14 @@ class Profiler {
   /// is destroyed.
   PerfCounterGroup* thread_group();
 
-  /// Merge one measured interval into the (phase, level) bucket.
+  /// Merge one measured interval into the (phase, level) bucket. The
+  /// calling thread is registered in the bucket's distinct-thread set, so
+  /// per-phase reports can show how many threads contributed.
   void fold(const char* phase, int level, const ProfBucket& delta);
+
+  /// Record the run's configured thread count (Options::num_threads);
+  /// emitted as the top-level "threads" member of the profile section.
+  void set_threads(int n);
 
   /// All buckets, ordered by (phase, level).
   std::vector<ProfPhase> snapshot() const;
@@ -175,6 +183,8 @@ class Profiler {
   void clear();
 
  private:
+  friend class ProfScope;
+
   bool available_ = false;
   bool counter_open_[kNumPerfCounters] = {};
   std::string status_;
@@ -184,16 +194,29 @@ class Profiler {
   std::vector<std::unique_ptr<PerfCounterGroup>> groups_ MCGP_GUARDED_BY(mu_);
   std::map<std::pair<std::string, int>, ProfBucket> buckets_
       MCGP_GUARDED_BY(mu_);
+  /// Distinct thread ordinals that folded into each bucket (kept beside
+  /// buckets_ so ProfBucket itself stays plain additive data).
+  std::map<std::pair<std::string, int>, std::set<std::uint64_t>>
+      bucket_threads_ MCGP_GUARDED_BY(mu_);
+  int threads_ MCGP_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII measurement interval. Detached (null profiler) is one pointer
 /// test in the constructor and one in the destructor. Attached, it reads
 /// the thread's counters at entry and exit and folds the delta — cheap
 /// enough for per-level seams, not meant for per-move granularity.
+///
+/// An `aux` scope measures a parallel task's slice of a phase whose
+/// enclosing scope lives on the submitting thread. It contributes on-CPU
+/// counters (and its thread identity) but neither wall time nor a scope
+/// count — the enclosing scope already supplies both — and it disarms
+/// itself when a non-aux scope of the same profiler is already live on
+/// the current thread (work helping: the enclosing scope is counting this
+/// thread, a second interval would double-count the chunk).
 class ProfScope {
  public:
-  ProfScope(Profiler* p, const char* phase, int level = -1)
-      : p_(p), phase_(phase), level_(level) {
+  ProfScope(Profiler* p, const char* phase, int level = -1, bool aux = false)
+      : p_(p), phase_(phase), level_(level), aux_(aux) {
     if (p_ == nullptr) return;
     begin();
   }
@@ -222,6 +245,7 @@ class ProfScope {
   Profiler* p_;
   const char* phase_;
   int level_;
+  bool aux_ = false;
   std::int64_t edges_ = 0;
   std::int64_t vtxs_ = 0;
   PerfCounterGroup* grp_ = nullptr;

@@ -32,6 +32,9 @@ struct Workspace {
   std::vector<idx_t> second;
   std::vector<char> select;   ///< side mask of the RB driver
   std::vector<idx_t> proj;    ///< uncoarsening projection ping-pong buffer
+  std::vector<idx_t> proposal;  ///< handshake-matching proposal slots
+  std::vector<sum_t> kconn;     ///< per-task k-way connectivity scratch
+  std::vector<idx_t> ktouched;  ///< parts touched by the kconn gather
 
   /// Dense coarse-neighbor position map (contract_graph). All -1 between
   /// uses; users restore the entries they touch.
@@ -56,14 +59,22 @@ struct Workspace {
                           second.capacity() * sizeof(idx_t) +
                           select.capacity() * sizeof(char) +
                           proj.capacity() * sizeof(idx_t) +
+                          proposal.capacity() * sizeof(idx_t) +
+                          kconn.capacity() * sizeof(sum_t) +
+                          ktouched.capacity() * sizeof(idx_t) +
                           pos_.capacity() * sizeof(idx_t) +
                           g2l_.capacity() * sizeof(idx_t);
     return static_cast<std::int64_t>(b);
   }
 
  private:
+  friend class WorkspacePool;
+
   std::vector<idx_t> pos_;
   std::vector<idx_t> g2l_;
+  /// This workspace's footprint as last accounted by its WorkspacePool
+  /// (updated on every lease return; pool bookkeeping only).
+  std::int64_t pool_noted_bytes_ = 0;
 };
 
 /// Thread-safe grow-on-demand pool of Workspaces. Acquire returns an RAII
@@ -112,28 +123,33 @@ class WorkspacePool {
   }
 
   /// Total scratch capacity across all pooled workspaces (telemetry).
-  /// Only meaningful once every lease has been returned — the lock
-  /// protects the pool's lists, not the leased workspaces themselves.
+  /// Accounted at lease-return time: every release() folds the returning
+  /// workspace's footprint into a running total, so the value is accurate
+  /// for every workspace that has ever been returned — including while
+  /// OTHER leases (e.g. parallel matching / contraction chunk tasks) are
+  /// still out, which are counted at their last-returned size.
   std::int64_t footprint_bytes() const {
     MutexLock lk(mu_);
-    std::int64_t total = 0;
-    for (const std::unique_ptr<Workspace>& ws : owned_) {
-      total += ws->footprint_bytes();
-    }
-    return total;
+    return footprint_;
   }
 
  private:
   friend class Lease;
 
   void release(Workspace* ws) {
+    // Reading the workspace outside the lock is safe: until the lease is
+    // handed back below, the releasing thread still owns it exclusively.
+    const std::int64_t fp = ws->footprint_bytes();
     MutexLock lk(mu_);
+    footprint_ += fp - ws->pool_noted_bytes_;
+    ws->pool_noted_bytes_ = fp;
     free_.push_back(ws);
   }
 
   mutable Mutex mu_;
   std::vector<std::unique_ptr<Workspace>> owned_ MCGP_GUARDED_BY(mu_);
   std::vector<Workspace*> free_ MCGP_GUARDED_BY(mu_);
+  std::int64_t footprint_ MCGP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mcgp

@@ -4,6 +4,7 @@
 
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mcgp {
 namespace {
@@ -75,6 +76,42 @@ TEST_P(MatchingSchemes, IsolatedVerticesStayUnmatched) {
   const auto match = compute_matching(g, GetParam(), rng);
   EXPECT_TRUE(is_valid_matching(g, match));
   for (idx_t v = 2; v < 5; ++v) EXPECT_EQ(match[to_size(v)], v);
+}
+
+// Above kHandshakeMinVtxs the handshake-round path engages; it must still
+// produce a valid MAXIMAL matching (the serial cleanup guarantees no two
+// unmatched neighbors remain).
+TEST_P(MatchingSchemes, HandshakePathValidAndMaximal) {
+  Graph g = grid2d(96, 96);  // 9216 vertices >= kHandshakeMinVtxs
+  ASSERT_GE(g.nvtxs, kHandshakeMinVtxs);
+  Rng rng(11);
+  const auto match = compute_matching(g, GetParam(), rng);
+  EXPECT_TRUE(is_valid_matching(g, match));
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    if (match[to_size(v)] != v) continue;
+    for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
+      EXPECT_NE(match[to_size(g.adjncy[to_size(e)])],
+                g.adjncy[to_size(e)])
+          << "unmatched neighbors " << v << " and " << g.adjncy[to_size(e)];
+    }
+  }
+}
+
+// The handshake propose/accept phases are chunk tasks; running them on a
+// pool must yield the bit-identical matching the inline execution does.
+TEST_P(MatchingSchemes, PooledHandshakeBitIdenticalToInline) {
+  Graph g = grid2d(96, 96);
+  apply_type_s_weights(g, 2, 8, 0, 9, 5);
+  Rng a(5), b(5);
+  std::vector<idx_t> inline_match, pooled_match;
+  compute_matching_into(g, GetParam(), a, inline_match);
+
+  ThreadPool pool(4);
+  MatchingExec exec;
+  exec.pool = &pool;
+  Workspace ws;
+  compute_matching_into(g, GetParam(), b, pooled_match, nullptr, &ws, &exec);
+  EXPECT_EQ(pooled_match, inline_match);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, MatchingSchemes,

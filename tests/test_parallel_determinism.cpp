@@ -15,6 +15,8 @@
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
 #include "json_test_util.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/perf_counters.hpp"
 #include "support/trace.hpp"
 
 namespace mcgp {
@@ -46,7 +48,7 @@ TEST_P(ParallelDeterminism, PartitionIdenticalAcrossThreadCounts) {
     const PartitionResult serial = partition(g, o);
     ASSERT_TRUE(validate_partition(g, serial.part, k).empty());
 
-    for (const int threads : {2, 8}) {
+    for (const int threads : {2, 4, 8}) {
       o.num_threads = threads;
       const PartitionResult parallel = partition(g, o);
       EXPECT_EQ(parallel.part, serial.part)
@@ -82,6 +84,47 @@ INSTANTIATE_TEST_SUITE_P(
       name += "_ncon" + std::to_string(std::get<1>(pinfo.param));
       return name;
     });
+
+// The in-node data-parallel phases only engage above their size
+// thresholds (handshake matching needs >= kHandshakeMinVtxs vertices,
+// chunked contraction a coarse graph bigger than its chunk), so the
+// bit-identity contract needs a graph big enough to cross them: a 101x101
+// triangulated grid (10201 vertices) coarsens through several levels with
+// the handshake + chunked paths active. MC-KW additionally drives the
+// colored sweep on every level. Runs fully observed — boundary audits,
+// trace, flight recorder, and profiler attached — because observers must
+// never perturb the partition either.
+TEST(ParallelDeterminismLarge, KWayParallelPhasesBitIdenticalUnderObservers) {
+  for (const int ncon : {1, 3}) {
+    Graph g = tri_grid2d(101, 101);
+    if (ncon > 1) apply_type_s_weights(g, ncon, 12, 0, 7, 2);
+
+    std::vector<idx_t> reference;
+    sum_t reference_cut = 0;
+    for (const int threads : {1, 2, 4, 8}) {
+      TraceRecorder trace;
+      FlightRecorder flight;
+      Profiler profile;
+      Options o = base_options(Algorithm::kKWay, 16, /*seed=*/99);
+      o.num_threads = threads;
+      o.audit_level = AuditLevel::kBoundaries;
+      o.trace = &trace;
+      o.flight = &flight;
+      o.profile = &profile;
+      const PartitionResult r = partition(g, o);
+      ASSERT_TRUE(validate_partition(g, r.part, 16).empty())
+          << "ncon=" << ncon << " threads=" << threads;
+      if (threads == 1) {
+        reference = r.part;
+        reference_cut = r.cut;
+      } else {
+        EXPECT_EQ(r.part, reference)
+            << "ncon=" << ncon << " threads=" << threads;
+        EXPECT_EQ(r.cut, reference_cut);
+      }
+    }
+  }
+}
 
 TEST(ParallelPartition, MultithreadedRunIsValidAndBalanced) {
   Graph g = make_graph(3);

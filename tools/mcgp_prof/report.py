@@ -53,6 +53,10 @@ DERIVED = {
     "instructions_per_edge": ("instructions", "edges"),
     "wall_ns_per_edge": ("wall_ns", "edges"),
     "task_clock_per_edge": ("task_clock_ns", "edges"),
+    # On-CPU time over wall time: 1.0 = one busy core, `threads` = perfect
+    # scaling. Aux (worker-side) rows contribute task_clock but no wall
+    # time, so the aggregated ratio is the phase's effective occupancy.
+    "parallelism": ("task_clock_ns", "wall_ns"),
 }
 
 METRICS = tuple(RAW_FIELDS) + tuple(DERIVED)
@@ -109,6 +113,11 @@ def merge_rows(acc, row):
     for field in RAW_FIELDS:
         if field in row:
             acc[field] = acc.get(field, 0) + row[field]
+    # `threads` counts distinct worker ordinals seen by a bucket — an
+    # occupancy, not an accumulating sum, so aggregation takes the max
+    # across a phase's per-level rows.
+    if "threads" in row:
+        acc["threads"] = max(acc.get("threads", 0), row["threads"])
 
 
 def by_phase(prof):
@@ -166,14 +175,18 @@ def cmd_top(args):
     total = metric_value(run, rank) if run else None
     print(f"top {min(args.n, len(rows))} phases by {rank} "
           f"({args.report})")
-    header = f"{'phase':<22} {rank:>16} {'share':>7}  ipc     llc_miss"
+    header = (f"{'phase':<22} {rank:>16} {'share':>7}  "
+              f"{'thr':>3} {'par':>5}  ipc     llc_miss")
     print(header)
     print("-" * len(header))
     for v, name, acc in rows[:args.n]:
         share = f"{v / total:7.1%}" if total else "      -"
+        thr = acc.get("threads")
+        par = metric_value(acc, "parallelism")
         ipc = fmt(metric_value(acc, "ipc"))
         llc = fmt(metric_value(acc, "llc_miss_rate"))
-        print(f"{name:<22} {fmt(v):>16} {share}  {ipc:<7} {llc}")
+        print(f"{name:<22} {fmt(v):>16} {share}  "
+              f"{fmt(thr):>3} {fmt(par):>5}  {ipc:<7} {llc}")
     if total is not None:
         print(f"{'(whole run)':<22} {fmt(total):>16}")
     return 0

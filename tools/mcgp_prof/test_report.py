@@ -66,6 +66,30 @@ def main():
                       f"against the phases it contains\n{out}")
     if "(whole run)" not in out or "44,000,000" not in out:
         errors.append(f"top: whole-run cycle total missing\n{out}")
+    # Parallel-efficiency columns: kway_refine ran on 4 threads with
+    # 16.4M ns on-CPU over 6.1M ns wall -> parallelism 2.689; the serial
+    # phases show thr 1 and par <= 1. `threads` aggregates by max, not sum.
+    if " thr " not in lines[1] or " par " not in lines[1]:
+        errors.append(f"top: header lacks the thr/par columns\n{out}")
+    kway = next((ln.split() for ln in lines[3:]
+                 if ln.startswith("kway_refine")), [])
+    if len(kway) < 5 or kway[3] != "4" or kway[4] != "2.689":
+        errors.append(f"top: kway_refine should show thr=4 par=2.689, "
+                      f"got {kway}\n{out}")
+    match = next((ln.split() for ln in lines[3:]
+                  if ln.startswith("coarsen.matching")), [])
+    if len(match) < 5 or match[3] != "1":
+        errors.append(f"top: coarsen.matching should show thr=1, "
+                      f"got {match}\n{out}")
+
+    # parallelism is a first-class metric: rankable and diffable.
+    code, out = run_tool(["top", BEFORE, "--by", "parallelism"])
+    lines = out.splitlines()
+    ranked = [ln.split()[0] for ln in lines[3:] if ln and
+              not ln.startswith("(")]
+    if code != 0 or ranked[:1] != ["kway_refine"]:
+        errors.append(f"top --by=parallelism: expected kway_refine (2.689) "
+                      f"first, got {ranked[:1]}\n{out}")
 
     # Explicit ranking field.
     code, out = run_tool(["top", BEFORE, "--by", "llc_misses"])
