@@ -156,6 +156,7 @@ RunSummary run_average(const Graph& g, Options opts, int reps,
     const PartitionResult res = partition(g, opts);
     s.cut += static_cast<double>(res.cut);
     s.max_imbalance += res.max_imbalance;
+    s.feasible_rate += res.feasible ? 1.0 : 0.0;
     s.seconds += res.seconds;
     if (sink != nullptr && !sink->path.empty()) {
       append_run_record(
@@ -166,6 +167,7 @@ RunSummary run_average(const Graph& g, Options opts, int reps,
   }
   s.cut /= reps;
   s.max_imbalance /= reps;
+  s.feasible_rate /= reps;
   s.seconds /= reps;
   return s;
 }
@@ -193,8 +195,10 @@ bool emit_trace_artifacts(const Args& args, const std::string& name,
 
   std::ofstream report(base + ".report.json");
   if (report) {
-    write_report_json(report, analyze_partition(g, res.part, opts.nparts),
-                      &flight, opts.profile);
+    PartitionReport rep = analyze_partition(g, res.part, opts.nparts);
+    rep.feasible = res.feasible ? 1 : 0;
+    rep.ubvec_used = res.ubvec_used;
+    write_report_json(report, rep, &flight, opts.profile);
   }
   ok = static_cast<bool>(report) && ok;
 

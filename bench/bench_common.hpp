@@ -80,6 +80,7 @@ class Table {
 struct RunSummary {
   double cut = 0;            ///< mean cut over reps
   double max_imbalance = 0;  ///< mean of per-run worst imbalance
+  double feasible_rate = 0;  ///< fraction of reps satisfying every ubvec
   double seconds = 0;        ///< mean wall time
 };
 

@@ -46,7 +46,10 @@ int main(int argc, char** argv) {
   const PartitionResult r = partition(dual, opts);
 
   // 5. Inspect the decomposition.
-  print_report(std::cout, analyze_partition(dual, r.part, k));
+  PartitionReport rep = analyze_partition(dual, r.part, k);
+  rep.feasible = r.feasible ? 1 : 0;
+  rep.ubvec_used = r.ubvec_used;
+  print_report(std::cout, rep);
 
   const PhaseSimResult sim = simulate_phases(dual, r.part, k);
   std::cout << "\nbulk-synchronous step slowdown vs ideal: " << sim.slowdown()

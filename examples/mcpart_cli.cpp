@@ -9,7 +9,9 @@
 //   mcpart <graph-file> <nparts> [options]
 // Options:
 //   --alg=rb|kway        algorithm (default kway)
-//   --ub=<f>             balance tolerance for all constraints (default 1.05)
+//   --ub=<f>             balance tolerance for all constraints (default
+//                        1.05, clamped up to the instance's provable
+//                        minimum; an explicit infeasible value is an error)
 //   --seed=<n>           random seed (default 1)
 //   --threads=<n>        worker threads (default 1; same result any value)
 //   --match=rm|hem|hembal  matching scheme (default hembal)
@@ -71,7 +73,8 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " <graph-file> <nparts> [options]\n"
       << "  --alg=rb|kway       algorithm (default kway)\n"
-      << "  --ub=<f>            balance tolerance (default 1.05)\n"
+      << "  --ub=<f>            balance tolerance (default 1.05, clamped\n"
+      << "                      to the instance's provable minimum)\n"
       << "  --seed=<n>          random seed (default 1)\n"
       << "  --threads=<n>       worker threads (default 1; the partition\n"
       << "                      is identical for every thread count)\n"
@@ -112,7 +115,8 @@ int main(int argc, char** argv) {
 
   Options opts;
   opts.nparts = nparts;
-  double ub = 1.05;
+  double ub = 0.0;  // 0 = not given: leave ubvec empty so infeasibly
+                    // tight defaults clamp to the provable bound
   std::string out_path;
   bool write_out = true;
   bool is_mesh = false;
@@ -197,7 +201,7 @@ int main(int argc, char** argv) {
     } else {
       g = read_metis_graph_file(graph_path);
     }
-    opts.ubvec.assign(to_size(g.ncon), ub);
+    if (ub > 0.0) opts.ubvec.assign(to_size(g.ncon), ub);
 
     std::cout << "graph:   " << graph_path << " (" << g.nvtxs << " vertices, "
               << g.nedges() << " edges, " << g.ncon << " constraint"
@@ -246,7 +250,11 @@ int main(int argc, char** argv) {
     std::cout << "commvol: " << communication_volume(g, r.part, nparts) << "\n";
     std::cout << "balance:";
     for (const real_t lb : r.imbalance) std::cout << ' ' << lb;
-    std::cout << "  (tolerance " << ub << ")\n";
+    std::cout << "\n";
+    std::cout << "feasible: " << (r.feasible ? "yes" : "NO")
+              << "  (held to";
+    for (const real_t u : r.ubvec_used) std::cout << ' ' << u;
+    std::cout << ")\n";
     std::cout << "time:    " << r.seconds << "s";
     for (const auto& [phase, secs] : r.phases.entries()) {
       std::cout << "  " << phase << "=" << secs << "s";
@@ -282,7 +290,10 @@ int main(int argc, char** argv) {
 
     if (report) {
       std::cout << "\n";
-      print_report(std::cout, analyze_partition(g, r.part, nparts));
+      PartitionReport rep = analyze_partition(g, r.part, nparts);
+      rep.feasible = r.feasible ? 1 : 0;
+      rep.ubvec_used = r.ubvec_used;
+      print_report(std::cout, rep);
       std::cout << "\n";
     }
 
@@ -293,8 +304,10 @@ int main(int argc, char** argv) {
                   << "\n";
         return 1;
       }
-      write_report_json(rj, analyze_partition(g, r.part, nparts),
-                        opts.flight, opts.profile);
+      PartitionReport rep = analyze_partition(g, r.part, nparts);
+      rep.feasible = r.feasible ? 1 : 0;
+      rep.ubvec_used = r.ubvec_used;
+      write_report_json(rj, rep, opts.flight, opts.profile);
       std::cout << "report:  wrote " << report_json_path << "\n";
     }
 

@@ -67,8 +67,10 @@ int main(int argc, char** argv) {
   ok = recorder.save_jsonl(prefix + ".events.jsonl") && ok;
   std::ofstream report(prefix + ".report.json");
   if (report) {
-    write_report_json(report, analyze_partition(g, r.part, opts.nparts),
-                      &flight);
+    PartitionReport rep = analyze_partition(g, r.part, opts.nparts);
+    rep.feasible = r.feasible ? 1 : 0;
+    rep.ubvec_used = r.ubvec_used;
+    write_report_json(report, rep, &flight);
   }
   ok = static_cast<bool>(report) && ok;
   std::ofstream counters(prefix + ".counters.json");

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/kway_refine.hpp"
+
 namespace mcgp {
 
 namespace {
@@ -50,6 +52,7 @@ const char* audit_check_name(AuditCheck c) {
     case AuditCheck::kGainSample: return "gain_sample";
     case AuditCheck::kCutDelta: return "cut_delta";
     case AuditCheck::kFinalPartition: return "final_partition";
+    case AuditCheck::kFeasibility: return "feasibility";
     case AuditCheck::kCount_: break;
   }
   return "?";
@@ -317,6 +320,61 @@ void InvariantAuditor::check_final_partition(const Graph& g,
   MCGP_AUDIT_MSG(this, claimed_cut == fresh, site, ": claimed cut ",
                  claimed_cut, " != recomputed cut ", fresh);
   bump(AuditCheck::kFinalPartition);
+}
+
+void InvariantAuditor::check_feasibility(const Graph& g,
+                                         const std::vector<idx_t>& part,
+                                         idx_t nparts,
+                                         const std::vector<real_t>& ub,
+                                         const std::vector<real_t>* tpwgts,
+                                         bool declared_feasible,
+                                         const char* site) {
+  MCGP_AUDIT_MSG(this, part.size() == to_size(g.nvtxs),
+                 site, ": partition size ", part.size(), " != nvtxs ",
+                 g.nvtxs);
+  MCGP_AUDIT_MSG(this, ub.size() >= to_size(g.ncon), site,
+                 ": ubvec has ", ub.size(), " entries for ncon ", g.ncon);
+  std::vector<sum_t> fresh(to_size(nparts) * to_size(g.ncon), 0);
+  for (idx_t v = 0; v < g.nvtxs; ++v) {
+    const idx_t p = part[to_size(v)];
+    MCGP_AUDIT_MSG(this, p >= 0 && p < nparts, site, ": vertex ", v,
+                   " in part ", p, " out of range [0, ", nparts, ")");
+    const wgt_t* w = g.weights(v);
+    for (int i = 0; i < g.ncon; ++i) {
+      sum_t& slot = fresh[to_size(p) * to_size(g.ncon) + to_size(i)];
+      slot = checked_add(slot, w[i]);
+    }
+  }
+  const bool actual = kway_feasible(g, fresh, nparts, ub, tpwgts);
+  // Locate the worst (part, constraint) ratio for the failure message.
+  real_t worst = 0.0;
+  idx_t worst_p = 0;
+  int worst_i = 0;
+  for (idx_t p = 0; p < nparts; ++p) {
+    const real_t frac = tpwgts != nullptr
+                            ? (*tpwgts)[to_size(p)]
+                            : 1.0 / static_cast<real_t>(nparts);
+    for (int i = 0; i < g.ncon; ++i) {
+      if (g.tvwgt[to_size(i)] <= 0) continue;
+      const real_t limit =
+          ub[to_size(i)] * frac * static_cast<real_t>(g.tvwgt[to_size(i)]);
+      const real_t ratio =
+          static_cast<real_t>(
+              fresh[to_size(p) * to_size(g.ncon) + to_size(i)]) /
+          limit;
+      if (ratio > worst) {
+        worst = ratio;
+        worst_p = p;
+        worst_i = i;
+      }
+    }
+  }
+  MCGP_AUDIT_MSG(this, declared_feasible == actual, site,
+                 ": declared feasible=", declared_feasible ? 1 : 0,
+                 " but recomputed weights say ", actual ? 1 : 0,
+                 " (worst part ", worst_p, " constraint ", worst_i,
+                 " at ", worst, "x its tolerance limit)");
+  bump(AuditCheck::kFeasibility);
 }
 
 }  // namespace mcgp

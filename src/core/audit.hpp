@@ -44,6 +44,7 @@ enum class AuditCheck {
   kGainSample,        ///< sampled FM gain vs recomputed gain
   kCutDelta,          ///< accumulated move gains vs actual cut change
   kFinalPartition,    ///< structural validity of a driver's output
+  kFeasibility,       ///< declared feasibility vs recomputed part weights
   kCount_,
 };
 
@@ -153,6 +154,17 @@ class InvariantAuditor {
   void check_final_partition(const Graph& g, const std::vector<idx_t>& part,
                              idx_t nparts, sum_t claimed_cut,
                              const char* site);
+
+  /// Feasibility declaration: `declared_feasible` must equal the verdict
+  /// of kway_feasible() on part weights recomputed from scratch under the
+  /// given tolerances and target fractions (null = uniform). Catches both
+  /// a run claiming feasibility it does not have (the SC'98 balance
+  /// contract silently broken) and a stale infeasible verdict after the
+  /// rebalancer repaired the partition.
+  void check_feasibility(const Graph& g, const std::vector<idx_t>& part,
+                         idx_t nparts, const std::vector<real_t>& ub,
+                         const std::vector<real_t>* tpwgts,
+                         bool declared_feasible, const char* site);
 
  private:
   static constexpr std::uint64_t kGainSampleStride = 16;

@@ -170,6 +170,16 @@ struct PartitionResult {
   sum_t cut = 0;                 ///< weighted edge-cut
   std::vector<real_t> imbalance; ///< per-constraint load imbalance
   real_t max_imbalance = 1.0;    ///< worst constraint
+  /// Whether every part satisfies every constraint's tolerance (the
+  /// SC'98 balance contract): pwgt[p][i] <= ubvec_used[i] * frac_p *
+  /// tvwgt[i] for all p, i. The first-class verdict of a run — cut is
+  /// the objective, this is the requirement.
+  bool feasible = false;
+  /// The tolerance vector the run was actually held to: the requested
+  /// ubvec (or the 1.05 default) clamped up, per constraint, to the
+  /// instance's provable lower bound (see min_feasible_ubvec). Equals the
+  /// request whenever the request was achievable.
+  std::vector<real_t> ubvec_used;
   double seconds = 0.0;          ///< total wall time
   PhaseTimes phases;             ///< coarsen / init / refine breakdown
   int coarsen_levels = 0;        ///< levels created by the top coarsener

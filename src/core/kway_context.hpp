@@ -1,0 +1,204 @@
+// Shared k-way refinement context: incrementally maintained part weights,
+// vertex counts, per-part/per-constraint tolerance limits, and sparse
+// connectivity scratch.
+//
+// Extracted from the k-way refiner so every pass that mutates a k-way
+// assignment — the colored sweep, the PQ pass, the balancer, and the
+// greedy multi-constraint rebalancer (core/rebalance.hpp) — shares one
+// bookkeeping implementation and therefore one definition of feasibility.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kway_refine.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/metrics.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace mcgp {
+
+/// Sweep context over a mutable k-way assignment: part weights, vertex
+/// counts, scratch connectivity. All mutation goes through move(), which
+/// keeps the incremental state exact (audited via check_kway_state).
+class KWayContext {
+ public:
+  KWayContext(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
+              const std::vector<real_t>& ub,
+              const std::vector<real_t>* tpwgts)
+      : g_(g), nparts_(nparts), where_(where), ub_(ub), tpwgts_(tpwgts) {
+    conn_.assign(to_size(nparts), 0);
+    touched_.reserve(64);
+    limit_.resize(to_size(nparts) * to_size(g.ncon));
+    for (idx_t p = 0; p < nparts; ++p) {
+      const real_t frac = tpwgts != nullptr
+                              ? (*tpwgts)[to_size(p)]
+                              : 1.0 / static_cast<real_t>(nparts);
+      for (int i = 0; i < g.ncon; ++i) {
+        limit_[to_size(p) * to_size(g.ncon) + to_size(i)] =
+            g.tvwgt[to_size(i)] > 0
+                ? ub[to_size(i)] * frac *
+                      static_cast<real_t>(g.tvwgt[to_size(i)])
+                : 1e300;
+      }
+    }
+    reload();
+  }
+
+  /// Recompute part weights and counts from the current assignment
+  /// (after an external pass, e.g. kway_balance, mutated `where`).
+  void reload() {
+    pwgts_ = part_weights(g_, where_, nparts_);
+    vcount_.assign(to_size(nparts_), 0);
+    for (idx_t v = 0; v < g_.nvtxs; ++v) {
+      ++vcount_[to_size(where_[to_size(v)])];
+    }
+  }
+
+  const Graph& graph() const { return g_; }
+  idx_t nparts() const { return nparts_; }
+  const std::vector<sum_t>& pwgts() const { return pwgts_; }
+  const std::vector<idx_t>& vcounts() const { return vcount_; }
+
+  bool feasible() const {
+    return kway_feasible(g_, pwgts_, nparts_, ub_, tpwgts_);
+  }
+
+  /// Tolerance limit of part p in constraint i (ub * frac * tvwgt).
+  real_t limit(idx_t p, int i) const {
+    return limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
+  }
+
+  /// Tolerance-relative load of part p: max_i pwgt/limit.
+  real_t part_load(idx_t p) const {
+    real_t l = 0.0;
+    for (int i = 0; i < g_.ncon; ++i) {
+      l = std::max(l, static_cast<real_t>(
+                          pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)]) /
+                          limit_[to_size(p) * to_size(g_.ncon) + to_size(i)]);
+    }
+    return l;
+  }
+
+  /// Overload of part p in constraint i (ratio above limit; <=1 is fine).
+  real_t overload(idx_t p, int i) const {
+    return static_cast<real_t>(pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)]) /
+           limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
+  }
+
+  /// Global maximum tolerance-relative load (feasible iff <= 1).
+  real_t max_overload() const {
+    real_t mx = 0.0;
+    for (idx_t p = 0; p < nparts_; ++p) {
+      for (int i = 0; i < g_.ncon; ++i) mx = std::max(mx, overload(p, i));
+    }
+    return mx;
+  }
+
+  /// Load of part p in constraint i after hypothetically adding `extra`.
+  real_t load_with(idx_t p, int i, wgt_t extra) const {
+    return static_cast<real_t>(checked_add(
+               pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)], extra)) /
+           limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
+  }
+
+  /// Post-move tolerance-relative load of part p if it received vertex v.
+  real_t load_after(idx_t v, idx_t p) const {
+    real_t l = 0.0;
+    const wgt_t* w = g_.weights(v);
+    for (int i = 0; i < g_.ncon; ++i) {
+      l = std::max(l, load_with(p, i, w[i]));
+    }
+    return l;
+  }
+
+  bool fits(idx_t v, idx_t p) const {
+    const wgt_t* w = g_.weights(v);
+    for (int i = 0; i < g_.ncon; ++i) {
+      if (static_cast<real_t>(checked_add(
+              pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)], w[i])) >
+          limit_[to_size(p) * to_size(g_.ncon) + to_size(i)] + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Gather the edge weight from v to each touched part. Returns the
+  /// weight to v's own part; touched() lists the OTHER parts seen.
+  sum_t gather_connectivity(idx_t v) {
+    return gather_connectivity_into(v, conn_, touched_);
+  }
+
+  /// As gather_connectivity, but into caller-owned scratch (size >= nparts,
+  /// zero except the parts listed in `touched` — the same sparse-reset
+  /// discipline as the member buffers). Const: concurrent propose tasks
+  /// read the frozen context while each gathers into its own buffers.
+  sum_t gather_connectivity_into(idx_t v, std::vector<sum_t>& conn,
+                                 std::vector<idx_t>& touched) const {
+    for (const idx_t p : touched) conn[to_size(p)] = 0;
+    touched.clear();
+    const idx_t own = where_[to_size(v)];
+    sum_t idw = 0;
+    for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
+      const idx_t p = where_[to_size(g_.adjncy[to_size(e)])];
+      if (p == own) {
+        idw = checked_add(idw, g_.adjwgt[to_size(e)]);
+      } else {
+        if (conn[to_size(p)] == 0) touched.push_back(p);
+        conn[to_size(p)] = checked_add(conn[to_size(p)], g_.adjwgt[to_size(e)]);
+      }
+    }
+    return idw;
+  }
+
+  const std::vector<idx_t>& touched() const { return touched_; }
+  sum_t conn(idx_t p) const { return conn_[to_size(p)]; }
+
+  /// Never empty a part (keeps every subdomain populated).
+  bool can_leave(idx_t p) const { return vcount_[to_size(p)] > 1; }
+
+  void move(idx_t v, idx_t to) {
+    const idx_t from = where_[to_size(v)];
+    where_[to_size(v)] = to;
+    --vcount_[to_size(from)];
+    ++vcount_[to_size(to)];
+    const wgt_t* w = g_.weights(v);
+    for (int i = 0; i < g_.ncon; ++i) {
+      sum_t& fs = pwgts_[to_size(from) * to_size(g_.ncon) + to_size(i)];
+      sum_t& ts = pwgts_[to_size(to) * to_size(g_.ncon) + to_size(i)];
+      fs = checked_sub(fs, w[i]);
+      ts = checked_add(ts, w[i]);
+    }
+  }
+
+  std::vector<idx_t> boundary(Rng& rng) const {
+    std::vector<idx_t> b;
+    for (idx_t v = 0; v < g_.nvtxs; ++v) {
+      const idx_t pv = where_[to_size(v)];
+      for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
+        if (where_[to_size(g_.adjncy[to_size(e)])] != pv) {
+          b.push_back(v);
+          break;
+        }
+      }
+    }
+    shuffle(b, rng);
+    return b;
+  }
+
+ private:
+  const Graph& g_;
+  idx_t nparts_;
+  std::vector<idx_t>& where_;
+  const std::vector<real_t>& ub_;
+  const std::vector<real_t>* tpwgts_;
+  std::vector<sum_t> pwgts_;
+  std::vector<idx_t> vcount_;
+  std::vector<sum_t> conn_;
+  std::vector<idx_t> touched_;
+  std::vector<real_t> limit_;
+};
+
+}  // namespace mcgp

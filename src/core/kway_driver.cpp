@@ -7,6 +7,7 @@
 #include "core/kway_refine.hpp"
 #include "core/project.hpp"
 #include "core/rb_driver.hpp"
+#include "core/rebalance.hpp"
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/perf_counters.hpp"
@@ -169,6 +170,24 @@ std::vector<idx_t> partition_kway(const Graph& g, const Options& opts,
         lvl.arg({"cut", cut});
         lvl.arg({"max_imbalance", worst});
       }
+    }
+  }
+
+  // The refiner's balancer can exit with residual overload on tight or
+  // coarse-granularity instances (the ledger's grid-13x13 k=64 case).
+  // Escalate to the dedicated rebalancer: greedy gain-to-relief moves,
+  // pairwise swaps on small graphs, then bounded partition-restricted
+  // V-cycles. Runs after all parallel phases on a thread-invariant
+  // `cwhere` and is itself serial, so determinism is preserved.
+  {
+    const std::vector<real_t>* tp =
+        opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+    if (!kway_feasible(g, part_weights(g, cwhere, k), k, ub, tp)) {
+      ScopedPhase sp(pt, "refine");
+      ProfScope ps(opts.profile, "rebalance", 0);
+      ps.work(g.nedges(), g.nvtxs);
+      rebalance_partition(g, k, cwhere, ub, rng, tp, nullptr, opts.trace,
+                          opts.audit, opts.flight);
     }
   }
 

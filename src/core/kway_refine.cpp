@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/audit.hpp"
+#include "core/kway_context.hpp"
 #include "support/check.hpp"
 #include "graph/metrics.hpp"
 #include "support/bucket_queue.hpp"
@@ -46,168 +48,8 @@ bool kway_feasible(const Graph& g, const std::vector<sum_t>& pwgts,
 
 namespace {
 
-/// Shared sweep context: part weights, vertex counts, scratch connectivity.
-class KWayContext {
- public:
-  KWayContext(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
-              const std::vector<real_t>& ub,
-              const std::vector<real_t>* tpwgts)
-      : g_(g), nparts_(nparts), where_(where), ub_(ub), tpwgts_(tpwgts) {
-    conn_.assign(to_size(nparts), 0);
-    touched_.reserve(64);
-    limit_.resize(to_size(nparts) * to_size(g.ncon));
-    for (idx_t p = 0; p < nparts; ++p) {
-      const real_t frac = tpwgts != nullptr
-                              ? (*tpwgts)[to_size(p)]
-                              : 1.0 / static_cast<real_t>(nparts);
-      for (int i = 0; i < g.ncon; ++i) {
-        limit_[to_size(p) * to_size(g.ncon) + to_size(i)] =
-            g.tvwgt[to_size(i)] > 0
-                ? ub[to_size(i)] * frac *
-                      static_cast<real_t>(g.tvwgt[to_size(i)])
-                : 1e300;
-      }
-    }
-    reload();
-  }
-
-  /// Recompute part weights and counts from the current assignment
-  /// (after an external pass, e.g. kway_balance, mutated `where`).
-  void reload() {
-    pwgts_ = compute_part_weights(g_, where_, nparts_);
-    vcount_.assign(to_size(nparts_), 0);
-    for (idx_t v = 0; v < g_.nvtxs; ++v) {
-      ++vcount_[to_size(where_[to_size(v)])];
-    }
-  }
-
-  const std::vector<sum_t>& pwgts() const { return pwgts_; }
-  const std::vector<idx_t>& vcounts() const { return vcount_; }
-
-  bool feasible() const {
-    return kway_feasible(g_, pwgts_, nparts_, ub_, tpwgts_);
-  }
-
-  /// Tolerance-relative load of part p: max_i pwgt/limit.
-  real_t part_load(idx_t p) const {
-    real_t l = 0.0;
-    for (int i = 0; i < g_.ncon; ++i) {
-      l = std::max(l, static_cast<real_t>(
-                          pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)]) /
-                          limit_[to_size(p) * to_size(g_.ncon) + to_size(i)]);
-    }
-    return l;
-  }
-
-  /// Overload of part p in constraint i (ratio above limit; <=1 is fine).
-  real_t overload(idx_t p, int i) const {
-    return static_cast<real_t>(pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)]) /
-           limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
-  }
-
-  /// Global maximum tolerance-relative load (feasible iff <= 1).
-  real_t max_overload() const {
-    real_t mx = 0.0;
-    for (idx_t p = 0; p < nparts_; ++p) {
-      for (int i = 0; i < g_.ncon; ++i) mx = std::max(mx, overload(p, i));
-    }
-    return mx;
-  }
-
-  /// Load of part p in constraint i after hypothetically adding `extra`.
-  real_t load_with(idx_t p, int i, wgt_t extra) const {
-    return static_cast<real_t>(checked_add(
-               pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)], extra)) /
-           limit_[to_size(p) * to_size(g_.ncon) + to_size(i)];
-  }
-
-  bool fits(idx_t v, idx_t p) const {
-    const wgt_t* w = g_.weights(v);
-    for (int i = 0; i < g_.ncon; ++i) {
-      if (static_cast<real_t>(checked_add(
-              pwgts_[to_size(p) * to_size(g_.ncon) + to_size(i)], w[i])) >
-          limit_[to_size(p) * to_size(g_.ncon) + to_size(i)] + 1e-9) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  /// Gather the edge weight from v to each touched part. Returns the
-  /// weight to v's own part; touched() lists the OTHER parts seen.
-  sum_t gather_connectivity(idx_t v) {
-    return gather_connectivity_into(v, conn_, touched_);
-  }
-
-  /// As gather_connectivity, but into caller-owned scratch (size >= nparts,
-  /// zero except the parts listed in `touched` — the same sparse-reset
-  /// discipline as the member buffers). Const: concurrent propose tasks
-  /// read the frozen context while each gathers into its own buffers.
-  sum_t gather_connectivity_into(idx_t v, std::vector<sum_t>& conn,
-                                 std::vector<idx_t>& touched) const {
-    for (const idx_t p : touched) conn[to_size(p)] = 0;
-    touched.clear();
-    const idx_t own = where_[to_size(v)];
-    sum_t idw = 0;
-    for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
-      const idx_t p = where_[to_size(g_.adjncy[to_size(e)])];
-      if (p == own) {
-        idw = checked_add(idw, g_.adjwgt[to_size(e)]);
-      } else {
-        if (conn[to_size(p)] == 0) touched.push_back(p);
-        conn[to_size(p)] = checked_add(conn[to_size(p)], g_.adjwgt[to_size(e)]);
-      }
-    }
-    return idw;
-  }
-
-  const std::vector<idx_t>& touched() const { return touched_; }
-  sum_t conn(idx_t p) const { return conn_[to_size(p)]; }
-
-  /// Never empty a part (keeps every subdomain populated).
-  bool can_leave(idx_t p) const { return vcount_[to_size(p)] > 1; }
-
-  void move(idx_t v, idx_t to) {
-    const idx_t from = where_[to_size(v)];
-    where_[to_size(v)] = to;
-    --vcount_[to_size(from)];
-    ++vcount_[to_size(to)];
-    const wgt_t* w = g_.weights(v);
-    for (int i = 0; i < g_.ncon; ++i) {
-      sum_t& fs = pwgts_[to_size(from) * to_size(g_.ncon) + to_size(i)];
-      sum_t& ts = pwgts_[to_size(to) * to_size(g_.ncon) + to_size(i)];
-      fs = checked_sub(fs, w[i]);
-      ts = checked_add(ts, w[i]);
-    }
-  }
-
-  std::vector<idx_t> boundary(Rng& rng) const {
-    std::vector<idx_t> b;
-    for (idx_t v = 0; v < g_.nvtxs; ++v) {
-      const idx_t pv = where_[to_size(v)];
-      for (idx_t e = g_.xadj[to_size(v)]; e < g_.xadj[to_size(v + 1)]; ++e) {
-        if (where_[to_size(g_.adjncy[to_size(e)])] != pv) {
-          b.push_back(v);
-          break;
-        }
-      }
-    }
-    shuffle(b, rng);
-    return b;
-  }
-
- private:
-  const Graph& g_;
-  idx_t nparts_;
-  std::vector<idx_t>& where_;
-  const std::vector<real_t>& ub_;
-  const std::vector<real_t>* tpwgts_;
-  std::vector<sum_t> pwgts_;
-  std::vector<idx_t> vcount_;
-  std::vector<sum_t> conn_;
-  std::vector<idx_t> touched_;
-  std::vector<real_t> limit_;
-};
+// The shared bookkeeping (part weights, counts, limits, connectivity
+// scratch) lives in core/kway_context.hpp so the rebalancer can reuse it.
 
 /// Vertex-range grain of the colored sweep's parallel phases (boundary
 /// collection and per-color propose). Fixed boundaries: the decomposition
@@ -391,17 +233,6 @@ idx_t colored_sweep(const Graph& g, KWayContext& ctx, idx_t nparts,
   return moves;
 }
 
-/// Post-move tolerance-relative load of part p if it received vertex v.
-real_t dest_load_after(const Graph& g, const KWayContext& ctx, idx_t v,
-                       idx_t p) {
-  real_t l = 0.0;
-  const wgt_t* w = g.weights(v);
-  for (int i = 0; i < g.ncon; ++i) {
-    l = std::max(l, ctx.load_with(p, i, w[i]));
-  }
-  return l;
-}
-
 /// One balancing episode: drain the part attaining the current global
 /// maximum load. Strict `fits()` acceptance deadlocks when every part with
 /// slack in one constraint is itself overloaded in another (complementary
@@ -452,11 +283,17 @@ idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
   });
 
   idx_t moves = 0;
+  // Early-exit: once a long run of consecutive candidates yields no
+  // admissible destination, the part is deadlocked for this episode —
+  // bail instead of scanning every remaining (worse-keyed) vertex.
+  const idx_t reject_cap = std::max<idx_t>(64, 8 * nparts);
+  idx_t rejects = 0;
   for (const idx_t v : cand) {
     if (where[to_size(v)] != q) continue;  // already moved
     if (!ctx.can_leave(q)) break;
     // Stop once q is no longer the bottleneck for constraint c.
     if (ctx.overload(q, c) <= 1.0 + 1e-12) break;
+    if (rejects >= reject_cap) break;
 
     const sum_t idw = ctx.gather_connectivity(v);
     // Candidate destinations: adjacent parts plus the globally lightest.
@@ -476,7 +313,7 @@ idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
     real_t best_load = 0.0;
     auto consider = [&](idx_t p) {
       if (p < 0 || p == q) return;
-      const real_t after = dest_load_after(g, ctx, v, p);
+      const real_t after = ctx.load_after(v, p);
       if (after >= peak - 1e-12) return;  // would not reduce the potential
       const bool fits = after <= 1.0 + 1e-12;
       const sum_t gain = checked_sub(ctx.conn(p), idw);
@@ -494,7 +331,11 @@ idx_t balance_episode(const Graph& g, KWayContext& ctx, idx_t nparts,
     for (const idx_t p : ctx.touched()) consider(p);
     consider(lightest);
 
-    if (best < 0) continue;
+    if (best < 0) {
+      ++rejects;
+      continue;
+    }
+    rejects = 0;
     ctx.move(v, best);
     ++moves;
   }
@@ -588,14 +429,22 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
   if (ctx.feasible()) return true;
 
   TraceSpan span(trace, "kway.balance");
-  idx_t total_moves = 0;
+  sum_t total_moves = 0;
   int episodes = 0;
   // Each episode drains the current argmax part, so (peak, #loads at the
   // peak) decreases lexicographically while episodes make progress —
   // several parts can tie at the peak, so the peak alone is not the right
   // progress measure. Stop when an episode fails to improve it (further
-  // episodes would spin on the same deadlock).
+  // episodes would spin on the same deadlock). A hard move cap backstops
+  // both checks so a tight-ubvec instance terminates even if the peak
+  // creeps down by epsilon steps forever.
   const int max_episodes = 8 * g.ncon * std::max<idx_t>(nparts, 2);
+  const sum_t move_cap =
+      checked_mul(static_cast<sum_t>(8),
+                  static_cast<sum_t>(std::max<idx_t>(g.nvtxs, 1)));
+  // Why the loop stopped — traced so tight instances are diagnosable from
+  // counters alone (kway.balance.bail.<reason>).
+  const char* bail = "episode_cap";
   auto progress_state = [&]() {
     const real_t peak = ctx.max_overload();
     idx_t at_peak = 0;
@@ -607,15 +456,30 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
     return std::make_pair(peak, at_peak);
   };
   auto prev = progress_state();
-  for (int ep = 0; ep < max_episodes && !ctx.feasible(); ++ep) {
+  for (int ep = 0; ep < max_episodes; ++ep) {
+    if (ctx.feasible()) {
+      bail = "feasible";
+      break;
+    }
+    if (total_moves >= move_cap) {
+      bail = "move_cap";
+      break;
+    }
     const idx_t moves = balance_episode(g, ctx, nparts, where, rng);
-    if (moves == 0) break;
-    total_moves += moves;
+    if (moves == 0) {
+      bail = "no_moves";
+      break;
+    }
+    total_moves = checked_add(total_moves, moves);
     ++episodes;
     const auto cur = progress_state();
-    if (cur.first >= prev.first - 1e-12 && cur.second >= prev.second) break;
+    if (cur.first >= prev.first - 1e-12 && cur.second >= prev.second) {
+      bail = "no_progress";
+      break;
+    }
     prev = cur;
   }
+  if (ctx.feasible()) bail = "feasible";
 
   // The episodes mutated pwgts/vcount incrementally across many moves.
   if (audit != nullptr && audit->boundaries()) {
@@ -627,6 +491,7 @@ bool kway_balance(const Graph& g, idx_t nparts, std::vector<idx_t>& where,
   if (span.enabled()) {
     trace_count(trace, "kway.balance.moves", total_moves);
     trace_count(trace, "kway.balance.episodes", episodes);
+    trace_count(trace, std::string("kway.balance.bail.") + bail);
     span.arg({"moves", total_moves});
     span.arg({"episodes", episodes});
     span.arg({"max_overload", ctx.max_overload()});

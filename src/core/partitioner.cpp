@@ -11,6 +11,7 @@
 #include "core/kway_driver.hpp"
 #include "core/kway_refine.hpp"
 #include "core/rb_driver.hpp"
+#include "core/rebalance.hpp"
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/perf_counters.hpp"
@@ -71,6 +72,33 @@ void validate_options(const Graph& g, const Options& opts) {
           ")");
     }
   }
+  // An explicitly supplied ubvec must be achievable: a tolerance below the
+  // instance's provable lower bound (heaviest vertex / pigeonhole, see
+  // min_feasible_ubvec) cannot be met by ANY partition, so accepting it
+  // silently returns an "imbalanced" result no algorithm could avoid.
+  // The empty default is instead clamped up by effective_ubvec.
+  if (!opts.ubvec.empty()) {
+    const std::vector<real_t>* tp =
+        opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+    const std::vector<real_t> bounds =
+        min_feasible_ubvec(g, opts.nparts, tp);
+    for (int i = 0; i < g.ncon; ++i) {
+      const real_t ub = opts.ub_for(i);
+      if (ub < bounds[to_size(i)] - 1e-9) {
+        throw std::invalid_argument(
+            "partition: ubvec[" + std::to_string(i) + "] = " +
+            std::to_string(ub) +
+            " is infeasible by construction: no " +
+            std::to_string(opts.nparts) +
+            "-way partition of this graph can achieve better than " +
+            std::to_string(bounds[to_size(i)]) + " in constraint " +
+            std::to_string(i) +
+            " (heaviest-vertex / pigeonhole bound). Request at least that, "
+            "or leave ubvec empty to have the tolerance clamped "
+            "automatically.");
+      }
+    }
+  }
 }
 
 /// Guarantee non-empty parts whenever the graph has enough vertices:
@@ -119,6 +147,14 @@ void fill_quality(const Graph& g, const Options& opts, PartitionResult& r) {
       r.imbalance.empty()
           ? 1.0
           : *std::max_element(r.imbalance.begin(), r.imbalance.end());
+  // The feasibility verdict is judged against the effective tolerances the
+  // run refined toward (callers set opts.ubvec = effective_ubvec first).
+  r.ubvec_used.resize(to_size(g.ncon));
+  for (int i = 0; i < g.ncon; ++i) r.ubvec_used[to_size(i)] = opts.ub_for(i);
+  const std::vector<real_t>* tp =
+      opts.tpwgts.empty() ? nullptr : &opts.tpwgts;
+  r.feasible = kway_feasible(g, part_weights(g, r.part, opts.nparts),
+                             opts.nparts, r.ubvec_used, tp);
 }
 
 /// Effective audit level: the MCGP_AUDIT environment variable (parsed once
@@ -149,6 +185,7 @@ void record_final_sample(const Graph& g, const Options& opts,
   fs.nedges = g.nedges();
   fs.cut = r.cut;
   fs.worst_imbalance = r.max_imbalance;
+  fs.feasible = r.feasible ? 1 : 0;
   for (int i = 0; i < g.ncon && i < kMaxNcon; ++i) {
     fs.imbalance[i] = r.imbalance[to_size(i)];
   }
@@ -171,6 +208,13 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
       opts.audit = &*local_audit;
     }
   }
+
+  // From here the whole pipeline refines toward the effective tolerances:
+  // the request clamped up to the instance's provable lower bound, so a
+  // coarse-granularity graph pursues the best achievable balance instead
+  // of an impossible one. validate_options already rejected explicit
+  // requests below the bound; this clamp only adjusts the empty default.
+  opts.ubvec = effective_ubvec(g, opts);
 
   WallTimer timer;
   PartitionResult result;
@@ -224,6 +268,10 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
     if (opts.audit != nullptr && opts.audit->boundaries()) {
       opts.audit->check_final_partition(g, result.part, opts.nparts,
                                         result.cut, "partition.final");
+      opts.audit->check_feasibility(
+          g, result.part, opts.nparts, result.ubvec_used,
+          opts.tpwgts.empty() ? nullptr : &opts.tpwgts, result.feasible,
+          "partition.final");
     }
   } catch (const AuditFailure& e) {
     // The run is aborting; persist the retained sample window so the
@@ -262,6 +310,10 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
       opts.audit = &*local_audit;
     }
   }
+
+  // Same effective-tolerance contract as partition(): refine toward the
+  // request clamped up to the instance's provable lower bound.
+  opts.ubvec = effective_ubvec(g, opts);
 
   WallTimer timer;
   PartitionResult result;
@@ -305,6 +357,14 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
       kway_refine(g, opts.nparts, part, ub, opts.kway_passes, rng, nullptr,
                   tp, opts.trace, opts.audit, opts.flight, &kexec);
     }
+    // The refiner's own balancer can exit with residual overload on tight
+    // instances; escalate to the dedicated rebalancer (greedy relief
+    // moves, swaps, bounded V-cycles) before declaring the result.
+    if (!kway_feasible(g, part_weights(g, part, opts.nparts), opts.nparts,
+                       ub, tp)) {
+      rebalance_partition(g, opts.nparts, part, ub, rng, tp, nullptr,
+                          opts.trace, opts.audit, opts.flight);
+    }
   }
 
   result.part = std::move(part);
@@ -312,6 +372,9 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   if (opts.audit != nullptr && opts.audit->boundaries()) {
     opts.audit->check_final_partition(g, result.part, opts.nparts, result.cut,
                                       "refine_partition.final");
+    opts.audit->check_feasibility(g, result.part, opts.nparts,
+                                  result.ubvec_used, tp, result.feasible,
+                                  "refine_partition.final");
   }
   record_final_sample(g, opts, result);
   if (opts.trace != nullptr) result.counters = opts.trace->merged_counters();

@@ -9,6 +9,7 @@
 #include "core/initpart.hpp"
 #include "core/kway_refine.hpp"
 #include "core/project.hpp"
+#include "core/rebalance.hpp"
 #include "core/refine2way.hpp"
 #include "graph/graph_ops.hpp"
 #include "graph/metrics.hpp"
@@ -319,6 +320,13 @@ std::vector<idx_t> partition_recursive_bisection(const Graph& g,
     kexec.level = 0;
     kway_refine(g, k, part, ub, /*max_passes=*/3, rng, nullptr, tp,
                 opts.trace, opts.audit, opts.flight, &kexec);
+    // Still overloaded: escalate to the dedicated rebalancer (greedy
+    // relief moves, swaps on small graphs, bounded V-cycles). Serial, and
+    // `part` is already thread-invariant here, so determinism holds.
+    if (!kway_feasible(g, compute_part_weights(g, part, k), k, ub, tp)) {
+      rebalance_partition(g, k, part, ub, rng, tp, nullptr, opts.trace,
+                          opts.audit, opts.flight);
+    }
   }
   if (opts.flight != nullptr) {
     // All leases are back (rb_recurse joined its tasks), so the pool's

@@ -1,0 +1,83 @@
+// Greedy multi-constraint rebalancing (Maas-style gain-to-relief moves)
+// plus a bounded restricted V-cycle (Sanders/Schulz iterated multilevel),
+// invoked whenever kway_balance exits with residual overload. This is the
+// feasibility backstop of the pipeline: kway_balance is a fast drain of the
+// current peak, while rebalance_partition keeps working the instance —
+// relief-ordered heap moves, pairwise swaps on small graphs, and
+// partition-restricted re-coarsening — until every constraint of every
+// part is within ubvec or the bounded effort is exhausted.
+//
+// Determinism contract (PR 7): everything here is serial and derives every
+// ordering decision from vertex ids, edge weights, and the caller's Rng
+// stream — never from threads or arrival order. The pass runs after the
+// parallel phases, on a `where` that is already bit-identical across
+// num_threads, and keeps it that way.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace mcgp {
+
+class TraceRecorder;
+class InvariantAuditor;
+class FlightRecorder;
+
+/// Outcome of a rebalance_partition call.
+struct RebalanceStats {
+  int episodes = 0;       ///< greedy episodes run (peak re-selections)
+  int vcycles = 0;        ///< restricted V-cycles run
+  sum_t moves = 0;        ///< single-vertex moves committed
+  sum_t swaps = 0;        ///< pairwise swaps committed (small graphs only)
+  bool feasible = false;  ///< final state satisfies every constraint
+  real_t max_overload = 0.0;  ///< final max tolerance-relative load
+};
+
+/// Per-constraint lower bound on any achievable balance tolerance: no
+/// partition of `g` into nparts parts (under the given target fractions,
+/// uniform when tpwgts is null) can beat these, whatever the algorithm.
+/// Three sound bounds are combined per constraint i (all >= 1.0):
+///  - heaviest vertex: some part holds the heaviest vertex, so
+///    ub_i >= wmax_i / (max_frac * tvwgt_i);
+///  - count pigeonhole: some part holds h = ceil(n/nparts) vertices, whose
+///    weight is at least the sum of the h smallest, so
+///    ub_i >= S_min(h) / (max_frac * tvwgt_i);
+///  - weight pigeonhole (uniform targets only): integer part weights sum
+///    to tvwgt_i, so some part carries >= ceil(tvwgt_i/nparts) and
+///    ub_i >= nparts * ceil(tvwgt_i/nparts) / tvwgt_i.
+/// Constraints with tvwgt_i <= 0 get 1.0.
+std::vector<real_t> min_feasible_ubvec(const Graph& g, idx_t nparts,
+                                       const std::vector<real_t>* tpwgts);
+
+/// The tolerance vector a run actually refines against: the requested
+/// Options::ubvec (or its 1.05 default) clamped up, per constraint, to
+/// min_feasible_ubvec. validate_options rejects an EXPLICIT ubvec below
+/// the bound; the empty default is clamped silently so coarse instances
+/// (few heavy vertices per part) still pursue the best achievable balance
+/// instead of an impossible one.
+std::vector<real_t> effective_ubvec(const Graph& g, const Options& opts);
+
+/// Drive `where` to feasibility under `ub`: greedy gain-to-relief episodes
+/// first (heap-ordered moves out of the argmax-overloaded part), pairwise
+/// swaps when single moves deadlock on small graphs, then up to
+/// `max_vcycles` partition-restricted V-cycles (re-coarsen merging only
+/// same-part vertices, rebalance the coarse problem where whole clusters
+/// move at once, project back with per-level refinement). Returns the final
+/// feasibility; `where` is left with the best (lowest max-overload) state
+/// reached, never a worse one than the input. Serial and deterministic for
+/// a fixed Rng stream.
+bool rebalance_partition(const Graph& g, idx_t nparts,
+                         std::vector<idx_t>& where,
+                         const std::vector<real_t>& ub, Rng& rng,
+                         const std::vector<real_t>* tpwgts = nullptr,
+                         RebalanceStats* stats = nullptr,
+                         TraceRecorder* trace = nullptr,
+                         InvariantAuditor* audit = nullptr,
+                         FlightRecorder* flight = nullptr,
+                         int max_vcycles = 3);
+
+}  // namespace mcgp

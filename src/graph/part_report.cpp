@@ -77,6 +77,12 @@ void print_report(std::ostream& out, const PartitionReport& rep) {
   out << "imbalance per constraint:";
   for (const real_t lb : rep.imbalance) out << ' ' << lb;
   out << "\n";
+  if (rep.feasible >= 0) {
+    out << "feasible: " << (rep.feasible != 0 ? "yes" : "NO")
+        << "  (held to";
+    for (const real_t u : rep.ubvec_used) out << ' ' << u;
+    out << ")\n";
+  }
   out << std::left << std::setw(6) << "part" << std::setw(10) << "vertices"
       << std::setw(10) << "boundary" << std::setw(8) << "nadj"
       << std::setw(10) << "ext-wgt" << "shares\n";
@@ -103,6 +109,13 @@ void write_report_json(std::ostream& out, const PartitionReport& rep,
   w.begin_array();
   for (const real_t lb : rep.imbalance) w.value(lb);
   w.end_array();
+  if (rep.feasible >= 0) {
+    w.member("feasible", rep.feasible != 0);
+    w.key("ubvec_used");
+    w.begin_array();
+    for (const real_t u : rep.ubvec_used) w.value(u);
+    w.end_array();
+  }
   w.key("parts");
   w.begin_array();
   for (const PartStats& ps : rep.parts) {

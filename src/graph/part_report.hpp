@@ -30,6 +30,12 @@ struct PartitionReport {
   std::vector<real_t> imbalance;     ///< per constraint
   std::vector<PartStats> parts;
   idx_t max_adjacent_parts = 0;      ///< worst subdomain connectivity
+  /// Balance-contract verdict, when the caller has one (analyze_partition
+  /// cannot compute it — the tolerances live in the run, not the graph):
+  /// -1 unknown, else PartitionResult::feasible with the tolerances the
+  /// run was held to in `ubvec_used`.
+  int feasible = -1;
+  std::vector<real_t> ubvec_used;
 };
 
 /// Compute the full report in one pass over the graph.

@@ -19,6 +19,7 @@ const char* flight_stage_name(FlightSample::Stage s) {
     case FlightSample::Stage::kUncoarsenKWay: return "uncoarsen_kway";
     case FlightSample::Stage::kFmPass: return "fm_pass";
     case FlightSample::Stage::kKWayPass: return "kway_pass";
+    case FlightSample::Stage::kRebalance: return "rebalance";
     case FlightSample::Stage::kFinal: return "final";
   }
   return "?";
@@ -156,6 +157,7 @@ void write_sample(JsonWriter& w, const FlightSample& s) {
     for (int i = 0; i < n; ++i) w.value(s.imbalance[i]);
     w.end_array();
   }
+  if (s.feasible >= 0) w.member("feasible", s.feasible != 0);
   if (s.rss_bytes >= 0) w.member("rss_bytes", s.rss_bytes);
   w.end_object();
 }

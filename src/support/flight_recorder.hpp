@@ -44,6 +44,7 @@ struct FlightSample {
     kUncoarsenKWay,     ///< one k-way uncoarsening level after refine
     kFmPass,            ///< one 2-way FM pass
     kKWayPass,          ///< one k-way greedy/pq sweep
+    kRebalance,         ///< one rebalance_partition escalation
     kFinal,             ///< end-of-run summary sample
   };
 
@@ -60,6 +61,10 @@ struct FlightSample {
   /// refiner's balance scalar (FM potential / k-way max overload).
   real_t worst_imbalance = 0.0;
   real_t imbalance[kMaxNcon] = {};  ///< per-constraint load imbalance
+  /// Balance-contract verdict at this point: 1 = every constraint of
+  /// every part within ubvec, 0 = residual overload, -1 = not evaluated
+  /// at this stage.
+  int feasible = -1;
 
   // Stamped by FlightRecorder::record():
   std::uint64_t seq = 0;        ///< global arrival index (0-based)

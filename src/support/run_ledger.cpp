@@ -40,6 +40,7 @@ RunRecord make_run_record(std::string experiment, std::string graph_name,
   rec.cut = r.cut;
   rec.imbalance = r.imbalance;
   rec.max_imbalance = r.max_imbalance;
+  rec.feasible = r.feasible;
   rec.seconds = r.seconds;
   rec.phases = r.phases.entries();
   rec.peak_rss_bytes = peak_rss_bytes();
@@ -82,6 +83,7 @@ void write_run_record(std::ostream& out, const RunRecord& rec) {
   for (const real_t lb : rec.imbalance) w.value(lb);
   w.end_array();
   w.member("max_imbalance", rec.max_imbalance);
+  w.member("feasible", rec.feasible);
   w.member("seconds", rec.seconds);
   w.key("phases");
   w.begin_object();

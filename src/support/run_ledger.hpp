@@ -40,6 +40,10 @@ struct RunRecord {
   sum_t cut = 0;
   std::vector<real_t> imbalance;  ///< per constraint
   real_t max_imbalance = 0.0;
+  /// Whether the run satisfied every constraint's tolerance (the balance
+  /// contract, see PartitionResult::feasible). diff.py's --feasibility
+  /// gate fails any record that regresses from feasible to infeasible.
+  bool feasible = false;
   double seconds = 0.0;
   std::vector<std::pair<std::string, double>> phases;  ///< (name, seconds)
   std::int64_t peak_rss_bytes = -1;  ///< process high-water; -1 = unknown

@@ -24,6 +24,7 @@
 #include "core/audit.hpp"
 #include "core/bisection.hpp"
 #include "core/partitioner.hpp"
+#include "core/rebalance.hpp"
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
@@ -163,15 +164,22 @@ TEST(DifferentialFuzz, TinyGraphsAgainstExactBisector) {
     const Graph g = random_tiny_graph(gen);
     ASSERT_TRUE(g.validate().empty()) << "seed " << replay_seed;
 
-    const real_t ub = 1.2 + 0.4 * gen.next_real();
+    // Clamped per constraint to the instance's provable floor (skewed
+    // 1..5 weights on 4..11 vertices can push the pigeonhole bound past
+    // the raw draw, which validate_options would reject).
+    const real_t raw_ub = 1.2 + 0.4 * gen.next_real();
+    const std::vector<real_t> floor_ub = min_feasible_ubvec(g, 2, nullptr);
     BisectionTargets targets;
-    targets.ub.assign(to_size(g.ncon), ub);
+    targets.ub.resize(to_size(g.ncon));
+    for (int i = 0; i < g.ncon; ++i) {
+      targets.ub[to_size(i)] = std::max(raw_ub, floor_ub[to_size(i)]);
+    }
     const ExactBisection exact = exact_best_bisection(g, targets);
 
     Options opts;
     opts.nparts = 2;
     opts.seed = gen.next_u64();
-    opts.ubvec.assign(to_size(g.ncon), ub);
+    opts.ubvec = targets.ub;
     for (const Algorithm alg :
          {Algorithm::kRecursiveBisection, Algorithm::kKWay}) {
       const PartitionResult r = audited_run(g, opts, alg, replay_seed);
@@ -204,6 +212,13 @@ TEST(DifferentialFuzz, PipelineCasesStayInvariantClean) {
     opts.num_threads = c % 4 == 0 ? 2 : 1;
     opts.ubvec.assign(to_size(g.ncon),
                       1.03 + 0.12 * gen.next_real());
+    // Clamp to the instance's provable floor so validate_options accepts
+    // the configuration (explicitly infeasible tolerances now throw).
+    const std::vector<real_t> floor_ub =
+        min_feasible_ubvec(g, opts.nparts, nullptr);
+    for (std::size_t i = 0; i < opts.ubvec.size(); ++i) {
+      opts.ubvec[i] = std::max(opts.ubvec[i], floor_ub[i]);
+    }
     if (gen.next_bool()) {
       opts.kway_scheme = KWayRefineScheme::kPriorityQueue;
     }

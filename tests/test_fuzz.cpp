@@ -4,9 +4,11 @@
 // Failures print the generating seed for deterministic replay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/partitioner.hpp"
+#include "core/rebalance.hpp"
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
@@ -84,7 +86,15 @@ TEST_P(FuzzInvariants, RandomConfigurationsStayValid) {
     o.queue_policy = static_cast<QueuePolicy>(gen.next_below(3));
     o.init_scheme = static_cast<InitScheme>(gen.next_below(3));
     o.init_trials = 1 + static_cast<int>(gen.next_below(6));
-    o.ubvec = {1.01 + 0.4 * gen.next_real()};
+    // Random tolerances clamped per constraint to the instance's provable
+    // floor: validate_options rejects explicit tolerances no partition can
+    // satisfy (the fuzzer's job is exercising achievable configurations).
+    o.ubvec.assign(to_size(g.ncon), 1.01 + 0.4 * gen.next_real());
+    const std::vector<real_t> floor_ub =
+        min_feasible_ubvec(g, o.nparts, nullptr);
+    for (std::size_t i = 0; i < o.ubvec.size(); ++i) {
+      o.ubvec[i] = std::max(o.ubvec[i], floor_ub[i]);
+    }
     o.seed = gen.next_u64();
 
     const PartitionResult r = partition(g, o);

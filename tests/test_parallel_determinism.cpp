@@ -126,6 +126,36 @@ TEST(ParallelDeterminismLarge, KWayParallelPhasesBitIdenticalUnderObservers) {
   }
 }
 
+// Tight instance (64 parts on a 13x13 grid, ~2.6 vertices per part): the
+// refiner's balancer exits overloaded and the serial rebalancer engages.
+// It runs after all parallel phases on a thread-invariant `where`, so the
+// bit-identity contract must survive it — and the repaired partition must
+// actually be feasible, or the case would not be exercising the path.
+TEST(ParallelDeterminismTight, RebalancerEngagedStaysBitIdentical) {
+  for (const int ncon : {1, 3}) {
+    Graph g = grid2d(13, 13, ncon);
+    if (ncon > 1) apply_type_s_weights(g, ncon, 16, 0, 19, 1003);
+    for (const Algorithm alg :
+         {Algorithm::kKWay, Algorithm::kRecursiveBisection}) {
+      Options o = base_options(alg, 64, /*seed=*/3);
+      o.num_threads = 1;  // ncon=1: empty ubvec clamps to the provable
+                          // bound; ncon=3 needs 1.25 (joint packing
+                          // threshold, see test_rebalance.cpp)
+      if (ncon > 1) o.ubvec.assign(to_size(ncon), 1.25);
+      const PartitionResult serial = partition(g, o);
+      ASSERT_TRUE(validate_partition(g, serial.part, 64).empty());
+      EXPECT_TRUE(serial.feasible) << "ncon=" << ncon;
+      for (const int threads : {2, 8}) {
+        o.num_threads = threads;
+        const PartitionResult parallel = partition(g, o);
+        EXPECT_EQ(parallel.part, serial.part)
+            << "ncon=" << ncon << " threads=" << threads;
+        EXPECT_EQ(parallel.cut, serial.cut);
+      }
+    }
+  }
+}
+
 TEST(ParallelPartition, MultithreadedRunIsValidAndBalanced) {
   Graph g = make_graph(3);
   Options o = base_options(Algorithm::kRecursiveBisection, 12, 7);

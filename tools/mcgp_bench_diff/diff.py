@@ -11,6 +11,9 @@ exits nonzero when any tracked metric regressed beyond its threshold:
              scheduler noise dominates)
   peak RSS   relative increase  > --rss-tol   (memory regression;
              skipped when either side lacks the metric)
+  feasible   baseline true -> current false   (with --feasibility; a
+             balance-contract regression. Skipped when either side
+             lacks the field, so old ledgers keep comparing)
 
 Records are joined on the identity tuple
 (experiment, algorithm, graph, nparts, ncon, threads, seed); at a fixed
@@ -112,6 +115,10 @@ def main(argv=None):
     p.add_argument("--min-time", type=float, default=0.05,
                    help="skip time comparison when the baseline run is "
                         "shorter than this many seconds (default 0.05)")
+    p.add_argument("--feasibility", action="store_true",
+                   help="fail when a configuration that was feasible in "
+                        "the baseline is infeasible in the current ledger "
+                        "(records lacking the field are skipped)")
     p.add_argument("--require-all", action="store_true",
                    help="fail when a baseline key is missing from the "
                         "current ledger (default: warn)")
@@ -147,6 +154,14 @@ def main(argv=None):
                 regressions.append(
                     f"{name}: time {base['seconds']:.3f}s -> "
                     f"{cur['seconds']:.3f}s (+{d_t:.1%} > {args.time_tol:.1%})")
+
+        if args.feasibility:
+            base_feas = base.get("feasible")
+            cur_feas = cur.get("feasible")
+            if base_feas is True and cur_feas is False:
+                regressions.append(
+                    f"{name}: feasible -> infeasible (balance contract "
+                    f"regression)")
 
         base_rss = base.get("peak_rss_bytes", -1)
         cur_rss = cur.get("peak_rss_bytes", -1)

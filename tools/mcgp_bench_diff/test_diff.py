@@ -16,6 +16,9 @@ Drives the gate in-process over the committed fixtures:
    profile sections from profiler-attached runs) compare cleanly against
    an old baseline that lacks them — new telemetry must never invalidate
    committed baselines.
+6. --feasibility flags a feasible->infeasible flip as a regression, stays
+   quiet without the flag, and skips records lacking the field (old
+   baselines keep gating new binaries).
 
 Run directly (`python3 tools/mcgp_bench_diff/test_diff.py`) or via ctest
 (`mcgp_bench_diff_selftest`). Exits nonzero on any mismatch.
@@ -122,6 +125,49 @@ def main():
         errors.append(f"extra keys: records with host/profile fields must "
                       f"compare cleanly against an old baseline, "
                       f"got exit {code}\n{out}")
+
+    # Feasibility gate: a baseline-feasible key turning infeasible must
+    # fail under --feasibility, pass without it, and records lacking the
+    # field on either side must be skipped rather than compared.
+    def write_ledger(records):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as tmp:
+            for rec in records:
+                tmp.write(json.dumps(rec) + "\n")
+            return tmp.name
+
+    def feas_rec(graph, feasible):
+        rec = {"schema_version": 1, "git": "fixture",
+               "experiment": "quality_kway", "algorithm": "MC-KW",
+               "graph": graph, "nparts": 64, "ncon": 3, "threads": 1,
+               "seed": 1, "cut": 100, "imbalance": [1.02],
+               "max_imbalance": 1.02, "seconds": 0.2}
+        if feasible is not None:
+            rec["feasible"] = feasible
+        return rec
+
+    feas_base = write_ledger([feas_rec("g-flips", True),
+                              feas_rec("g-stays", True),
+                              feas_rec("g-legacy", None)])
+    feas_cur = write_ledger([feas_rec("g-flips", False),
+                             feas_rec("g-stays", True),
+                             feas_rec("g-legacy", False)])
+    code, out = run_gate(["--baseline", feas_base, "--current", feas_cur,
+                          "--feasibility"])
+    if code == 0:
+        errors.append("feasibility: feasible->infeasible flip must fail "
+                      "under --feasibility")
+    flagged = [line for line in out.splitlines()
+               if line.startswith("REGRESSION:")]
+    if len(flagged) != 1 or "g-flips" not in flagged[0] \
+            or "infeasible" not in flagged[0]:
+        errors.append(
+            f"feasibility: expected exactly the g-flips flip flagged "
+            f"(g-legacy lacks the baseline field), got:\n{out}")
+    code, out = run_gate(["--baseline", feas_base, "--current", feas_cur])
+    if code != 0:
+        errors.append(f"feasibility: without --feasibility the flip must "
+                      f"not gate, got exit {code}\n{out}")
 
     if errors:
         for e in errors:
