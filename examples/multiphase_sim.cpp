@@ -22,6 +22,7 @@
 #include "gen/phase_sim.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
+#include "support/check.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcgp;
@@ -84,7 +85,7 @@ int main(int argc, char** argv) {
     std::cout << "\n  step time: " << sim.total_makespan
               << " (ideal " << sim.total_ideal << ")"
               << "  total for " << steps
-              << " steps: " << sim.total_makespan * steps
+              << " steps: " << checked_mul(sim.total_makespan, steps)
               << "\n  slowdown vs ideal: " << sim.slowdown()
               << "  communication (edge-cut): " << c.cut << "\n\n";
   }

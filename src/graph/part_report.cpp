@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "graph/metrics.hpp"
+#include "support/check.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/json_writer.hpp"
 #include "support/perf_counters.hpp"
@@ -37,14 +38,17 @@ PartitionReport analyze_partition(const Graph& g,
     PartStats& ps = rep.parts[to_size(p)];
     ++ps.vertices;
     const wgt_t* w = g.weights(v);
-    for (int i = 0; i < g.ncon; ++i) ps.weights[to_size(i)] += w[i];
+    for (int i = 0; i < g.ncon; ++i) {
+      ps.weights[to_size(i)] = checked_add(ps.weights[to_size(i)], w[i]);
+    }
 
     bool on_boundary = false;
     for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
       const idx_t q = part[to_size(g.adjncy[to_size(e)])];
       if (q != p) {
         on_boundary = true;
-        ps.external_edge_weight += g.adjwgt[to_size(e)];
+        ps.external_edge_weight =
+            checked_add(ps.external_edge_weight, g.adjwgt[to_size(e)]);
         adj[to_size(p)][to_size(q)] = 1;
       }
     }

@@ -152,7 +152,7 @@ TEST(InvariantAuditor, DetectsWrongClaimedCut) {
 
   InvariantAuditor aud(AuditLevel::kBoundaries);
   aud.check_bisection_cut(g, where, cut, "test");
-  EXPECT_THROW(aud.check_bisection_cut(g, where, cut + 1, "test"),
+  EXPECT_THROW(aud.check_bisection_cut(g, where, checked_add(cut, 1), "test"),
                AuditFailure);
 }
 
@@ -169,17 +169,18 @@ TEST(InvariantAuditor, DetectsDriftedKWayState) {
     const idx_t p = where[to_size(v)];
     ++vcount[to_size(p)];
     for (int i = 0; i < g.ncon; ++i) {
-      pwgts[to_size(p) * to_size(g.ncon) + to_size(i)] += g.weight(v, i);
+      const std::size_t s = to_size(p) * to_size(g.ncon) + to_size(i);
+      pwgts[s] = checked_add(pwgts[s], g.weight(v, i));
     }
   }
 
   InvariantAuditor aud(AuditLevel::kBoundaries);
   aud.check_kway_state(g, where, nparts, pwgts, &vcount, "test");
 
-  pwgts[1] += 2;  // drifted part weight
+  pwgts[1] = checked_add(pwgts[1], 2);  // drifted part weight
   EXPECT_THROW(aud.check_kway_state(g, where, nparts, pwgts, &vcount, "test"),
                AuditFailure);
-  pwgts[1] -= 2;
+  pwgts[1] = checked_sub(pwgts[1], 2);
   vcount[2] -= 1;  // drifted vertex count
   EXPECT_THROW(aud.check_kway_state(g, where, nparts, pwgts, &vcount, "test"),
                AuditFailure);
@@ -194,15 +195,17 @@ TEST(InvariantAuditor, DetectsStaleGainAndCutDelta) {
   sum_t idw = 0, edw = 0;
   for (idx_t e = g.xadj[0]; e < g.xadj[1]; ++e) {
     if (where[to_size(g.adjncy[to_size(e)])] == where[0]) {
-      idw += g.adjwgt[to_size(e)];
+      idw = checked_add(idw, g.adjwgt[to_size(e)]);
     } else {
-      edw += g.adjwgt[to_size(e)];
+      edw = checked_add(edw, g.adjwgt[to_size(e)]);
     }
   }
   InvariantAuditor aud(AuditLevel::kParanoid);
-  aud.check_gain(g, where, 0, edw - idw, "test");
-  EXPECT_THROW(aud.check_gain(g, where, 0, edw - idw + 1, "test"),
-               AuditFailure);
+  aud.check_gain(g, where, 0, checked_sub(edw, idw), "test");
+  EXPECT_THROW(
+      aud.check_gain(g, where, 0, checked_add(checked_sub(edw, idw), 1),
+                     "test"),
+      AuditFailure);
 
   aud.check_cut_delta(10, 4, 6, "test");
   EXPECT_THROW(aud.check_cut_delta(10, 4, 7, "test"), AuditFailure);

@@ -17,16 +17,17 @@ constexpr sum_t kMax = std::numeric_limits<sum_t>::max();
 constexpr sum_t kMin = std::numeric_limits<sum_t>::min();
 
 TEST(CheckedAdd, ExactAtUpperRail) {
-  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+  EXPECT_EQ(checked_add(checked_sub(kMax, 1), 1), kMax);
   EXPECT_EQ(checked_add(kMax, 0), kMax);
   EXPECT_EQ(checked_add(0, kMax), kMax);
   EXPECT_THROW(checked_add(kMax, 1), AuditFailure);
   EXPECT_THROW(checked_add(1, kMax), AuditFailure);
-  EXPECT_THROW(checked_add(kMax / 2 + 1, kMax / 2 + 1), AuditFailure);
+  EXPECT_THROW(checked_add(checked_add(kMax / 2, 1), checked_add(kMax / 2, 1)),
+               AuditFailure);
 }
 
 TEST(CheckedAdd, ExactAtLowerRail) {
-  EXPECT_EQ(checked_add(kMin + 1, -1), kMin);
+  EXPECT_EQ(checked_add(checked_add(kMin, 1), -1), kMin);
   EXPECT_EQ(checked_add(kMin, 0), kMin);
   EXPECT_THROW(checked_add(kMin, -1), AuditFailure);
   EXPECT_THROW(checked_add(-1, kMin), AuditFailure);
@@ -40,25 +41,25 @@ TEST(CheckedAdd, MixedSignsNeverOverflow) {
 TEST(CheckedSub, ExactAtRails) {
   EXPECT_EQ(checked_sub(kMax, 0), kMax);
   EXPECT_EQ(checked_sub(kMin, 0), kMin);
-  EXPECT_EQ(checked_sub(kMin + 1, 1), kMin);
+  EXPECT_EQ(checked_sub(checked_add(kMin, 1), 1), kMin);
   EXPECT_EQ(checked_sub(-1, kMax), kMin);
   EXPECT_THROW(checked_sub(kMin, 1), AuditFailure);
   EXPECT_THROW(checked_sub(kMax, -1), AuditFailure);
   // -kMin does not exist in two's complement.
   EXPECT_THROW(checked_sub(0, kMin), AuditFailure);
-  EXPECT_EQ(checked_sub(0, kMax), kMin + 1);
+  EXPECT_EQ(checked_sub(0, kMax), checked_add(kMin, 1));
 }
 
 TEST(CheckedMul, ExactAtRails) {
   EXPECT_EQ(checked_mul(kMax, 1), kMax);
   EXPECT_EQ(checked_mul(kMin, 1), kMin);
-  EXPECT_EQ(checked_mul(kMax / 2, 2), kMax - 1);
-  EXPECT_THROW(checked_mul(kMax / 2 + 1, 2), AuditFailure);
+  EXPECT_EQ(checked_mul(kMax / 2, 2), checked_sub(kMax, 1));
+  EXPECT_THROW(checked_mul(checked_add(kMax / 2, 1), 2), AuditFailure);
   EXPECT_THROW(checked_mul(kMax, 2), AuditFailure);
   // kMin * -1 == kMax + 1: the one asymmetric two's-complement case.
   EXPECT_THROW(checked_mul(kMin, -1), AuditFailure);
   EXPECT_EQ(checked_mul(kMin / 2, 2), kMin);
-  EXPECT_THROW(checked_mul(kMin / 2 - 1, 2), AuditFailure);
+  EXPECT_THROW(checked_mul(checked_sub(kMin / 2, 1), 2), AuditFailure);
 }
 
 TEST(CheckedMul, ZeroAndSigns) {
@@ -75,8 +76,8 @@ TEST(CheckedNarrow, Wgt32Rails) {
   EXPECT_EQ(checked_narrow<wgt_t>(lo), std::numeric_limits<wgt_t>::min());
   EXPECT_EQ(checked_narrow<wgt_t>(0), 0);
   EXPECT_EQ(checked_narrow<wgt_t>(-1), -1);
-  EXPECT_THROW(checked_narrow<wgt_t>(hi + 1), AuditFailure);
-  EXPECT_THROW(checked_narrow<wgt_t>(lo - 1), AuditFailure);
+  EXPECT_THROW(checked_narrow<wgt_t>(checked_add(hi, 1)), AuditFailure);
+  EXPECT_THROW(checked_narrow<wgt_t>(checked_sub(lo, 1)), AuditFailure);
   EXPECT_THROW(checked_narrow<wgt_t>(kMax), AuditFailure);
   EXPECT_THROW(checked_narrow<wgt_t>(kMin), AuditFailure);
 }
@@ -84,7 +85,7 @@ TEST(CheckedNarrow, Wgt32Rails) {
 TEST(CheckedNarrow, Idx32Rails) {
   constexpr sum_t hi = std::numeric_limits<idx_t>::max();
   EXPECT_EQ(checked_narrow<idx_t>(hi), std::numeric_limits<idx_t>::max());
-  EXPECT_THROW(checked_narrow<idx_t>(hi + 1), AuditFailure);
+  EXPECT_THROW(checked_narrow<idx_t>(checked_add(hi, 1)), AuditFailure);
 }
 
 TEST(CheckedNarrow, NarrowerTypes) {

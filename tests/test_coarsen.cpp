@@ -5,6 +5,7 @@
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
+#include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
 namespace mcgp {
@@ -66,16 +67,16 @@ TEST(ContractGraph, EdgeWeightConservation) {
   sum_t fine_total = 0, collapsed = 0;
   for (idx_t v = 0; v < g.nvtxs; ++v) {
     for (idx_t e = g.xadj[to_size(v)]; e < g.xadj[to_size(v + 1)]; ++e) {
-      fine_total += g.adjwgt[to_size(e)];
+      fine_total = checked_add(fine_total, g.adjwgt[to_size(e)]);
       if (cmap[to_size(v)] ==
           cmap[to_size(g.adjncy[to_size(e)])]) {
-        collapsed += g.adjwgt[to_size(e)];
+        collapsed = checked_add(collapsed, g.adjwgt[to_size(e)]);
       }
     }
   }
   sum_t coarse_total = 0;
-  for (const wgt_t w : c.adjwgt) coarse_total += w;
-  EXPECT_EQ(coarse_total, fine_total - collapsed);
+  for (const wgt_t w : c.adjwgt) coarse_total = checked_add(coarse_total, w);
+  EXPECT_EQ(coarse_total, checked_sub(fine_total, collapsed));
 }
 
 // The chunked parallel contraction path (pool attached, coarse graph

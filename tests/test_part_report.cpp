@@ -9,6 +9,7 @@
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
 #include "json_test_util.hpp"
+#include "support/check.hpp"
 #include "support/schema.hpp"
 
 namespace mcgp {
@@ -51,7 +52,7 @@ TEST(PartReport, ConsistentWithMetrics) {
   idx_t boundary_total = 0;
   for (const auto& ps : rep.parts) {
     nv += ps.vertices;
-    w0 += ps.weights[0];
+    w0 = checked_add(w0, ps.weights[0]);
     boundary_total += ps.boundary_vertices;
     EXPECT_LE(ps.adjacent_parts, 5);
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/mesh_gen.hpp"
+#include "support/check.hpp"
 
 namespace mcgp {
 namespace {
@@ -61,7 +62,7 @@ TEST(PhaseSim, MatchesTypePGenerator) {
   ASSERT_EQ(r.phase_makespan.size(), 3u);
   EXPECT_GE(r.slowdown(), 1.0);
   sum_t total = 0;
-  for (const sum_t m : r.phase_makespan) total += m;
+  for (const sum_t m : r.phase_makespan) total = checked_add(total, m);
   EXPECT_EQ(total, r.total_makespan);
 }
 

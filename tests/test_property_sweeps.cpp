@@ -9,6 +9,7 @@
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
+#include "support/check.hpp"
 
 namespace mcgp {
 namespace {
@@ -72,7 +73,7 @@ TEST_P(PipelineSweep, ValidBalancedNonTrivial) {
   // Cut sanity: positive (k > 1 on connected-ish graphs) and far below
   // the total edge weight (a random partition would cut ~ (1-1/k) of it).
   sum_t total_ew = 0;
-  for (const wgt_t w : g.adjwgt) total_ew += w;
+  for (const wgt_t w : g.adjwgt) total_ew = checked_add(total_ew, w);
   total_ew /= 2;
   EXPECT_GT(r.cut, 0);
   EXPECT_LT(r.cut, total_ew / 2);

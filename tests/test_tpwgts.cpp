@@ -6,6 +6,7 @@
 #include "gen/mesh_gen.hpp"
 #include "gen/weight_gen.hpp"
 #include "graph/metrics.hpp"
+#include "support/check.hpp"
 
 namespace mcgp {
 namespace {
@@ -114,7 +115,7 @@ TEST(Tpwgts, ExtremeSkew) {
   Options even;
   even.nparts = 2;
   const PartitionResult re = partition(g, even);
-  EXPECT_LT(r.cut, re.cut + 10);
+  EXPECT_LT(r.cut, checked_add(re.cut, 10));
 }
 
 }  // namespace

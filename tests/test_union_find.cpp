@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/check.hpp"
 #include "support/random.hpp"
 
 namespace mcgp {
@@ -58,7 +59,7 @@ TEST(UnionFind, RandomizedSizesConsistent) {
   // Sum of distinct-root set sizes must equal n.
   sum_t total = 0;
   for (idx_t v = 0; v < kN; ++v) {
-    if (uf.find(v) == v) total += uf.set_size(v);
+    if (uf.find(v) == v) total = checked_add(total, uf.set_size(v));
   }
   EXPECT_EQ(total, kN);
 }

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "gen/mesh_gen.hpp"
+#include "support/check.hpp"
 
 namespace mcgp {
 namespace {
@@ -141,7 +142,8 @@ TEST(SumCollapse, SumsComponents) {
     EXPECT_EQ(c.weight(v, 0),
               g.weight(v, 0) + g.weight(v, 1) + g.weight(v, 2));
   }
-  EXPECT_EQ(c.tvwgt[0], g.tvwgt[0] + g.tvwgt[1] + g.tvwgt[2]);
+  EXPECT_EQ(c.tvwgt[0],
+            checked_add(checked_add(g.tvwgt[0], g.tvwgt[1]), g.tvwgt[2]));
   // Structure untouched.
   EXPECT_EQ(c.adjncy, g.adjncy);
 }

@@ -1,0 +1,51 @@
+// Documented false negatives of the token-level sum-arith rule: sum_t
+// laundered through `auto` or hidden behind members/templates carries no
+// `sum_t` token near the arithmetic, so declaration tracking cannot see
+// it. Each LINT-MISS line asserts the linter stays SILENT there — if a
+// future lint.py change starts reporting one, this fixture fails so the
+// DELEGATED note in lint.py and the mcgp-tidy overlap get re-examined.
+// The AST check mcgp-sum-arith (tools/mcgp_tidy/) flags every line below;
+// see tools/mcgp_tidy/fixtures/src/sum_arith.cpp for the positive twins.
+#include <cstdint>
+#include <vector>
+
+using sum_t = std::int64_t;
+
+sum_t checked_add(sum_t a, sum_t b);
+
+// Totals is defined in another header (not included here): its `cut`
+// member is sum_t, but no `sum_t cut` declaration is visible in this
+// file, so the per-file declaration tracker never learns the type.
+struct Totals;
+
+sum_t auto_laundered(sum_t a) {
+  auto laundered = a;    // declaration tracking loses the type here
+  return laundered + 1;  // LINT-MISS: sum-arith
+}
+
+void member_from_elsewhere(Totals* t);
+void bump_cut(Totals* t) {
+  t->cut += 2;  // LINT-MISS: sum-arith
+  member_from_elsewhere(t);
+}
+
+// Parameter names deliberately avoid every identifier declared as sum_t
+// in this file: declaration tracking is file-cumulative, so reusing
+// `a`/`b` here would inherit their sum_t classification from above.
+template <class T>
+T generic_sum(T lhs, T rhs) {
+  return lhs + rhs;  // LINT-MISS: sum-arith
+}
+template sum_t generic_sum<sum_t>(sum_t, sum_t);
+
+sum_t value_type_hidden(const std::vector<sum_t>& xs) {
+  sum_t total = 0;
+  for (const auto& x : xs) {
+    total = checked_add(total, x);  // disciplined: no finding either way
+  }
+  return total;
+}
+
+sum_t declared_here_is_seen(sum_t a, sum_t b) {
+  return a + b;  // LINT-EXPECT: sum-arith
+}

@@ -39,6 +39,27 @@ not know, or cross-file aliasing. False negatives are possible by
 design; the rules are tuned so that the shipped tree has zero findings
 with zero suppressions (enforced by ctest `mcgp_lint_src`).
 
+Division of labor with mcgp-tidy (tools/mcgp_tidy/, the clang-tidy
+plugin): each rule here has an AST-accurate counterpart that closes the
+type-visibility gaps on purpose left open below. The regex rules stay as
+the seconds-fast, dependency-free first line (they run everywhere, the
+plugin needs a clang toolchain); the plugin is the authority on anything
+requiring type information. Specifically DELEGATED to mcgp-tidy, and
+deliberately NOT reported here so the two tools never double-report:
+
+  sum-arith       -> mcgp-sum-arith      sum_t reached through `auto`,
+                     template parameters, container value_types, or
+                     members declared in another file (see
+                     fixtures/sum_arith_auto.cpp, LINT-MISS markers).
+  narrowing       -> mcgp-narrowing      casts whose operand is sum_t
+                     only behind sugar; implicit narrowing.
+  unordered-iter  -> mcgp-unordered-iter containers reached through
+                     `auto`, member typedefs, or aliases.
+  rng-source      -> mcgp-rng-hygiene    engine aliases resolved to
+                     canonical <random> templates.
+  (no regex rule) -> mcgp-pointer-order  raw-pointer ordering cannot be
+                     expressed at token level at all.
+
 Usage:
   python3 tools/mcgp_lint/lint.py [--all-rules] PATH...
 Exit status is 0 when no findings, 1 otherwise. --all-rules disables the

@@ -9,6 +9,12 @@ Two parts:
    must fire on every tagged line and stay silent on every untagged one.
    Every rule must be exercised by at least one marker.
 
+   A `// LINT-MISS: <rule>` marker documents a known, deliberate false
+   negative (a case delegated to the AST-accurate mcgp-tidy plugin — see
+   the "Division of labor" note in lint.py): the linter must stay SILENT
+   on that line. If a lint.py change starts reporting a LINT-MISS line,
+   this test fails so the delegation documentation gets re-examined.
+
 2. Scope checks: the path-based rule scoping (check.hpp exemption for
    sum-arith/narrowing, src/core/ restriction for unordered-iter, the
    random.cpp exemption for rng-source) is verified on synthetic paths.
@@ -29,16 +35,22 @@ import lint  # noqa: E402
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
 _EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+_MISS_RE = re.compile(r"//\s*LINT-MISS:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
 
 
-def parse_expectations(path: Path) -> set:
+def parse_expectations(path: Path) -> tuple:
     expected = set()
+    misses = set()
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         m = _EXPECT_RE.search(line)
         if m:
             for rule in re.split(r"\s*,\s*", m.group(1)):
                 expected.add((lineno, rule))
-    return expected
+        m = _MISS_RE.search(line)
+        if m:
+            for rule in re.split(r"\s*,\s*", m.group(1)):
+                misses.add((lineno, rule))
+    return expected, misses
 
 
 def check_fixtures() -> list:
@@ -48,9 +60,14 @@ def check_fixtures() -> list:
         return [f"no fixtures found under {FIXTURES}"]
     exercised = set()
     for path in fixture_files:
-        expected = parse_expectations(path)
+        expected, documented_misses = parse_expectations(path)
         if not expected:
             errors.append(f"{path.name}: fixture has no LINT-EXPECT markers")
+        overlap = expected & documented_misses
+        for line, rule in sorted(overlap):
+            errors.append(
+                f"{path.name}:{line}: `{rule}` marked both LINT-EXPECT and "
+                "LINT-MISS — pick one")
         findings = lint.lint_file(path, all_rules=True)
         actual = {(f.line, f.rule) for f in findings}
         for miss in sorted(expected - actual):
@@ -58,9 +75,16 @@ def check_fixtures() -> list:
                 f"{path.name}:{miss[0]}: expected a `{miss[1]}` finding, "
                 "linter was silent")
         for extra in sorted(actual - expected):
-            errors.append(
-                f"{path.name}:{extra[0]}: unexpected `{extra[1]}` finding "
-                "(line has no LINT-EXPECT marker)")
+            if extra in documented_misses:
+                errors.append(
+                    f"{path.name}:{extra[0]}: documented false negative "
+                    f"`{extra[1]}` now fires — the case is no longer "
+                    "delegated to mcgp-tidy; update the DELEGATED note in "
+                    "lint.py and retag this line LINT-EXPECT")
+            else:
+                errors.append(
+                    f"{path.name}:{extra[0]}: unexpected `{extra[1]}` "
+                    "finding (line has no LINT-EXPECT marker)")
         exercised |= {rule for (_, rule) in expected}
     for rule in lint._RULES:
         if rule not in exercised:

@@ -1,0 +1,45 @@
+// Registration of the mcgp-* checks as an out-of-tree clang-tidy module.
+//
+// The resulting shared object is loaded with `clang-tidy -load
+// mcgp_tidy.so`; it links against no clang/LLVM libraries and resolves
+// every symbol from the hosting clang-tidy process, which guarantees a
+// single ClangTidyModuleRegistry instance (linking our own copy of the
+// clang libraries would register into a second, invisible registry).
+#include "NarrowingCheck.hpp"
+#include "PointerOrderCheck.hpp"
+#include "RngHygieneCheck.hpp"
+#include "SumArithCheck.hpp"
+#include "UnorderedIterCheck.hpp"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace mcgp_tidy {
+
+class McgpTidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<SumArithCheck>("mcgp-sum-arith");
+    CheckFactories.registerCheck<NarrowingCheck>("mcgp-narrowing");
+    CheckFactories.registerCheck<UnorderedIterCheck>("mcgp-unordered-iter");
+    CheckFactories.registerCheck<PointerOrderCheck>("mcgp-pointer-order");
+    CheckFactories.registerCheck<RngHygieneCheck>("mcgp-rng-hygiene");
+  }
+};
+
+}  // namespace mcgp_tidy
+
+namespace clang {
+namespace tidy {
+
+static ClangTidyModuleRegistry::Add<::mcgp_tidy::McgpTidyModule> kRegister(
+    "mcgp-module",
+    "Project checks for the mcgp determinism and overflow-safety "
+    "contracts.");
+
+// Referenced symbol keeping the registration object file alive under
+// aggressive linkers.
+volatile int McgpTidyModuleAnchorSource = 0;
+
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,102 @@
+// Shared helpers for the mcgp-tidy checks.
+//
+// Two deliberate constraints shape this file:
+//  - String work happens on std::string, not llvm::StringRef, because the
+//    StringRef predicate surface changed across the LLVM majors we support
+//    (endswith was removed in favor of ends_with in LLVM 18).
+//  - Type questions are answered by walking the sugar chain one
+//    desugaring step at a time instead of jumping to the canonical type,
+//    so `auto`, template substitution, elaborated types, and nested
+//    typedefs all stay visible. That per-step walk is the whole point of
+//    these checks: the regex linter (tools/mcgp_lint) only sees spelled
+//    declarations, while `sum_t` reaches most use sites through sugar.
+#ifndef MCGP_TOOLS_MCGP_TIDY_MCGP_TIDY_UTILS_HPP
+#define MCGP_TOOLS_MCGP_TIDY_MCGP_TIDY_UTILS_HPP
+
+#include <string>
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Type.h"
+#include "clang/Basic/IdentifierTable.h"
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace mcgp_tidy {
+
+inline bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// True when `dir` appears as a directory prefix somewhere in `path`
+// ("src/core/" matches both "/repo/src/core/x.cpp" and "src/core/x.cpp").
+// The fixture tree mimics the real layout (fixtures/src/core/...), so the
+// same predicate scopes both production code and the fixture suite.
+inline bool pathHasDir(const std::string& path, const std::string& dir) {
+  return ("/" + path).find("/" + dir) != std::string::npos;
+}
+
+// Path of the file holding `loc` (expansion location), or "" when invalid.
+inline std::string fileOf(const clang::SourceManager& sm,
+                          clang::SourceLocation loc) {
+  if (loc.isInvalid()) return std::string();
+  return sm.getFilename(sm.getExpansionLoc(loc)).str();
+}
+
+// Does the sugar chain of `t` pass through a typedef spelled `name`?
+// Deduced `auto` is stepped into explicitly; everything else (typedefs,
+// elaborated types, template parameter substitution) is peeled with
+// single-step desugaring until the canonical type is reached.
+inline bool typeIsTypedefNamed(clang::QualType t, const char* name) {
+  t = t.getNonReferenceType();
+  for (int depth = 0; depth < 64 && !t.isNull(); ++depth) {
+    const clang::Type* ty = t.getTypePtr();
+    if (const auto* td = llvm::dyn_cast<clang::TypedefType>(ty)) {
+      const clang::TypedefNameDecl* decl = td->getDecl();
+      if (decl != nullptr && decl->getName() == name) return true;
+    } else if (const auto* at = llvm::dyn_cast<clang::AutoType>(ty)) {
+      if (!at->isDeduced() || at->getDeducedType().isNull()) return false;
+      t = at->getDeducedType().getNonReferenceType();
+      continue;
+    }
+    const clang::QualType next =
+        ty->getLocallyUnqualifiedSingleStepDesugaredType();
+    if (next.getTypePtr() == ty) return false;  // canonical: no sugar left
+    t = next;
+  }
+  return false;
+}
+
+// The project's 64-bit accumulator type (src/support/types.hpp).
+inline bool isSumT(clang::QualType t) {
+  return typeIsTypedefNamed(t, "sum_t");
+}
+
+// Canonical class behind `t`, looking through references and one level of
+// pointer (so `m->begin()` resolves the same as `m.begin()`).
+inline const clang::CXXRecordDecl* classOf(clang::QualType t) {
+  if (t.isNull()) return nullptr;
+  t = t.getNonReferenceType();
+  if (t->isPointerType()) t = t->getPointeeType();
+  return t.getCanonicalType()->getAsCXXRecordDecl();
+}
+
+// Is `rd` a class in namespace std whose (canonical) name is in `names`?
+// Matching canonical names means every alias is covered for free:
+// std::mt19937 is mersenne_twister_engine, knuth_b is shuffle_order_engine.
+template <std::size_t N>
+bool isStdClassNamed(const clang::CXXRecordDecl* rd,
+                     const char* const (&names)[N]) {
+  if (rd == nullptr || !rd->isInStdNamespace()) return false;
+  const clang::IdentifierInfo* id = rd->getIdentifier();
+  if (id == nullptr) return false;
+  for (const char* name : names) {
+    if (id->getName() == name) return true;
+  }
+  return false;
+}
+
+}  // namespace mcgp_tidy
+
+#endif  // MCGP_TOOLS_MCGP_TIDY_MCGP_TIDY_UTILS_HPP

@@ -1,0 +1,61 @@
+#include "NarrowingCheck.hpp"
+
+#include <string>
+
+#include "McgpTidyUtils.hpp"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace mcgp_tidy {
+
+using clang::CastExpr;
+using clang::QualType;
+using clang::SourceLocation;
+using clang::SourceManager;
+using clang::ast_matchers::explicitCastExpr;
+using clang::ast_matchers::hasCastKind;
+using clang::ast_matchers::implicitCastExpr;
+using clang::ast_matchers::MatchFinder;
+
+namespace {
+
+bool exemptFile(const SourceManager& sm, SourceLocation loc) {
+  const std::string file = fileOf(sm, loc);
+  return file.empty() || endsWith(file, "support/check.hpp");
+}
+
+}  // namespace
+
+void NarrowingCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(explicitCastExpr().bind("cast"), this);
+  // Implicit narrowing cannot survive the -Wconversion -Werror build, but
+  // the check still rejects it so the contract holds in exploratory
+  // builds configured with MCGP_WERROR=OFF.
+  Finder->addMatcher(
+      implicitCastExpr(hasCastKind(clang::CK_IntegralCast)).bind("cast"),
+      this);
+}
+
+void NarrowingCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* cast = Result.Nodes.getNodeAs<CastExpr>("cast");
+  if (cast == nullptr) return;
+  if (exemptFile(*Result.SourceManager, cast->getBeginLoc())) return;
+
+  // The conversion's immediate source must carry sum_t sugar; the
+  // destination must be a strictly narrower integer. Width comparison on
+  // the canonical types keeps bool, floating, and same-width conversions
+  // (e.g. sum_t -> std::int64_t, sum_t -> double) out of scope.
+  const QualType src = cast->getSubExpr()->getType();
+  const QualType dst = cast->getType();
+  if (!isSumT(src)) return;
+  if (dst.isNull() || !dst->isIntegerType() || dst->isBooleanType()) return;
+  const clang::ASTContext& ctx = *Result.Context;
+  if (ctx.getTypeSize(dst) >= ctx.getTypeSize(src)) return;
+  diag(cast->getBeginLoc(),
+       "narrowing %0 to %1 discards sum_t range; use checked_narrow from "
+       "support/check.hpp")
+      << src << dst;
+}
+
+}  // namespace mcgp_tidy

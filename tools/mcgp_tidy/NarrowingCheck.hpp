@@ -1,0 +1,28 @@
+// mcgp-narrowing: conversions (implicit, static_cast, C-style, or
+// functional) from sum_t down to a narrower integer type — idx_t, wgt_t,
+// or any other sub-64-bit integer — outside support/check.hpp.
+//
+// checked_narrow<To>() is the sanctioned route: it range-checks before
+// truncating and raises an audit failure on loss. -Wconversion already
+// rejects *implicit* narrowing in the normal build, so the interesting
+// cases here are the explicit casts that silence the compiler without
+// adding the range check.
+#ifndef MCGP_TOOLS_MCGP_TIDY_NARROWING_CHECK_HPP
+#define MCGP_TOOLS_MCGP_TIDY_NARROWING_CHECK_HPP
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace mcgp_tidy {
+
+class NarrowingCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  NarrowingCheck(clang::StringRef Name, clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace mcgp_tidy
+
+#endif  // MCGP_TOOLS_MCGP_TIDY_NARROWING_CHECK_HPP

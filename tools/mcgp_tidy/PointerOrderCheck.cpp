@@ -1,0 +1,88 @@
+#include "PointerOrderCheck.hpp"
+
+#include <string>
+
+#include "McgpTidyUtils.hpp"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace mcgp_tidy {
+
+using clang::BinaryOperator;
+using clang::ClassTemplateSpecializationDecl;
+using clang::CXXRecordDecl;
+using clang::DeclaratorDecl;
+using clang::QualType;
+using clang::SourceLocation;
+using clang::SourceManager;
+using clang::TemplateArgument;
+using clang::ast_matchers::binaryOperator;
+using clang::ast_matchers::fieldDecl;
+using clang::ast_matchers::hasAnyOperatorName;
+using clang::ast_matchers::isImplicit;
+using clang::ast_matchers::MatchFinder;
+using clang::ast_matchers::unless;
+using clang::ast_matchers::varDecl;
+
+namespace {
+
+const char* const kOrderedContainers[] = {"set", "map", "multiset",
+                                          "multimap"};
+
+bool inScope(const SourceManager& sm, SourceLocation loc) {
+  return pathHasDir(fileOf(sm, loc), "src/");
+}
+
+bool isRawPointer(QualType t) {
+  return !t.isNull() && t.getCanonicalType()->isPointerType();
+}
+
+// The std ordered container behind `t` whose key template argument is a
+// raw pointer (default std::less<T*> → address order), or nullptr.
+const CXXRecordDecl* pointerKeyedContainer(QualType t) {
+  const CXXRecordDecl* rd = classOf(t);
+  if (!isStdClassNamed(rd, kOrderedContainers)) return nullptr;
+  const auto* spec = llvm::dyn_cast<ClassTemplateSpecializationDecl>(rd);
+  if (spec == nullptr || spec->getTemplateArgs().size() == 0) return nullptr;
+  const TemplateArgument& key = spec->getTemplateArgs().get(0);
+  if (key.getKind() != TemplateArgument::Type) return nullptr;
+  return isRawPointer(key.getAsType()) ? rd : nullptr;
+}
+
+}  // namespace
+
+void PointerOrderCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("<", ">", "<=", ">=")).bind("cmp"),
+      this);
+  Finder->addMatcher(varDecl(unless(isImplicit())).bind("decl"), this);
+  Finder->addMatcher(fieldDecl().bind("decl"), this);
+}
+
+void PointerOrderCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& sm = *Result.SourceManager;
+  if (const auto* cmp = Result.Nodes.getNodeAs<BinaryOperator>("cmp")) {
+    if (!inScope(sm, cmp->getOperatorLoc())) return;
+    if (!isRawPointer(cmp->getLHS()->getType()) ||
+        !isRawPointer(cmp->getRHS()->getType())) {
+      return;
+    }
+    diag(cmp->getOperatorLoc(),
+         "relational comparison of raw pointers orders by address "
+         "(ASLR-dependent); compare indices or stable ids instead");
+    return;
+  }
+  const auto* decl = Result.Nodes.getNodeAs<DeclaratorDecl>("decl");
+  if (decl == nullptr || !inScope(sm, decl->getLocation())) return;
+  if (const CXXRecordDecl* rd = pointerKeyedContainer(decl->getType())) {
+    diag(decl->getLocation(),
+         "'std::%0' keyed by a raw pointer orders elements by address "
+         "(ASLR-dependent); key by index or stable id instead")
+        << rd->getName();
+  }
+}
+
+}  // namespace mcgp_tidy

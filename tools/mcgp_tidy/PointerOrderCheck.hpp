@@ -1,0 +1,29 @@
+// mcgp-pointer-order: ordering decisions keyed by raw pointer value
+// anywhere under src/ — relational comparisons of two raw pointers, and
+// std::set/std::map (and multi- variants) declared with a pointer key.
+//
+// Pointer values vary run to run under ASLR and across allocators, so any
+// order derived from them is nondeterministic even on one machine. The
+// regex linter cannot express this rule at all (it has no notion of a
+// pointer-typed expression); equality tests and hashing by pointer
+// identity remain fine and are not matched.
+#ifndef MCGP_TOOLS_MCGP_TIDY_POINTER_ORDER_CHECK_HPP
+#define MCGP_TOOLS_MCGP_TIDY_POINTER_ORDER_CHECK_HPP
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace mcgp_tidy {
+
+class PointerOrderCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  PointerOrderCheck(clang::StringRef Name,
+                    clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace mcgp_tidy
+
+#endif  // MCGP_TOOLS_MCGP_TIDY_POINTER_ORDER_CHECK_HPP

@@ -1,0 +1,105 @@
+#include "RngHygieneCheck.hpp"
+
+#include <string>
+
+#include "McgpTidyUtils.hpp"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ASTTypeTraits.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace mcgp_tidy {
+
+using clang::CXXRecordDecl;
+using clang::CXXTemporaryObjectExpr;
+using clang::DeclaratorDecl;
+using clang::DynTypedNode;
+using clang::SourceLocation;
+using clang::SourceManager;
+using clang::Stmt;
+using clang::VarDecl;
+using clang::ast_matchers::cxxTemporaryObjectExpr;
+using clang::ast_matchers::fieldDecl;
+using clang::ast_matchers::isImplicit;
+using clang::ast_matchers::MatchFinder;
+using clang::ast_matchers::unless;
+using clang::ast_matchers::varDecl;
+
+namespace {
+
+const char* const kStdRngClasses[] = {
+    "mersenne_twister_engine",    "linear_congruential_engine",
+    "subtract_with_carry_engine", "discard_block_engine",
+    "independent_bits_engine",    "shuffle_order_engine",
+    "philox_engine",              "random_device"};
+
+bool exemptFile(const SourceManager& sm, SourceLocation loc) {
+  const std::string file = fileOf(sm, loc);
+  return file.empty() || endsWith(file, "support/random.cpp") ||
+         endsWith(file, "support/random.hpp");
+}
+
+const CXXRecordDecl* stdRngClass(clang::QualType t) {
+  const CXXRecordDecl* rd = classOf(t);
+  return isStdClassNamed(rd, kStdRngClasses) ? rd : nullptr;
+}
+
+// A temporary like `std::mt19937{seed}` that directly initializes an
+// engine variable would be reported twice (once for the expression, once
+// for the declaration); walk up through the initializer plumbing and let
+// the declaration report alone in that case. A non-engine enclosing
+// declaration (`std::uint64_t x = std::mt19937_64{7}();`) does not
+// suppress: there the temporary is the only reportable node.
+bool initializesRngVarDecl(clang::ASTContext& ctx, const Stmt* s) {
+  DynTypedNode node = DynTypedNode::create(*s);
+  for (int depth = 0; depth < 8; ++depth) {
+    const auto parents = ctx.getParents(node);
+    if (parents.empty()) return false;
+    const DynTypedNode& parent = parents[0];
+    if (const auto* vd = parent.get<VarDecl>()) {
+      return stdRngClass(vd->getType()) != nullptr;
+    }
+    if (parent.get<Stmt>() == nullptr) return false;
+    node = parent;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RngHygieneCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(varDecl(unless(isImplicit())).bind("decl"), this);
+  Finder->addMatcher(fieldDecl().bind("decl"), this);
+  Finder->addMatcher(cxxTemporaryObjectExpr().bind("tmp"), this);
+}
+
+void RngHygieneCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& sm = *Result.SourceManager;
+  if (const auto* decl = Result.Nodes.getNodeAs<DeclaratorDecl>("decl")) {
+    if (exemptFile(sm, decl->getLocation())) return;
+    if (const CXXRecordDecl* rd = stdRngClass(decl->getType())) {
+      diag(decl->getLocation(),
+           "'std::%0' outside support/random.cpp breaks the fixed-seed "
+           "reproducibility contract; draw from the deterministic streams "
+           "in support/random.hpp")
+          << rd->getName();
+    }
+    return;
+  }
+  const auto* tmp = Result.Nodes.getNodeAs<CXXTemporaryObjectExpr>("tmp");
+  if (tmp == nullptr || exemptFile(sm, tmp->getBeginLoc())) return;
+  const CXXRecordDecl* rd = stdRngClass(tmp->getType());
+  if (rd == nullptr) return;
+  if (initializesRngVarDecl(*Result.Context, tmp)) return;
+  diag(tmp->getBeginLoc(),
+       "'std::%0' outside support/random.cpp breaks the fixed-seed "
+       "reproducibility contract; draw from the deterministic streams in "
+       "support/random.hpp")
+      << rd->getName();
+}
+
+}  // namespace mcgp_tidy

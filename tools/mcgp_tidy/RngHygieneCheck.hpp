@@ -1,0 +1,33 @@
+// mcgp-rng-hygiene: standard RNG machinery — the <random> engine templates
+// and std::random_device — declared or constructed anywhere outside
+// support/random.cpp.
+//
+// Reproducibility (fixed-seed bit-identity across runs and thread counts)
+// requires every random stream to come from the project's deterministic
+// SplitMix generator in support/random.{hpp,cpp}. Matching the *canonical*
+// engine class names means every alias is covered: std::mt19937 is
+// mersenne_twister_engine, std::knuth_b is shuffle_order_engine,
+// std::default_random_engine is whatever the library picked — all
+// rejected. Clock-derived seeds are covered transitively: a clock seed is
+// only useful feeding an engine constructor, and the engine itself is
+// flagged wherever it appears.
+#ifndef MCGP_TOOLS_MCGP_TIDY_RNG_HYGIENE_CHECK_HPP
+#define MCGP_TOOLS_MCGP_TIDY_RNG_HYGIENE_CHECK_HPP
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace mcgp_tidy {
+
+class RngHygieneCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  RngHygieneCheck(clang::StringRef Name,
+                  clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace mcgp_tidy
+
+#endif  // MCGP_TOOLS_MCGP_TIDY_RNG_HYGIENE_CHECK_HPP

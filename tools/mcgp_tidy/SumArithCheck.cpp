@@ -1,0 +1,79 @@
+#include "SumArithCheck.hpp"
+
+#include <string>
+
+#include "McgpTidyUtils.hpp"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace mcgp_tidy {
+
+using clang::BinaryOperator;
+using clang::Expr;
+using clang::QualType;
+using clang::SourceLocation;
+using clang::SourceManager;
+using clang::UnaryOperator;
+using clang::ast_matchers::binaryOperator;
+using clang::ast_matchers::hasAnyOperatorName;
+using clang::ast_matchers::MatchFinder;
+using clang::ast_matchers::unaryOperator;
+
+namespace {
+
+// support/check.hpp implements the checked_* helpers and is the one file
+// allowed to perform raw sum_t arithmetic. Suffix matching keeps the
+// fixture stand-in (fixtures/src/support/check.hpp) exempt as well.
+bool exemptFile(const SourceManager& sm, SourceLocation loc) {
+  const std::string file = fileOf(sm, loc);
+  return file.empty() || endsWith(file, "support/check.hpp");
+}
+
+// An operand proves the arithmetic is sum_t arithmetic when its type sugar
+// (behind parens and implicit conversions) reaches sum_t.
+bool isSumOperand(const Expr* e) {
+  return e != nullptr && isSumT(e->IgnoreParenImpCasts()->getType());
+}
+
+}  // namespace
+
+void SumArithCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("+", "-", "*", "+=", "-=", "*="))
+          .bind("bin"),
+      this);
+  Finder->addMatcher(unaryOperator(hasAnyOperatorName("++", "--")).bind("un"),
+                     this);
+}
+
+void SumArithCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& sm = *Result.SourceManager;
+  if (const auto* bin = Result.Nodes.getNodeAs<BinaryOperator>("bin")) {
+    if (exemptFile(sm, bin->getOperatorLoc())) return;
+    // Require the result (for compound assignment: the target) to still be
+    // an integer, so floating-point accumulation of a sum_t
+    // (`double d = s * scale`) and pointer arithmetic stay out of scope.
+    const QualType resTy = bin->getType();
+    if (resTy.isNull() || !resTy->isIntegerType()) return;
+    if (bin->getLHS()->getType()->isAnyPointerType() ||
+        bin->getRHS()->getType()->isAnyPointerType()) {
+      return;
+    }
+    if (!isSumOperand(bin->getLHS()) && !isSumOperand(bin->getRHS())) return;
+    diag(bin->getOperatorLoc(),
+         "raw '%0' on sum_t; use checked_add/checked_sub/checked_mul from "
+         "support/check.hpp")
+        << BinaryOperator::getOpcodeStr(bin->getOpcode());
+    return;
+  }
+  if (const auto* un = Result.Nodes.getNodeAs<UnaryOperator>("un")) {
+    if (exemptFile(sm, un->getOperatorLoc())) return;
+    if (!isSumOperand(un->getSubExpr())) return;
+    diag(un->getOperatorLoc(),
+         "raw '%0' on sum_t; use checked_add/checked_sub from "
+         "support/check.hpp")
+        << UnaryOperator::getOpcodeStr(un->getOpcode());
+  }
+}
+
+}  // namespace mcgp_tidy

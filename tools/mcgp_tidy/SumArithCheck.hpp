@@ -1,0 +1,27 @@
+// mcgp-sum-arith: raw additive/multiplicative arithmetic on expressions
+// whose type sugar reaches sum_t, anywhere outside support/check.hpp.
+//
+// The overflow-safety contract (DESIGN §"overflow") routes every sum_t
+// add/sub/mul through checked_add/checked_sub/checked_mul. The regex rule
+// in tools/mcgp_lint only sees variables *declared* `sum_t ...` in the
+// same file; this check sees the type behind `auto`, template parameters,
+// container value_types, and struct members declared in other headers.
+#ifndef MCGP_TOOLS_MCGP_TIDY_SUM_ARITH_CHECK_HPP
+#define MCGP_TOOLS_MCGP_TIDY_SUM_ARITH_CHECK_HPP
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace mcgp_tidy {
+
+class SumArithCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  SumArithCheck(clang::StringRef Name, clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace mcgp_tidy
+
+#endif  // MCGP_TOOLS_MCGP_TIDY_SUM_ARITH_CHECK_HPP

@@ -1,0 +1,99 @@
+#include "UnorderedIterCheck.hpp"
+
+#include <string>
+
+#include "McgpTidyUtils.hpp"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/StmtCXX.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace mcgp_tidy {
+
+using clang::CXXForRangeStmt;
+using clang::CXXMemberCallExpr;
+using clang::CXXMethodDecl;
+using clang::CXXRecordDecl;
+using clang::Expr;
+using clang::SourceLocation;
+using clang::SourceManager;
+using clang::VarDecl;
+using clang::ast_matchers::cxxForRangeStmt;
+using clang::ast_matchers::hasInitializer;
+using clang::ast_matchers::isImplicit;
+using clang::ast_matchers::MatchFinder;
+using clang::ast_matchers::unless;
+using clang::ast_matchers::varDecl;
+
+namespace {
+
+const char* const kUnorderedContainers[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+bool inScope(const SourceManager& sm, SourceLocation loc) {
+  return pathHasDir(fileOf(sm, loc), "src/core/");
+}
+
+// The unordered container behind `e`, or nullptr.
+const CXXRecordDecl* unorderedClassOf(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  const CXXRecordDecl* rd = classOf(e->getType());
+  return isStdClassNamed(rd, kUnorderedContainers) ? rd : nullptr;
+}
+
+}  // namespace
+
+void UnorderedIterCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(cxxForRangeStmt().bind("range"), this);
+  // Explicit iterator loops announce themselves with a declaration
+  // initialized from begin()/end(); matching the declaration (and not the
+  // member call itself) keeps the desugared begin/end of a range-for from
+  // reporting the same loop twice.
+  Finder->addMatcher(
+      varDecl(unless(isImplicit()), hasInitializer(clang::ast_matchers::expr()))
+          .bind("iter"),
+      this);
+}
+
+void UnorderedIterCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& sm = *Result.SourceManager;
+  if (const auto* range = Result.Nodes.getNodeAs<CXXForRangeStmt>("range")) {
+    if (!inScope(sm, range->getForLoc())) return;
+    if (const CXXRecordDecl* rd = unorderedClassOf(range->getRangeInit())) {
+      diag(range->getForLoc(),
+           "iteration order of 'std::%0' is nondeterministic; src/core/ "
+           "must traverse ordered containers or sorted snapshots")
+          << rd->getName();
+    }
+    return;
+  }
+  const auto* iter = Result.Nodes.getNodeAs<VarDecl>("iter");
+  if (iter == nullptr || !inScope(sm, iter->getLocation())) return;
+  const Expr* init = iter->getInit();
+  if (init == nullptr) return;
+  const auto* call =
+      llvm::dyn_cast<CXXMemberCallExpr>(init->IgnoreParenImpCasts());
+  if (call == nullptr) return;
+  const CXXMethodDecl* method = call->getMethodDecl();
+  if (method == nullptr) return;
+  // getIdentifier() is null for operators and conversion functions, whose
+  // names are not plain identifiers.
+  const clang::IdentifierInfo* id = method->getIdentifier();
+  if (id == nullptr) return;
+  const llvm::StringRef name = id->getName();
+  if (name != "begin" && name != "cbegin" && name != "end" && name != "cend") {
+    return;
+  }
+  if (const CXXRecordDecl* rd =
+          unorderedClassOf(call->getImplicitObjectArgument())) {
+    diag(iter->getLocation(),
+         "iterator over 'std::%0' visits elements in nondeterministic "
+         "order; src/core/ must traverse ordered containers or sorted "
+         "snapshots")
+        << rd->getName();
+  }
+}
+
+}  // namespace mcgp_tidy

@@ -1,0 +1,30 @@
+// mcgp-unordered-iter: traversal of std unordered containers inside
+// src/core/ — range-for over the container, or iterators obtained from
+// begin()/cbegin()/end()/cend().
+//
+// Hash-bucket iteration order depends on libstdc++/libc++ internals, the
+// insertion history, and the allocator, so any partitioning decision fed
+// by such a traversal breaks the bit-identical determinism contract
+// (DESIGN §determinism). Point lookups (find/count/contains) are fine and
+// are not matched. Scope is the algorithmic core only; tooling and tests
+// outside src/core/ may iterate unordered containers freely.
+#ifndef MCGP_TOOLS_MCGP_TIDY_UNORDERED_ITER_CHECK_HPP
+#define MCGP_TOOLS_MCGP_TIDY_UNORDERED_ITER_CHECK_HPP
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace mcgp_tidy {
+
+class UnorderedIterCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  UnorderedIterCheck(clang::StringRef Name,
+                     clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace mcgp_tidy
+
+#endif  // MCGP_TOOLS_MCGP_TIDY_UNORDERED_ITER_CHECK_HPP

@@ -1,0 +1,22 @@
+// Minimal stand-ins for src/support/types.hpp and src/support/check.hpp
+// so the fixtures compile standalone (clang-tidy parses each fixture as a
+// real translation unit). Only declarations: the fixtures are parsed,
+// never linked.
+//
+// The directory layout under fixtures/ mimics the real tree on purpose —
+// the checks scope themselves by path suffix (support/check.hpp,
+// support/random.cpp) and directory (src/core/), so the fixtures exercise
+// the exact same scoping logic as production code.
+#pragma once
+
+#include <cstdint>
+
+using idx_t = std::int32_t;
+using wgt_t = std::int32_t;
+using sum_t = std::int64_t;
+
+sum_t checked_add(sum_t a, sum_t b);
+sum_t checked_sub(sum_t a, sum_t b);
+sum_t checked_mul(sum_t a, sum_t b);
+template <class To>
+To checked_narrow(sum_t v);

@@ -1,0 +1,26 @@
+// Negative fixture: disciplined code produces zero findings from every
+// mcgp-* check. Also pins two scoping decisions: unordered iteration is
+// permitted outside src/core/, and checked_* routing satisfies both the
+// arithmetic and the narrowing rules.
+#include <unordered_map>
+#include <vector>
+
+#include "mcgp_fixture_types.hpp"
+
+int unordered_outside_core(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) {  // not src/core/: tooling may iterate freely
+    s += kv.second;
+  }
+  return s;
+}
+
+sum_t disciplined_total(const std::vector<wgt_t>& ws) {
+  sum_t total = 0;
+  for (const wgt_t w : ws) {
+    total = checked_add(total, w);
+  }
+  return total;
+}
+
+wgt_t disciplined_narrow(sum_t v) { return checked_narrow<wgt_t>(v); }

@@ -1,0 +1,62 @@
+// mcgp-unordered-iter fixtures: this file lives under src/core/ (the
+// fixture tree mimics the real layout), so traversals of unordered
+// containers must be flagged — including through type aliases, member
+// typedefs, and explicit iterators. Point lookups and ordered containers
+// stay silent.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mcgp_fixture_types.hpp"
+
+using Cache = std::unordered_map<int, int>;
+
+int range_for(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) {  // TIDY-EXPECT: mcgp-unordered-iter
+    s += kv.second;
+  }
+  return s;
+}
+
+int through_alias(const Cache& c) {
+  int s = 0;
+  for (const auto& kv : c) {  // TIDY-EXPECT: mcgp-unordered-iter
+    s += kv.second;
+  }
+  return s;
+}
+
+struct Holder {
+  using Live = std::unordered_set<int>;
+  Live live;
+};
+
+int member_typedef(const Holder& h) {
+  int s = 0;
+  for (const int v : h.live) {  // TIDY-EXPECT: mcgp-unordered-iter
+    s += v;
+  }
+  return s;
+}
+
+int explicit_iterator(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  // TIDY-EXPECT: mcgp-unordered-iter
+  for (auto it = m.cbegin(); it != m.cend(); ++it) {
+    s += it->second;
+  }
+  return s;
+}
+
+bool point_lookup(const std::unordered_map<int, int>& m, int k) {
+  return m.find(k) != m.end();  // lookups do not observe bucket order
+}
+
+int ordered_is_fine(const std::map<int, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) {  // deterministic order
+    s += kv.second;
+  }
+  return s;
+}

@@ -1,0 +1,33 @@
+// mcgp-narrowing fixtures: any conversion that truncates sum_t to a
+// narrower integer without going through checked_narrow is flagged,
+// whether it is an explicit cast or an implicit conversion.
+#include <cstdint>
+
+#include "mcgp_fixture_types.hpp"
+
+idx_t bad_static(sum_t v) {
+  return static_cast<idx_t>(v);  // TIDY-EXPECT: mcgp-narrowing
+}
+
+wgt_t bad_cstyle(sum_t v) {
+  return (wgt_t)v;  // TIDY-EXPECT: mcgp-narrowing
+}
+
+int bad_implicit(sum_t v) {
+  int truncated = v;  // TIDY-EXPECT: mcgp-narrowing
+  return truncated;
+}
+
+idx_t bad_through_auto(sum_t v) {
+  auto laundered = v;                    // still sum_t behind the sugar
+  return static_cast<idx_t>(laundered);  // TIDY-EXPECT: mcgp-narrowing
+}
+
+sum_t negatives(sum_t v, idx_t i) {
+  const wgt_t w = checked_narrow<wgt_t>(v);  // sanctioned route
+  const double d = static_cast<double>(v);   // floating: not narrowing
+  const sum_t widened = i;                   // widening: fine
+  const auto same = static_cast<std::int64_t>(v);  // same width: fine
+  if (d > 0.0 && w > 0) return checked_add(widened, same);
+  return v;
+}

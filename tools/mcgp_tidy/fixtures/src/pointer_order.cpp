@@ -1,0 +1,39 @@
+// mcgp-pointer-order fixtures: ordering decisions keyed by raw pointer
+// value — relational comparisons and pointer-keyed std::set/std::map —
+// are address-dependent under ASLR and therefore nondeterministic.
+#include <map>
+#include <set>
+
+#include "mcgp_fixture_types.hpp"
+
+struct Node {
+  idx_t id;
+};
+
+bool bad_relational(const Node* a, const Node* b) {
+  return a < b;  // TIDY-EXPECT: mcgp-pointer-order
+}
+
+struct Scratch {
+  std::set<Node*> by_address;  // TIDY-EXPECT: mcgp-pointer-order
+};
+
+void bad_map_key() {
+  std::map<const Node*, int> ranks;  // TIDY-EXPECT: mcgp-pointer-order
+  (void)ranks;
+}
+
+bool ok_identity(const Node* a, const Node* b) {
+  return a == b;  // identity tests are deterministic
+}
+
+bool ok_stable_id(const Node& a, const Node& b) {
+  return a.id < b.id;  // keying by stable id is the sanctioned pattern
+}
+
+void ok_value_keys() {
+  std::set<idx_t> ids;
+  std::map<idx_t, int> ranks;
+  (void)ids;
+  (void)ranks;
+}

@@ -1,0 +1,35 @@
+// mcgp-rng-hygiene fixtures: standard RNG engines and std::random_device
+// must not appear outside support/random.cpp. Canonical-name matching
+// covers every alias (mt19937 is mersenne_twister_engine, knuth_b is
+// shuffle_order_engine, default_random_engine is library-defined).
+#include <cstdint>
+#include <random>
+
+#include "mcgp_fixture_types.hpp"
+
+unsigned bad_device() {
+  std::random_device rd;  // TIDY-EXPECT: mcgp-rng-hygiene
+  return rd();
+}
+
+std::uint32_t bad_engine(unsigned seed) {
+  std::mt19937 gen(seed);  // TIDY-EXPECT: mcgp-rng-hygiene
+  return gen();
+}
+
+struct Sampler {
+  std::default_random_engine engine;  // TIDY-EXPECT: mcgp-rng-hygiene
+};
+
+std::uint64_t bad_temporary() {
+  return std::mt19937_64{7}();  // TIDY-EXPECT: mcgp-rng-hygiene
+}
+
+std::uint32_t bad_alias(unsigned seed) {
+  std::knuth_b gen(seed);  // TIDY-EXPECT: mcgp-rng-hygiene
+  return gen();
+}
+
+idx_t ok_no_engine(idx_t raw) {
+  return raw ^ 0x5bd1;  // plain integer mixing involves no std engine
+}

@@ -1,0 +1,43 @@
+// mcgp-sum-arith fixtures: raw arithmetic on sum_t must be flagged even
+// when the type arrives through auto, a template parameter, or a
+// container value_type — the cases the regex linter provably misses.
+#include <vector>
+
+#include "mcgp_fixture_types.hpp"
+
+sum_t plain(sum_t a, sum_t b) {
+  return a + b;  // TIDY-EXPECT: mcgp-sum-arith
+}
+
+sum_t mixed_operand(sum_t a, int n) {
+  return a * n;  // TIDY-EXPECT: mcgp-sum-arith
+}
+
+sum_t through_auto(sum_t a) {
+  auto laundered = a;     // still sum_t behind the sugar
+  return laundered - 1;   // TIDY-EXPECT: mcgp-sum-arith
+}
+
+template <class T>
+T generic_sum(T a, T b) {
+  return a + b;  // TIDY-EXPECT: mcgp-sum-arith
+}
+template sum_t generic_sum<sum_t>(sum_t, sum_t);
+
+sum_t through_container(const std::vector<sum_t>& xs) {
+  sum_t total = 0;
+  for (const auto& x : xs) {
+    total += x;  // TIDY-EXPECT: mcgp-sum-arith
+  }
+  ++total;  // TIDY-EXPECT: mcgp-sum-arith
+  return total;
+}
+
+sum_t negatives(sum_t a, sum_t b, idx_t i, double scale) {
+  const sum_t ok = checked_add(a, b);               // sanctioned route
+  const bool cmp = a < b;                           // comparison: fine
+  const double f = static_cast<double>(a) * scale;  // floating arithmetic
+  i += 1;                                           // idx_t, not sum_t
+  if (cmp && f > 0.0 && i > 0) return ok;
+  return checked_sub(a, static_cast<sum_t>(i));
+}

@@ -1,0 +1,23 @@
+// Stand-in for src/support/check.hpp, the one file allowed to perform raw
+// sum_t arithmetic and raw narrowing (it implements the checked_*
+// helpers). mcgp-sum-arith and mcgp-narrowing key their exemption on the
+// "support/check.hpp" path suffix, so every line here must stay silent.
+#pragma once
+
+#include <cstdint>
+
+using idx_t = std::int32_t;
+using sum_t = std::int64_t;
+
+inline sum_t raw_add(sum_t a, sum_t b) {
+  return a + b;  // exempt: this is where checked_add would live
+}
+
+inline sum_t raw_increment(sum_t a) {
+  ++a;  // exempt
+  return a;
+}
+
+inline idx_t raw_narrow(sum_t v) {
+  return static_cast<idx_t>(v);  // exempt: checked_narrow's truncation
+}

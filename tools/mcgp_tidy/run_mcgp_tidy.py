@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Sweep the project with the mcgp-tidy plugin or the Clang Static Analyzer.
+
+Runs clang-tidy over every translation unit recorded in a build
+directory's compile_commands.json that lives under the requested source
+directories, and exits nonzero on any finding. Two modes:
+
+  plugin (default)   -load mcgp_tidy.so --checks=-*,mcgp-*
+                     The project's AST checks: sum_t arithmetic and
+                     narrowing discipline, unordered iteration in the
+                     core, pointer-order hazards, RNG hygiene.
+  --analyzer         --checks=-*,clang-analyzer-core*,
+                     clang-analyzer-deadcode*,clang-analyzer-unix*
+                     The Clang Static Analyzer's path-sensitive core,
+                     dead-store, and POSIX-API checks. No plugin needed.
+
+Findings in project headers are reported too (--header-filter covers
+src/ bench/ tests/ examples/ under the source root). --forbid-nolint
+additionally rejects any NOLINT marker in the swept sources: the project
+has no suppression mechanism on purpose — a false positive is fixed by
+improving the check, not by silencing it at the use site.
+
+Typical local use (after a cmake configure that found the clang dev
+headers, e.g. `cmake --preset tidy-plugin && cmake --build build-clang
+--target mcgp_tidy`):
+
+  python3 tools/mcgp_tidy/run_mcgp_tidy.py \
+      -p build-clang --plugin build-clang/tools/mcgp_tidy/mcgp_tidy.so
+  python3 tools/mcgp_tidy/run_mcgp_tidy.py -p build-clang --analyzer
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+DEFAULT_PATHS = ["src", "bench", "tests", "examples"]
+ANALYZER_CHECKS = (
+    "-*,clang-analyzer-core*,clang-analyzer-deadcode*,clang-analyzer-unix*"
+)
+PLUGIN_CHECKS = "-*,mcgp-*"
+FINDING_RE = re.compile(r": (?:warning|error): .*\[[A-Za-z0-9.,\-]+\]\s*$",
+                        re.MULTILINE)
+SOURCE_SUFFIXES = (".cpp", ".cc", ".cxx", ".hpp", ".h")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit
+    names = ["clang-tidy"]
+    names += ["clang-tidy-%d" % v for v in range(21, 13, -1)]
+    for name in names:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit("error: cannot read %s (%s); configure with "
+                 "CMAKE_EXPORT_COMPILE_COMMANDS=ON first" % (db_path, e))
+
+
+def select_files(db, source_root, paths):
+    roots = [os.path.join(source_root, p) + os.sep for p in paths]
+    selected = []
+    for entry in db:
+        f = entry["file"]
+        if not os.path.isabs(f):
+            f = os.path.normpath(os.path.join(entry["directory"], f))
+        if any(f.startswith(root) for root in roots):
+            selected.append(f)
+    return sorted(set(selected))
+
+
+def scan_nolint(source_root, paths):
+    hits = []
+    for p in paths:
+        for dirpath, _dirnames, filenames in os.walk(
+                os.path.join(source_root, p)):
+            for name in filenames:
+                if not name.endswith(SOURCE_SUFFIXES):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    for lineno, line in enumerate(f, start=1):
+                        if "NOLINT" in line:
+                            hits.append("%s:%d: %s" %
+                                        (path, lineno, line.strip()))
+    return hits
+
+
+def run_one(tidy, build_dir, header_filter, checks, plugin, path):
+    cmd = [tidy, "-p", build_dir, "--quiet",
+           "--header-filter=" + header_filter,
+           "--warnings-as-errors=*", "--checks=" + checks]
+    if plugin:
+        cmd += ["-load", plugin]
+    cmd.append(path)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="source dirs to sweep (default: %s)"
+                         % " ".join(DEFAULT_PATHS))
+    ap.add_argument("-p", "--build-dir", required=True,
+                    help="build dir holding compile_commands.json")
+    ap.add_argument("--plugin", default=None,
+                    help="path to mcgp_tidy.so (required unless --analyzer)")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: first found on PATH)")
+    ap.add_argument("--analyzer", action="store_true",
+                    help="run the Clang Static Analyzer checks instead of "
+                         "the mcgp-* plugin checks")
+    ap.add_argument("--checks", default=None,
+                    help="override the clang-tidy -checks= value")
+    ap.add_argument("--source-root", default=None,
+                    help="project root (default: this script's repo)")
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--forbid-nolint", action="store_true",
+                    help="fail if any swept source contains a NOLINT marker")
+    ap.add_argument("--list", action="store_true", dest="list_only",
+                    help="print the selected files and exit")
+    args = ap.parse_args()
+
+    source_root = os.path.abspath(
+        args.source_root
+        or os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, os.pardir))
+    paths = args.paths or DEFAULT_PATHS
+
+    # --list only consults the compile database, so it works (and is
+    # testable) on machines with no clang-tidy installed.
+    files = select_files(load_compile_db(args.build_dir), source_root, paths)
+    if args.list_only:
+        print("\n".join(files))
+        return
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        sys.exit("error: no clang-tidy on PATH; pass --clang-tidy")
+    if not args.analyzer and not args.plugin:
+        sys.exit("error: --plugin is required unless --analyzer is given")
+
+    checks = args.checks or (ANALYZER_CHECKS if args.analyzer
+                             else PLUGIN_CHECKS)
+    plugin = None if args.analyzer else os.path.abspath(args.plugin)
+    if not files:
+        sys.exit("error: compile_commands.json has no entries under %s"
+                 % ", ".join(paths))
+
+    if args.forbid_nolint:
+        hits = scan_nolint(source_root, paths)
+        if hits:
+            print("NOLINT markers are not permitted (fix the code or the "
+                  "check, do not suppress):", file=sys.stderr)
+            print("\n".join(hits), file=sys.stderr)
+            sys.exit(1)
+
+    header_filter = "%s/(%s)/.*" % (re.escape(source_root), "|".join(paths))
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as ex:
+        futures = [ex.submit(run_one, tidy, args.build_dir, header_filter,
+                             checks, plugin, f) for f in files]
+        for fut in concurrent.futures.as_completed(futures):
+            path, rc, out, err = fut.result()
+            has_findings = bool(FINDING_RE.search(out))
+            if rc != 0 or has_findings:
+                failures += 1
+                rel = os.path.relpath(path, source_root)
+                print("== %s (exit %d)" % (rel, rc))
+                if out.strip():
+                    print(out.strip())
+                # stderr carries clang-tidy's own errors (bad plugin path,
+                # compile db problems) but also noise like the suppressed-
+                # warnings count; only surface it when the run itself broke.
+                if rc != 0 and err.strip():
+                    print(err.strip(), file=sys.stderr)
+
+    mode = "clang-analyzer" if args.analyzer else "mcgp-tidy"
+    if failures:
+        print("%s: FAIL (%d of %d translation units with findings)"
+              % (mode, failures, len(files)))
+        sys.exit(1)
+    print("%s: OK (%d translation units, 0 findings)" % (mode, len(files)))
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. `--list | head`
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

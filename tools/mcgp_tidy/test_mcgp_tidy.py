@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Fixture round-trip and driver self-test for the mcgp-tidy plugin.
+
+Default mode mirrors tools/mcgp_lint/test_lint.py: every fixture file
+under fixtures/src/ is processed with only the mcgp-* checks enabled, and
+the exact set of (line, check) findings must equal the TIDY-EXPECT
+markers in the file. A marker sits either on the flagged line itself:
+
+    return a + b;  // TIDY-EXPECT: mcgp-sum-arith
+
+or, when the flagged line has no room, alone on the preceding line, in
+which case it binds to the next non-marker line:
+
+    // TIDY-EXPECT: mcgp-unordered-iter
+    for (auto it = m.cbegin(); it != m.cend(); ++it) {
+
+Files without markers (the support/ stand-ins, clean.cpp) must produce
+zero findings — that is what proves the path-scoped exemptions hold.
+
+--selftest instead verifies the sweep driver end to end: a scratch
+compile_commands.json with one violating TU must make run_mcgp_tidy.py
+exit nonzero, and a clean TU must make it exit zero.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+MARKER_RE = re.compile(r"//\s*TIDY-EXPECT:\s*([a-z0-9,\s\-]+)")
+FINDING_RE = re.compile(r"^(.*?):(\d+):\d+: (?:warning|error): .*\[(.*)\]\s*$")
+
+
+def find_clang_tidy(explicit):
+    import shutil
+    if explicit:
+        return explicit
+    for name in (["clang-tidy"] +
+                 ["clang-tidy-%d" % v for v in range(21, 13, -1)]):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def expected_findings(path):
+    """Parse TIDY-EXPECT markers into a set of (line, check)."""
+    expected = set()
+    pending = []  # checks from marker-only lines awaiting their target
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = MARKER_RE.search(line)
+            checks = []
+            if m:
+                checks = [c.strip() for c in m.group(1).split(",")
+                          if c.strip()]
+            if m and line.strip().startswith("//"):
+                pending.extend(checks)
+                continue
+            for check in pending:
+                expected.add((lineno, check))
+            pending = []
+            for check in checks:
+                expected.add((lineno, check))
+    return expected
+
+
+def run_fixture(tidy, plugin, path):
+    extra = ["-std=c++17", "-w", "-I", FIXTURES]
+    if path.endswith((".hpp", ".h")):
+        extra = ["-x", "c++"] + extra  # parse headers as C++ TUs
+    cmd = [tidy, "-load", plugin, "--quiet", "--checks=-*,mcgp-*", path,
+           "--"] + extra
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    found = set()
+    hard_error = False
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        if os.path.abspath(m.group(1)) != os.path.abspath(path):
+            # Finding in another file (stub header): attribute it to the
+            # sentinel line 0 so the comparison fails loudly — fixtures
+            # are written so this never happens.
+            found.add((0, m.group(3)))
+            continue
+        for check in m.group(3).split(","):
+            check = check.strip()
+            if check.startswith("mcgp-"):
+                found.add((int(m.group(2)), check))
+    if "error: " in proc.stderr and "clang-diagnostic" not in proc.stderr:
+        hard_error = True
+    return found, hard_error, proc
+
+
+def fixture_mode(tidy, plugin):
+    fixture_root = os.path.join(FIXTURES, "src")
+    files = []
+    for dirpath, _dirnames, filenames in os.walk(fixture_root):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp")):
+                files.append(os.path.join(dirpath, name))
+    if not files:
+        sys.exit("error: no fixtures under %s" % fixture_root)
+
+    failures = 0
+    for path in sorted(files):
+        rel = os.path.relpath(path, FIXTURES)
+        expected = expected_findings(path)
+        found, hard_error, proc = run_fixture(tidy, plugin, path)
+        if hard_error:
+            failures += 1
+            print("FAIL %s: clang-tidy reported a hard error" % rel)
+            print(proc.stdout.strip())
+            print(proc.stderr.strip(), file=sys.stderr)
+            continue
+        if found != expected:
+            failures += 1
+            print("FAIL %s" % rel)
+            for line, check in sorted(expected - found):
+                print("  missing: line %d [%s]" % (line, check))
+            for line, check in sorted(found - expected):
+                print("  unexpected: line %d [%s]" % (line, check))
+        else:
+            print("ok   %s (%d expected findings)" % (rel, len(expected)))
+    if failures:
+        print("mcgp-tidy fixtures: FAIL (%d file(s))" % failures)
+        sys.exit(1)
+    print("mcgp-tidy fixtures: OK (%d file(s))" % len(files))
+
+
+BAD_TU = """using sum_t = long long;
+sum_t f(sum_t a, sum_t b) { return a + b; }
+"""
+
+CLEAN_TU = """using sum_t = long long;
+sum_t checked_add(sum_t a, sum_t b);
+sum_t f(sum_t a, sum_t b) { return checked_add(a, b); }
+"""
+
+
+def selftest_mode(tidy, plugin):
+    driver = os.path.join(HERE, "run_mcgp_tidy.py")
+    failures = 0
+    for label, code, want_nonzero in (("violation", BAD_TU, True),
+                                      ("clean", CLEAN_TU, False)):
+        with tempfile.TemporaryDirectory() as tmp:
+            src_dir = os.path.join(tmp, "src")
+            os.makedirs(src_dir)
+            tu = os.path.join(src_dir, "case.cpp")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(code)
+            db = [{"directory": tmp,
+                   "command": "c++ -std=c++17 -c %s" % tu,
+                   "file": tu}]
+            with open(os.path.join(tmp, "compile_commands.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(db, f)
+            proc = subprocess.run(
+                [sys.executable, driver, "-p", tmp, "--plugin", plugin,
+                 "--clang-tidy", tidy, "--source-root", tmp, "src"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            nonzero = proc.returncode != 0
+            if nonzero != want_nonzero:
+                failures += 1
+                print("FAIL selftest %s: exit %d (want %s)"
+                      % (label, proc.returncode,
+                         "nonzero" if want_nonzero else "zero"))
+                print(proc.stdout.strip())
+            else:
+                print("ok   selftest %s: exit %d" % (label, proc.returncode))
+    if failures:
+        print("mcgp-tidy driver selftest: FAIL")
+        sys.exit(1)
+    print("mcgp-tidy driver selftest: OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("--plugin", required=True,
+                    help="path to the built mcgp_tidy.so")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the driver exit-code self-test instead of "
+                         "the fixture round-trip")
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        sys.exit("error: no clang-tidy on PATH; pass --clang-tidy")
+    plugin = os.path.abspath(args.plugin)
+    if not os.path.exists(plugin):
+        sys.exit("error: plugin not found: %s" % plugin)
+
+    if args.selftest:
+        selftest_mode(tidy, plugin)
+    else:
+        fixture_mode(tidy, plugin)
+
+
+if __name__ == "__main__":
+    main()
