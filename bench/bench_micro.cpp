@@ -14,6 +14,7 @@
 #include "gen/weight_gen.hpp"
 #include "graph/graph_ops.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
 #include "support/perf_counters.hpp"
 #include "support/thread_pool.hpp"
 #include "support/workspace.hpp"
@@ -315,6 +316,33 @@ void BM_PartitionProfiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.nvtxs);
 }
 BENCHMARK(BM_PartitionProfiled)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+// Cost of the metrics registry per partition call: detached (null
+// Options::metrics, one pointer test per instrumentation point) must be
+// within 1% of no registry at all — this PR's overhead gate; attached
+// pays the run bracket, progress stamps, and one fold of histograms and
+// gauges at run end.
+void BM_PartitionMetrics(benchmark::State& state) {
+  const Graph g = make_bench_graph(150, 3);
+  Options o;
+  o.nparts = 32;
+  o.algorithm = state.range(0) == 0 ? Algorithm::kRecursiveBisection
+                                    : Algorithm::kKWay;
+  MetricsRegistry metrics;
+  o.metrics = state.range(1) != 0 ? &metrics : nullptr;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    const PartitionResult r = partition(g, o);
+    benchmark::DoNotOptimize(r.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nvtxs);
+}
+BENCHMARK(BM_PartitionMetrics)
     ->Args({0, 0})
     ->Args({0, 1})
     ->Args({1, 0})

@@ -26,6 +26,12 @@
 //   --ledger=<path>      append one JSONL run record to <path>
 //   --profile            hardware-counter profiling (perf_event_open)
 //   --report-json=<path> write the machine-readable run report to <path>
+//   --metrics-out=<path> write the process metrics snapshot to <path>
+//                        (.json -> JSON document, else OpenMetrics text)
+//   --metrics-interval=<s>      rewrite --metrics-out every <s> seconds
+//   --metrics-stall-timeout=<s> flag a stall (mcgp_stalled gauge +
+//                        postmortem dump) after <s> seconds without
+//                        pipeline progress (default off)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +48,7 @@
 #include "graph/part_report.hpp"
 #include "mesh/mesh.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
 #include "support/perf_counters.hpp"
 #include "support/run_ledger.hpp"
 
@@ -95,7 +102,15 @@ void usage(const char* argv0) {
       << "                      the kernel refuses; see README Profiling)\n"
       << "  --report-json=<path> write the machine-readable run report\n"
       << "                      (with timeline/profile sections when\n"
-      << "                      attached) to <path>\n";
+      << "                      attached) to <path>\n"
+      << "  --metrics-out=<path> write the process metrics snapshot to\n"
+      << "                      <path> (.json suffix selects the JSON\n"
+      << "                      document, anything else OpenMetrics text)\n"
+      << "  --metrics-interval=<s>  rewrite --metrics-out every <s>\n"
+      << "                      seconds while running (atomic replace)\n"
+      << "  --metrics-stall-timeout=<s>  raise the mcgp_stalled gauge and\n"
+      << "                      dump a postmortem after <s> seconds\n"
+      << "                      without pipeline progress (default off)\n";
 }
 
 }  // namespace
@@ -127,6 +142,9 @@ int main(int argc, char** argv) {
   std::string ledger_path;
   bool profile = false;
   std::string report_json_path;
+  std::string metrics_out;
+  double metrics_interval = 0.0;
+  double metrics_stall_timeout = 0.0;
 
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -184,6 +202,16 @@ int main(int argc, char** argv) {
         std::cerr << "error: --report-json needs a file path\n";
         return 2;
       }
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = a.substr(14);
+      if (metrics_out.empty()) {
+        std::cerr << "error: --metrics-out needs a file path\n";
+        return 2;
+      }
+    } else if (a.rfind("--metrics-interval=", 0) == 0) {
+      metrics_interval = std::atof(a.c_str() + 19);
+    } else if (a.rfind("--metrics-stall-timeout=", 0) == 0) {
+      metrics_stall_timeout = std::atof(a.c_str() + 24);
     } else {
       std::cerr << "unknown option: " << a << "\n";
       usage(argv[0]);
@@ -225,6 +253,26 @@ int main(int argc, char** argv) {
                   << prof->status() << "); profiling degrades to "
                   << "wall-clock only\n";
       }
+    }
+
+    // Process-lifetime metrics: attached for --metrics-* and, so the
+    // ledger record can point at its snapshot sidecar, for --ledger too.
+    // Observe-only like the recorder and profiler.
+    std::optional<MetricsRegistry> metrics;
+    std::optional<MetricsFlusher> flusher;
+    if (!metrics_out.empty() || metrics_stall_timeout > 0 ||
+        !ledger_path.empty()) {
+      metrics.emplace();
+      opts.metrics = &*metrics;
+    }
+    if (!metrics_out.empty() || metrics_stall_timeout > 0) {
+      MetricsFlusher::Config mcfg;
+      mcfg.out_path = metrics_out;
+      // Without --metrics-interval only the final stop() snapshot is
+      // written; 1h stands in for "never" during the run itself.
+      mcfg.interval_s = metrics_interval > 0 ? metrics_interval : 3600.0;
+      mcfg.stall_timeout_s = metrics_stall_timeout;
+      flusher.emplace(*metrics, mcfg);
     }
 
     PartitionResult r;
@@ -319,11 +367,30 @@ int main(int argc, char** argv) {
       std::cout << "wrote:   " << out_path << "\n";
     }
 
-    if (!ledger_path.empty() &&
-        append_run_record(ledger_path,
-                          make_run_record("mcpart", graph_path, g, opts, r,
-                                          opts.profile))) {
-      std::cout << "ledger:  appended to " << ledger_path << "\n";
+    if (flusher.has_value()) {
+      flusher->stop();
+      if (!metrics_out.empty()) {
+        std::cout << "metrics: wrote " << metrics_out << "\n";
+      }
+    }
+
+    if (!ledger_path.empty()) {
+      RunRecord rec =
+          make_run_record("mcpart", graph_path, g, opts, r, opts.profile);
+      // Final snapshot sidecar next to the ledger; the record points at
+      // it so a ledger reader can find the cross-run aggregates.
+      if (metrics.has_value()) {
+        const std::string sidecar = ledger_path + ".metrics.json";
+        std::ofstream ms(sidecar);
+        if (ms) {
+          metrics->write_json(ms);
+          rec.metrics_snapshot = sidecar;
+          std::cout << "metrics: wrote " << sidecar << "\n";
+        }
+      }
+      if (append_run_record(ledger_path, rec)) {
+        std::cout << "ledger:  appended to " << ledger_path << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

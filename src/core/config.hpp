@@ -18,6 +18,7 @@ class TraceRecorder;
 class InvariantAuditor;
 class FlightRecorder;
 class Profiler;
+class MetricsRegistry;
 
 /// How aggressively the pipeline verifies its own bookkeeping invariants
 /// at runtime (see core/audit.hpp). Violations raise AuditFailure.
@@ -149,6 +150,17 @@ struct Options {
   /// Attaching a profiler never changes results; it must outlive the run
   /// and may be shared across the run's worker threads.
   Profiler* profile = nullptr;
+
+  /// Optional process-lifetime metrics registry (see support/metrics.hpp).
+  /// When non-null each partition()/refine_partition() call folds its
+  /// telemetry into the registry's cross-run aggregates: run/phase latency
+  /// histograms, cut/imbalance/feasibility gauges, audit and rebalance
+  /// event counters, memory high-water gauges, and the heartbeat progress
+  /// stamps the stall detector watches. Null (the default) costs one
+  /// pointer test per site. Attaching a registry never changes results;
+  /// it must outlive the run and is safe to share across concurrent runs
+  /// and with a scraping thread.
+  MetricsRegistry* metrics = nullptr;
 
   /// Optional externally owned auditor. When non-null it is used directly
   /// (its own level governs, letting callers read check counters after the

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/audit.hpp"
 #include "core/kway_driver.hpp"
@@ -14,6 +16,7 @@
 #include "core/rebalance.hpp"
 #include "graph/metrics.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
 #include "support/perf_counters.hpp"
 #include "support/random.hpp"
 #include "support/thread_pool.hpp"
@@ -192,6 +195,137 @@ void record_final_sample(const Graph& g, const Options& opts,
   opts.flight->record(fs);
 }
 
+/// Brackets one partition()/refine_partition() call against the
+/// process-lifetime metrics registry (Options::metrics): run_begin/run_end
+/// for the inflight gauge, baselines of the shared auditor/profiler so
+/// only THIS run's deltas are folded in (observers shared across runs
+/// must not double-count), the heartbeat bridge through the flight
+/// recorder (a local recorder is attached when the caller has none, so
+/// progress stamps and workspace gauges always flow), and — on the
+/// completion path — the latency histograms and quality gauges. A scope
+/// destroyed without complete() counts the run as failed.
+class MetricsRunScope {
+ public:
+  MetricsRunScope(Options& opts, const char* alg) : opts_(opts), alg_(alg) {
+    MetricsRegistry* m = opts_.metrics;
+    if (m == nullptr) return;
+    m->run_begin();
+    if (opts_.flight == nullptr) {
+      local_flight_.emplace();
+      opts_.flight = &*local_flight_;
+    }
+    opts_.flight->set_metrics(m);
+    if (opts_.audit != nullptr) {
+      for (int c = 0; c < kAuditCategories; ++c) {
+        audit_baseline_[to_size(c)] =
+            opts_.audit->count(static_cast<AuditCheck>(c));
+      }
+    }
+    if (opts_.profile != nullptr) prof_baseline_ = opts_.profile->snapshot();
+  }
+
+  MetricsRunScope(const MetricsRunScope&) = delete;
+  MetricsRunScope& operator=(const MetricsRunScope&) = delete;
+
+  ~MetricsRunScope() {
+    MetricsRegistry* m = opts_.metrics;
+    if (m == nullptr) return;
+    // The caller's recorder outlives this run; the registry might not.
+    opts_.flight->set_metrics(nullptr);
+    if (!completed_) m->counter_add("mcgp_partitions_failed", {alg_});
+    m->run_end();
+  }
+
+  /// Fold the finished run in. `run_ns` is the same WallTimer interval
+  /// that becomes PartitionResult::seconds.
+  void complete(const PartitionResult& r, std::int64_t run_ns) {
+    MetricsRegistry* m = opts_.metrics;
+    if (m == nullptr) return;
+    completed_ = true;
+    m->counter_add("mcgp_partitions", {alg_});
+    if (!r.feasible) m->counter_add("mcgp_partitions_infeasible", {alg_});
+    m->observe("mcgp_run_ns", {alg_}, run_ns);
+    for (const auto& [phase, seconds] : r.phases.entries()) {
+      m->observe("mcgp_phase_ns", {phase, alg_},
+                 static_cast<std::int64_t>(seconds * 1e9));
+    }
+    m->gauge_set("mcgp_last_cut", {alg_}, static_cast<double>(r.cut));
+    for (std::size_t i = 0; i < r.imbalance.size(); ++i) {
+      m->gauge_set("mcgp_last_imbalance", {std::to_string(i)},
+                   r.imbalance[i]);
+    }
+    m->gauge_set("mcgp_last_feasible", {}, r.feasible ? 1.0 : 0.0);
+    const FlightRecorder* fr = opts_.flight;
+    if (fr->peak_rss_bytes() >= 0) {
+      m->gauge_set("mcgp_peak_rss_bytes", {},
+                   static_cast<double>(fr->peak_rss_bytes()));
+    }
+    if (fr->workspace_bytes() >= 0) {
+      m->gauge_set("mcgp_workspace_bytes", {},
+                   static_cast<double>(fr->workspace_bytes()));
+    }
+    if (fr->workspace_count() >= 0) {
+      m->gauge_set("mcgp_workspace_count", {},
+                   static_cast<double>(fr->workspace_count()));
+    }
+    if (opts_.audit != nullptr) {
+      for (int c = 0; c < kAuditCategories; ++c) {
+        const std::uint64_t now =
+            opts_.audit->count(static_cast<AuditCheck>(c));
+        const std::uint64_t was = audit_baseline_[to_size(c)];
+        if (now > was) {
+          m->counter_add("mcgp_audit_checks",
+                         {audit_check_name(static_cast<AuditCheck>(c))},
+                         static_cast<sum_t>(now - was));
+        }
+      }
+    }
+    if (opts_.profile != nullptr) fold_profile(*m);
+  }
+
+ private:
+  static constexpr int kAuditCategories =
+      static_cast<int>(AuditCheck::kCount_);
+
+  /// Per-(phase, level) wall and per-phase cycle deltas vs the baseline
+  /// snapshot, each observed as one histogram sample for this run.
+  void fold_profile(MetricsRegistry& m) const {
+    std::map<std::pair<std::string, int>, std::int64_t> wall_base;
+    std::map<std::string, std::int64_t> cycles_base;
+    for (const ProfPhase& p : prof_baseline_) {
+      wall_base[{p.phase, p.level}] += p.stats.wall_ns;
+      cycles_base[p.phase] +=
+          p.stats.counters[static_cast<int>(PerfCounter::kCycles)];
+    }
+    std::map<std::string, std::int64_t> cycles_now;
+    for (const ProfPhase& p : opts_.profile->snapshot()) {
+      const std::int64_t wall = p.stats.wall_ns - wall_base[{p.phase, p.level}];
+      if (wall > 0) {
+        m.observe("mcgp_level_wall_ns",
+                  {p.phase, p.level < 0 ? "all" : std::to_string(p.level)},
+                  wall);
+      }
+      cycles_now[p.phase] +=
+          p.stats.counters[static_cast<int>(PerfCounter::kCycles)];
+    }
+    for (const auto& [phase, cyc] : cycles_now) {
+      const std::int64_t delta = cyc - cycles_base[phase];
+      if (delta > 0) m.observe("mcgp_phase_cycles", {phase}, delta);
+    }
+  }
+
+  Options& opts_;
+  const char* alg_;
+  bool completed_ = false;
+  std::optional<FlightRecorder> local_flight_;
+  std::uint64_t audit_baseline_[to_size(AuditCheck::kCount_)] = {};
+  std::vector<ProfPhase> prof_baseline_;
+};
+
+const char* metrics_alg_name(Algorithm a) {
+  return a == Algorithm::kKWay ? "kway" : "rb";
+}
+
 }  // namespace
 
 PartitionResult partition(const Graph& g, const Options& run_opts) {
@@ -219,6 +353,10 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
   WallTimer timer;
   PartitionResult result;
   Rng rng(opts.seed);
+
+  // Cross-run aggregation: the scope baselines shared observers, bridges
+  // the heartbeat, and folds this run's telemetry in at complete().
+  MetricsRunScope metrics_scope(opts, metrics_alg_name(opts.algorithm));
 
   // Whole-run measurement interval: every nested scope is inside it, so
   // the "run" bucket counts each cycle exactly once — the denominator for
@@ -290,6 +428,10 @@ PartitionResult partition(const Graph& g, const Options& run_opts) {
     result.counters = opts.trace->merged_counters();
   }
   result.seconds = timer.seconds();
+  // Fold the profiler's "run" bucket before the metrics delta is taken so
+  // this run's whole-run interval reaches the level histograms too.
+  run_prof.finish();
+  metrics_scope.complete(result, timer.elapsed_ns());
   return result;
 }
 
@@ -318,6 +460,8 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   WallTimer timer;
   PartitionResult result;
   Rng rng(opts.seed);
+
+  MetricsRunScope metrics_scope(opts, "refine");
 
   if (opts.profile != nullptr) opts.profile->set_threads(opts.num_threads);
   ProfScope run_prof(opts.profile, "run");
@@ -379,6 +523,8 @@ PartitionResult refine_partition(const Graph& g, std::vector<idx_t> part,
   record_final_sample(g, opts, result);
   if (opts.trace != nullptr) result.counters = opts.trace->merged_counters();
   result.seconds = timer.seconds();
+  run_prof.finish();
+  metrics_scope.complete(result, timer.elapsed_ns());
   return result;
 }
 

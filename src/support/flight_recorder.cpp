@@ -8,7 +8,9 @@
 
 #include "support/json_writer.hpp"
 #include "support/memory.hpp"
+#include "support/metrics.hpp"
 #include "support/schema.hpp"
+#include "support/timer.hpp"
 
 namespace mcgp {
 
@@ -25,8 +27,24 @@ const char* flight_stage_name(FlightSample::Stage s) {
   return "?";
 }
 
+std::string resolve_postmortem_path(const std::string& path) {
+  // Relative paths land in whatever directory the process happens to be
+  // in, which for a test harness or daemon is rarely where anyone looks.
+  // MCGP_POSTMORTEM_DIR redirects them without code changes; absolute
+  // paths are honored as-is. Resolved at dump time so the environment
+  // can change after the artifact path is configured.
+  if (!path.empty() && path.front() == '/') return path;
+  const char* dir = std::getenv("MCGP_POSTMORTEM_DIR");
+  if (dir == nullptr || *dir == '\0') return path;
+  std::string out(dir);
+  if (out.back() != '/') out += '/';
+  out += path;
+  return out;
+}
+
 FlightRecorder::FlightRecorder(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 1)), origin_(clock::now()) {}
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      origin_ns_(monotonic_now_ns()) {}
 
 void FlightRecorder::fold_max(std::atomic<std::int64_t>& slot,
                               std::int64_t value) {
@@ -37,9 +55,7 @@ void FlightRecorder::fold_max(std::atomic<std::int64_t>& slot,
 }
 
 void FlightRecorder::record(FlightSample s) {
-  s.ts_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                                 origin_)
-                .count();
+  s.ts_ns = monotonic_now_ns() - origin_ns_;
   s.rss_bytes = last_rss_.load(std::memory_order_relaxed);
 
   MutexLock lk(mu_);
@@ -53,6 +69,7 @@ void FlightRecorder::record(FlightSample s) {
     ring_[static_cast<std::size_t>(s.seq) % capacity_] = s;
   }
   if (on_sample_) on_sample_(s);
+  if (metrics_ != nullptr) metrics_->note_progress(flight_stage_name(s.stage));
 }
 
 void FlightRecorder::sample_memory() {
@@ -101,23 +118,17 @@ void FlightRecorder::set_on_sample(
   on_sample_ = std::move(cb);
 }
 
+void FlightRecorder::set_metrics(MetricsRegistry* registry) {
+  MutexLock lk(mu_);
+  metrics_ = registry;
+}
+
 void FlightRecorder::set_dump_path(std::string path) {
   dump_path_ = std::move(path);
 }
 
 std::string FlightRecorder::resolved_dump_path() const {
-  // Relative paths land in whatever directory the process happens to be
-  // in, which for a test harness or daemon is rarely where anyone looks.
-  // MCGP_POSTMORTEM_DIR redirects them without code changes; absolute
-  // paths set via set_dump_path() are honored as-is. Resolved at dump
-  // time so the environment can change after the recorder is built.
-  if (!dump_path_.empty() && dump_path_.front() == '/') return dump_path_;
-  const char* dir = std::getenv("MCGP_POSTMORTEM_DIR");
-  if (dir == nullptr || *dir == '\0') return dump_path_;
-  std::string path(dir);
-  if (path.back() != '/') path += '/';
-  path += dump_path_;
-  return path;
+  return resolve_postmortem_path(dump_path_);
 }
 
 void FlightRecorder::clear() {

@@ -9,6 +9,7 @@
 
 #include "support/json_writer.hpp"
 #include "support/schema.hpp"
+#include "support/timer.hpp"
 
 #if defined(__linux__)
 #include <linux/perf_event.h>
@@ -400,7 +401,7 @@ void Profiler::write_json_value(JsonWriter& w) const {
 }
 
 void ProfScope::begin() {
-  t0_ = std::chrono::steady_clock::now();
+  t0_ns_ = monotonic_now_ns();
   grp_ = p_->thread_group();  // binds the TLS slot to this profiler
   TlsSlot& slot = tls_slot();
   if (aux_) {
@@ -430,11 +431,7 @@ void ProfScope::end() {
   d.scopes = aux_ ? 0 : 1;
   d.edges = edges_;
   d.vtxs = vtxs_;
-  d.wall_ns =
-      aux_ ? 0
-           : std::chrono::duration_cast<std::chrono::nanoseconds>(
-                 std::chrono::steady_clock::now() - t0_)
-                 .count();
+  d.wall_ns = aux_ ? 0 : monotonic_now_ns() - t0_ns_;
   if (grp_ != nullptr && have_begin_) {
     PerfReading now;
     if (grp_->read(now)) {

@@ -36,7 +36,6 @@
 //    denominator for per-phase percentages and the ledger headline.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -251,7 +250,9 @@ class ProfScope {
   PerfCounterGroup* grp_ = nullptr;
   bool have_begin_ = false;
   PerfReading begin_reading_;
-  std::chrono::steady_clock::time_point t0_;
+  /// monotonic_now_ns() at begin() (support/timer.hpp: one shared clock
+  /// for profiler, PhaseTimes, flight recorder, and metrics).
+  std::int64_t t0_ns_ = 0;
 };
 
 }  // namespace mcgp

@@ -92,6 +92,9 @@ void write_run_record(std::ostream& out, const RunRecord& rec) {
   if (rec.peak_rss_bytes >= 0) {
     w.member("peak_rss_bytes", rec.peak_rss_bytes);
   }
+  if (!rec.metrics_snapshot.empty()) {
+    w.member("metrics_snapshot", rec.metrics_snapshot);
+  }
   if (!rec.host.empty()) w.member("host", rec.host);
   if (!rec.cpu.empty()) w.member("cpu", rec.cpu);
   if (rec.cores > 0) w.member("cores", static_cast<std::int64_t>(rec.cores));

@@ -55,6 +55,12 @@ struct RunRecord {
   std::string cpu;        ///< CPU model string; empty = unknown
   int cores = 0;          ///< logical cores; 0 = unknown
 
+  /// Path of the process-lifetime metrics snapshot written next to this
+  /// ledger (see support/metrics.hpp); empty = none. A sidecar pointer,
+  /// not a metric: diff.py ignores unknown keys, so old baselines stay
+  /// comparable.
+  std::string metrics_snapshot;
+
   // Headline hardware counters for the whole run (the profiler's "run"
   // phase), present only when a profiler was attached.
   bool profile_attached = false;

@@ -24,6 +24,7 @@
 // MCGP_ prefix.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -129,6 +130,14 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(Mutex& mu) MCGP_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns false on timeout. Same predicate-free contract
+  /// as wait(): the caller re-tests its guarded condition in a loop.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      MCGP_REQUIRES(mu) {
+    return cv_.wait_for(mu, d) == std::cv_status::no_timeout;
+  }
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,21 +12,35 @@
 
 namespace mcgp {
 
+/// Nanoseconds on the process-wide monotonic clock. Every wall-clock
+/// consumer (WallTimer/PhaseTimes, the profiler's ProfScope, the flight
+/// recorder's sample timestamps, the metrics registry) reads this one
+/// helper, so their numbers are subtractable against each other: a phase
+/// duration in a histogram and the same phase in a ledger record come
+/// from the same clock by construction.
+inline std::int64_t monotonic_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Monotonic wall-clock stopwatch.
 class WallTimer {
  public:
-  WallTimer() : start_(clock::now()) {}
+  WallTimer() : start_ns_(monotonic_now_ns()) {}
 
-  void restart() { start_ = clock::now(); }
+  void restart() { start_ns_ = monotonic_now_ns(); }
 
   /// Seconds elapsed since construction or last restart().
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(monotonic_now_ns() - start_ns_) * 1e-9;
   }
 
+  /// Nanoseconds elapsed since construction or last restart().
+  std::int64_t elapsed_ns() const { return monotonic_now_ns() - start_ns_; }
+
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 /// Accumulates per-phase timings (coarsening / initial / refinement / ...)

@@ -1,0 +1,448 @@
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "gen/mesh_gen.hpp"
+#include "gen/weight_gen.hpp"
+#include "json_test_util.hpp"
+#include "support/check.hpp"
+#include "support/schema.hpp"
+
+namespace mcgp {
+namespace {
+
+TEST(MetricsHistogram, BucketBoundaries) {
+  // Bucket 0 absorbs everything <= 1, including the zero and negative
+  // values instrumentation never produces but a caller bug might.
+  EXPECT_EQ(hist_bucket_index(-5), 0);
+  EXPECT_EQ(hist_bucket_index(0), 0);
+  EXPECT_EQ(hist_bucket_index(1), 0);
+  EXPECT_EQ(hist_bucket_index(2), 1);
+  EXPECT_EQ(hist_bucket_index(3), 2);
+  EXPECT_EQ(hist_bucket_index(4), 2);
+  EXPECT_EQ(hist_bucket_index(5), 3);
+  // Every power of two is the inclusive upper bound of its own bucket;
+  // one past it spills into the next.
+  for (int b = 1; b <= 62; ++b) {
+    const std::int64_t pow2 = std::int64_t{1} << b;
+    EXPECT_EQ(hist_bucket_index(pow2), b) << "2^" << b;
+    EXPECT_EQ(hist_bucket_index(pow2 + 1), std::min(b + 1, kHistBuckets - 1))
+        << "2^" << b << "+1";
+  }
+  // The whole int64 range lands somewhere; the top values overflow into
+  // the +Inf bucket.
+  EXPECT_EQ(hist_bucket_index(std::numeric_limits<std::int64_t>::max()),
+            kHistBuckets - 1);
+  EXPECT_EQ(hist_bucket_le(0), 1);
+  EXPECT_EQ(hist_bucket_le(1), 2);
+  EXPECT_EQ(hist_bucket_le(62), std::int64_t{1} << 62);
+  EXPECT_EQ(hist_bucket_le(kHistBuckets - 1),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(MetricsHistogram, ObserveAndConservativeQuantiles) {
+  HistogramData h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(1);
+  h.observe(2);
+  h.observe(4);
+  h.observe(8);
+  EXPECT_EQ(h.count, 4);
+  EXPECT_EQ(h.sum, 15);
+  EXPECT_FALSE(h.saturated);
+  // Conservative upper bounds: the le of the first bucket whose
+  // cumulative count reaches q*count.
+  EXPECT_EQ(h.quantile(0.5), 2.0);
+  EXPECT_EQ(h.quantile(0.75), 4.0);
+  EXPECT_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(MetricsHistogram, SaturatesAtTheRailsWithoutThrowing) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  HistogramData h;
+  h.observe(max);
+  EXPECT_EQ(h.count, 1);
+  EXPECT_EQ(h.sum, max);
+  EXPECT_FALSE(h.saturated);
+  // The second max-value observation would overflow the sum; telemetry
+  // clamps at the rail and records the fact instead of aborting the run.
+  h.observe(max);
+  EXPECT_EQ(h.count, 2);
+  EXPECT_EQ(h.sum, max);
+  EXPECT_TRUE(h.saturated);
+  EXPECT_EQ(h.buckets[kHistBuckets - 1], 2u);
+
+  MetricsRegistry reg;
+  reg.counter_add("sat_total", {}, max);
+  reg.counter_add("sat_total", {}, max);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricFamily* fam = snap.find("sat_total");
+  ASSERT_NE(fam, nullptr);
+  const MetricPoint* p = fam->find({});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->counter, max);
+  EXPECT_TRUE(p->saturated);
+}
+
+TEST(MetricsRegistry, CountersGaugesAndSnapshotDelta) {
+  MetricsRegistry reg;
+  reg.counter_add("mcgp_partitions", {"kway"}, 2);
+  reg.gauge_set("mcgp_last_cut", {"kway"}, 42.0);
+  reg.observe("mcgp_run_ns", {"kway"}, 1000);
+  const MetricsSnapshot before = reg.snapshot();
+
+  reg.counter_add("mcgp_partitions", {"kway"}, 3);
+  reg.gauge_set("mcgp_last_cut", {"kway"}, 17.0);
+  reg.observe("mcgp_run_ns", {"kway"}, 3000);
+  reg.observe("mcgp_run_ns", {"kway"}, 5000);
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricPoint* p = after.find("mcgp_partitions")->find({"kway"});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->counter, 5);
+
+  // The delta of two snapshots is exactly what happened in between:
+  // counters and histogram buckets subtract, gauges keep their current
+  // value.
+  const MetricsSnapshot delta = after.delta_since(before);
+  EXPECT_EQ(delta.find("mcgp_partitions")->find({"kway"})->counter, 3);
+  EXPECT_EQ(delta.find("mcgp_run_ns")->find({"kway"})->hist.count, 2);
+  EXPECT_EQ(delta.find("mcgp_run_ns")->find({"kway"})->hist.sum, 8000);
+  EXPECT_EQ(delta.find("mcgp_last_cut")->find({"kway"})->gauge, 17.0);
+}
+
+TEST(MetricsRegistry, InstrumentationErrorsSurfaceAsCounters) {
+  MetricsRegistry reg;
+  // Wrong kind, wrong label arity, and a negative counter delta must
+  // never throw into the observed run; each surfaces as a scrapable
+  // error counter instead.
+  reg.counter_add("mcgp_last_cut", {"kway"});       // declared as a gauge
+  reg.counter_add("mcgp_partitions", {});           // declared arity is 1
+  reg.counter_add("mcgp_partitions", {"kway"}, -1);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricFamily* errs = snap.find("mcgp_metrics_errors");
+  ASSERT_NE(errs, nullptr);
+  EXPECT_EQ(errs->find({"kind_mismatch"})->counter, 1);
+  EXPECT_EQ(errs->find({"label_arity"})->counter, 1);
+  EXPECT_EQ(errs->find({"negative_delta"})->counter, 1);
+  // The rejected mutations left no trace on their targets.
+  EXPECT_EQ(snap.find("mcgp_partitions")->series.size(), 0u);
+}
+
+TEST(MetricsRegistry, AutoDeclaresUnknownFamilies) {
+  MetricsRegistry reg;
+  reg.observe("adhoc_ns", {"x"}, 5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricFamily* fam = snap.find("adhoc_ns");
+  ASSERT_NE(fam, nullptr);
+  EXPECT_EQ(fam->kind, MetricKind::kHistogram);
+  ASSERT_EQ(fam->label_keys.size(), 1u);
+  EXPECT_EQ(fam->label_keys[0], "l0");  // synthesized key
+  EXPECT_EQ(fam->find({"x"})->hist.count, 1);
+}
+
+Graph make_metrics_graph() {
+  Graph g = tri_grid2d(24, 24);
+  apply_type_s_weights(g, 2, 16, 0, 19, 7);
+  return g;
+}
+
+// Acceptance: one registry aggregates across repeated partition() calls —
+// the cross-run view no per-run observer can produce.
+TEST(MetricsPipeline, AggregatesAcrossRuns) {
+  const Graph g = make_metrics_graph();
+  MetricsRegistry reg;
+  Options o;
+  o.nparts = 4;
+  o.algorithm = Algorithm::kKWay;
+  o.metrics = &reg;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    o.seed = seed;
+    partition(g, o);
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("mcgp_partitions")->find({"kway"})->counter, 3);
+  const MetricPoint* run = snap.find("mcgp_run_ns")->find({"kway"});
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->hist.count, 3);
+  EXPECT_GT(run->hist.sum, 0);
+  // Per-phase histograms observed once per run.
+  const MetricFamily* phases = snap.find("mcgp_phase_ns");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_FALSE(phases->series.empty());
+  for (const auto& [labels, point] : phases->series) {
+    EXPECT_EQ(point.hist.count, 3) << labels[0];
+  }
+  // The auto-attached flight recorder kept the heartbeat alive.
+  EXPECT_GT(reg.progress_seq(), 0u);
+  EXPECT_GT(reg.last_progress_ns(), 0);
+  EXPECT_EQ(reg.runs_inflight(), 0);
+  // Quality gauges reflect the last completed run.
+  EXPECT_GT(snap.find("mcgp_last_cut")->find({"kway"})->gauge, 0.0);
+}
+
+// The zero-cost contract's second half: attaching a registry never
+// changes partitions, at any thread count, for either algorithm.
+TEST(MetricsPipeline, AttachedRegistryNeverChangesPartitions) {
+  const Graph g = make_metrics_graph();
+  for (const Algorithm alg :
+       {Algorithm::kRecursiveBisection, Algorithm::kKWay}) {
+    for (const int threads : {1, 8}) {
+      Options o;
+      o.nparts = 8;
+      o.algorithm = alg;
+      o.num_threads = threads;
+      o.seed = 11;
+      const PartitionResult plain = partition(g, o);
+      MetricsRegistry reg;
+      o.metrics = &reg;
+      const PartitionResult observed = partition(g, o);
+      EXPECT_EQ(plain.part, observed.part)
+          << "alg=" << (alg == Algorithm::kKWay ? "kway" : "rb")
+          << " threads=" << threads;
+      EXPECT_EQ(plain.cut, observed.cut);
+    }
+  }
+}
+
+// Named to match the TSan job's -R 'Parallel' ctest filter.
+TEST(MetricsRegistryParallel, ConcurrentMutationsAndConsistentSnapshots) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter_add("par_events", {std::to_string(t % 2)});
+        reg.observe("par_ns", {}, i + 1);
+        if (i % 256 == 0) reg.note_progress("test");
+      }
+    });
+  }
+  // Scrape concurrently: every snapshot must be internally consistent
+  // (bucket sum == count under the one-lock copy) and counters monotone.
+  sum_t last_seen = 0;
+  for (int s = 0; s < 50; ++s) {
+    const MetricsSnapshot snap = reg.snapshot();
+    const MetricFamily* hist = snap.find("par_ns");
+    if (hist != nullptr && !hist->series.empty()) {
+      const MetricPoint& p = hist->series.begin()->second;
+      std::uint64_t bucket_sum = 0;
+      for (const std::uint64_t b : p.hist.buckets) bucket_sum += b;
+      EXPECT_EQ(bucket_sum, static_cast<std::uint64_t>(p.hist.count));
+    }
+    const MetricFamily* ctr = snap.find("par_events");
+    if (ctr != nullptr) {
+      sum_t total = 0;
+      for (const auto& [labels, point] : ctr->series) {
+        total = saturating_add(total, point.counter);
+      }
+      EXPECT_GE(total, last_seen);
+      last_seen = total;
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("par_events")->find({"0"})->counter,
+            static_cast<sum_t>(kThreads / 2 * kIters));
+  EXPECT_EQ(snap.find("par_events")->find({"1"})->counter,
+            static_cast<sum_t>(kThreads / 2 * kIters));
+  EXPECT_EQ(snap.find("par_ns")->find({})->hist.count,
+            static_cast<sum_t>(kThreads * kIters));
+}
+
+TEST(MetricsFlusher, StallDetectorFiresOnFreezeAndRecovers) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  ::setenv("MCGP_POSTMORTEM_DIR", dir.c_str(), 1);
+  const std::string postmortem = dir + "/metrics_stall_test.json";
+  std::remove(postmortem.c_str());
+
+  MetricsRegistry reg;
+  reg.run_begin();  // a run enters the pipeline ...
+  MetricsFlusher::Config cfg;
+  cfg.stall_timeout_s = 0.03;
+  cfg.postmortem_path = "metrics_stall_test.json";  // relative: redirected
+  MetricsFlusher flusher(reg, cfg);
+  // ... and then freezes: no note_progress for well past the timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  flusher.poll_now();
+  EXPECT_TRUE(flusher.stalled());
+  EXPECT_GE(flusher.stall_events(), 1u);
+  EXPECT_TRUE(reg.stalled());
+
+  // The heartbeat dumped a postmortem from outside the frozen run.
+  std::ifstream in(postmortem);
+  ASSERT_TRUE(in.good()) << "no postmortem at " << postmortem;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = testing::parse_json(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  const auto* error = doc->find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->str.find("stall"), std::string::npos);
+  const auto* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("kind"), nullptr);
+  EXPECT_EQ(metrics->find("kind")->str, "mcgp_metrics");
+
+  // Progress resuming clears the latch and the gauge.
+  reg.note_progress("test");
+  flusher.poll_now();
+  EXPECT_FALSE(flusher.stalled());
+  EXPECT_FALSE(reg.stalled());
+
+  reg.run_end();
+  flusher.stop();
+  std::remove(postmortem.c_str());
+  ::unsetenv("MCGP_POSTMORTEM_DIR");
+}
+
+TEST(MetricsFlusher, SilentOnAHealthyRun) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  const std::string postmortem = dir + "/metrics_no_stall_test.json";
+  std::remove(postmortem.c_str());
+
+  MetricsRegistry reg;
+  MetricsFlusher::Config cfg;
+  cfg.stall_timeout_s = 30.0;
+  cfg.postmortem_path = postmortem;  // absolute: used as-is
+  MetricsFlusher flusher(reg, cfg);
+
+  const Graph g = make_metrics_graph();
+  Options o;
+  o.nparts = 4;
+  o.metrics = &reg;
+  partition(g, o);
+  flusher.poll_now();
+  EXPECT_FALSE(flusher.stalled());
+  EXPECT_EQ(flusher.stall_events(), 0u);
+  EXPECT_FALSE(std::ifstream(postmortem).good());
+  flusher.stop();
+}
+
+TEST(MetricsFlusher, PeriodicFlushAndFinalSnapshot) {
+  const std::string prom = ::testing::TempDir() + "mcgp_flush_test.prom";
+  const std::string json = ::testing::TempDir() + "mcgp_flush_test.json";
+  std::remove(prom.c_str());
+  std::remove(json.c_str());
+
+  MetricsRegistry reg;
+  reg.counter_add("mcgp_partitions", {"kway"}, 2);
+  {
+    MetricsFlusher::Config cfg;
+    cfg.out_path = prom;
+    cfg.interval_s = 0;  // rewrite on every tick
+    MetricsFlusher flusher(reg, cfg);
+    flusher.poll_now();
+    EXPECT_GE(flusher.flushes(), 1u);
+    std::ifstream in(prom);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    EXPECT_NE(text.find("mcgp_partitions_total{alg=\"kway\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+  }
+
+  // A long interval writes nothing periodically, but stop() (here via
+  // the destructor) still delivers the final end-of-process snapshot.
+  {
+    MetricsFlusher::Config cfg;
+    cfg.out_path = json;
+    cfg.interval_s = 3600.0;
+    MetricsFlusher flusher(reg, cfg);
+  }
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = testing::parse_json(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("kind")->str, "mcgp_metrics");
+  std::remove(prom.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(MetricsExposition, OpenMetricsTextIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter_add("mcgp_partitions", {"kway"}, 3);
+  reg.observe("mcgp_run_ns", {"kway"}, 1000);
+  reg.observe("mcgp_run_ns", {"kway"}, 3000000);
+  reg.gauge_set("esc", {R"(a"b\c)"}, 1.0);  // label needing escapes
+  std::ostringstream out;
+  reg.write_openmetrics(out);
+  const std::string text = out.str();
+
+  // Terminator, counter suffix, histogram structure.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+  EXPECT_NE(text.find("# TYPE mcgp_partitions counter"), std::string::npos);
+  EXPECT_NE(text.find("mcgp_partitions_total{alg=\"kway\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# UNIT mcgp_run_ns ns"), std::string::npos);
+  // Cumulative buckets: 1000 -> le=1024, 3000000 -> le=4194304; the
+  // mandatory +Inf closing bucket equals _count.
+  EXPECT_NE(text.find("mcgp_run_ns_bucket{alg=\"kway\",le=\"1024\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mcgp_run_ns_bucket{alg=\"kway\",le=\"4194304\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mcgp_run_ns_bucket{alg=\"kway\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mcgp_run_ns_count{alg=\"kway\"} 2"),
+            std::string::npos);
+  // Backslash and quote escaped per the OpenMetrics ABNF.
+  EXPECT_NE(text.find(R"(esc{l0="a\"b\\c"} 1)"), std::string::npos);
+  // Families with no series yet (most of the pre-declared set) are
+  // omitted entirely rather than emitted as bare metadata.
+  EXPECT_EQ(text.find("mcgp_phase_cycles"), std::string::npos);
+}
+
+TEST(MetricsExposition, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.counter_add("mcgp_partitions", {"kway"}, 2);
+  reg.observe("mcgp_run_ns", {"kway"}, 1500);
+  std::ostringstream out;
+  reg.write_json(out);
+  const auto doc = testing::parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema_version")->number, kMcgpSchemaVersion);
+  EXPECT_EQ(doc->find("kind")->str, "mcgp_metrics");
+  const auto* families = doc->find("families");
+  ASSERT_NE(families, nullptr);
+  ASSERT_TRUE(families->is_array());
+  const testing::JsonValue* run_ns = nullptr;
+  for (const auto& fam : families->array) {
+    if (fam.find("name") != nullptr && fam.find("name")->str == "mcgp_run_ns")
+      run_ns = &fam;
+  }
+  ASSERT_NE(run_ns, nullptr);
+  EXPECT_EQ(run_ns->find("kind")->str, "histogram");
+  EXPECT_EQ(run_ns->find("unit")->str, "ns");
+  const auto& series = run_ns->find("series")->array;
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].find("count")->number, 1.0);
+  EXPECT_EQ(series[0].find("sum")->number, 1500.0);
+  // Sparse buckets: one [index, own_count] pair for the 1500 -> 2^11
+  // observation.
+  const auto& buckets = series[0].find("buckets")->array;
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].array[0].number, 11.0);
+  EXPECT_EQ(buckets[0].array[1].number, 1.0);
+}
+
+}  // namespace
+}  // namespace mcgp

@@ -12,10 +12,11 @@ Drives the gate in-process over the committed fixtures:
    0.01s quality run stays exempt (scheduler noise, not signal).
 3. Duplicate baseline records for one key merge best-of (min time/RSS).
 4. --require-all turns a missing baseline key into a failure.
-5. Records carrying keys the gate does not know (host identity and
-   profile sections from profiler-attached runs) compare cleanly against
-   an old baseline that lacks them — new telemetry must never invalidate
-   committed baselines.
+5. Records carrying keys the gate does not know (host identity, profile
+   sections from profiler-attached runs, metrics_snapshot sidecar
+   pointers) compare cleanly against an old baseline that lacks them,
+   even with the .metrics.json sidecar sitting next to the ledger — new
+   telemetry must never invalidate committed baselines.
 6. --feasibility flags a feasible->infeasible flip as a regression, stays
    quiet without the flag, and skips records lacking the field (old
    baselines keep gating new binaries).
@@ -104,9 +105,10 @@ def main():
     if code == 0:
         errors.append("partial with --require-all: expected nonzero exit")
 
-    # Newer ledgers stamp host identity and (with --profile) a profile
-    # object onto every record; the gate must ignore keys it does not
-    # know so old baselines keep gating new binaries.
+    # Newer ledgers stamp host identity, (with --profile) a profile
+    # object, and (with a metrics registry attached) a metrics_snapshot
+    # sidecar pointer onto every record; the gate must ignore keys it
+    # does not know so old baselines keep gating new binaries.
     enriched_lines = []
     for line in Path(FIXTURES / "current_ok.jsonl").read_text().splitlines():
         rec = json.loads(line)
@@ -120,11 +122,21 @@ def main():
                                      delete=False) as tmp:
         tmp.write("\n".join(enriched_lines) + "\n")
         enriched = tmp.name
+    # The benches drop a <ledger>.metrics.json aggregate next to the
+    # ledger and point every record at it; neither the sidecar file nor
+    # the pointer key may perturb the gate.
+    sidecar = enriched + ".metrics.json"
+    Path(sidecar).write_text(json.dumps(
+        {"schema_version": 1, "kind": "mcgp_metrics", "families": []}))
+    enriched_lines = [json.dumps({**json.loads(line),
+                                  "metrics_snapshot": sidecar})
+                      for line in enriched_lines]
+    Path(enriched).write_text("\n".join(enriched_lines) + "\n")
     code, out = run_gate(["--baseline", BASELINE, "--current", enriched])
     if code != 0:
-        errors.append(f"extra keys: records with host/profile fields must "
-                      f"compare cleanly against an old baseline, "
-                      f"got exit {code}\n{out}")
+        errors.append(f"extra keys: records with host/profile/"
+                      f"metrics_snapshot fields must compare cleanly "
+                      f"against an old baseline, got exit {code}\n{out}")
 
     # Feasibility gate: a baseline-feasible key turning infeasible must
     # fail under --feasibility, pass without it, and records lacking the

@@ -1,0 +1,457 @@
+#!/usr/bin/env python3
+"""Reader and lint for mcgp metrics snapshots (support/metrics.hpp).
+
+Consumes the JSON snapshot a metrics-attached process writes (mcpart
+--metrics-out=*.json, a bench's <ledger>.metrics.json sidecar, or a
+stall postmortem whose "metrics" member embeds one) and renders the
+views a service investigation starts from:
+
+  top   histogram series ranked by total time (sum), with count, mean,
+        and conservative p50/p90/p99 derived from the log2 buckets
+  hist  the full bucket table of one histogram series
+        (le, own count, cumulative, share of observations)
+  diff  A/B comparison of two snapshots from the same registry:
+        counter and histogram deltas (what happened in between),
+        gauges before -> after
+
+  lint  OpenMetrics text-format checker for the exposition files
+        (mcpart --metrics-out=*.prom): metadata present and typed,
+        counters `_total`-suffixed, histogram buckets cumulative and
+        closed by a `+Inf` bucket equal to `_count`, label syntax,
+        `# EOF` terminator. CI runs this over a live mcpart exposition.
+
+Dependency-free by design: stdlib only, same as tools/mcgp_prof.
+
+Exit codes: 0 = ok / lint clean, 1 = lint findings, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+# Snapshot schema this reader understands (kMcgpSchemaVersion in
+# src/support/schema.hpp). Newer majors fail loudly instead of silently
+# misreading fields whose meaning may have changed.
+SUPPORTED_SCHEMA = 1
+
+# The last histogram bucket is +Inf (kHistBuckets-1 in metrics.hpp);
+# every finite bucket b has inclusive upper bound 2^b.
+HIST_BUCKETS = 64
+
+
+def bucket_le(b):
+    """Finite upper bound of bucket b; the +Inf bucket reports the
+    largest finite bound, matching HistogramData::quantile."""
+    return float(2 ** min(b, HIST_BUCKETS - 2))
+
+
+def load_snapshot(path):
+    """Read a metrics snapshot (or a postmortem document embedding one)
+    and return it, or raise SystemExit with a precise message."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: {path}: not valid JSON: {e}")
+    if isinstance(doc, dict) and isinstance(doc.get("metrics"), dict):
+        doc = doc["metrics"]  # a stall postmortem wrapping the snapshot
+    if not (isinstance(doc, dict) and doc.get("kind") == "mcgp_metrics"):
+        raise SystemExit(
+            f"error: {path}: not a metrics snapshot — produce one with "
+            "mcpart --metrics-out=<path>.json")
+    schema = doc.get("schema_version")
+    if schema is None or schema > SUPPORTED_SCHEMA:
+        raise SystemExit(
+            f"error: {path}: snapshot schema_version {schema!r} not "
+            f"supported (this reader understands <= {SUPPORTED_SCHEMA})")
+    return doc
+
+
+def label_str(family, values):
+    keys = family.get("labels", [])
+    pairs = [f'{k}="{v}"' for k, v in zip(keys, values)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def hist_quantile(series, q):
+    """Conservative quantile from the sparse [bucket, own_count] pairs:
+    the upper bound of the first bucket whose cumulative count reaches
+    q*count — never underestimates. None for an empty histogram."""
+    count = series.get("count", 0)
+    if count <= 0:
+        return None
+    target = q * count
+    cum = 0
+    for b, own in sorted(series.get("buckets", [])):
+        cum += own
+        if cum >= target:
+            return bucket_le(b)
+    return bucket_le(HIST_BUCKETS - 1)
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return f"{v:,}"
+
+
+def each_series(snap, kind=None, family=None):
+    for fam in snap.get("families", []):
+        if kind is not None and fam.get("kind") != kind:
+            continue
+        if family is not None and fam.get("name") != family:
+            continue
+        for s in fam.get("series", []):
+            yield fam, s
+
+
+def cmd_top(args):
+    snap = load_snapshot(args.snapshot)
+    rows = []
+    for fam, s in each_series(snap, kind="histogram"):
+        name = fam["name"] + label_str(fam, s.get("labels", []))
+        count, total = s.get("count", 0), s.get("sum", 0)
+        if count <= 0:
+            continue
+        rows.append((total, count, name, s))
+    rows.sort(key=lambda t: (-t[0], t[2]))
+    print(f"top {min(args.n, len(rows))} histogram series by sum "
+          f"({args.snapshot})")
+    header = (f"{'series':<48} {'count':>8} {'sum':>16} {'mean':>10} "
+              f"{'p50':>10} {'p90':>10} {'p99':>10}")
+    print(header)
+    print("-" * len(header))
+    for total, count, name, s in rows[:args.n]:
+        mean = total / count
+        p50, p90, p99 = (hist_quantile(s, q) for q in (0.5, 0.9, 0.99))
+        print(f"{name:<48} {count:>8,} {total:>16,} {fmt(mean):>10} "
+              f"{fmt(p50):>10} {fmt(p90):>10} {fmt(p99):>10}")
+    return 0
+
+
+def cmd_hist(args):
+    snap = load_snapshot(args.snapshot)
+    want = args.labels.split(",") if args.labels else None
+    matches = [(fam, s) for fam, s in
+               each_series(snap, kind="histogram", family=args.family)
+               if want is None or s.get("labels", []) == want]
+    if not matches:
+        have = sorted({fam["name"] + label_str(fam, s.get("labels", []))
+                       for fam, s in each_series(snap, kind="histogram")})
+        raise SystemExit(
+            f"error: no histogram series {args.family!r}"
+            f"{'/' + args.labels if args.labels else ''} in "
+            f"{args.snapshot} (have: {', '.join(have) or 'none'})")
+    for fam, s in matches:
+        name = fam["name"] + label_str(fam, s.get("labels", []))
+        count = s.get("count", 0)
+        print(f"{name}: count={fmt(count)} sum={fmt(s.get('sum', 0))}"
+              f"{' unit=' + fam['unit'] if fam.get('unit') else ''}"
+              f"{' SATURATED' if s.get('saturated') else ''}")
+        header = f"{'le':>22} {'own':>10} {'cumulative':>12} {'share':>7}"
+        print(header)
+        print("-" * len(header))
+        cum = 0
+        for b, own in sorted(s.get("buckets", [])):
+            cum += own
+            le = "+Inf" if b == HIST_BUCKETS - 1 else f"{2 ** b:,}"
+            share = f"{cum / count:7.1%}" if count else "      -"
+            print(f"{le:>22} {own:>10,} {cum:>12,} {share}")
+    return 0
+
+
+def cmd_diff(args):
+    before = load_snapshot(args.before)
+    after = load_snapshot(args.after)
+
+    def index(snap):
+        return {(fam["name"], tuple(s.get("labels", []))): (fam, s)
+                for fam, s in each_series(snap, family=args.family)}
+
+    idx_b, idx_a = index(before), index(after)
+    print(f"{args.before} -> {args.after}")
+    header = f"{'series':<48} {'kind':<10} {'before':>14} {'after':>14} " \
+             f"{'delta':>14}"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(set(idx_b) | set(idx_a)):
+        fam, s_a = idx_a.get(key, idx_b.get(key))
+        name = fam["name"] + label_str(fam, list(key[1]))
+        kind = fam.get("kind", "?")
+        s_b = idx_b.get(key, (None, None))[1]
+        s_a = idx_a.get(key, (None, None))[1]
+        if kind == "counter":
+            vb = s_b.get("value", 0) if s_b else 0
+            va = s_a.get("value", 0) if s_a else 0
+            if va == vb and not args.all:
+                continue
+            print(f"{name:<48} {kind:<10} {fmt(vb):>14} {fmt(va):>14} "
+                  f"{fmt(va - vb):>14}")
+        elif kind == "histogram":
+            cb = s_b.get("count", 0) if s_b else 0
+            ca = s_a.get("count", 0) if s_a else 0
+            if ca == cb and not args.all:
+                continue
+            sb = s_b.get("sum", 0) if s_b else 0
+            sa = s_a.get("sum", 0) if s_a else 0
+            print(f"{name + ' (count)':<48} {kind:<10} {fmt(cb):>14} "
+                  f"{fmt(ca):>14} {fmt(ca - cb):>14}")
+            print(f"{name + ' (sum)':<48} {'':<10} {fmt(sb):>14} "
+                  f"{fmt(sa):>14} {fmt(sa - sb):>14}")
+        else:  # gauges: last-observed values, a delta has no meaning
+            vb = s_b.get("value") if s_b else None
+            va = s_a.get("value") if s_a else None
+            if va == vb and not args.all:
+                continue
+            print(f"{name:<48} {kind:<10} {fmt(vb):>14} {fmt(va):>14} "
+                  f"{'-':>14}")
+    return 0
+
+
+# --- OpenMetrics lint ----------------------------------------------------
+
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"')
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "info",
+               "stateset", "gaugehistogram", "unknown")
+SAMPLE_SUFFIXES = ("_total", "_bucket", "_sum", "_count", "_created")
+
+
+def parse_sample(body):
+    """Split `name{labels} value` / `name value` into
+    (name, [(k, v)...], value_text) or None on syntax error."""
+    m = METRIC_NAME_RE.match(body)
+    if not m:
+        return None
+    name, rest = m.group(), body[m.end():]
+    labels = []
+    if rest.startswith("{"):
+        pos = 1
+        while pos < len(rest) and rest[pos] != "}":
+            lm = LABEL_RE.match(rest, pos)
+            if not lm:
+                return None
+            labels.append((lm.group(1), lm.group(2)))
+            pos = lm.end()
+            if pos < len(rest) and rest[pos] == ",":
+                pos += 1
+        if pos >= len(rest) or rest[pos] != "}":
+            return None
+        rest = rest[pos + 1:]
+    if not rest.startswith(" "):
+        return None
+    value = rest[1:].strip()
+    return name, labels, value
+
+
+def lint_text(text, path="<input>"):
+    """Check one OpenMetrics exposition. Returns a list of
+    `path:line: message` findings (empty = clean)."""
+    findings = []
+    lines = text.splitlines()
+
+    def bad(lineno, msg):
+        findings.append(f"{path}:{lineno}: {msg}")
+
+    if not text:
+        return [f"{path}:1: empty exposition (no # EOF)"]
+    if not text.endswith("\n"):
+        bad(len(lines), "exposition must end with a newline")
+    if not lines or lines[-1] != "# EOF":
+        bad(len(lines) or 1, "last line must be exactly '# EOF'")
+
+    types = {}       # family name -> declared type
+    units = {}       # family name -> declared unit
+    seen_samples = set()
+    # (family, frozenset(labels-minus-le)) -> list of (le, value, lineno)
+    hist_buckets = {}
+    hist_scalar = {}  # (family, labels, "sum"|"count") -> value
+
+    def family_of(name):
+        """Resolve a sample name to its declared family, honoring the
+        structured suffixes."""
+        if name in types:
+            return name, ""
+        for suffix in SAMPLE_SUFFIXES:
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                return name[:-len(suffix)], suffix
+        return None, ""
+
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                bad(lineno, "'# EOF' before the end of the exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or \
+                    parts[1] not in ("TYPE", "UNIT", "HELP"):
+                bad(lineno, f"unparseable metadata line: {line!r}")
+                continue
+            keyword, name = parts[1], parts[2]
+            if keyword == "TYPE":
+                mtype = parts[3] if len(parts) > 3 else ""
+                if mtype not in KNOWN_TYPES:
+                    bad(lineno, f"unknown metric type {mtype!r} for {name}")
+                if name in types:
+                    bad(lineno, f"duplicate # TYPE for {name}")
+                types[name] = mtype
+            elif keyword == "UNIT":
+                unit = parts[3] if len(parts) > 3 else ""
+                if name not in types:
+                    bad(lineno, f"# UNIT for {name} before its # TYPE")
+                if unit and not name.endswith("_" + unit):
+                    bad(lineno, f"metric {name} should end with its unit "
+                                f"suffix _{unit}")
+                units[name] = unit
+            else:  # HELP
+                if name not in types:
+                    bad(lineno, f"# HELP for {name} before its # TYPE")
+            continue
+        if not line.strip():
+            bad(lineno, "blank line (not allowed in OpenMetrics)")
+            continue
+
+        parsed = parse_sample(line)
+        if parsed is None:
+            bad(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, labels, value_text = parsed
+        try:
+            value = float(value_text.split(" ")[0])  # optional timestamp
+        except ValueError:
+            bad(lineno, f"sample value {value_text!r} is not a number")
+            continue
+
+        family, suffix = family_of(name)
+        if family is None:
+            bad(lineno, f"sample {name} has no preceding # TYPE")
+            continue
+        mtype = types[family]
+        if mtype == "counter":
+            if suffix == "_total":
+                if value < 0:
+                    bad(lineno, f"counter {name} is negative")
+            elif suffix != "_created":
+                bad(lineno, f"counter sample must be {family}_total, "
+                            f"got {name}")
+        elif mtype == "gauge":
+            if suffix:
+                bad(lineno, f"gauge sample must be bare {family}, "
+                            f"got {name}")
+        elif mtype == "histogram":
+            bare = tuple(sorted((k, v) for k, v in labels if k != "le"))
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    bad(lineno, f"{name} bucket lacks the le label")
+                    continue
+                le_num = float("inf") if le == "+Inf" else None
+                if le_num is None:
+                    try:
+                        le_num = float(le)
+                    except ValueError:
+                        bad(lineno, f"{name} has unparseable le={le!r}")
+                        continue
+                hist_buckets.setdefault((family, bare), []).append(
+                    (le_num, value, lineno))
+            elif suffix in ("_sum", "_count"):
+                if value < 0:
+                    bad(lineno, f"{name} is negative")
+                hist_scalar[(family, bare, suffix[1:])] = value
+            else:
+                bad(lineno, f"histogram sample must be {family}_bucket/"
+                            f"_sum/_count, got {name}")
+        key = (name, tuple(sorted(labels)))
+        if key in seen_samples:
+            bad(lineno, f"duplicate sample for {name}"
+                        f"{dict(labels) if labels else ''}")
+        seen_samples.add(key)
+
+    for (family, bare), buckets in sorted(hist_buckets.items()):
+        where = buckets[-1][2]
+        les = [le for le, _, _ in buckets]
+        if les != sorted(les):
+            bad(where, f"{family} buckets not in increasing le order")
+        values = [v for _, v, _ in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            bad(where, f"{family} bucket values not cumulative "
+                       f"(must be non-decreasing)")
+        if not les or les[-1] != float("inf"):
+            bad(where, f"{family} lacks the mandatory le=\"+Inf\" bucket")
+        else:
+            count = hist_scalar.get((family, bare, "count"))
+            if count is None:
+                bad(where, f"{family} lacks a _count sample")
+            elif values[-1] != count:
+                bad(where, f"{family} +Inf bucket ({values[-1]:g}) != "
+                           f"_count ({count:g})")
+        if (family, bare, "sum") not in hist_scalar:
+            bad(where, f"{family} lacks a _sum sample")
+    return findings
+
+
+def cmd_lint(args):
+    try:
+        with open(args.exposition, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {args.exposition}: {e}")
+    findings = lint_text(text, args.exposition)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{args.exposition}: {len(findings)} finding(s)")
+        return 1
+    print(f"{args.exposition}: OpenMetrics lint clean")
+    return 0
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(
+        description="read and lint mcgp metrics snapshots")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    p_top = sub.add_parser("top", help="histogram series ranked by sum")
+    p_top.add_argument("snapshot", help="metrics snapshot JSON")
+    p_top.add_argument("--n", type=int, default=10,
+                       help="rows to show (default 10)")
+    p_top.set_defaults(fn=cmd_top)
+
+    p_hist = sub.add_parser("hist", help="bucket table of one histogram")
+    p_hist.add_argument("snapshot")
+    p_hist.add_argument("family", help="histogram family name "
+                                       "(e.g. mcgp_run_ns)")
+    p_hist.add_argument("--labels", default=None,
+                        help="comma-separated label values to select one "
+                             "series (default: all series of the family)")
+    p_hist.set_defaults(fn=cmd_hist)
+
+    p_df = sub.add_parser("diff", help="A/B compare two snapshots")
+    p_df.add_argument("before")
+    p_df.add_argument("after")
+    p_df.add_argument("--family", default=None,
+                      help="restrict to one family (default: all)")
+    p_df.add_argument("--all", action="store_true",
+                      help="also show unchanged series")
+    p_df.set_defaults(fn=cmd_diff)
+
+    p_lint = sub.add_parser("lint", help="check an OpenMetrics exposition")
+    p_lint.add_argument("exposition", help="OpenMetrics text file "
+                                           "(mcpart --metrics-out=*.prom)")
+    p_lint.set_defaults(fn=cmd_lint)
+
+    args = p.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

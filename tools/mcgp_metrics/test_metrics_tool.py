@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Self-test for the metrics reader and OpenMetrics lint (metrics.py).
+
+Drives the tool in-process over the committed fixtures:
+
+1. `top` on snapshot_b ranks the kway run-time histogram (9ms summed)
+   above the rb one and derives conservative p50/p99 upper bounds from
+   the log2 buckets (p50 = 2^21 for 2+2+1 observations in buckets
+   20/21/22).
+2. `hist` renders the bucket table of one series (cumulative counts,
+   100.0% share at the last bucket) and errors precisely on an unknown
+   family.
+3. `diff a b` reports counter deltas (kway +3, the new rb series +1),
+   histogram count/sum deltas, and gauges before -> after; unchanged
+   series stay hidden without --all.
+4. `lint` passes the good exposition and flags exactly the six injected
+   violations in the bad one (counter without _total, non-cumulative
+   buckets, +Inf != _count, sample without # TYPE, unit-suffix
+   mismatch, missing # EOF).
+5. A stall postmortem embedding a snapshot under "metrics" loads
+   transparently; non-snapshot JSON and future schema versions fail
+   loudly, naming the file.
+
+Run directly (`python3 tools/mcgp_metrics/test_metrics_tool.py`) or via
+ctest (`mcgp_metrics_selftest`). Exits nonzero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import metrics  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SNAP_A = str(FIXTURES / "snapshot_a.json")
+SNAP_B = str(FIXTURES / "snapshot_b.json")
+GOOD = str(FIXTURES / "good.prom")
+BAD = str(FIXTURES / "bad.prom")
+
+
+def run_tool(argv):
+    out = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(out):
+            code = metrics.main(argv)
+    except SystemExit as e:  # load_snapshot raises SystemExit on bad input
+        return 2, out.getvalue() + str(e)
+    return code, out.getvalue()
+
+
+def main():
+    errors = []
+
+    # 1. top: ranking by sum, quantiles from the log2 buckets.
+    code, out = run_tool(["top", SNAP_B])
+    if code != 0:
+        errors.append(f"top: expected exit 0, got {code}\n{out}")
+    rows = [ln for ln in out.splitlines()[3:] if ln.strip()]
+    if not rows or not rows[0].startswith('mcgp_run_ns{alg="kway"}'):
+        errors.append(f"top: kway run histogram (9ms summed) must rank "
+                      f"first\n{out}")
+    elif "9,000,000" not in rows[0] or "2.097e+06" not in rows[0]:
+        # p50: 5 observations in buckets 20/21/22 -> the cumulative count
+        # reaches 2.5 in bucket 21, upper bound 2^21 = 2097152.
+        errors.append(f"top: expected sum 9,000,000 and p50 2.097e+06 "
+                      f"for the kway series, got: {rows[0]!r}")
+    if len(rows) != 2 or not rows[1].startswith('mcgp_run_ns{alg="rb"}'):
+        errors.append(f"top: expected the rb series ranked second\n{out}")
+
+    # 2. hist: bucket table plus precise error for unknown families.
+    code, out = run_tool(["hist", SNAP_B, "mcgp_run_ns",
+                          "--labels", "kway"])
+    if code != 0:
+        errors.append(f"hist: expected exit 0, got {code}\n{out}")
+    body = [ln.split() for ln in out.splitlines()[3:] if ln.strip()]
+    if len(body) != 3 or [r[2] for r in body] != ["2", "4", "5"]:
+        errors.append(f"hist: expected cumulative counts 2,4,5\n{out}")
+    elif body[-1][0] != "4,194,304" or body[-1][-1] != "100.0%":
+        errors.append(f"hist: last bucket should be le=4,194,304 at "
+                      f"100.0% share, got {body[-1]}\n{out}")
+    code, out = run_tool(["hist", SNAP_B, "no_such_family"])
+    if code == 0 or "no histogram series" not in out:
+        errors.append(f"hist unknown family: expected a loud error, "
+                      f"got exit {code}\n{out}")
+
+    # 3. diff: counter and histogram deltas, gauges before -> after.
+    code, out = run_tool(["diff", SNAP_A, SNAP_B])
+    if code != 0:
+        errors.append(f"diff: expected exit 0, got {code}\n{out}")
+
+    def row(prefix):
+        return next((ln.split() for ln in out.splitlines()
+                     if ln.startswith(prefix)), [])
+
+    kway = row('mcgp_partitions{alg="kway"}')
+    if not kway or kway[-1] != "3":
+        errors.append(f"diff: kway partitions delta should be 3, "
+                      f"got {kway}\n{out}")
+    rb = row('mcgp_partitions{alg="rb"}')
+    if not rb or rb[-3:] != ["0", "1", "1"]:
+        errors.append(f"diff: the new rb series should delta from 0, "
+                      f"got {rb}\n{out}")
+    hist_count = row('mcgp_run_ns{alg="kway"} (count)')
+    if not hist_count or hist_count[-1] != "3":
+        errors.append(f"diff: run_ns count delta should be 3, "
+                      f"got {hist_count}\n{out}")
+    cut = row('mcgp_last_cut{alg="kway"}')
+    if not cut or cut[-3:] != ["120", "95", "-"]:
+        errors.append(f"diff: gauge must show 120 -> 95 with no delta, "
+                      f"got {cut}\n{out}")
+
+    # 4. lint: clean fixture passes, bad fixture flags each violation.
+    code, out = run_tool(["lint", GOOD])
+    if code != 0 or "lint clean" not in out:
+        errors.append(f"lint good: expected clean exit 0, got {code}\n{out}")
+    code, out = run_tool(["lint", BAD])
+    if code != 1:
+        errors.append(f"lint bad: expected exit 1, got {code}\n{out}")
+    findings = [ln for ln in out.splitlines() if ":" in ln
+                and not ln.endswith("finding(s)")]
+    if len(findings) != 6:
+        errors.append(f"lint bad: expected exactly 6 findings, "
+                      f"got {len(findings)}:\n{out}")
+    for needle in ("_total", "not cumulative", "+Inf", "# TYPE",
+                   "unit", "# EOF"):
+        if not any(needle in f for f in findings):
+            errors.append(f"lint bad: no finding mentions {needle!r}\n{out}")
+
+    # 5. postmortem wrapper loads; bad input fails loudly.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump({"schema_version": 1, "error": "stall",
+                   "metrics": json.loads(Path(SNAP_B).read_text())}, tmp)
+        postmortem = tmp.name
+    code, out = run_tool(["top", postmortem])
+    if code != 0 or "mcgp_run_ns" not in out:
+        errors.append(f"postmortem: embedded snapshot must load, "
+                      f"got exit {code}\n{out}")
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump({"schema_version": 1, "edge_cut": 7}, tmp)
+        not_snap = tmp.name
+    code, out = run_tool(["top", not_snap])
+    if code == 0 or "not a metrics snapshot" not in out:
+        errors.append(f"non-snapshot input: expected a loud failure\n{out}")
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump({"schema_version": 999, "kind": "mcgp_metrics",
+                   "families": []}, tmp)
+        future = tmp.name
+    code, out = run_tool(["top", future])
+    if code == 0 or "schema_version" not in out:
+        errors.append(f"future schema: expected a loud failure\n{out}")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print("mcgp_metrics self-test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
